@@ -1,0 +1,169 @@
+package nfstricks
+
+// One testing.B benchmark per paper table/figure, plus ablations. Each
+// iteration reproduces the experiment on a scaled-down file set (the
+// full-scale reproduction is `nfsbench -exp <id>`); the reported custom
+// metrics are the figure's headline numbers, so `go test -bench .`
+// doubles as a smoke-check of the paper's shapes.
+
+import (
+	"testing"
+
+	"nfstricks/internal/bench"
+)
+
+// benchParams keeps testing.B runs fast: 1 run per cell at 1/32 of the
+// paper's file sizes (8 MB per reader-count iteration).
+func benchParams(i int) bench.Params {
+	return bench.Params{Runs: 1, Scale: 32, Seed: int64(i + 1)}
+}
+
+// runExperiment executes the experiment once per b.N with varying seeds
+// and reports headline series means as custom metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]metricSpec) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(benchParams(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for name, spec := range metrics {
+		s, ok := last.SeriesByLabel(spec.series)
+		if !ok {
+			b.Fatalf("%s: series %q missing", id, spec.series)
+		}
+		if spec.x >= len(s.Samples) {
+			b.Fatalf("%s: series %q has %d samples", id, spec.series, len(s.Samples))
+		}
+		b.ReportMetric(s.Samples[spec.x].Mean, name)
+	}
+}
+
+type metricSpec struct {
+	series string
+	x      int // index into the X sweep
+}
+
+// BenchmarkFig1ZCAV reproduces Figure 1: outer partitions beat inner.
+func BenchmarkFig1ZCAV(b *testing.B) {
+	runExperiment(b, "fig1", map[string]metricSpec{
+		"ide1-1rdr-MB/s":  {"ide1", 0},
+		"ide4-1rdr-MB/s":  {"ide4", 0},
+		"scsi1-1rdr-MB/s": {"scsi1", 0},
+	})
+}
+
+// BenchmarkFig2TaggedQueues reproduces Figure 2: disabling TCQ wins for
+// concurrent sequential readers.
+func BenchmarkFig2TaggedQueues(b *testing.B) {
+	runExperiment(b, "fig2", map[string]metricSpec{
+		"scsi1-notags-8rdr-MB/s": {"scsi1/no tags", 3},
+		"scsi1-tags-8rdr-MB/s":   {"scsi1/tags", 3},
+	})
+}
+
+// BenchmarkFig3Fairness reproduces Figure 3: Elevator staircase vs flat
+// N-CSCAN.
+func BenchmarkFig3Fairness(b *testing.B) {
+	runExperiment(b, "fig3", map[string]metricSpec{
+		"elev-first-s":   {"ide1/elev", 0},
+		"elev-last-s":    {"ide1/elev", 7},
+		"ncscan-first-s": {"ide1/ncscan", 0},
+		"ncscan-last-s":  {"ide1/ncscan", 7},
+	})
+}
+
+// BenchmarkFig4NFSUDP reproduces Figure 4.
+func BenchmarkFig4NFSUDP(b *testing.B) {
+	runExperiment(b, "fig4", map[string]metricSpec{
+		"ide1-1rdr-MB/s":  {"ide1", 0},
+		"ide1-32rdr-MB/s": {"ide1", 5},
+	})
+}
+
+// BenchmarkFig5NFSTCP reproduces Figure 5.
+func BenchmarkFig5NFSTCP(b *testing.B) {
+	runExperiment(b, "fig5", map[string]metricSpec{
+		"ide1-1rdr-MB/s":  {"ide1", 0},
+		"ide1-32rdr-MB/s": {"ide1", 5},
+	})
+}
+
+// BenchmarkFig6ReadAhead reproduces Figure 6: the potential of
+// read-ahead, idle vs busy client.
+func BenchmarkFig6ReadAhead(b *testing.B) {
+	runExperiment(b, "fig6", map[string]metricSpec{
+		"idle-always-8rdr-MB/s":  {"idle/always", 3},
+		"idle-default-8rdr-MB/s": {"idle/default", 3},
+		"busy-always-8rdr-MB/s":  {"busy/always", 3},
+	})
+}
+
+// BenchmarkFig7Nfsheur reproduces Figure 7: the enlarged nfsheur table
+// recovers read-ahead; SlowDown adds nothing beyond it.
+func BenchmarkFig7Nfsheur(b *testing.B) {
+	runExperiment(b, "fig7", map[string]metricSpec{
+		"always-16rdr-MB/s":       {"always", 4},
+		"slowdown-new-16rdr-MB/s": {"slowdown/new nfsheur", 4},
+		"default-new-16rdr-MB/s":  {"default/new nfsheur", 4},
+		"default-old-16rdr-MB/s":  {"default/default nfsheur", 4},
+	})
+}
+
+// BenchmarkFig8Stride reproduces Figure 8: cursor vs default stride
+// throughput.
+func BenchmarkFig8Stride(b *testing.B) {
+	runExperiment(b, "fig8", map[string]metricSpec{
+		"ide1-cursor-s8-MB/s":  {"ide1/cursor", 2},
+		"ide1-default-s8-MB/s": {"ide1/default", 2},
+	})
+}
+
+// BenchmarkTable1Stride reproduces Table 1 (same cells as Figure 8,
+// tabulated).
+func BenchmarkTable1Stride(b *testing.B) {
+	runExperiment(b, "table1", map[string]metricSpec{
+		"scsi1-cursor-s2-MB/s":  {"scsi1/cursor", 0},
+		"scsi1-default-s2-MB/s": {"scsi1/default", 0},
+	})
+}
+
+// BenchmarkAblationAging measures the §3 claim that aged file systems
+// widen the heuristics' advantage.
+func BenchmarkAblationAging(b *testing.B) {
+	runExperiment(b, "ablate-aging", map[string]metricSpec{
+		"cursor-fresh-MB/s": {"cursor", 0},
+		"cursor-aged-MB/s":  {"cursor", 2},
+	})
+}
+
+// BenchmarkAblationCursors sweeps the per-file cursor budget (§8).
+func BenchmarkAblationCursors(b *testing.B) {
+	runExperiment(b, "ablate-cursors", map[string]metricSpec{
+		"1cursor-MB/s": {"cursor heuristic", 0},
+		"8cursor-MB/s": {"cursor heuristic", 3},
+	})
+}
+
+// BenchmarkAblationNfsheur sweeps nfsheur geometries (§6.3).
+func BenchmarkAblationNfsheur(b *testing.B) {
+	runExperiment(b, "ablate-nfsheur", map[string]metricSpec{
+		"4.x-32rdr-MB/s":   {"15 slots/1 probe (4.x)", 5},
+		"paper-32rdr-MB/s": {"64 slots/4 probes (paper)", 5},
+	})
+}
+
+// BenchmarkAblationWindow sweeps the server read-ahead window.
+func BenchmarkAblationWindow(b *testing.B) {
+	runExperiment(b, "ablate-window", map[string]metricSpec{
+		"w1-MB/s":  {"always heuristic, ide1", 0},
+		"w32-MB/s": {"always heuristic, ide1", 3},
+	})
+}

@@ -1,0 +1,95 @@
+// Command nfsbench reproduces the tables and figures of "NFS Tricks and
+// Benchmarking Traps" (Ellard & Seltzer, FREENIX 2003) on the simulated
+// testbed.
+//
+// Usage:
+//
+//	nfsbench -exp fig1            # one experiment at full scale
+//	nfsbench -exp all -scale 4    # everything, 64 MB per iteration
+//	nfsbench -list                # show available experiments
+//	nfsbench -exp table1 -csv out.csv
+//
+// Scale divides the paper's file sizes (scale 1 = the full 256 MB per
+// reader-count iteration); runs is the repetition count per cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nfstricks/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (or 'all')")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		runs   = flag.Int("runs", 10, "runs per cell")
+		scale  = flag.Int("scale", 1, "divide the paper's file sizes by this factor")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		csv    = flag.String("csv", "", "also write results as CSV to this file")
+		verify = flag.Bool("verify", false, "check the paper's shape claims against the results")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	params := bench.Params{Runs: *runs, Scale: *scale, Seed: *seed}
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	var csvOut strings.Builder
+	for _, e := range todo {
+		start := time.Now()
+		r, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n(%s in %.1fs, runs=%d scale=%d)\n\n",
+			r.Format(), e.ID, time.Since(start).Seconds(), params.Runs, params.Scale)
+		if *verify {
+			if checks := bench.Verify(r); len(checks) > 0 {
+				fmt.Printf("shape checks for %s:\n%s\n", r.ID, bench.FormatChecks(checks))
+				for _, c := range checks {
+					if !c.OK {
+						defer os.Exit(1)
+					}
+				}
+			}
+		}
+		if *csv != "" {
+			csvOut.WriteString("# " + r.ID + "\n")
+			csvOut.WriteString(r.CSV())
+		}
+	}
+	if *csv != "" {
+		if err := os.WriteFile(*csv, []byte(csvOut.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: writing %s: %v\n", *csv, err)
+			os.Exit(1)
+		}
+	}
+}

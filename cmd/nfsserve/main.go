@@ -1,0 +1,114 @@
+// Command nfsserve runs the live userspace NFS-like file service over
+// real UDP and TCP sockets, with the paper's read-ahead heuristics
+// running on its READ path. It is the zero-infrastructure way to poke
+// at the protocol stack:
+//
+//	nfsserve -addr 127.0.0.1:12049 -file demo=4 -heuristic slowdown
+//
+// then read "demo" (4 MB of patterned data) with any client built on
+// internal/memfs.DialClient, e.g. examples/liveserver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/readahead"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:0", "address to bind (UDP and TCP)")
+		files     multiFlag
+		heuristic = flag.String("heuristic", "slowdown", "read-ahead heuristic: default, slowdown, always, cursor")
+		stats     = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
+	)
+	flag.Var(&files, "file", "file to serve, as name=sizeMB (repeatable; default demo=4)")
+	flag.Parse()
+
+	if len(files) == 0 {
+		files = multiFlag{"demo=4"}
+	}
+
+	var h readahead.Heuristic
+	switch *heuristic {
+	case "default":
+		h = readahead.Default{}
+	case "slowdown":
+		h = readahead.SlowDown{}
+	case "always":
+		h = readahead.Always{}
+	case "cursor":
+		h = &readahead.CursorHeuristic{}
+	default:
+		fmt.Fprintf(os.Stderr, "nfsserve: unknown heuristic %q\n", *heuristic)
+		os.Exit(2)
+	}
+
+	fs := memfs.NewFS()
+	for _, spec := range files {
+		name, sizeMB, err := parseFileSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfsserve:", err)
+			os.Exit(2)
+		}
+		data := make([]byte, sizeMB<<20)
+		for i := range data {
+			data[i] = byte(i * 2654435761)
+		}
+		fs.Create(name, data)
+		fmt.Printf("serving %s (%d MB)\n", name, sizeMB)
+	}
+
+	svc := memfs.NewService(fs, h, nil)
+	srv, err := memfs.NewServer(*addr, svc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfsserve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("listening on %s (udp+tcp), program %d version %d, heuristic %s\n",
+		srv.Addr(), nfsproto.Program, nfsproto.Version3, *heuristic)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if *stats > 0 {
+		ticker := time.NewTicker(*stats)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st := svc.Stats()
+				fmt.Printf("reads=%d bytes=%d maxSeqCount=%d\n",
+					st.Reads, st.BytesRead, st.MaxSeqCount)
+			case <-stop:
+				return
+			}
+		}
+	}
+	<-stop
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func parseFileSpec(spec string) (string, int, error) {
+	name, sizeStr, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("bad -file %q, want name=sizeMB", spec)
+	}
+	size, err := strconv.Atoi(sizeStr)
+	if err != nil || size <= 0 || size > 1024 {
+		return "", 0, fmt.Errorf("bad size in -file %q", spec)
+	}
+	return name, size, nil
+}

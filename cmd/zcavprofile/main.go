@@ -1,0 +1,61 @@
+// Command zcavprofile prints the zone profile of the simulated drives:
+// per-zone cylinder ranges, sectors per track, and media transfer rates
+// — the data behind the paper's §5.1 ZCAV discussion. It is the
+// equivalent of running a ZCAV probe tool against the drive models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nfstricks/internal/disk"
+)
+
+func main() {
+	which := flag.String("disk", "both", "disk to profile: scsi, ide, or both")
+	flag.Parse()
+
+	models := map[string]*disk.Model{
+		"scsi": disk.IBMDDYS36950(),
+		"ide":  disk.WD200BB(),
+	}
+	names := []string{"scsi", "ide"}
+	if *which != "both" {
+		if _, ok := models[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "zcavprofile: unknown disk %q\n", *which)
+			os.Exit(2)
+		}
+		names = []string{*which}
+	}
+
+	for _, name := range names {
+		m := models[name]
+		fmt.Printf("%s: %s\n", name, m.Name)
+		fmt.Printf("  %.1f GB, %d RPM, %d heads, %d cylinders, rev %.2f ms\n",
+			float64(m.Geo.TotalBytes())/1e9, m.RPM, m.Heads,
+			m.Geo.Cylinders(), m.RevTime().Seconds()*1e3)
+		fmt.Printf("  seek single/avg/full: %v / %v / %v\n",
+			m.SeekSingle, m.SeekAvg, m.SeekFull)
+		fmt.Printf("  %-6s %-12s %-10s %-12s\n", "zone", "cylinders", "spt", "media MB/s")
+		cyl := 0
+		for i, z := range m.Geo.Zones {
+			startLBA := m.Geo.LBAOfCylinder(cyl)
+			fmt.Printf("  %-6d %5d-%-6d %-10d %-12.1f\n",
+				i, cyl, cyl+z.Cylinders-1, z.SectorsPerTrack,
+				m.MediaRateAt(startLBA)/1e6)
+			cyl += z.Cylinders
+		}
+		outer := m.MediaRateAt(0)
+		inner := m.MediaRateAt(m.Geo.TotalSectors() - 1)
+		fmt.Printf("  ZCAV outer:inner = %.2f:1\n", outer/inner)
+		fmt.Println()
+		parts := m.Geo.QuarterPartitions(name)
+		for _, p := range parts {
+			fmt.Printf("  partition %-8s LBA %11d..%-11d media %.1f MB/s\n",
+				p.Name, p.StartLBA, p.StartLBA+p.Sectors-1,
+				m.MediaRateAt(p.StartLBA)/1e6)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,227 @@
+package bench
+
+import "fmt"
+
+// Check is one shape assertion against a reproduced result: a claim the
+// paper makes that must hold regardless of absolute calibration.
+type Check struct {
+	Claim string
+	OK    bool
+	Got   string
+}
+
+// Verify evaluates the paper's qualitative claims against a result.
+// Unknown experiment IDs yield no checks.
+func Verify(r *Result) []Check {
+	switch r.ID {
+	case "fig1":
+		return verifyFig1(r)
+	case "fig2":
+		return verifyFig2(r)
+	case "fig3":
+		return verifyFig3(r)
+	case "fig4":
+		return verifyFig4(r)
+	case "fig5":
+		return verifyFig5(r)
+	case "fig6":
+		return verifyFig6(r)
+	case "fig7":
+		return verifyFig7(r)
+	case "fig8", "table1":
+		return verifyFig8(r)
+	default:
+		return nil
+	}
+}
+
+// mean fetches a sample mean, tolerating missing series (reported as a
+// failed check by callers via ok=false).
+func mean(r *Result, label string, x int) (float64, bool) {
+	s, ok := r.SeriesByLabel(label)
+	if !ok || x >= len(s.Samples) {
+		return 0, false
+	}
+	return s.Samples[x].Mean, true
+}
+
+func check(claim string, ok bool, format string, args ...any) Check {
+	return Check{Claim: claim, OK: ok, Got: fmt.Sprintf(format, args...)}
+}
+
+func verifyFig1(r *Result) []Check {
+	var out []Check
+	for _, pair := range [][2]string{{"ide1", "ide4"}, {"scsi1", "scsi4"}} {
+		allOuterFaster := true
+		var o1, i1 float64
+		for x := range r.X {
+			outer, ok1 := mean(r, pair[0], x)
+			inner, ok2 := mean(r, pair[1], x)
+			if !ok1 || !ok2 || outer <= inner {
+				allOuterFaster = false
+			}
+			if x == 0 {
+				o1, i1 = outer, inner
+			}
+		}
+		out = append(out, check(
+			fmt.Sprintf("ZCAV: %s faster than %s at every reader count", pair[0], pair[1]),
+			allOuterFaster, "1 reader: %.1f vs %.1f MB/s", o1, i1))
+	}
+	return out
+}
+
+func verifyFig2(r *Result) []Check {
+	var out []Check
+	tags8, ok1 := mean(r, "scsi1/tags", 3)
+	noTags8, ok2 := mean(r, "scsi1/no tags", 3)
+	out = append(out, check(
+		"disabling tagged queues improves concurrent sequential reads substantially",
+		ok1 && ok2 && noTags8 > 1.4*tags8,
+		"8 readers: no-tags %.1f vs tags %.1f MB/s", noTags8, tags8))
+	tags1, ok3 := mean(r, "scsi1/tags", 0)
+	out = append(out, check(
+		"tagged queues show a single-reader spike (no penalty at 1 reader)",
+		ok1 && ok3 && tags1 > 1.5*tags8,
+		"tags: 1 reader %.1f vs 8 readers %.1f MB/s", tags1, tags8))
+	return out
+}
+
+func verifyFig3(r *Result) []Check {
+	var out []Check
+	eFirst, ok1 := mean(r, "ide1/elev", 0)
+	eLast, ok2 := mean(r, "ide1/elev", 7)
+	out = append(out, check(
+		"elevator: staircase — the last process takes several times longer than the first",
+		ok1 && ok2 && eLast > 3*eFirst,
+		"first %.2fs, last %.2fs (%.1fx)", eFirst, eLast, eLast/eFirst))
+	nFirst, ok3 := mean(r, "ide1/ncscan", 0)
+	nLast, ok4 := mean(r, "ide1/ncscan", 7)
+	out = append(out, check(
+		"N-CSCAN: flat distribution (all jobs finish together)",
+		ok3 && ok4 && nLast < 1.3*nFirst,
+		"first %.2fs, last %.2fs", nFirst, nLast))
+	out = append(out, check(
+		"fairness costs bandwidth: N-CSCAN's fastest is slower than the elevator's slowest",
+		ok2 && ok3 && nFirst > eLast,
+		"ncscan first %.2fs vs elevator last %.2fs", nFirst, eLast))
+	tFirst, ok5 := mean(r, "scsi1/elev/tags", 0)
+	tLast, ok6 := mean(r, "scsi1/elev/tags", 7)
+	out = append(out, check(
+		"the on-disk TCQ scheduler is itself fair (flat distribution)",
+		ok5 && ok6 && tLast < 1.3*tFirst,
+		"tags: first %.2fs, last %.2fs", tFirst, tLast))
+	return out
+}
+
+func verifyFig4(r *Result) []Check {
+	var out []Check
+	u1, ok1 := mean(r, "ide1", 0)
+	u32, ok2 := mean(r, "ide1", 5)
+	out = append(out, check(
+		"NFS/UDP throughput decays as concurrent readers increase",
+		ok1 && ok2 && u32 < 0.6*u1,
+		"ide1: %.1f -> %.1f MB/s", u1, u32))
+	i1, ok3 := mean(r, "ide1", 0)
+	i4, ok4 := mean(r, "ide4", 0)
+	out = append(out, check(
+		"the ZCAV effect is still visible through NFS",
+		ok3 && ok4 && i1 > i4,
+		"1 reader: ide1 %.1f vs ide4 %.1f MB/s", i1, i4))
+	nt8, ok5 := mean(r, "scsi1/no tags", 3)
+	t8, ok6 := mean(r, "scsi1", 3)
+	out = append(out, check(
+		"disabling tagged queues helps NFS multi-reader throughput too",
+		ok5 && ok6 && nt8 > t8,
+		"8 readers: no-tags %.1f vs tags %.1f MB/s", nt8, t8))
+	return out
+}
+
+func verifyFig5(r *Result) []Check {
+	var out []Check
+	t1, ok1 := mean(r, "ide1", 0)
+	t32, ok2 := mean(r, "ide1", 5)
+	out = append(out, check(
+		"NFS/TCP is flatter across reader counts than UDP",
+		ok1 && ok2 && t32 > 0.35*t1,
+		"ide1: %.1f -> %.1f MB/s", t1, t32))
+	return out
+}
+
+func verifyFig6(r *Result) []Check {
+	var out []Check
+	a8, ok1 := mean(r, "idle/always", 3)
+	d8, ok2 := mean(r, "idle/default", 3)
+	a2, ok3 := mean(r, "idle/always", 1)
+	d2, ok4 := mean(r, "idle/default", 1)
+	out = append(out, check(
+		"default tracks always up to 4 readers, then diverges",
+		ok1 && ok2 && ok3 && ok4 && d2 > 0.8*a2 && d8 < 0.7*a8,
+		"2 readers: %.1f vs %.1f; 8 readers: %.1f vs %.1f MB/s", d2, a2, d8, a8))
+	ba1, ok5 := mean(r, "busy/always", 0)
+	ia1, ok6 := mean(r, "idle/always", 0)
+	out = append(out, check(
+		"client CPU contention lowers NFS throughput",
+		ok5 && ok6 && ba1 < ia1,
+		"1 reader always: busy %.1f vs idle %.1f MB/s", ba1, ia1))
+	return out
+}
+
+func verifyFig7(r *Result) []Check {
+	var out []Check
+	old16, ok1 := mean(r, "default/default nfsheur", 4)
+	new16, ok2 := mean(r, "default/new nfsheur", 4)
+	always16, ok3 := mean(r, "always", 4)
+	slow16, ok4 := mean(r, "slowdown/new nfsheur", 4)
+	out = append(out, check(
+		"the 4.x nfsheur table collapses under concurrent files",
+		ok1 && ok2 && old16 < 0.8*new16,
+		"16 readers: old table %.1f vs new table %.1f MB/s", old16, new16))
+	out = append(out, check(
+		"the new table alone recovers near-optimal read-ahead",
+		ok2 && ok3 && new16 > 0.7*always16,
+		"16 readers: new table %.1f vs always %.1f MB/s", new16, always16))
+	out = append(out, check(
+		"SlowDown makes no further improvement beyond the new table",
+		ok2 && ok4 && slow16 > 0.8*new16 && slow16 < 1.25*new16,
+		"16 readers: slowdown %.1f vs default %.1f MB/s", slow16, new16))
+	return out
+}
+
+func verifyFig8(r *Result) []Check {
+	var out []Check
+	for _, disk := range []string{"scsi1", "ide1"} {
+		worst := 1e9
+		var worstAt int
+		ok := true
+		for x := range r.X {
+			cur, ok1 := mean(r, disk+"/cursor", x)
+			def, ok2 := mean(r, disk+"/default", x)
+			if !ok1 || !ok2 {
+				ok = false
+				break
+			}
+			if ratio := cur / def; ratio < worst {
+				worst, worstAt = ratio, r.X[x]
+			}
+		}
+		out = append(out, check(
+			fmt.Sprintf("cursors beat the default heuristic on every %s stride", disk),
+			ok && worst > 1.0,
+			"worst ratio %.2fx at s=%d", worst, worstAt))
+	}
+	return out
+}
+
+// FormatChecks renders verification results, one line per check.
+func FormatChecks(checks []Check) string {
+	out := ""
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		out += fmt.Sprintf("  [%s] %s (%s)\n", mark, c.Claim, c.Got)
+	}
+	return out
+}

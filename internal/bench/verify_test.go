@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nfstricks/internal/stats"
+)
+
+// synthetic builds a result with given series values across X.
+func synthetic(id string, x []int, series map[string][]float64) *Result {
+	r := &Result{ID: id, X: x}
+	for label, ys := range series {
+		s := Series{Label: label}
+		for _, y := range ys {
+			s.Samples = append(s.Samples, stats.Sample{N: 1, Mean: y})
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r
+}
+
+func allOK(checks []Check) bool {
+	for _, c := range checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return len(checks) > 0
+}
+
+func TestVerifyFig1PassAndFail(t *testing.T) {
+	x := []int{1, 2, 4, 8, 16, 32}
+	good := synthetic("fig1", x, map[string][]float64{
+		"ide1":  {40, 39, 38, 37, 36, 35},
+		"ide4":  {26, 25, 25, 24, 24, 23},
+		"scsi1": {30, 16, 16, 15, 15, 14},
+		"scsi4": {22, 13, 13, 13, 12, 12},
+	})
+	if !allOK(Verify(good)) {
+		t.Fatalf("good fig1 failed:\n%s", FormatChecks(Verify(good)))
+	}
+	bad := synthetic("fig1", x, map[string][]float64{
+		"ide1":  {20, 20, 20, 20, 20, 20},
+		"ide4":  {26, 25, 25, 24, 24, 23}, // inner faster: ZCAV inverted
+		"scsi1": {30, 16, 16, 15, 15, 14},
+		"scsi4": {22, 13, 13, 13, 12, 12},
+	})
+	if allOK(Verify(bad)) {
+		t.Fatal("inverted ZCAV passed verification")
+	}
+}
+
+func TestVerifyFig3(t *testing.T) {
+	x := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	good := synthetic("fig3", x, map[string][]float64{
+		"ide1/elev":       {1.0, 2.0, 2.9, 3.9, 4.8, 5.5, 5.8, 6.0},
+		"ide1/ncscan":     {15, 15.1, 15.2, 15.3, 15.4, 15.5, 15.6, 16},
+		"scsi1/elev/tags": {8, 8, 8, 8, 8, 8, 8, 8.2},
+	})
+	if !allOK(Verify(good)) {
+		t.Fatalf("good fig3 failed:\n%s", FormatChecks(Verify(good)))
+	}
+	// A fair elevator (no staircase) must fail.
+	bad := synthetic("fig3", x, map[string][]float64{
+		"ide1/elev":       {5, 5, 5, 5, 5, 5, 5, 5.5},
+		"ide1/ncscan":     {15, 15, 15, 15, 15, 15, 15, 16},
+		"scsi1/elev/tags": {8, 8, 8, 8, 8, 8, 8, 8.2},
+	})
+	if allOK(Verify(bad)) {
+		t.Fatal("flat elevator passed the staircase check")
+	}
+}
+
+func TestVerifyFig7(t *testing.T) {
+	x := []int{1, 2, 4, 8, 16, 32}
+	good := synthetic("fig7", x, map[string][]float64{
+		"always":                  {12, 12, 12, 12, 12, 11},
+		"slowdown/new nfsheur":    {12, 12, 12, 11, 11, 10},
+		"default/new nfsheur":     {12, 12, 12, 11, 11, 10},
+		"default/default nfsheur": {12, 12, 12, 7, 6, 5},
+	})
+	if !allOK(Verify(good)) {
+		t.Fatalf("good fig7 failed:\n%s", FormatChecks(Verify(good)))
+	}
+}
+
+func TestVerifyFig8WorstRatio(t *testing.T) {
+	x := []int{2, 4, 8}
+	r := synthetic("fig8", x, map[string][]float64{
+		"scsi1/cursor":  {15, 15, 14},
+		"scsi1/default": {9, 8, 8},
+		"ide1/cursor":   {11, 14, 12},
+		"ide1/default":  {7, 7, 5},
+	})
+	checks := Verify(r)
+	if !allOK(checks) {
+		t.Fatalf("paper's own Table 1 numbers failed:\n%s", FormatChecks(checks))
+	}
+}
+
+func TestVerifyUnknownID(t *testing.T) {
+	if Verify(&Result{ID: "nope"}) != nil {
+		t.Fatal("unknown id produced checks")
+	}
+}
+
+func TestFormatChecks(t *testing.T) {
+	out := FormatChecks([]Check{
+		{Claim: "a", OK: true, Got: "1 vs 2"},
+		{Claim: "b", OK: false, Got: "3"},
+	})
+	if !strings.Contains(out, "[PASS] a") || !strings.Contains(out, "[FAIL] b") {
+		t.Fatalf("FormatChecks:\n%s", out)
+	}
+}
+
+func TestVerifyAgainstRealTinyRun(t *testing.T) {
+	// End-to-end: a real (tiny) fig2 run must pass its own checks.
+	r, err := Fig2(Params{Runs: 1, Scale: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := Verify(r)
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("fig2 check failed: %s (%s)", c.Claim, c.Got)
+		}
+	}
+}

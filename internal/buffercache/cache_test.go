@@ -1,0 +1,197 @@
+package buffercache
+
+import (
+	"testing"
+	"time"
+
+	"nfstricks/internal/disk"
+	"nfstricks/internal/iosched"
+	"nfstricks/internal/sim"
+)
+
+func rig(seed int64, capacity int) (*sim.Kernel, *Cache) {
+	k := sim.NewKernel(seed)
+	dev := disk.NewDevice(k, disk.WD200BB())
+	dr := disk.NewDriver(k, dev, iosched.NewFIFO())
+	return k, New(k, dr, capacity)
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	k, c := rig(1, 16)
+	var missTime, hitTime time.Duration
+	k.Go("reader", func(p *sim.Proc) {
+		start := p.Now()
+		c.Read(p, 1000)
+		missTime = p.Now() - start
+		start = p.Now()
+		c.Read(p, 1000)
+		hitTime = p.Now() - start
+	})
+	k.Run()
+	k.Shutdown()
+	if missTime == 0 {
+		t.Fatal("miss cost nothing")
+	}
+	if hitTime != 0 {
+		t.Fatalf("hit cost %v, want 0", hitTime)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("misses/hits = %d/%d", st.Misses, st.Hits)
+	}
+}
+
+func TestInFlightCoalescing(t *testing.T) {
+	k, c := rig(1, 16)
+	done := 0
+	for i := 0; i < 3; i++ {
+		k.Go("reader", func(p *sim.Proc) {
+			c.Read(p, 2000)
+			done++
+		})
+	}
+	k.Run()
+	k.Shutdown()
+	if done != 3 {
+		t.Fatalf("readers completed = %d", done)
+	}
+	st := c.Stats()
+	if st.Clusters != 1 {
+		t.Fatalf("disk commands = %d, want 1 (coalesced)", st.Clusters)
+	}
+	if st.InFlight != 2 {
+		t.Fatalf("in-flight joins = %d, want 2", st.InFlight)
+	}
+}
+
+func TestReadAheadClusters(t *testing.T) {
+	k, c := rig(1, 64)
+	k.Go("ra", func(p *sim.Proc) {
+		c.ReadAhead(0, 16) // 16 blocks = 2 clusters of MaxClusterBlocks
+		p.Sleep(time.Second)
+	})
+	k.Run()
+	k.Shutdown()
+	st := c.Stats()
+	if st.Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", st.Clusters)
+	}
+	if st.ReadAheads != 16 {
+		t.Fatalf("read-ahead blocks = %d, want 16", st.ReadAheads)
+	}
+	if !c.Contains(0) || !c.Contains(15*SectorsPerBlock) {
+		t.Fatal("read-ahead blocks not resident")
+	}
+}
+
+func TestReadAheadSkipsResidentBlocks(t *testing.T) {
+	k, c := rig(1, 64)
+	k.Go("x", func(p *sim.Proc) {
+		c.Read(p, 4*SectorsPerBlock) // block 4 resident
+		before := c.Stats().Clusters
+		c.ReadAhead(0, 8) // must split around block 4
+		after := c.Stats().Clusters
+		if after-before != 2 {
+			t.Errorf("clusters issued = %d, want 2 (split around resident block)", after-before)
+		}
+		p.Sleep(time.Second)
+	})
+	k.Run()
+	k.Shutdown()
+}
+
+func TestReadAheadIdempotent(t *testing.T) {
+	k, c := rig(1, 64)
+	k.Go("x", func(p *sim.Proc) {
+		c.ReadAhead(0, 8)
+		before := c.Stats().Clusters
+		c.ReadAhead(0, 8) // everything in flight: no new commands
+		if c.Stats().Clusters != before {
+			t.Error("duplicate read-ahead issued disk commands")
+		}
+		p.Sleep(time.Second)
+	})
+	k.Run()
+	k.Shutdown()
+}
+
+func TestLRUEviction(t *testing.T) {
+	k, c := rig(1, 4)
+	k.Go("reader", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			c.Read(p, int64(i)*SectorsPerBlock)
+		}
+	})
+	k.Run()
+	k.Shutdown()
+	if c.Len() != 4 {
+		t.Fatalf("cache len = %d, want capacity 4", c.Len())
+	}
+	if c.Contains(0) {
+		t.Fatal("oldest block survived eviction")
+	}
+	if !c.Contains(7 * SectorsPerBlock) {
+		t.Fatal("newest block missing")
+	}
+	if c.Stats().Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", c.Stats().Evictions)
+	}
+}
+
+func TestFlushEmptiesCache(t *testing.T) {
+	k, c := rig(1, 16)
+	k.Go("reader", func(p *sim.Proc) {
+		c.Read(p, 0)
+		c.Flush()
+		if c.Len() != 0 || c.Contains(0) {
+			t.Error("flush left blocks resident")
+		}
+		// Re-read must miss again.
+		before := c.Stats().Misses
+		c.Read(p, 0)
+		if c.Stats().Misses != before+1 {
+			t.Error("read after flush did not miss")
+		}
+	})
+	k.Run()
+	k.Shutdown()
+}
+
+func TestWriteInsertsAndSubmits(t *testing.T) {
+	k, c := rig(1, 16)
+	c.Write(5 * SectorsPerBlock)
+	if !c.Contains(5 * SectorsPerBlock) {
+		t.Fatal("written block not resident")
+	}
+	k.Run()
+	if c.Stats().Writes != 1 {
+		t.Fatalf("writes = %d", c.Stats().Writes)
+	}
+}
+
+func TestSequentialDemandReadsBenefitFromReadAhead(t *testing.T) {
+	// Read 64 blocks with explicit read-ahead vs. without; read-ahead
+	// must be substantially faster end-to-end.
+	run := func(ra bool) time.Duration {
+		k, c := rig(1, 256)
+		var elapsed time.Duration
+		k.Go("reader", func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < 64; i++ {
+				lba := int64(i) * SectorsPerBlock
+				c.Read(p, lba)
+				if ra {
+					c.ReadAhead(lba+SectorsPerBlock, 8)
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		k.Run()
+		k.Shutdown()
+		return elapsed
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("read-ahead did not help: with=%v without=%v", with, without)
+	}
+}

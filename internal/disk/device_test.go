@@ -1,0 +1,350 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"nfstricks/internal/iosched"
+	"nfstricks/internal/sim"
+)
+
+// runOne submits a single request and returns its completion time.
+func runOne(t *testing.T, d *Device, k *sim.Kernel, lba int64, sectors int) time.Duration {
+	t.Helper()
+	var done time.Duration
+	start := k.Now()
+	d.Start(&Request{LBA: lba, Sectors: sectors, Done: func(*Request) { done = k.Now() }})
+	k.Run()
+	if done == 0 && start == done {
+		// A request at t=0 completing instantly would be a model bug.
+		t.Fatal("request completed in zero time or never")
+	}
+	return done - start
+}
+
+func TestSequentialReadsHitStreamCache(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, WD200BB())
+	first := runOne(t, d, k, 1000, 16)
+	second := runOne(t, d, k, 1016, 16) // continues the stream
+	if second >= first {
+		t.Fatalf("sequential continuation (%v) not faster than cold read (%v)", second, first)
+	}
+	st := d.Stats()
+	if st.Streamed != 1 || st.Repositions != 1 {
+		t.Fatalf("streamed/repositions = %d/%d, want 1/1", st.Streamed, st.Repositions)
+	}
+}
+
+func TestIdlePrefetchFillsBuffer(t *testing.T) {
+	// Read a block, let the drive idle (firmware prefetches), reposition
+	// elsewhere, then return to the first stream: the return must be a
+	// buffer hit, not a mechanical reposition.
+	k := sim.NewKernel(1)
+	d := NewDevice(k, WD200BB())
+	var step func(int)
+	times := make([]time.Duration, 0, 4)
+	reqs := []struct {
+		lba   int64
+		delay time.Duration
+	}{
+		{1000, 0},
+		{30_000_000, 5 * time.Millisecond}, // far away, after idle
+		{1016, 0},                          // back to stream 1: buffered
+	}
+	step = func(i int) {
+		if i == len(reqs) {
+			return
+		}
+		k.Schedule(reqs[i].delay, func() {
+			start := k.Now()
+			d.Start(&Request{LBA: reqs[i].lba, Sectors: 16, Done: func(*Request) {
+				times = append(times, k.Now()-start)
+				step(i + 1)
+			}})
+		})
+	}
+	step(0)
+	k.Run()
+	if len(times) != 3 {
+		t.Fatalf("completed %d", len(times))
+	}
+	if d.Stats().CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1 (idle prefetch)", d.Stats().CacheHits)
+	}
+	if times[2] >= times[1] {
+		t.Fatalf("buffered return (%v) not faster than reposition (%v)", times[2], times[1])
+	}
+}
+
+func TestNoIdleNoBufferHit(t *testing.T) {
+	// Back-to-back stream switches with zero idle time must all pay
+	// repositions: the drive had no chance to prefetch.
+	k := sim.NewKernel(1)
+	d := NewDevice(k, WD200BB())
+	lbas := []int64{1000, 30_000_000, 1016, 30_000_016}
+	i := 0
+	var next func()
+	next = func() {
+		if i == len(lbas) {
+			return
+		}
+		lba := lbas[i]
+		i++
+		d.Start(&Request{LBA: lba, Sectors: 16, Done: func(*Request) { next() }})
+	}
+	next()
+	k.Run()
+	if hits := d.Stats().CacheHits; hits != 0 {
+		t.Fatalf("cache hits = %d, want 0 under saturation", hits)
+	}
+	if repos := d.Stats().Repositions; repos != 4 {
+		t.Fatalf("repositions = %d, want 4", repos)
+	}
+}
+
+func TestSequentialThroughputApproachesMediaRate(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := WD200BB()
+	d := NewDevice(k, m)
+	// Read 8 MB in 64 KB commands sequentially from the outer zone.
+	const cmds = 128
+	const sectors = 128
+	var finished time.Duration
+	lba := int64(0)
+	var next func()
+	i := 0
+	next = func() {
+		if i == cmds {
+			finished = k.Now()
+			return
+		}
+		i++
+		r := &Request{LBA: lba, Sectors: sectors, Done: func(*Request) { next() }}
+		lba += sectors
+		d.Start(r)
+	}
+	next()
+	k.Run()
+	bytes := float64(cmds * sectors * SectorSize)
+	rate := bytes / finished.Seconds()
+	media := m.MediaRateAt(0)
+	if rate < 0.7*media || rate > 1.05*media {
+		t.Fatalf("sequential rate %.1f MB/s, media rate %.1f MB/s", rate/1e6, media/1e6)
+	}
+}
+
+func TestZCAVInnerSlowerThanOuter(t *testing.T) {
+	read := func(start int64) time.Duration {
+		k := sim.NewKernel(1)
+		m := WD200BB()
+		d := NewDevice(k, m)
+		var finished time.Duration
+		lba := start
+		i := 0
+		var next func()
+		next = func() {
+			if i == 64 {
+				finished = k.Now()
+				return
+			}
+			i++
+			r := &Request{LBA: lba, Sectors: 128, Done: func(*Request) { next() }}
+			lba += 128
+			d.Start(r)
+		}
+		next()
+		k.Run()
+		return finished
+	}
+	m := WD200BB()
+	outer := read(0)
+	inner := read(m.Geo.TotalSectors() - 64*128 - 1000)
+	if inner <= outer {
+		t.Fatalf("inner zone read (%v) not slower than outer (%v)", inner, outer)
+	}
+	ratio := float64(inner) / float64(outer)
+	if ratio < 1.2 {
+		t.Fatalf("ZCAV ratio %.2f too weak", ratio)
+	}
+}
+
+func TestRandomReadsPayPositioning(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := IBMDDYS36950()
+	d := NewDevice(k, m)
+	// Far-apart reads must each take at least a seek + transfer.
+	t1 := runOne(t, d, k, 0, 16)
+	t2 := runOne(t, d, k, m.Geo.TotalSectors()/2, 16)
+	if t2 < m.SeekAvg/2 {
+		t.Fatalf("far read took %v, expected at least a real seek", t2)
+	}
+	_ = t1
+	if d.Stats().Repositions != 2 {
+		t.Fatalf("repositions = %d, want 2", d.Stats().Repositions)
+	}
+}
+
+func TestSegmentLRURecycling(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, IBMDDYS36950())
+	// Touch NumSegments+2 distinct streams; the table must not grow.
+	for i := 0; i < NumSegments+2; i++ {
+		runOne(t, d, k, int64(i)*1_000_000, 16)
+	}
+	if len(d.segments) != NumSegments {
+		t.Fatalf("segment table has %d entries, want %d", len(d.segments), NumSegments)
+	}
+}
+
+func TestTCQReordersForShorterPositioning(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := IBMDDYS36950()
+	d := NewDevice(k, m)
+	d.SetTCQ(true)
+
+	var order []int64
+	mk := func(lba int64) *Request {
+		return &Request{LBA: lba, Sectors: 16, Done: func(r *Request) { order = append(order, r.LBA) }}
+	}
+	// While the first (far) command is in service, queue one far and one
+	// near command; with TCQ the near one should be serviced first.
+	d.Start(mk(m.Geo.TotalSectors() - 5000))
+	far := mk(5_000_000)
+	near := mk(m.Geo.TotalSectors() - 4984) // continues first stream
+	d.Start(far)
+	d.Start(near)
+	k.Run()
+	if len(order) != 3 {
+		t.Fatalf("completed %d commands", len(order))
+	}
+	if order[1] != near.LBA {
+		t.Fatalf("TCQ service order = %v, want near request second", order)
+	}
+	if d.Stats().Reordered == 0 {
+		t.Fatal("no reordering recorded")
+	}
+}
+
+func TestTCQAgingPreventsStarvation(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := IBMDDYS36950()
+	d := NewDevice(k, m)
+	d.SetTCQ(true)
+
+	served := make(map[int64]bool)
+	var mkSeq func(lba int64)
+	count := 0
+	mkSeq = func(lba int64) {
+		d.Start(&Request{LBA: lba, Sectors: 16, Done: func(r *Request) {
+			served[r.LBA] = true
+			count++
+			if count < 200 {
+				mkSeq(lba + 16) // keep a hot sequential stream running
+			}
+		}})
+	}
+	farLBA := m.Geo.TotalSectors() - 1000
+	var farDone time.Duration
+	d.Start(&Request{LBA: farLBA, Sectors: 16, Done: func(*Request) { farDone = k.Now() }})
+	mkSeq(0)
+	k.Run()
+	if farDone == 0 {
+		t.Fatal("far request starved forever")
+	}
+	// With aging, the far request must complete well before the hot
+	// stream finishes all 200 commands.
+	if count < 200 {
+		t.Fatalf("stream stalled at %d", count)
+	}
+	if farDone > 500*time.Millisecond {
+		t.Fatalf("far request waited %v; aging too weak", farDone)
+	}
+}
+
+func TestSetTCQRespectsModelSupport(t *testing.T) {
+	k := sim.NewKernel(1)
+	ide := NewDevice(k, WD200BB())
+	ide.SetTCQ(true)
+	if ide.TCQ() {
+		t.Fatal("IDE model must not enable TCQ")
+	}
+	if ide.QueueDepth() != 1 {
+		t.Fatalf("IDE queue depth = %d, want 1", ide.QueueDepth())
+	}
+	scsi := NewDevice(k, IBMDDYS36950())
+	if !scsi.TCQ() {
+		t.Fatal("SCSI TCQ should default on")
+	}
+	scsi.SetTCQ(false)
+	if scsi.TCQ() || scsi.QueueDepth() != 1 {
+		t.Fatal("SetTCQ(false) did not take effect")
+	}
+}
+
+func TestDriverWindowOneWithoutTCQ(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, IBMDDYS36950())
+	d.SetTCQ(false)
+	dr := NewDriver(k, d, iosched.NewElevator())
+	maxInflight := 0
+	for i := 0; i < 10; i++ {
+		lba := int64(i) * 100000
+		dr.Submit(&Request{LBA: lba, Sectors: 16, Done: func(*Request) {
+			if dr.Inflight() > maxInflight {
+				maxInflight = dr.Inflight()
+			}
+		}})
+	}
+	if dr.Inflight() != 1 {
+		t.Fatalf("inflight = %d immediately after submit, want 1", dr.Inflight())
+	}
+	k.Run()
+	if dr.Pending() != 0 || dr.Inflight() != 0 {
+		t.Fatalf("driver left work: pending=%d inflight=%d", dr.Pending(), dr.Inflight())
+	}
+}
+
+func TestDriverDispatchesWindowWithTCQ(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, IBMDDYS36950())
+	dr := NewDriver(k, d, iosched.NewElevator())
+	for i := 0; i < 100; i++ {
+		dr.Submit(&Request{LBA: int64(i) * 100000, Sectors: 16})
+	}
+	if dr.Inflight() != d.Model().QueueDepth {
+		t.Fatalf("inflight = %d, want %d", dr.Inflight(), d.Model().QueueDepth)
+	}
+	k.Run()
+}
+
+func TestDriverSchedulerSwap(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, WD200BB())
+	dr := NewDriver(k, d, iosched.NewElevator())
+	done := 0
+	for i := 0; i < 20; i++ {
+		dr.Submit(&Request{LBA: int64(i) * 50000, Sectors: 16, Done: func(*Request) { done++ }})
+	}
+	dr.SetScheduler(iosched.NewNCSCAN())
+	if dr.Scheduler().Name() != "ncscan" {
+		t.Fatalf("scheduler = %s", dr.Scheduler().Name())
+	}
+	k.Run()
+	if done != 20 {
+		t.Fatalf("completed %d of 20 after scheduler swap", done)
+	}
+}
+
+func TestDriverAvgWaitPositive(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDevice(k, WD200BB())
+	dr := NewDriver(k, d, iosched.NewFIFO())
+	for i := 0; i < 5; i++ {
+		dr.Submit(&Request{LBA: int64(i) * 1000000, Sectors: 16})
+	}
+	k.Run()
+	if dr.AvgWait() <= 0 {
+		t.Fatalf("AvgWait = %v", dr.AvgWait())
+	}
+}

@@ -1,0 +1,88 @@
+package disk
+
+import (
+	"time"
+
+	"nfstricks/internal/iosched"
+	"nfstricks/internal/sim"
+)
+
+// Driver couples a host-side scheduler to a device, emulating the
+// FreeBSD block layer: requests pass through the kernel's disksort queue
+// and are dispatched to the drive. With the drive's tagged command queue
+// enabled, up to QueueDepth commands are pushed down immediately and the
+// *drive* effectively decides service order; with TCQ disabled only one
+// command is outstanding and the host scheduler's order is authoritative
+// (the paper's §5.2 observation).
+type Driver struct {
+	k        *sim.Kernel
+	dev      *Device
+	sched    iosched.Scheduler
+	inflight int
+
+	// stats
+	submitted int64
+	completed int64
+	waitTotal time.Duration
+}
+
+// NewDriver returns a driver feeding dev from sched.
+func NewDriver(k *sim.Kernel, dev *Device, sched iosched.Scheduler) *Driver {
+	return &Driver{k: k, dev: dev, sched: sched}
+}
+
+// Device returns the underlying device.
+func (dr *Driver) Device() *Device { return dr.dev }
+
+// Scheduler returns the host-side scheduler currently in use.
+func (dr *Driver) Scheduler() iosched.Scheduler { return dr.sched }
+
+// SetScheduler swaps the host scheduling discipline at runtime (the
+// paper added a sysctl switch for exactly this). Pending requests are
+// migrated in arbitrary order.
+func (dr *Driver) SetScheduler(s iosched.Scheduler) {
+	for dr.sched.Len() > 0 {
+		s.Push(dr.sched.Pop(dr.dev.HeadLBA()))
+	}
+	dr.sched = s
+}
+
+// Submit queues a request; its Done callback fires on completion.
+func (dr *Driver) Submit(r *Request) {
+	dr.submitted++
+	start := dr.k.Now()
+	orig := r.Done
+	r.Done = func(req *Request) {
+		dr.inflight--
+		dr.completed++
+		dr.waitTotal += dr.k.Now() - start
+		if orig != nil {
+			orig(req)
+		}
+		dr.pump()
+	}
+	dr.sched.Push(r)
+	dr.pump()
+}
+
+// Pending reports requests queued at the host but not yet dispatched.
+func (dr *Driver) Pending() int { return dr.sched.Len() }
+
+// Inflight reports commands dispatched to the device and not complete.
+func (dr *Driver) Inflight() int { return dr.inflight }
+
+// AvgWait reports the mean submit-to-completion latency.
+func (dr *Driver) AvgWait() time.Duration {
+	if dr.completed == 0 {
+		return 0
+	}
+	return dr.waitTotal / time.Duration(dr.completed)
+}
+
+func (dr *Driver) pump() {
+	for dr.inflight < dr.dev.QueueDepth() && dr.sched.Len() > 0 {
+		r := dr.sched.Pop(dr.dev.HeadLBA())
+		dr.inflight++
+		dr.dev.Start(r.(*Request))
+	}
+}

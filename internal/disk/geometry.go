@@ -1,0 +1,151 @@
+// Package disk models a zoned (ZCAV) disk drive at the level the paper's
+// experiments depend on: multi-zone geometry with higher transfer rates
+// on outer cylinders, a piecewise seek-time curve, rotational latency,
+// an optional on-disk tagged command queue that reorders requests, and a
+// host driver that couples a pluggable kernel scheduler to the device.
+package disk
+
+import "fmt"
+
+// SectorSize is the fixed sector size in bytes.
+const SectorSize = 512
+
+// Zone is a contiguous run of cylinders sharing a sectors-per-track
+// count. Zones are listed from the outermost (fastest) inward.
+type Zone struct {
+	Cylinders       int // number of cylinders in the zone
+	SectorsPerTrack int
+}
+
+// Geometry describes a zoned drive: cylinders grouped into zones, with a
+// fixed head (surface) count. Logical block addresses are laid out
+// cylinder-by-cylinder from the outermost zone inward, which is how
+// drives of the paper's era numbered blocks — so low LBAs (partition 1)
+// see the highest media rate.
+type Geometry struct {
+	Heads int
+	Zones []Zone
+
+	// derived
+	totalCyls    int
+	totalSectors int64
+	zoneStartCyl []int   // first cylinder of each zone
+	zoneStartLBA []int64 // first LBA of each zone
+}
+
+// NewGeometry validates and finishes a geometry.
+func NewGeometry(heads int, zones []Zone) (*Geometry, error) {
+	if heads <= 0 {
+		return nil, fmt.Errorf("disk: heads must be positive, got %d", heads)
+	}
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("disk: geometry needs at least one zone")
+	}
+	g := &Geometry{Heads: heads, Zones: zones}
+	g.zoneStartCyl = make([]int, len(zones))
+	g.zoneStartLBA = make([]int64, len(zones))
+	cyl := 0
+	var lba int64
+	for i, z := range zones {
+		if z.Cylinders <= 0 || z.SectorsPerTrack <= 0 {
+			return nil, fmt.Errorf("disk: zone %d has non-positive size", i)
+		}
+		g.zoneStartCyl[i] = cyl
+		g.zoneStartLBA[i] = lba
+		cyl += z.Cylinders
+		lba += int64(z.Cylinders) * int64(heads) * int64(z.SectorsPerTrack)
+	}
+	g.totalCyls = cyl
+	g.totalSectors = lba
+	return g, nil
+}
+
+// MustGeometry is NewGeometry that panics on error; for static models.
+func MustGeometry(heads int, zones []Zone) *Geometry {
+	g, err := NewGeometry(heads, zones)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TotalSectors reports the drive capacity in sectors.
+func (g *Geometry) TotalSectors() int64 { return g.totalSectors }
+
+// TotalBytes reports the drive capacity in bytes.
+func (g *Geometry) TotalBytes() int64 { return g.totalSectors * SectorSize }
+
+// Cylinders reports the total cylinder count.
+func (g *Geometry) Cylinders() int { return g.totalCyls }
+
+// zoneOfLBA returns the index of the zone containing lba.
+func (g *Geometry) zoneOfLBA(lba int64) int {
+	lo, hi := 0, len(g.Zones)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.zoneStartLBA[mid] <= lba {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// CylinderOf maps an LBA to its cylinder number.
+func (g *Geometry) CylinderOf(lba int64) int {
+	if lba < 0 || lba >= g.totalSectors {
+		panic(fmt.Sprintf("disk: LBA %d out of range [0,%d)", lba, g.totalSectors))
+	}
+	zi := g.zoneOfLBA(lba)
+	z := g.Zones[zi]
+	perCyl := int64(g.Heads) * int64(z.SectorsPerTrack)
+	return g.zoneStartCyl[zi] + int((lba-g.zoneStartLBA[zi])/perCyl)
+}
+
+// SectorsPerTrackAt reports the sectors per track for the zone holding lba.
+func (g *Geometry) SectorsPerTrackAt(lba int64) int {
+	return g.Zones[g.zoneOfLBA(lba)].SectorsPerTrack
+}
+
+// LBAOfCylinder returns the first LBA of cylinder c.
+func (g *Geometry) LBAOfCylinder(c int) int64 {
+	if c < 0 || c >= g.totalCyls {
+		panic(fmt.Sprintf("disk: cylinder %d out of range [0,%d)", c, g.totalCyls))
+	}
+	zi := 0
+	for zi+1 < len(g.Zones) && g.zoneStartCyl[zi+1] <= c {
+		zi++
+	}
+	z := g.Zones[zi]
+	perCyl := int64(g.Heads) * int64(z.SectorsPerTrack)
+	return g.zoneStartLBA[zi] + int64(c-g.zoneStartCyl[zi])*perCyl
+}
+
+// Partition is a contiguous LBA range on a drive. The paper divides each
+// test disk into four equal partitions, numbered 1 (outermost) to 4
+// (innermost).
+type Partition struct {
+	Name     string
+	StartLBA int64
+	Sectors  int64
+}
+
+// Bytes reports the partition size in bytes.
+func (p Partition) Bytes() int64 { return p.Sectors * SectorSize }
+
+// QuarterPartitions splits the drive into four equal partitions named
+// prefix+"1" .. prefix+"4", outermost first — the paper's scsi1..scsi4 /
+// ide1..ide4 layout.
+func (g *Geometry) QuarterPartitions(prefix string) [4]Partition {
+	var out [4]Partition
+	quarter := g.totalSectors / 4
+	for i := 0; i < 4; i++ {
+		out[i] = Partition{
+			Name:     fmt.Sprintf("%s%d", prefix, i+1),
+			StartLBA: int64(i) * quarter,
+			Sectors:  quarter,
+		}
+	}
+	return out
+}

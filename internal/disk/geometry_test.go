@@ -1,0 +1,188 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testGeo(t *testing.T) *Geometry {
+	t.Helper()
+	g, err := NewGeometry(2, []Zone{
+		{Cylinders: 10, SectorsPerTrack: 100},
+		{Cylinders: 10, SectorsPerTrack: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeometryTotals(t *testing.T) {
+	g := testGeo(t)
+	// 10 cyl * 2 heads * 100 + 10 * 2 * 50 = 2000 + 1000.
+	if got := g.TotalSectors(); got != 3000 {
+		t.Fatalf("TotalSectors = %d, want 3000", got)
+	}
+	if got := g.TotalBytes(); got != 3000*SectorSize {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	if got := g.Cylinders(); got != 20 {
+		t.Fatalf("Cylinders = %d, want 20", got)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(0, []Zone{{1, 1}}); err == nil {
+		t.Fatal("zero heads accepted")
+	}
+	if _, err := NewGeometry(2, nil); err == nil {
+		t.Fatal("empty zones accepted")
+	}
+	if _, err := NewGeometry(2, []Zone{{0, 10}}); err == nil {
+		t.Fatal("zero-cylinder zone accepted")
+	}
+}
+
+func TestCylinderOfBoundaries(t *testing.T) {
+	g := testGeo(t)
+	cases := []struct {
+		lba  int64
+		want int
+	}{
+		{0, 0},
+		{199, 0},   // last sector of cylinder 0 (2 heads * 100 spt)
+		{200, 1},   // first sector of cylinder 1
+		{1999, 9},  // last sector of zone 0
+		{2000, 10}, // first sector of zone 1 (2 heads * 50 spt per cyl)
+		{2099, 10}, //
+		{2100, 11}, //
+		{2999, 19}, // last sector of the disk
+	}
+	for _, c := range cases {
+		if got := g.CylinderOf(c.lba); got != c.want {
+			t.Errorf("CylinderOf(%d) = %d, want %d", c.lba, got, c.want)
+		}
+	}
+}
+
+func TestLBAOfCylinderRoundTrip(t *testing.T) {
+	g := testGeo(t)
+	for c := 0; c < g.Cylinders(); c++ {
+		lba := g.LBAOfCylinder(c)
+		if got := g.CylinderOf(lba); got != c {
+			t.Fatalf("CylinderOf(LBAOfCylinder(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestSectorsPerTrackAt(t *testing.T) {
+	g := testGeo(t)
+	if got := g.SectorsPerTrackAt(0); got != 100 {
+		t.Fatalf("outer zone spt = %d", got)
+	}
+	if got := g.SectorsPerTrackAt(2500); got != 50 {
+		t.Fatalf("inner zone spt = %d", got)
+	}
+}
+
+func TestQuarterPartitions(t *testing.T) {
+	g := testGeo(t)
+	parts := g.QuarterPartitions("test")
+	if parts[0].Name != "test1" || parts[3].Name != "test4" {
+		t.Fatalf("names = %v %v", parts[0].Name, parts[3].Name)
+	}
+	var total int64
+	prevEnd := int64(0)
+	for _, p := range parts {
+		if p.StartLBA != prevEnd {
+			t.Fatalf("partition %s starts at %d, want %d", p.Name, p.StartLBA, prevEnd)
+		}
+		prevEnd = p.StartLBA + p.Sectors
+		total += p.Sectors
+	}
+	if total > g.TotalSectors() {
+		t.Fatalf("partitions exceed disk: %d > %d", total, g.TotalSectors())
+	}
+}
+
+// Property: CylinderOf is monotonically non-decreasing in LBA and every
+// result is a valid cylinder.
+func TestCylinderOfMonotonic(t *testing.T) {
+	g := MustGeometry(4, []Zone{
+		{Cylinders: 100, SectorsPerTrack: 300},
+		{Cylinders: 150, SectorsPerTrack: 250},
+		{Cylinders: 120, SectorsPerTrack: 200},
+	})
+	f := func(a, b uint32) bool {
+		la := int64(a) % g.TotalSectors()
+		lb := int64(b) % g.TotalSectors()
+		if la > lb {
+			la, lb = lb, la
+		}
+		ca, cb := g.CylinderOf(la), g.CylinderOf(lb)
+		return ca <= cb && ca >= 0 && cb < g.Cylinders()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperModelsSanity(t *testing.T) {
+	for _, m := range []*Model{IBMDDYS36950(), WD200BB()} {
+		outer := m.MediaRateAt(0)
+		inner := m.MediaRateAt(m.Geo.TotalSectors() - 1)
+		if outer <= inner {
+			t.Errorf("%s: outer rate %.1f <= inner rate %.1f (no ZCAV)", m.Name, outer, inner)
+		}
+		ratio := outer / inner
+		if ratio < 1.3 || ratio > 2.2 {
+			t.Errorf("%s: ZCAV ratio %.2f outside the paper's 2:3..1:2 band", m.Name, ratio)
+		}
+		// Seek curve must be monotonic and pinned at the endpoints.
+		if m.SeekTime(0, 0) != 0 {
+			t.Errorf("%s: zero-distance seek nonzero", m.Name)
+		}
+		if got := m.SeekTime(0, 1); got != m.SeekSingle {
+			t.Errorf("%s: single seek = %v, want %v", m.Name, got, m.SeekSingle)
+		}
+		full := m.SeekTime(0, m.Geo.Cylinders())
+		const tol = 10 * time.Microsecond
+		if diff := full - m.SeekFull; diff < -tol || diff > tol {
+			t.Errorf("%s: full seek = %v, want %v", m.Name, full, m.SeekFull)
+		}
+		prev := m.SeekTime(0, 1)
+		for d := 2; d < m.Geo.Cylinders(); d += m.Geo.Cylinders() / 50 {
+			cur := m.SeekTime(0, d)
+			if cur < prev {
+				t.Errorf("%s: seek curve decreasing at distance %d", m.Name, d)
+				break
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestModelCapacities(t *testing.T) {
+	scsi := IBMDDYS36950()
+	gb := float64(scsi.Geo.TotalBytes()) / 1e9
+	if gb < 30 || gb > 45 {
+		t.Errorf("SCSI capacity %.1f GB, want ~36.9", gb)
+	}
+	ide := WD200BB()
+	gb = float64(ide.Geo.TotalBytes()) / 1e9
+	if gb < 15 || gb > 25 {
+		t.Errorf("IDE capacity %.1f GB, want ~20", gb)
+	}
+}
+
+func TestMediaRatesMatchPaperBallpark(t *testing.T) {
+	scsi := IBMDDYS36950()
+	if r := scsi.MediaRateAt(0) / 1e6; r < 30 || r > 36 {
+		t.Errorf("SCSI outer rate %.1f MB/s, want ~33", r)
+	}
+	ide := WD200BB()
+	if r := ide.MediaRateAt(0) / 1e6; r < 38 || r > 45 {
+		t.Errorf("IDE outer rate %.1f MB/s, want ~41", r)
+	}
+}

@@ -1,0 +1,335 @@
+// Package ffs implements the file-system substrate: an FFS-flavoured
+// extent allocator over a disk partition, plus the vnode-level read path
+// (demand block reads with heuristic-driven cluster read-ahead through
+// the buffer cache). It captures the properties the paper's experiments
+// rest on — files laid out mostly contiguously in partition order, with
+// small metadata gaps, optional aging-induced fragmentation, and a
+// sequential-access detector that scales read-ahead.
+package ffs
+
+import (
+	"fmt"
+
+	"nfstricks/internal/buffercache"
+	"nfstricks/internal/disk"
+	"nfstricks/internal/readahead"
+	"nfstricks/internal/sim"
+)
+
+// BlockSize is the file-system block size (8 KB).
+const BlockSize = buffercache.BlockSize
+
+// SectorsPerBlock is BlockSize in sectors.
+const SectorsPerBlock = buffercache.SectorsPerBlock
+
+// DefaultExtentBlocks is the contiguous run length between metadata
+// gaps (2 MB — roughly the span an indirect block covers before FFS
+// inserts bookkeeping blocks).
+const DefaultExtentBlocks = 256
+
+// DefaultMaxReadAhead is the per-file read-ahead ceiling in blocks
+// (128 KB), the cluster_read-era limit.
+const DefaultMaxReadAhead = 16
+
+// Config tunes a file system instance.
+type Config struct {
+	// ExtentBlocks is the contiguous allocation run length in blocks
+	// (DefaultExtentBlocks if zero).
+	ExtentBlocks int
+	// AgingSkipBlocks, when positive, fragments allocation: after each
+	// extent the allocator skips a pseudo-random number of blocks up to
+	// this bound, emulating an aged file system (paper §3 argues their
+	// gains grow with aging; this is the ablation knob).
+	AgingSkipBlocks int
+	// MaxReadAhead caps the read-ahead window in blocks
+	// (DefaultMaxReadAhead if zero).
+	MaxReadAhead int
+	// HandleBase sets the file-handle numbering base, so multiple file
+	// systems exported by one server have disjoint handle spaces. If
+	// zero, a base is derived from the partition's start LBA (which is
+	// only unique within a single disk).
+	HandleBase uint64
+}
+
+type extent struct {
+	firstBlock int64 // file-relative block number of the extent start
+	lba        int64
+	blocks     int64
+}
+
+// File is an allocated file: a name, a size and an extent map. The
+// Handle doubles as the NFS file-handle identity.
+type File struct {
+	name    string
+	size    int64
+	handle  uint64
+	extents []extent
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file's length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Handle returns the file's stable handle (non-zero).
+func (f *File) Handle() uint64 { return f.handle }
+
+// Blocks returns the number of (whole or partial) blocks in the file.
+func (f *File) Blocks() int64 { return (f.size + BlockSize - 1) / BlockSize }
+
+// FS is one file system on one partition, sharing the volume's buffer
+// cache.
+type FS struct {
+	k     *sim.Kernel
+	cache *buffercache.Cache
+	part  disk.Partition
+	cfg   Config
+
+	files   map[string]*File
+	byFH    map[uint64]*File
+	nextLBA int64
+	rootFH  uint64
+	nextFH  uint64
+}
+
+// New creates an empty file system on part, caching through cache.
+func New(k *sim.Kernel, cache *buffercache.Cache, part disk.Partition, cfg Config) *FS {
+	if cfg.ExtentBlocks <= 0 {
+		cfg.ExtentBlocks = DefaultExtentBlocks
+	}
+	if cfg.MaxReadAhead <= 0 {
+		cfg.MaxReadAhead = DefaultMaxReadAhead
+	}
+	base := cfg.HandleBase
+	if base == 0 {
+		base = uint64(part.StartLBA)/16 + 1
+	}
+	return &FS{
+		k:       k,
+		cache:   cache,
+		part:    part,
+		cfg:     cfg,
+		files:   make(map[string]*File),
+		byFH:    make(map[uint64]*File),
+		nextLBA: part.StartLBA,
+		rootFH:  base,
+		nextFH:  base + 1,
+	}
+}
+
+// RootHandle returns the handle of the file system's root directory.
+func (fs *FS) RootHandle() uint64 { return fs.rootFH }
+
+// Partition returns the underlying partition.
+func (fs *FS) Partition() disk.Partition { return fs.part }
+
+// Cache returns the buffer cache the file system reads through.
+func (fs *FS) Cache() *buffercache.Cache { return fs.cache }
+
+// Create allocates a file of size bytes filled with (notionally)
+// non-zero data, as the paper's benchmark setup does. Allocation is
+// first-fit from the partition start: files created in order sit in
+// ascending LBA order.
+func (fs *FS) Create(name string, size int64) (*File, error) {
+	if _, dup := fs.files[name]; dup {
+		return nil, fmt.Errorf("ffs: %q already exists", name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("ffs: size must be positive, got %d", size)
+	}
+	f := &File{name: name, handle: fs.nextFH}
+	fs.nextFH++
+	if err := fs.extend(f, size); err != nil {
+		return nil, err
+	}
+	fs.files[name] = f
+	fs.byFH[f.handle] = f
+	return f, nil
+}
+
+// extend grows f to newSize, allocating extents.
+func (fs *FS) extend(f *File, newSize int64) error {
+	partEnd := fs.part.StartLBA + fs.part.Sectors
+	blocksNeeded := (newSize+BlockSize-1)/BlockSize - f.Blocks()
+	for blocksNeeded > 0 {
+		run := int64(fs.cfg.ExtentBlocks)
+		if run > blocksNeeded {
+			run = blocksNeeded
+		}
+		if fs.nextLBA+run*SectorsPerBlock > partEnd {
+			return fmt.Errorf("ffs: partition %s full", fs.part.Name)
+		}
+		var allocated int64
+		for _, e := range f.extents {
+			allocated += e.blocks
+		}
+		f.extents = append(f.extents, extent{
+			firstBlock: allocated,
+			lba:        fs.nextLBA,
+			blocks:     run,
+		})
+		fs.nextLBA += run * SectorsPerBlock
+		// Metadata gap after each full extent, plus aging skip.
+		fs.nextLBA += SectorsPerBlock
+		if fs.cfg.AgingSkipBlocks > 0 {
+			skip := int64(fs.k.Rand().Intn(fs.cfg.AgingSkipBlocks + 1))
+			fs.nextLBA += skip * SectorsPerBlock
+		}
+		blocksNeeded -= run
+	}
+	f.size = newSize
+	return nil
+}
+
+// Lookup finds a file by name.
+func (fs *FS) Lookup(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
+}
+
+// ByHandle finds a file by its handle.
+func (fs *FS) ByHandle(fh uint64) (*File, bool) {
+	f, ok := fs.byFH[fh]
+	return f, ok
+}
+
+// Remove deletes a file. Its blocks are not reused (the benchmark never
+// needs reuse; an aged FS is modelled via Config instead).
+func (fs *FS) Remove(name string) bool {
+	f, ok := fs.files[name]
+	if !ok {
+		return false
+	}
+	delete(fs.files, name)
+	delete(fs.byFH, f.handle)
+	return true
+}
+
+// BlockLBA maps a file-relative block number to its LBA.
+func (fs *FS) BlockLBA(f *File, block int64) int64 {
+	if block < 0 || block >= f.Blocks() {
+		panic(fmt.Sprintf("ffs: block %d out of range for %s (%d blocks)", block, f.name, f.Blocks()))
+	}
+	for _, e := range f.extents {
+		if block >= e.firstBlock && block < e.firstBlock+e.blocks {
+			return e.lba + (block-e.firstBlock)*SectorsPerBlock
+		}
+	}
+	panic(fmt.Sprintf("ffs: no extent for block %d of %s", block, f.name))
+}
+
+// ReadBlocks performs a demand read of count blocks starting at block,
+// blocking p until they are resident. Read-ahead is issued separately
+// via Prefetch, whose window the caller derives from its sequentiality
+// heuristic.
+func (fs *FS) ReadBlocks(p *sim.Proc, f *File, block, count int64) {
+	for b := block; b < block+count && b < f.Blocks(); b++ {
+		fs.cache.Read(p, fs.BlockLBA(f, b))
+	}
+}
+
+// Prefetch implements frontier-based clustered read-ahead, as FreeBSD's
+// cluster_read does: read-ahead is issued only when the demand read
+// (ending at block demandEnd) approaches the stream's prefetch frontier,
+// and then the frontier advances by the whole window. Prefetch thus
+// reaches the disk as a few large commands instead of trickling out one
+// block per read, which would forfeit the benefit of clustering. The
+// frontier is owned by the caller's per-stream heuristic state.
+func (fs *FS) Prefetch(f *File, demandEnd int64, window int, frontier *uint64) {
+	if window <= 0 {
+		return
+	}
+	front := int64(*frontier)
+	if front < demandEnd {
+		front = demandEnd
+	}
+	if demandEnd+int64(window)/2 < front {
+		return // plenty already prefetched
+	}
+	newFront := demandEnd + int64(window)
+	if max := f.Blocks(); newFront > max {
+		newFront = max
+	}
+	if newFront <= front {
+		return
+	}
+	fs.readAhead(f, front, int(newFront-front))
+	*frontier = uint64(newFront)
+}
+
+// readAhead prefetches up to n blocks of f starting at block,
+// splitting at extent boundaries so the cache sees contiguous LBA runs.
+func (fs *FS) readAhead(f *File, block int64, n int) {
+	for n > 0 && block < f.Blocks() {
+		lba := fs.BlockLBA(f, block)
+		run := 1
+		for run < n && block+int64(run) < f.Blocks() &&
+			fs.BlockLBA(f, block+int64(run)) == lba+int64(run)*SectorsPerBlock {
+			run++
+		}
+		fs.cache.ReadAhead(lba, run)
+		block += int64(run)
+		n -= run
+	}
+}
+
+// WriteBlocks installs count blocks starting at block as written,
+// extending the file if needed, with asynchronous write-through.
+func (fs *FS) WriteBlocks(p *sim.Proc, f *File, block, count int64) error {
+	need := (block + count) * BlockSize
+	if need > f.size {
+		if err := fs.extend(f, need); err != nil {
+			return err
+		}
+	}
+	for b := block; b < block+count; b++ {
+		fs.cache.Write(fs.BlockLBA(f, b))
+	}
+	return nil
+}
+
+// OpenFile is a local open-file descriptor: it carries the vnode-level
+// sequential-access state FreeBSD keeps per open file, driving local
+// cluster read-ahead. (The NFS server cannot use this — NFS has no
+// opens — which is the whole reason nfsheur exists.)
+type OpenFile struct {
+	fs    *FS
+	f     *File
+	h     readahead.Heuristic
+	state readahead.State
+}
+
+// Open returns a descriptor for name with the default (FreeBSD local)
+// sequentiality heuristic.
+func (fs *FS) Open(name string) (*OpenFile, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("ffs: %q not found", name)
+	}
+	of := &OpenFile{fs: fs, f: f, h: readahead.Default{}}
+	of.state.Reset()
+	return of, nil
+}
+
+// File returns the underlying file.
+func (of *OpenFile) File() *File { return of.f }
+
+// Read reads length bytes at offset off, blocking p for any disk I/O,
+// and triggers heuristic-scaled read-ahead. It returns the number of
+// bytes read (short at EOF).
+func (of *OpenFile) Read(p *sim.Proc, off, length int64) int64 {
+	if off >= of.f.size {
+		return 0
+	}
+	if off+length > of.f.size {
+		length = of.f.size - off
+	}
+	seq := of.h.Update(&of.state, uint64(off), uint64(length))
+	first := off / BlockSize
+	last := (off + length - 1) / BlockSize
+	of.fs.ReadBlocks(p, of.f, first, last-first+1)
+	w := readahead.Window(seq, of.fs.cfg.MaxReadAhead)
+	of.fs.Prefetch(of.f, last+1, w, of.h.Frontier(&of.state))
+	return length
+}

@@ -1,0 +1,262 @@
+package ffs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nfstricks/internal/buffercache"
+	"nfstricks/internal/disk"
+	"nfstricks/internal/iosched"
+	"nfstricks/internal/sim"
+)
+
+// rig builds a kernel + IDE disk + elevator driver + cache + FS on the
+// outermost quarter partition.
+func rig(seed int64, cfg Config) (*sim.Kernel, *FS, *buffercache.Cache) {
+	k := sim.NewKernel(seed)
+	m := disk.WD200BB()
+	dev := disk.NewDevice(k, m)
+	dr := disk.NewDriver(k, dev, iosched.NewElevator())
+	cache := buffercache.New(k, dr, 8192)
+	parts := m.Geo.QuarterPartitions("ide")
+	fs := New(k, cache, parts[0], cfg)
+	return k, fs, cache
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	f, err := fs.Create("a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1<<20 || f.Blocks() != 128 {
+		t.Fatalf("size/blocks = %d/%d", f.Size(), f.Blocks())
+	}
+	got, ok := fs.Lookup("a")
+	if !ok || got != f {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := fs.ByHandle(f.Handle()); !ok {
+		t.Fatal("ByHandle failed")
+	}
+	if f.Handle() == 0 {
+		t.Fatal("zero handle")
+	}
+}
+
+func TestCreateRejectsDuplicatesAndBadSizes(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	if _, err := fs.Create("a", 8192); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a", 8192); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := fs.Create("b", 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestCreateFailsWhenPartitionFull(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := disk.WD200BB()
+	dev := disk.NewDevice(k, m)
+	dr := disk.NewDriver(k, dev, iosched.NewFIFO())
+	cache := buffercache.New(k, dr, 64)
+	tiny := disk.Partition{Name: "tiny", StartLBA: 0, Sectors: 160} // 10 blocks
+	fs := New(k, cache, tiny, Config{})
+	if _, err := fs.Create("big", 1<<20); err == nil {
+		t.Fatal("overfull create accepted")
+	}
+}
+
+func TestBlockLBAMonotonicWithinFile(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	f, _ := fs.Create("a", 16<<20)
+	prev := int64(-1)
+	for b := int64(0); b < f.Blocks(); b++ {
+		lba := fs.BlockLBA(f, b)
+		if lba <= prev {
+			t.Fatalf("LBA not increasing at block %d: %d <= %d", b, lba, prev)
+		}
+		prev = lba
+	}
+}
+
+func TestFilesCreatedInOrderAscendOnDisk(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	a, _ := fs.Create("a", 1<<20)
+	b, _ := fs.Create("b", 1<<20)
+	if fs.BlockLBA(b, 0) <= fs.BlockLBA(a, a.Blocks()-1) {
+		t.Fatal("second file does not follow the first on disk")
+	}
+}
+
+func TestExtentGapsAreSmall(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	f, _ := fs.Create("a", 8<<20) // spans several extents
+	for b := int64(1); b < f.Blocks(); b++ {
+		gap := fs.BlockLBA(f, b) - fs.BlockLBA(f, b-1) - SectorsPerBlock
+		if gap < 0 {
+			t.Fatalf("overlapping blocks at %d", b)
+		}
+		if gap > 2*SectorsPerBlock {
+			t.Fatalf("fresh FS gap of %d sectors at block %d", gap, b)
+		}
+	}
+}
+
+func TestAgingIncreasesFragmentation(t *testing.T) {
+	span := func(cfg Config) int64 {
+		_, fs, _ := rig(7, cfg)
+		f, _ := fs.Create("a", 32<<20)
+		return fs.BlockLBA(f, f.Blocks()-1) - fs.BlockLBA(f, 0)
+	}
+	fresh := span(Config{})
+	aged := span(Config{AgingSkipBlocks: 512})
+	if aged <= fresh {
+		t.Fatalf("aged span %d <= fresh span %d", aged, fresh)
+	}
+}
+
+func TestSequentialReadUsesClusters(t *testing.T) {
+	k, fs, cache := rig(1, Config{})
+	f, _ := fs.Create("a", 4<<20)
+	var elapsed time.Duration
+	k.Go("reader", func(p *sim.Proc) {
+		of, err := fs.Open("a")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start := p.Now()
+		for off := int64(0); off < f.Size(); off += BlockSize {
+			of.Read(p, off, BlockSize)
+		}
+		elapsed = p.Now() - start
+	})
+	k.Run()
+	k.Shutdown()
+
+	st := cache.Stats()
+	if st.ReadAheads == 0 {
+		t.Fatal("sequential read issued no read-ahead")
+	}
+	// Read-ahead must make most demand reads cache hits.
+	hitRate := float64(st.Hits+st.InFlight) / float64(st.Hits+st.InFlight+st.Misses)
+	if hitRate < 0.7 {
+		t.Fatalf("hit rate %.2f; read-ahead ineffective", hitRate)
+	}
+	// Throughput should approach the outer-zone media rate (~41 MB/s).
+	rate := float64(f.Size()) / elapsed.Seconds() / 1e6
+	if rate < 20 {
+		t.Fatalf("sequential read rate %.1f MB/s; too slow for clustered read-ahead", rate)
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	k, fs, _ := rig(1, Config{})
+	fs.Create("a", BlockSize)
+	var n int64 = -1
+	k.Go("reader", func(p *sim.Proc) {
+		of, _ := fs.Open("a")
+		n = of.Read(p, 2*BlockSize, BlockSize)
+	})
+	k.Run()
+	k.Shutdown()
+	if n != 0 {
+		t.Fatalf("read past EOF returned %d", n)
+	}
+}
+
+func TestShortReadAtEOF(t *testing.T) {
+	k, fs, _ := rig(1, Config{})
+	fs.Create("a", BlockSize+100)
+	var n int64
+	k.Go("reader", func(p *sim.Proc) {
+		of, _ := fs.Open("a")
+		n = of.Read(p, BlockSize, BlockSize)
+	})
+	k.Run()
+	k.Shutdown()
+	if n != 100 {
+		t.Fatalf("short read = %d, want 100", n)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	if _, err := fs.Open("nope"); err == nil {
+		t.Fatal("Open of missing file succeeded")
+	}
+}
+
+func TestWriteBlocksExtendsFile(t *testing.T) {
+	k, fs, _ := rig(1, Config{})
+	f, _ := fs.Create("a", BlockSize)
+	k.Go("writer", func(p *sim.Proc) {
+		if err := fs.WriteBlocks(p, f, 10, 2); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	k.Shutdown()
+	if f.Blocks() < 12 {
+		t.Fatalf("file not extended: %d blocks", f.Blocks())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, fs, _ := rig(1, Config{})
+	f, _ := fs.Create("a", BlockSize)
+	if !fs.Remove("a") {
+		t.Fatal("Remove failed")
+	}
+	if _, ok := fs.Lookup("a"); ok {
+		t.Fatal("file still present")
+	}
+	if _, ok := fs.ByHandle(f.Handle()); ok {
+		t.Fatal("handle still present")
+	}
+	if fs.Remove("a") {
+		t.Fatal("second Remove succeeded")
+	}
+}
+
+// Property: the block->LBA map is injective and stays within the
+// partition for arbitrary file sizes.
+func TestBlockLBAWithinPartition(t *testing.T) {
+	f := func(sizesMB []uint8, aging bool) bool {
+		cfg := Config{}
+		if aging {
+			cfg.AgingSkipBlocks = 64
+		}
+		_, fs, _ := rig(3, cfg)
+		part := fs.Partition()
+		seen := make(map[int64]bool)
+		for i, s := range sizesMB {
+			size := (int64(s%16) + 1) << 20
+			file, err := fs.Create(name(i), size)
+			if err != nil {
+				return true // partition full is legal
+			}
+			for b := int64(0); b < file.Blocks(); b++ {
+				lba := fs.BlockLBA(file, b)
+				if lba < part.StartLBA || lba >= part.StartLBA+part.Sectors {
+					return false
+				}
+				if seen[lba] {
+					return false
+				}
+				seen[lba] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func name(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }

@@ -1,0 +1,82 @@
+package iosched
+
+// Elevator is a cyclical one-way SCAN (C-LOOK), modelled on FreeBSD's
+// bufqdisksort: requests at or beyond the last serviced position join the
+// current sweep; requests behind it wait for the next sweep. Because a
+// stream reading sequentially keeps inserting requests just ahead of the
+// head, it can monopolize the current sweep — the unfairness the paper
+// demonstrates in Figure 3.
+type Elevator struct {
+	cur  []Item // current sweep, ascending LBA
+	next []Item // next sweep, ascending LBA
+	last int64  // LBA of the most recently popped request
+}
+
+// NewElevator returns an empty elevator starting its sweep at LBA 0.
+func NewElevator() *Elevator { return &Elevator{} }
+
+// Push implements Scheduler. Requests at or past the sweep position join
+// the current sweep (and may be serviced before older requests behind
+// the head).
+func (e *Elevator) Push(it Item) {
+	if it.Pos() >= e.last {
+		e.cur = insertSorted(e.cur, it)
+	} else {
+		e.next = insertSorted(e.next, it)
+	}
+}
+
+// Pop implements Scheduler.
+func (e *Elevator) Pop(head int64) Item {
+	if len(e.cur) == 0 {
+		e.cur, e.next = e.next, nil
+		e.last = 0
+	}
+	it := e.cur[0]
+	copy(e.cur, e.cur[1:])
+	e.cur[len(e.cur)-1] = nil
+	e.cur = e.cur[:len(e.cur)-1]
+	e.last = it.Pos()
+	return it
+}
+
+// Len implements Scheduler.
+func (e *Elevator) Len() int { return len(e.cur) + len(e.next) }
+
+// Name implements Scheduler.
+func (e *Elevator) Name() string { return "elevator" }
+
+// NCSCAN is the N-step CSCAN variant the paper patches into FreeBSD:
+// the schedule for the current scan is frozen, and every arrival —
+// wherever it lands — waits for the next scan. The expected latency of
+// each operation is proportional to the queue length when the sweep
+// begins, which makes service fair at a substantial throughput cost
+// (Figure 3).
+type NCSCAN struct {
+	cur  []Item
+	next []Item
+}
+
+// NewNCSCAN returns an empty N-step CSCAN scheduler.
+func NewNCSCAN() *NCSCAN { return &NCSCAN{} }
+
+// Push implements Scheduler. Arrivals never join the in-progress sweep.
+func (n *NCSCAN) Push(it Item) { n.next = insertSorted(n.next, it) }
+
+// Pop implements Scheduler.
+func (n *NCSCAN) Pop(head int64) Item {
+	if len(n.cur) == 0 {
+		n.cur, n.next = n.next, nil
+	}
+	it := n.cur[0]
+	copy(n.cur, n.cur[1:])
+	n.cur[len(n.cur)-1] = nil
+	n.cur = n.cur[:len(n.cur)-1]
+	return it
+}
+
+// Len implements Scheduler.
+func (n *NCSCAN) Len() int { return len(n.cur) + len(n.next) }
+
+// Name implements Scheduler.
+func (n *NCSCAN) Name() string { return "ncscan" }

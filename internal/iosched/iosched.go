@@ -1,0 +1,117 @@
+// Package iosched implements host-side disk scheduling disciplines.
+//
+// The paper contrasts FreeBSD's bufqdisksort — a cyclical variant of the
+// Elevator/SCAN algorithm — with N-step CSCAN, a fair variant that
+// freezes the schedule for the current sweep (§5.3). Both are provided
+// here, plus FIFO and SSTF baselines. Schedulers are pure data
+// structures: the disk driver feeds them requests and asks for the next
+// one given the current head position.
+package iosched
+
+// Item is anything a scheduler can order: a disk request exposing its
+// starting logical block address.
+type Item interface {
+	Pos() int64
+}
+
+// Scheduler is a queue of pending disk requests with a pluggable service
+// order. Push and Pop are never called concurrently (the simulation is
+// single-threaded) and Pop is only called when Len() > 0.
+type Scheduler interface {
+	// Push adds a request to the queue.
+	Push(it Item)
+	// Pop removes and returns the next request to service, given the
+	// current head position (an LBA).
+	Pop(head int64) Item
+	// Len reports the number of queued requests.
+	Len() int
+	// Name identifies the discipline, e.g. "elevator".
+	Name() string
+}
+
+// Factory constructs a fresh scheduler; used when building testbeds.
+type Factory func() Scheduler
+
+// FIFO services requests strictly in arrival order.
+type FIFO struct {
+	q []Item
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push implements Scheduler.
+func (f *FIFO) Push(it Item) { f.q = append(f.q, it) }
+
+// Pop implements Scheduler.
+func (f *FIFO) Pop(head int64) Item {
+	it := f.q[0]
+	copy(f.q, f.q[1:])
+	f.q[len(f.q)-1] = nil
+	f.q = f.q[:len(f.q)-1]
+	return it
+}
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return len(f.q) }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// SSTF services the request closest to the current head position
+// (shortest seek time first). Ties break toward lower LBA.
+type SSTF struct {
+	q []Item
+}
+
+// NewSSTF returns an empty SSTF scheduler.
+func NewSSTF() *SSTF { return &SSTF{} }
+
+// Push implements Scheduler.
+func (s *SSTF) Push(it Item) { s.q = append(s.q, it) }
+
+// Pop implements Scheduler.
+func (s *SSTF) Pop(head int64) Item {
+	best := 0
+	bestDist := dist(s.q[0].Pos(), head)
+	for i := 1; i < len(s.q); i++ {
+		d := dist(s.q[i].Pos(), head)
+		if d < bestDist || (d == bestDist && s.q[i].Pos() < s.q[best].Pos()) {
+			best, bestDist = i, d
+		}
+	}
+	it := s.q[best]
+	s.q = append(s.q[:best], s.q[best+1:]...)
+	return it
+}
+
+// Len implements Scheduler.
+func (s *SSTF) Len() int { return len(s.q) }
+
+// Name implements Scheduler.
+func (s *SSTF) Name() string { return "sstf" }
+
+func dist(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// insertSorted inserts it into q keeping ascending Pos order; equal
+// positions keep arrival order (stable).
+func insertSorted(q []Item, it Item) []Item {
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q[mid].Pos() <= it.Pos() {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, nil)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = it
+	return q
+}

@@ -1,0 +1,220 @@
+package iosched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type req int64
+
+func (r req) Pos() int64 { return int64(r) }
+
+func drain(s Scheduler, head int64) []int64 {
+	var out []int64
+	for s.Len() > 0 {
+		it := s.Pop(head)
+		head = it.Pos()
+		out = append(out, head)
+	}
+	return out
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	for _, p := range []int64{5, 1, 9, 3} {
+		f.Push(req(p))
+	}
+	got := drain(f, 0)
+	want := []int64{5, 1, 9, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FIFO order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSSTFPicksNearest(t *testing.T) {
+	s := NewSSTF()
+	for _, p := range []int64{100, 10, 55} {
+		s.Push(req(p))
+	}
+	if it := s.Pop(50); it.Pos() != 55 {
+		t.Fatalf("SSTF from 50 picked %d, want 55", it.Pos())
+	}
+	// From 55, LBAs 10 and 100 are equidistant; the tie breaks low.
+	if it := s.Pop(55); it.Pos() != 10 {
+		t.Fatalf("SSTF from 55 picked %d, want 10 (tie breaks low)", it.Pos())
+	}
+	if it := s.Pop(10); it.Pos() != 100 {
+		t.Fatalf("SSTF from 10 picked %d, want 100", it.Pos())
+	}
+}
+
+func TestSSTFTieBreaksLow(t *testing.T) {
+	s := NewSSTF()
+	s.Push(req(40))
+	s.Push(req(60))
+	if it := s.Pop(50); it.Pos() != 40 {
+		t.Fatalf("SSTF tie picked %d, want 40", it.Pos())
+	}
+}
+
+func TestElevatorAscendingSweep(t *testing.T) {
+	e := NewElevator()
+	for _, p := range []int64{30, 10, 20} {
+		e.Push(req(p))
+	}
+	got := drain(e, 0)
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestElevatorAdmitsAheadOfHead(t *testing.T) {
+	e := NewElevator()
+	e.Push(req(10))
+	e.Push(req(1000))
+	if e.Pop(0).Pos() != 10 {
+		t.Fatal("expected 10 first")
+	}
+	// A new request just ahead of the head jumps the far request: the
+	// unfairness mechanism from the paper.
+	e.Push(req(11))
+	if got := e.Pop(10).Pos(); got != 11 {
+		t.Fatalf("elevator served %d, want 11 (ahead-of-head insertion)", got)
+	}
+	if got := e.Pop(11).Pos(); got != 1000 {
+		t.Fatalf("elevator served %d, want 1000", got)
+	}
+}
+
+func TestElevatorBehindHeadWaitsForNextSweep(t *testing.T) {
+	e := NewElevator()
+	e.Push(req(100))
+	if e.Pop(0).Pos() != 100 {
+		t.Fatal("expected 100")
+	}
+	e.Push(req(50))  // behind: next sweep
+	e.Push(req(150)) // ahead: current sweep
+	if got := e.Pop(100).Pos(); got != 150 {
+		t.Fatalf("served %d, want 150", got)
+	}
+	if got := e.Pop(150).Pos(); got != 50 {
+		t.Fatalf("served %d, want 50 on next sweep", got)
+	}
+}
+
+func TestNCSCANFreezesCurrentSweep(t *testing.T) {
+	n := NewNCSCAN()
+	n.Push(req(10))
+	n.Push(req(100))
+	if n.Pop(0).Pos() != 10 {
+		t.Fatal("expected 10")
+	}
+	// Arrival ahead of head must NOT jump into the current sweep.
+	n.Push(req(11))
+	if got := n.Pop(10).Pos(); got != 100 {
+		t.Fatalf("N-CSCAN served %d, want 100 (sweep frozen)", got)
+	}
+	if got := n.Pop(100).Pos(); got != 11 {
+		t.Fatalf("N-CSCAN served %d, want 11 on next sweep", got)
+	}
+}
+
+func TestNCSCANSweepSorted(t *testing.T) {
+	n := NewNCSCAN()
+	for _, p := range []int64{9, 3, 7, 1} {
+		n.Push(req(p))
+	}
+	got := drain(n, 0)
+	want := []int64{1, 3, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulersConserveRequests(t *testing.T) {
+	// Property: every pushed request is popped exactly once, regardless
+	// of interleaving of pushes and pops.
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, mk := range []Factory{
+			func() Scheduler { return NewFIFO() },
+			func() Scheduler { return NewSSTF() },
+			func() Scheduler { return NewElevator() },
+			func() Scheduler { return NewNCSCAN() },
+		} {
+			s := mk()
+			pushed := make(map[int64]int)
+			popped := make(map[int64]int)
+			head := int64(0)
+			for _, op := range ops {
+				if op%2 == 0 || s.Len() == 0 {
+					p := int64(rng.Intn(1 << 20))
+					pushed[p]++
+					s.Push(req(p))
+				} else {
+					it := s.Pop(head)
+					head = it.Pos()
+					popped[head]++
+				}
+			}
+			for s.Len() > 0 {
+				it := s.Pop(head)
+				head = it.Pos()
+				popped[head]++
+			}
+			if len(pushed) != len(popped) {
+				return false
+			}
+			for p, n := range pushed {
+				if popped[p] != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSortedStable(t *testing.T) {
+	type tagged struct {
+		pos int64
+		id  int
+	}
+	var q []Item
+	type titem struct{ tagged }
+	_ = titem{}
+	items := []tagged{{5, 0}, {5, 1}, {3, 2}, {5, 3}}
+	for _, it := range items {
+		it := it
+		q = insertSorted(q, req5{it.pos, it.id})
+	}
+	// All pos=5 items must be in insertion order 0,1,3 after the pos=3.
+	ids := []int{}
+	for _, it := range q {
+		ids = append(ids, it.(req5).id)
+	}
+	want := []int{2, 0, 1, 3}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("stable order = %v, want %v", ids, want)
+		}
+	}
+}
+
+type req5 struct {
+	pos int64
+	id  int
+}
+
+func (r req5) Pos() int64 { return r.pos }

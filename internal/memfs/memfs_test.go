@@ -1,0 +1,240 @@
+package memfs
+
+import (
+	"bytes"
+	"testing"
+
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/readahead"
+	"nfstricks/internal/rpcnet"
+)
+
+func TestFSCreateLookupRead(t *testing.T) {
+	fs := NewFS()
+	data := []byte("the quick brown fox")
+	fs.Create("f", data)
+	fh, size, ok := fs.Lookup("f")
+	if !ok || size != int64(len(data)) {
+		t.Fatalf("lookup: ok=%v size=%d", ok, size)
+	}
+	got, eof, err := fs.Read(fh, 4, 5)
+	if err != nil || string(got) != "quick" || eof {
+		t.Fatalf("read = %q eof=%v err=%v", got, eof, err)
+	}
+	got, eof, _ = fs.Read(fh, 10, 100)
+	if string(got) != "brown fox" || !eof {
+		t.Fatalf("tail read = %q eof=%v", got, eof)
+	}
+	if _, eof, _ := fs.Read(fh, 1000, 10); !eof {
+		t.Fatal("read past EOF not flagged")
+	}
+}
+
+func TestFSWriteExtends(t *testing.T) {
+	fs := NewFS()
+	fh := fs.Create("f", []byte("abc"))
+	if err := fs.Write(fh, 5, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := fs.Read(fh, 0, 100)
+	want := []byte{'a', 'b', 'c', 0, 0, 'x', 'y', 'z'}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after write: %v", got)
+	}
+}
+
+func TestFSStaleHandle(t *testing.T) {
+	fs := NewFS()
+	if _, _, err := fs.Read(999, 0, 1); err == nil {
+		t.Fatal("stale read succeeded")
+	}
+	if err := fs.Write(999, 0, []byte("x")); err == nil {
+		t.Fatal("stale write succeeded")
+	}
+}
+
+// startLive spins up a real loopback server and returns its address.
+func startLive(t *testing.T) (*Service, string) {
+	t.Helper()
+	fs := NewFS()
+	payload := make([]byte, 256*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	fs.Create("big", payload)
+	fs.Create("hello", []byte("hello, world"))
+	svc := NewService(fs, nil, nil)
+	srv, err := rpcnet.NewServer("127.0.0.1:0", nfsproto.Program, nfsproto.Version3, svc.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return svc, srv.Addr()
+}
+
+func TestLiveServerOverUDPAndTCP(t *testing.T) {
+	svc, addr := startLive(t)
+	for _, network := range []string{"udp", "tcp"} {
+		c, err := DialClient(network, addr)
+		if err != nil {
+			t.Fatalf("%s: %v", network, err)
+		}
+		fh, size, err := c.Lookup("hello")
+		if err != nil || size != 12 {
+			t.Fatalf("%s lookup: size=%d err=%v", network, size, err)
+		}
+		data, eof, err := c.Read(fh, 0, 64)
+		if err != nil || string(data) != "hello, world" || !eof {
+			t.Fatalf("%s read = %q eof=%v err=%v", network, data, eof, err)
+		}
+		c.Close()
+	}
+	if svc.Stats().Reads != 2 {
+		t.Fatalf("service reads = %d", svc.Stats().Reads)
+	}
+}
+
+func TestLiveSequentialReadBuildsSeqcount(t *testing.T) {
+	svc, addr := startLive(t)
+	c, err := DialClient("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fh, size, err := c.Lookup("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	const chunk = 8192
+	for off := uint64(0); off < uint64(size); off += chunk {
+		data, _, err := c.Read(fh, off, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, data...)
+	}
+	if len(got) != int(size) {
+		t.Fatalf("read %d of %d bytes", len(got), size)
+	}
+	for i := 0; i < len(got); i += 1013 {
+		if got[i] != byte(i*31) {
+			t.Fatalf("data corruption at %d", i)
+		}
+	}
+	// A 32-block sequential read must drive the heuristic's confidence up.
+	if svc.Stats().MaxSeqCount < 16 {
+		t.Fatalf("max seqcount = %d after sequential read", svc.Stats().MaxSeqCount)
+	}
+}
+
+func TestLiveWriteReadBack(t *testing.T) {
+	_, addr := startLive(t)
+	c, err := DialClient("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fh, _, err := c.Lookup("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(fh, 7, []byte("gopher")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Read(fh, 0, 64)
+	if err != nil || string(data) != "hello, gopher" {
+		t.Fatalf("read back %q err=%v", data, err)
+	}
+}
+
+func TestLiveLookupMissing(t *testing.T) {
+	_, addr := startLive(t)
+	c, _ := DialClient("udp", addr)
+	defer c.Close()
+	if _, _, err := c.Lookup("nope"); err == nil {
+		t.Fatal("missing lookup succeeded")
+	}
+}
+
+func TestLiveConcurrentClients(t *testing.T) {
+	_, addr := startLive(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		network := "tcp"
+		if i%2 == 0 {
+			network = "udp"
+		}
+		go func(network string) {
+			c, err := DialClient(network, addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			fh, size, err := c.Lookup("big")
+			if err != nil {
+				done <- err
+				return
+			}
+			total := 0
+			for off := uint64(0); off < uint64(size); off += 8192 {
+				data, _, err := c.Read(fh, off, 8192)
+				if err != nil {
+					done <- err
+					return
+				}
+				total += len(data)
+			}
+			if total != int(size) {
+				done <- errShort{total, int(size)}
+				return
+			}
+			done <- nil
+		}(network)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errShort struct{ got, want int }
+
+func (e errShort) Error() string { return "short transfer" }
+
+func TestServiceStrideDetectedByCursor(t *testing.T) {
+	fs := NewFS()
+	payload := make([]byte, 512*1024)
+	fs.Create("s", payload)
+	svc := NewService(fs, &readahead.CursorHeuristic{}, nil)
+	srv, err := rpcnet.NewServer("127.0.0.1:0", nfsproto.Program, nfsproto.Version3, svc.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialClient("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fh, size, err := c.Lookup("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-stride read: 0, N/2, 1, N/2+1, ...
+	half := uint64(size) / 2
+	for i := uint64(0); i < half/8192; i++ {
+		if _, _, err := c.Read(fh, i*8192, 8192); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Read(fh, half+i*8192, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cursor heuristic must have built confidence despite the stride.
+	if svc.Stats().MaxSeqCount < 16 {
+		t.Fatalf("cursor max seqcount = %d on stride read", svc.Stats().MaxSeqCount)
+	}
+}

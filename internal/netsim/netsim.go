@@ -1,0 +1,329 @@
+// Package netsim models the paper's benchmark network: hosts with
+// gigabit NICs behind a store-and-forward switch, with the server's
+// effective bandwidth capped by its PCI/DMA path (the paper measured
+// 54 MB/s against the 1 Gb/s link). Messages carry typed payloads plus
+// their exact wire size; the network charges serialization per Ethernet
+// frame, fragments UDP datagrams at the MTU (losing a whole datagram if
+// any fragment is lost), and provides an in-order reliable stream for
+// NFS-over-TCP.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"nfstricks/internal/sim"
+)
+
+// Config sets network-wide parameters.
+type Config struct {
+	// LinkBps is the link speed in bits per second (default 1 Gb/s).
+	LinkBps float64
+	// SwitchLatency is the fixed store-and-forward + propagation delay.
+	SwitchLatency time.Duration
+	// MTU is the Ethernet payload limit (default 1500).
+	MTU int
+	// FrameOverhead is per-frame bytes beyond the IP payload (Ethernet
+	// header/CRC/preamble/gap; default 38).
+	FrameOverhead int
+	// LossProb is the per-frame loss probability (default 0: the
+	// paper's fully switched LAN).
+	LossProb float64
+	// MSS is the TCP maximum segment size (default 1448).
+	MSS int
+}
+
+func (c *Config) fill() {
+	if c.LinkBps == 0 {
+		c.LinkBps = 1e9
+	}
+	if c.SwitchLatency == 0 {
+		c.SwitchLatency = 20 * time.Microsecond
+	}
+	if c.MTU == 0 {
+		c.MTU = 1500
+	}
+	if c.FrameOverhead == 0 {
+		c.FrameOverhead = 38
+	}
+	if c.MSS == 0 {
+		c.MSS = 1448
+	}
+}
+
+// ipUDPHeader is the IP+UDP header size consumed from each fragment.
+const ipUDPHeader = 28
+
+// ipTCPHeader is the IP+TCP header size per segment.
+const ipTCPHeader = 40
+
+// Message is a payload in flight: a typed value plus its exact size in
+// bytes as it would appear on the wire (RPC message, pre-IP).
+type Message struct {
+	Payload any
+	Size    int
+}
+
+// Addr names a socket endpoint.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// String renders "host:port".
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Packet is a received datagram.
+type Packet struct {
+	From Addr
+	Msg  Message
+}
+
+// Stats counts network activity.
+type Stats struct {
+	FramesSent     int64
+	BytesSent      int64
+	DatagramsSent  int64
+	DatagramsLost  int64
+	SegmentsSent   int64
+	MessagesQueued int64
+}
+
+// Network is the switch fabric connecting hosts.
+type Network struct {
+	k     *sim.Kernel
+	cfg   Config
+	hosts map[string]*Host
+	stats Stats
+}
+
+// New creates a network on kernel k.
+func New(k *sim.Kernel, cfg Config) *Network {
+	cfg.fill()
+	return &Network{k: k, cfg: cfg, hosts: make(map[string]*Host)}
+}
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Host registers a host. dmaBps caps the host's effective send rate in
+// BYTES per second (0 = no cap beyond the link): the paper's server
+// could push only ~54 MB/s through its PCI bus.
+func (n *Network) Host(name string, dmaBps float64) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic("netsim: duplicate host " + name)
+	}
+	h := &Host{name: name, net: n, dmaBps: dmaBps,
+		udp:       make(map[int]*UDPSocket),
+		listeners: make(map[int]*Listener),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host is a machine on the network with one NIC.
+type Host struct {
+	name   string
+	net    *Network
+	dmaBps float64
+	txFree time.Duration // when the NIC finishes its current backlog
+
+	udp       map[int]*UDPSocket
+	listeners map[int]*Listener
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// effByteRate is the host's effective transmit rate in bytes/second.
+func (h *Host) effByteRate() float64 {
+	rate := h.net.cfg.LinkBps / 8
+	if h.dmaBps > 0 && h.dmaBps < rate {
+		rate = h.dmaBps
+	}
+	return rate
+}
+
+// transmit serializes wireBytes out of the NIC (FIFO with prior
+// transmissions) and returns the arrival time at the far side of the
+// switch.
+func (h *Host) transmit(wireBytes int) time.Duration {
+	now := h.net.k.Now()
+	start := now
+	if h.txFree > start {
+		start = h.txFree
+	}
+	dur := time.Duration(float64(wireBytes) / h.effByteRate() * float64(time.Second))
+	h.txFree = start + dur
+	h.net.stats.BytesSent += int64(wireBytes)
+	return h.txFree + h.net.cfg.SwitchLatency
+}
+
+// fragments returns the per-frame payload sizes for n bytes of
+// IP-layer payload under the MTU.
+func (n *Network) fragments(payload, perFragHeader int) []int {
+	maxData := n.cfg.MTU - perFragHeader
+	var out []int
+	for payload > 0 {
+		f := payload
+		if f > maxData {
+			f = maxData
+		}
+		out = append(out, f+perFragHeader+n.cfg.FrameOverhead)
+		payload -= f
+	}
+	if len(out) == 0 {
+		out = []int{perFragHeader + n.cfg.FrameOverhead}
+	}
+	return out
+}
+
+// UDPSocket is a bound datagram socket.
+type UDPSocket struct {
+	host *Host
+	port int
+	rx   *sim.Chan[Packet]
+}
+
+// UDP binds a datagram socket on port.
+func (h *Host) UDP(port int) *UDPSocket {
+	if _, dup := h.udp[port]; dup {
+		panic(fmt.Sprintf("netsim: %s UDP port %d in use", h.name, port))
+	}
+	s := &UDPSocket{host: h, port: port, rx: sim.NewChan[Packet](h.net.k)}
+	h.udp[port] = s
+	return s
+}
+
+// Addr returns the socket's address.
+func (s *UDPSocket) Addr() Addr { return Addr{Host: s.host.name, Port: s.port} }
+
+// SendTo transmits msg as one datagram. Oversized messages are
+// fragmented; loss of any fragment loses the datagram silently (UDP
+// semantics — the RPC layer above retransmits).
+func (s *UDPSocket) SendTo(dst Addr, msg Message) {
+	n := s.host.net
+	n.stats.DatagramsSent++
+	lost := false
+	var arrival time.Duration
+	for _, frame := range n.fragments(msg.Size, ipUDPHeader) {
+		arrival = s.host.transmit(frame)
+		n.stats.FramesSent++
+		if n.cfg.LossProb > 0 && n.k.Rand().Float64() < n.cfg.LossProb {
+			lost = true
+		}
+	}
+	if lost {
+		n.stats.DatagramsLost++
+		return
+	}
+	dstHost, ok := n.hosts[dst.Host]
+	if !ok {
+		return // unroutable: silently dropped, like real UDP
+	}
+	dstSock, ok := dstHost.udp[dst.Port]
+	if !ok {
+		return // port unreachable
+	}
+	from := s.Addr()
+	n.k.Schedule(arrival-n.k.Now(), func() {
+		dstSock.rx.Send(Packet{From: from, Msg: msg})
+	})
+}
+
+// Recv blocks until a datagram arrives.
+func (s *UDPSocket) Recv(p *sim.Proc) Packet { return s.rx.Recv(p) }
+
+// Pending reports queued datagrams.
+func (s *UDPSocket) Pending() int { return s.rx.Len() }
+
+// Listener accepts stream connections on a port.
+type Listener struct {
+	host    *Host
+	port    int
+	backlog *sim.Chan[*Conn]
+}
+
+// Listen binds a stream listener on port.
+func (h *Host) Listen(port int) *Listener {
+	if _, dup := h.listeners[port]; dup {
+		panic(fmt.Sprintf("netsim: %s TCP port %d in use", h.name, port))
+	}
+	l := &Listener{host: h, port: port, backlog: sim.NewChan[*Conn](h.net.k)}
+	h.listeners[port] = l
+	return l
+}
+
+// Accept blocks until a connection arrives.
+func (l *Listener) Accept(p *sim.Proc) *Conn { return l.backlog.Recv(p) }
+
+// Conn is one endpoint of an established in-order reliable stream — the
+// NFS-over-TCP transport. Messages are segmented at the MSS and
+// serialized through the sender's NIC; delivery is strictly FIFO per
+// direction (the property that keeps TCP-mounted NFS requests in
+// order). Loss and retransmission are not modelled: the paper's LAN is
+// fully switched and effectively loss-free for TCP.
+type Conn struct {
+	host *Host
+	peer *Conn
+	rx   *sim.Chan[Message]
+}
+
+// Dial opens a stream from h to dst, handing the passive end to dst's
+// listener. It never blocks (the handshake cost is folded into the
+// first message's latency, a deliberate simplification).
+func (h *Host) Dial(dst Addr) (*Conn, error) {
+	dstHost, ok := h.net.hosts[dst.Host]
+	if !ok {
+		return nil, fmt.Errorf("netsim: no host %q", dst.Host)
+	}
+	l, ok := dstHost.listeners[dst.Port]
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused at %s", dst)
+	}
+	local := &Conn{host: h, rx: sim.NewChan[Message](h.net.k)}
+	remote := &Conn{host: dstHost, rx: sim.NewChan[Message](h.net.k)}
+	local.peer, remote.peer = remote, local
+	l.backlog.Send(remote)
+	return local, nil
+}
+
+// Send transmits msg on the stream. The +4 accounts for RPC record
+// marking, which NFS-over-TCP requires.
+func (c *Conn) Send(msg Message) {
+	n := c.host.net
+	n.stats.MessagesQueued++
+	bytes := msg.Size + 4
+	var arrival time.Duration
+	for bytes > 0 {
+		seg := bytes
+		if seg > n.cfg.MSS {
+			seg = n.cfg.MSS
+		}
+		arrival = c.host.transmit(seg + ipTCPHeader + n.cfg.FrameOverhead)
+		n.stats.SegmentsSent++
+		n.stats.FramesSent++
+		bytes -= seg
+	}
+	peer := c.peer
+	n.k.Schedule(arrival-n.k.Now(), func() {
+		peer.rx.Send(msg)
+	})
+}
+
+// Recv blocks until a message arrives.
+func (c *Conn) Recv(p *sim.Proc) Message { return c.rx.Recv(p) }
+
+// Pending reports queued messages.
+func (c *Conn) Pending() int { return c.rx.Len() }
+
+// SegmentsFor reports how many TCP segments a message of size bytes
+// occupies — used by endpoints to charge per-segment protocol CPU.
+func (n *Network) SegmentsFor(size int) int {
+	bytes := size + 4
+	segs := (bytes + n.cfg.MSS - 1) / n.cfg.MSS
+	if segs < 1 {
+		segs = 1
+	}
+	return segs
+}

@@ -1,0 +1,256 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"nfstricks/internal/sim"
+)
+
+func pair(seed int64, cfg Config) (*sim.Kernel, *Network, *Host, *Host) {
+	k := sim.NewKernel(seed)
+	n := New(k, cfg)
+	a := n.Host("client", 0)
+	b := n.Host("server", 54e6)
+	return k, n, a, b
+}
+
+func TestUDPDelivery(t *testing.T) {
+	k, _, a, b := pair(1, Config{})
+	sa := a.UDP(1000)
+	sb := b.UDP(2049)
+	var got Packet
+	k.Go("rx", func(p *sim.Proc) { got = sb.Recv(p) })
+	k.Go("tx", func(p *sim.Proc) {
+		sa.SendTo(sb.Addr(), Message{Payload: "hello", Size: 100})
+	})
+	k.Run()
+	k.Shutdown()
+	if got.Msg.Payload != "hello" || got.Msg.Size != 100 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.From != sa.Addr() {
+		t.Fatalf("from = %v", got.From)
+	}
+}
+
+func TestUDPLatencyScalesWithSize(t *testing.T) {
+	arrival := func(size int) time.Duration {
+		k, _, a, b := pair(1, Config{})
+		sa := a.UDP(1)
+		sb := b.UDP(2)
+		var at time.Duration
+		k.Go("rx", func(p *sim.Proc) {
+			sb.Recv(p)
+			at = p.Now()
+		})
+		sa.SendTo(sb.Addr(), Message{Size: size})
+		k.Run()
+		k.Shutdown()
+		return at
+	}
+	small, big := arrival(100), arrival(64*1024)
+	if big <= small {
+		t.Fatalf("64KB (%v) not slower than 100B (%v)", big, small)
+	}
+	// 64 KB at 1 Gb/s is ~0.5 ms of serialization.
+	if big < 400*time.Microsecond || big > 2*time.Millisecond {
+		t.Fatalf("64KB arrival = %v, outside plausible range", big)
+	}
+}
+
+func TestUDPFragmentationCounts(t *testing.T) {
+	k, n, a, b := pair(1, Config{})
+	sa := a.UDP(1)
+	sb := b.UDP(2)
+	sa.SendTo(sb.Addr(), Message{Size: 8192 + 120}) // an 8KB READ reply
+	k.Run()
+	st := n.Stats()
+	// 8312 bytes + 28 header over 1472-byte fragments = 6 frames.
+	if st.FramesSent != 6 {
+		t.Fatalf("frames = %d, want 6", st.FramesSent)
+	}
+	if st.DatagramsSent != 1 {
+		t.Fatalf("datagrams = %d", st.DatagramsSent)
+	}
+}
+
+func TestUDPLossDropsWholeDatagram(t *testing.T) {
+	k, n, a, b := pair(1, Config{LossProb: 1.0})
+	sa := a.UDP(1)
+	sb := b.UDP(2)
+	received := false
+	k.Go("rx", func(p *sim.Proc) {
+		sb.Recv(p)
+		received = true
+	})
+	sa.SendTo(sb.Addr(), Message{Size: 5000})
+	k.Run()
+	k.Shutdown()
+	if received {
+		t.Fatal("datagram survived 100% loss")
+	}
+	if n.Stats().DatagramsLost != 1 {
+		t.Fatalf("lost = %d", n.Stats().DatagramsLost)
+	}
+}
+
+func TestUDPUnroutableSilentlyDropped(t *testing.T) {
+	k, _, a, _ := pair(1, Config{})
+	sa := a.UDP(1)
+	sa.SendTo(Addr{Host: "nowhere", Port: 9}, Message{Size: 10})
+	sa.SendTo(Addr{Host: "server", Port: 9999}, Message{Size: 10})
+	k.Run() // must not panic
+}
+
+func TestNICSerializesBackToBack(t *testing.T) {
+	// Two datagrams sent at the same instant must arrive separated by
+	// at least the serialization time of the first.
+	k, _, a, b := pair(1, Config{})
+	sa := a.UDP(1)
+	sb := b.UDP(2)
+	var arrivals []time.Duration
+	k.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			sb.Recv(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	sa.SendTo(sb.Addr(), Message{Size: 60000})
+	sa.SendTo(sb.Addr(), Message{Size: 60000})
+	k.Run()
+	k.Shutdown()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	gap := arrivals[1] - arrivals[0]
+	if gap < 400*time.Microsecond {
+		t.Fatalf("second datagram arrived %v after first; NIC not serializing", gap)
+	}
+}
+
+func TestDMACapSlowsServerSends(t *testing.T) {
+	// The server's DMA cap (54 MB/s) must make its sends slower than
+	// the client's (uncapped, 125 MB/s link rate).
+	// Direct comparison: send ~1 MB each way.
+	send := func(srcName, dstName string, dma bool) time.Duration {
+		k := sim.NewKernel(1)
+		n := New(k, Config{})
+		c := n.Host("client", 0)
+		s := n.Host("server", 54e6)
+		hosts := map[string]*Host{"client": c, "server": s}
+		_ = dma
+		src := hosts[srcName].UDP(1)
+		dst := hosts[dstName].UDP(2)
+		var at time.Duration
+		k.Go("rx", func(p *sim.Proc) {
+			for i := 0; i < 16; i++ {
+				dst.Recv(p)
+			}
+			at = p.Now()
+		})
+		for i := 0; i < 16; i++ {
+			src.SendTo(dst.Addr(), Message{Size: 65000})
+		}
+		k.Run()
+		k.Shutdown()
+		return at
+	}
+	fromServer := send("server", "client", true)
+	fromClient := send("client", "server", false)
+	if fromServer <= fromClient {
+		t.Fatalf("DMA-capped server (%v) not slower than client (%v)", fromServer, fromClient)
+	}
+	rate := 16 * 65000 / fromServer.Seconds() / 1e6
+	if rate > 56 || rate < 40 {
+		t.Fatalf("server send rate %.1f MB/s, want ~54", rate)
+	}
+}
+
+func TestStreamInOrderDelivery(t *testing.T) {
+	k, _, a, b := pair(1, Config{})
+	l := b.Listen(2049)
+	var got []int
+	k.Go("server", func(p *sim.Proc) {
+		c := l.Accept(p)
+		for i := 0; i < 50; i++ {
+			m := c.Recv(p)
+			got = append(got, m.Payload.(int))
+		}
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := a.Dial(Addr{Host: "server", Port: 2049})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 50; i++ {
+			c.Send(Message{Payload: i, Size: 100 + i*37})
+			if i%7 == 0 {
+				p.Sleep(time.Duration(i) * time.Microsecond)
+			}
+		}
+	})
+	k.Run()
+	k.Shutdown()
+	if len(got) != 50 {
+		t.Fatalf("received %d messages", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out-of-order delivery at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestStreamBidirectional(t *testing.T) {
+	k, _, a, b := pair(1, Config{})
+	l := b.Listen(2049)
+	var reply Message
+	k.Go("server", func(p *sim.Proc) {
+		c := l.Accept(p)
+		m := c.Recv(p)
+		c.Send(Message{Payload: m.Payload.(string) + "-reply", Size: 200})
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, _ := a.Dial(Addr{Host: "server", Port: 2049})
+		c.Send(Message{Payload: "req", Size: 120})
+		reply = c.Recv(p)
+	})
+	k.Run()
+	k.Shutdown()
+	if reply.Payload != "req-reply" {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestDialUnknownHost(t *testing.T) {
+	_, _, a, _ := pair(1, Config{})
+	if _, err := a.Dial(Addr{Host: "ghost", Port: 1}); err == nil {
+		t.Fatal("dial to unknown host succeeded")
+	}
+	if _, err := a.Dial(Addr{Host: "server", Port: 7777}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestSegmentsFor(t *testing.T) {
+	_, n, _, _ := pair(1, Config{})
+	if s := n.SegmentsFor(100); s != 1 {
+		t.Fatalf("small message segments = %d", s)
+	}
+	if s := n.SegmentsFor(8192 + 120); s != 6 {
+		t.Fatalf("8KB reply segments = %d, want 6", s)
+	}
+}
+
+func TestDuplicatePortPanics(t *testing.T) {
+	_, _, a, _ := pair(1, Config{})
+	a.UDP(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate UDP bind accepted")
+		}
+	}()
+	a.UDP(5)
+}

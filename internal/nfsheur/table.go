@@ -1,0 +1,178 @@
+// Package nfsheur implements the NFS server's per-file read-ahead state
+// cache — FreeBSD's nfsheur table. NFS v2/v3 are stateless (no
+// open/close), so the server keeps a small fixed table of recently
+// active file handles and their sequentiality state; when an active
+// handle is ejected, everything the heuristic learned about that file is
+// lost (§6.3).
+//
+// Two parameter sets matter to the paper:
+//
+//   - Default: the FreeBSD 4.x table — tiny (15 slots) with a single
+//     probe, so concurrently active files eject one another well before
+//     the table is "full".
+//   - Improved: the paper's fix — a larger table with a multi-slot probe
+//     window and use-count-based victim selection, making ejections
+//     unlikely until the table genuinely fills.
+package nfsheur
+
+import "nfstricks/internal/readahead"
+
+// Params configures a table.
+type Params struct {
+	// Slots is the table size.
+	Slots int
+	// Probes is the open-hashing window: a handle may live in any of
+	// the Probes slots starting at its hash.
+	Probes int
+	// UseInit/UseInc/UseMax drive victim selection, as in FreeBSD
+	// (NHUSE_INIT/NHUSE_INC/NHUSE_MAX): entries gain use on hits and
+	// the lowest-use entry in the probe window is ejected on a miss.
+	UseInit, UseInc, UseMax int
+}
+
+// DefaultParams mirrors the FreeBSD 4.x table the paper found "simply
+// too small": 15 slots, one probe.
+func DefaultParams() Params {
+	return Params{Slots: 15, Probes: 1, UseInit: 64, UseInc: 16, UseMax: 2048}
+}
+
+// ImprovedParams mirrors the paper's enlarged table with better hash
+// parameters (ejections unlikely while not full).
+func ImprovedParams() Params {
+	return Params{Slots: 64, Probes: 4, UseInit: 64, UseInc: 16, UseMax: 2048}
+}
+
+// LargeParams is a further-scaled table for ablations (modern servers
+// with many concurrently active files).
+func LargeParams() Params {
+	return Params{Slots: 1024, Probes: 8, UseInit: 64, UseInc: 16, UseMax: 2048}
+}
+
+// Entry is one table slot: a file handle plus its heuristic state.
+type Entry struct {
+	FH    uint64 // 0 means empty
+	Use   int
+	State readahead.State
+}
+
+// Stats aggregates table counters.
+type Stats struct {
+	Hits      int64 // lookups that found the handle resident
+	Misses    int64 // lookups that had to (re)install the handle
+	Ejections int64 // installs that evicted another live handle
+}
+
+// Table is the nfsheur cache.
+type Table struct {
+	params Params
+	slots  []Entry
+	stats  Stats
+}
+
+// New returns an empty table with the given parameters.
+func New(p Params) *Table {
+	if p.Slots < 1 {
+		p.Slots = 1
+	}
+	if p.Probes < 1 {
+		p.Probes = 1
+	}
+	if p.Probes > p.Slots {
+		p.Probes = p.Slots
+	}
+	return &Table{params: p, slots: make([]Entry, p.Slots)}
+}
+
+// Params returns the table's configuration.
+func (t *Table) Params() Params { return t.params }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// hash mixes the file handle with FNV-1a and reduces it to a slot.
+func (t *Table) hash(fh uint64) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (fh >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return int(h % uint64(t.params.Slots))
+}
+
+// Lookup returns the entry for fh, installing it if absent. found
+// reports whether the handle was already resident; when false the
+// returned entry has freshly Reset state (any prior sequentiality
+// knowledge about this file is gone — the failure mode the paper
+// diagnoses). The returned pointer is valid until the next Lookup.
+func (t *Table) Lookup(fh uint64) (e *Entry, found bool) {
+	if fh == 0 {
+		panic("nfsheur: zero file handle")
+	}
+	h := t.hash(fh)
+	victim := -1
+	for i := 0; i < t.params.Probes; i++ {
+		idx := (h + i) % t.params.Slots
+		s := &t.slots[idx]
+		if s.FH == fh {
+			t.stats.Hits++
+			s.Use += t.params.UseInc
+			if s.Use > t.params.UseMax {
+				s.Use = t.params.UseMax
+			}
+			return s, true
+		}
+		if victim == -1 || t.slots[idx].Use < t.slots[victim].Use {
+			victim = idx
+		}
+		// Decay: probing past an entry costs it standing, so stale
+		// entries age out (FreeBSD decays nh_use similarly).
+		if s.FH != 0 {
+			s.Use--
+			if s.Use < 0 {
+				s.Use = 0
+			}
+		}
+	}
+	t.stats.Misses++
+	v := &t.slots[victim]
+	if v.FH != 0 {
+		t.stats.Ejections++
+	}
+	v.FH = fh
+	v.Use = t.params.UseInit
+	v.State.Reset()
+	return v, false
+}
+
+// Contains reports whether fh is resident without disturbing the table.
+func (t *Table) Contains(fh uint64) bool {
+	h := t.hash(fh)
+	for i := 0; i < t.params.Probes; i++ {
+		if t.slots[(h+i)%t.params.Slots].FH == fh {
+			return true
+		}
+	}
+	return false
+}
+
+// Active counts non-empty slots.
+func (t *Table) Active() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].FH != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush empties the table.
+func (t *Table) Flush() {
+	for i := range t.slots {
+		t.slots[i] = Entry{}
+	}
+}

@@ -1,0 +1,228 @@
+package nfsheur
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nfstricks/internal/readahead"
+)
+
+func TestLookupInstallsAndFinds(t *testing.T) {
+	tbl := New(ImprovedParams())
+	e, found := tbl.Lookup(42)
+	if found {
+		t.Fatal("fresh table claims handle resident")
+	}
+	if e.State.SeqCount != 1 {
+		t.Fatalf("new entry seqcount = %d, want 1", e.State.SeqCount)
+	}
+	e.State.SeqCount = 99
+	e2, found := tbl.Lookup(42)
+	if !found {
+		t.Fatal("installed handle not found")
+	}
+	if e2.State.SeqCount != 99 {
+		t.Fatalf("state not preserved: %d", e2.State.SeqCount)
+	}
+}
+
+func TestZeroHandlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero handle accepted")
+		}
+	}()
+	New(DefaultParams()).Lookup(0)
+}
+
+func TestEjectionLosesState(t *testing.T) {
+	// One-slot table: two handles must eject each other, and re-lookup
+	// must observe reset state — the paper's "when a file is ejected
+	// from the table, all of the information used to compute its
+	// sequentiality metric is lost" (§6.3).
+	tbl := New(Params{Slots: 1, Probes: 1, UseInit: 64, UseInc: 16, UseMax: 2048})
+	e, _ := tbl.Lookup(1)
+	e.State.SeqCount = 77
+	tbl.Lookup(2)
+	e, found := tbl.Lookup(1)
+	if found {
+		t.Fatal("handle survived ejection in a 1-slot table")
+	}
+	if e.State.SeqCount != 77 && e.State.SeqCount != 1 {
+		t.Fatalf("unexpected seqcount %d", e.State.SeqCount)
+	}
+	if e.State.SeqCount != 1 {
+		t.Fatalf("reinstalled entry kept stale seqcount %d", e.State.SeqCount)
+	}
+	if tbl.Stats().Ejections < 2 {
+		t.Fatalf("ejections = %d, want >= 2", tbl.Stats().Ejections)
+	}
+}
+
+func TestDefaultTableThrashesUnderPaperWorkload(t *testing.T) {
+	// 32 concurrently active files against the FreeBSD 4.x table:
+	// interleaved accesses must cause steady ejections (the Figure 7
+	// failure mode).
+	tbl := New(DefaultParams())
+	for round := 0; round < 100; round++ {
+		for fh := uint64(1); fh <= 32; fh++ {
+			tbl.Lookup(fh)
+		}
+	}
+	st := tbl.Stats()
+	if st.Ejections == 0 {
+		t.Fatal("default table never ejected with 32 active files")
+	}
+	// Well over half the lookups after warmup should miss.
+	if st.Misses < st.Hits {
+		t.Fatalf("default table unexpectedly healthy: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}
+
+func TestImprovedTableHoldsPaperWorkload(t *testing.T) {
+	// The improved table must keep 32 interleaved handles resident:
+	// "with the new table implementation SlowDown matches the Always
+	// Read-ahead heuristic" because nothing is ejected.
+	tbl := New(ImprovedParams())
+	for fh := uint64(1); fh <= 32; fh++ {
+		tbl.Lookup(fh) // warm
+	}
+	st0 := tbl.Stats()
+	for round := 0; round < 100; round++ {
+		for fh := uint64(1); fh <= 32; fh++ {
+			tbl.Lookup(fh)
+		}
+	}
+	st := tbl.Stats()
+	missRate := float64(st.Misses-st0.Misses) / float64(3200)
+	if missRate > 0.05 {
+		t.Fatalf("improved table miss rate %.2f%% with 32 active files", missRate*100)
+	}
+}
+
+func TestImprovedBeatsDefaultAtEveryConcurrency(t *testing.T) {
+	missRate := func(p Params, files int) float64 {
+		tbl := New(p)
+		for fh := uint64(1); fh <= uint64(files); fh++ {
+			tbl.Lookup(fh)
+		}
+		before := tbl.Stats().Misses
+		const rounds = 200
+		for r := 0; r < rounds; r++ {
+			for fh := uint64(1); fh <= uint64(files); fh++ {
+				tbl.Lookup(fh)
+			}
+		}
+		return float64(tbl.Stats().Misses-before) / float64(rounds*files)
+	}
+	for _, files := range []int{8, 16, 32} {
+		def := missRate(DefaultParams(), files)
+		imp := missRate(ImprovedParams(), files)
+		if imp > def {
+			t.Errorf("%d files: improved miss rate %.3f > default %.3f", files, imp, def)
+		}
+	}
+	// And the default must degrade as concurrency rises.
+	if missRate(DefaultParams(), 32) <= missRate(DefaultParams(), 4) {
+		t.Error("default table does not degrade with concurrency")
+	}
+}
+
+func TestContainsDoesNotDisturb(t *testing.T) {
+	tbl := New(ImprovedParams())
+	tbl.Lookup(7)
+	h0 := tbl.Stats().Hits
+	if !tbl.Contains(7) {
+		t.Fatal("Contains(7) = false")
+	}
+	if tbl.Contains(8) {
+		t.Fatal("Contains(8) = true")
+	}
+	if tbl.Stats().Hits != h0 {
+		t.Fatal("Contains counted as a hit")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tbl := New(ImprovedParams())
+	tbl.Lookup(1)
+	tbl.Lookup(2)
+	if tbl.Active() != 2 {
+		t.Fatalf("Active = %d", tbl.Active())
+	}
+	tbl.Flush()
+	if tbl.Active() != 0 {
+		t.Fatalf("Active after flush = %d", tbl.Active())
+	}
+}
+
+func TestParamsClamping(t *testing.T) {
+	tbl := New(Params{Slots: 0, Probes: 0})
+	if tbl.Params().Slots != 1 || tbl.Params().Probes != 1 {
+		t.Fatalf("params not clamped: %+v", tbl.Params())
+	}
+	tbl = New(Params{Slots: 2, Probes: 10})
+	if tbl.Params().Probes != 2 {
+		t.Fatalf("probes not clamped to slots: %+v", tbl.Params())
+	}
+}
+
+// Property: a handle just returned by Lookup is always resident, and a
+// second Lookup returns the same state.
+func TestLookupIdempotentProperty(t *testing.T) {
+	f := func(fhs []uint64) bool {
+		tbl := New(ImprovedParams())
+		for _, fh := range fhs {
+			if fh == 0 {
+				continue
+			}
+			e, _ := tbl.Lookup(fh)
+			e.State.SeqCount = int(fh % 100)
+			e2, found := tbl.Lookup(fh)
+			if !found || e2.State.SeqCount != int(fh%100) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Active never exceeds Slots and ejections only happen when a
+// probe window is saturated.
+func TestActiveBoundedProperty(t *testing.T) {
+	f := func(fhs []uint64, slots, probes uint8) bool {
+		p := Params{
+			Slots:   int(slots%32) + 1,
+			Probes:  int(probes%8) + 1,
+			UseInit: 64, UseInc: 16, UseMax: 2048,
+		}
+		tbl := New(p)
+		for _, fh := range fhs {
+			if fh != 0 {
+				tbl.Lookup(fh)
+			}
+		}
+		return tbl.Active() <= tbl.Params().Slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The heuristics and the table compose: state survives via the table for
+// resident handles.
+func TestTableHeuristicIntegration(t *testing.T) {
+	tbl := New(ImprovedParams())
+	h := readahead.SlowDown{}
+	var last int
+	for i := 0; i < 20; i++ {
+		e, _ := tbl.Lookup(99)
+		last = h.Update(&e.State, uint64(i*8192), 8192)
+	}
+	if last < 20 {
+		t.Fatalf("seqcount through table = %d, want >= 20", last)
+	}
+}

@@ -1,0 +1,671 @@
+// Package nfsproto defines the NFS version 3 (RFC 1813) message subset
+// the reproduction needs: GETATTR, LOOKUP, ACCESS, READ, WRITE, CREATE
+// and FSSTAT, with real XDR wire encodings. Each message also reports
+// its exact wire size without marshalling, which lets the simulator
+// move typed messages around while charging the network for the true
+// byte counts (a property verified by tests).
+package nfsproto
+
+import (
+	"fmt"
+
+	"nfstricks/internal/xdr"
+)
+
+// Program and version numbers (RFC 1813).
+const (
+	Program  = 100003
+	Version3 = 3
+)
+
+// Procedure numbers.
+const (
+	ProcNull    = 0
+	ProcGetattr = 1
+	ProcLookup  = 3
+	ProcAccess  = 4
+	ProcRead    = 6
+	ProcWrite   = 7
+	ProcCreate  = 8
+	ProcFsstat  = 18
+)
+
+// Status codes (nfsstat3).
+const (
+	OK       = 0
+	ErrPerm  = 1
+	ErrNoEnt = 2
+	ErrIO    = 5
+	ErrExist = 17
+	ErrFBig  = 27
+	ErrNoSpc = 28
+	ErrStale = 70
+)
+
+// MaxData is the largest READ/WRITE payload supported (rsize/wsize era
+// value; the paper's workloads use 8 KB requests).
+const MaxData = 32 * 1024
+
+// MaxName bounds path component lengths.
+const MaxName = 255
+
+// FH is a file handle. NFS3 handles are variable-length opaques up to
+// 64 bytes; this implementation uses a fixed 8-byte payload.
+type FH uint64
+
+const fhWireBytes = 8
+
+func encodeFH(e *xdr.Encoder, fh FH) {
+	var b [fhWireBytes]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(fh >> (8 * (7 - i)))
+	}
+	e.Opaque(b[:])
+}
+
+func decodeFH(d *xdr.Decoder) FH {
+	b := d.Opaque(64)
+	if len(b) != fhWireBytes {
+		return 0
+	}
+	var fh FH
+	for i := 0; i < 8; i++ {
+		fh = fh<<8 | FH(b[i])
+	}
+	return fh
+}
+
+// fhWireSize is the encoded size of an FH (length word + 8 bytes).
+const fhWireSize = 4 + fhWireBytes
+
+// File types (ftype3).
+const (
+	TypeReg = 1
+	TypeDir = 2
+)
+
+// Fattr is fattr3: the per-object attribute block (84 bytes on the
+// wire).
+type Fattr struct {
+	Type   uint32
+	Mode   uint32
+	Nlink  uint32
+	UID    uint32
+	GID    uint32
+	Size   uint64
+	Used   uint64
+	Rdev   uint64
+	FSID   uint64
+	FileID uint64
+	Atime  uint64 // seconds<<32 | nseconds
+	Mtime  uint64
+	Ctime  uint64
+}
+
+// fattrWireSize is the fixed encoded size of fattr3.
+const fattrWireSize = 84
+
+func (a *Fattr) encode(e *xdr.Encoder) {
+	e.Uint32(a.Type)
+	e.Uint32(a.Mode)
+	e.Uint32(a.Nlink)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint64(a.Size)
+	e.Uint64(a.Used)
+	e.Uint64(a.Rdev)
+	e.Uint64(a.FSID)
+	e.Uint64(a.FileID)
+	e.Uint64(a.Atime)
+	e.Uint64(a.Mtime)
+	e.Uint64(a.Ctime)
+}
+
+func decodeFattr(d *xdr.Decoder) Fattr {
+	return Fattr{
+		Type: d.Uint32(), Mode: d.Uint32(), Nlink: d.Uint32(),
+		UID: d.Uint32(), GID: d.Uint32(),
+		Size: d.Uint64(), Used: d.Uint64(), Rdev: d.Uint64(),
+		FSID: d.Uint64(), FileID: d.Uint64(),
+		Atime: d.Uint64(), Mtime: d.Uint64(), Ctime: d.Uint64(),
+	}
+}
+
+// post-op attributes: bool + optional fattr3.
+func encodePostOpAttr(e *xdr.Encoder, a *Fattr) {
+	if a == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	a.encode(e)
+}
+
+func decodePostOpAttr(d *xdr.Decoder) *Fattr {
+	if !d.Bool() {
+		return nil
+	}
+	a := decodeFattr(d)
+	return &a
+}
+
+func postOpAttrSize(a *Fattr) int {
+	if a == nil {
+		return 4
+	}
+	return 4 + fattrWireSize
+}
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// ReadArgs is READ3args.
+type ReadArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+}
+
+// Marshal encodes the arguments.
+func (r *ReadArgs) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.WireSize()))
+	encodeFH(e, r.FH)
+	e.Uint64(r.Offset)
+	e.Uint32(r.Count)
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (r *ReadArgs) WireSize() int { return fhWireSize + 8 + 4 }
+
+// UnmarshalReadArgs decodes READ3args.
+func UnmarshalReadArgs(b []byte) (*ReadArgs, error) {
+	d := xdr.NewDecoder(b)
+	r := &ReadArgs{FH: decodeFH(d), Offset: d.Uint64(), Count: d.Uint32()}
+	return r, d.Err()
+}
+
+// ReadRes is READ3res.
+type ReadRes struct {
+	Status uint32
+	Attrs  *Fattr
+	Count  uint32
+	EOF    bool
+	Data   []byte
+	// DataLen is used in place of len(Data) when Data is nil — the
+	// simulator's way of charging for payload bytes it does not carry.
+	DataLen uint32
+}
+
+func (r *ReadRes) dataLen() int {
+	if r.Data != nil {
+		return len(r.Data)
+	}
+	return int(r.DataLen)
+}
+
+// Marshal encodes the result. When Data is nil but DataLen is set, the
+// payload is zero-filled (used only by tests; the live server always
+// carries real data).
+func (r *ReadRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.WireSize()))
+	e.Uint32(r.Status)
+	encodePostOpAttr(e, r.Attrs)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Bool(r.EOF)
+		if r.Data != nil {
+			e.Opaque(r.Data)
+		} else {
+			e.Uint32(r.DataLen)
+			e.FixedOpaque(make([]byte, r.DataLen))
+		}
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (r *ReadRes) WireSize() int {
+	n := 4 + postOpAttrSize(r.Attrs)
+	if r.Status == OK {
+		n += 4 + 4 + 4 + pad4(r.dataLen())
+	}
+	return n
+}
+
+// UnmarshalReadRes decodes READ3res.
+func UnmarshalReadRes(b []byte) (*ReadRes, error) {
+	d := xdr.NewDecoder(b)
+	r := &ReadRes{Status: d.Uint32(), Attrs: decodePostOpAttr(d)}
+	if r.Status == OK {
+		r.Count = d.Uint32()
+		r.EOF = d.Bool()
+		r.Data = d.Opaque(MaxData)
+		r.DataLen = uint32(len(r.Data))
+	}
+	return r, d.Err()
+}
+
+// Write stability levels.
+const (
+	WriteUnstable = 0
+	WriteDataSync = 1
+	WriteFileSync = 2
+)
+
+// WriteArgs is WRITE3args.
+type WriteArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+	Stable uint32
+	Data   []byte
+	// DataLen substitutes for len(Data) in the simulator (see ReadRes).
+	DataLen uint32
+}
+
+func (w *WriteArgs) dataLen() int {
+	if w.Data != nil {
+		return len(w.Data)
+	}
+	return int(w.DataLen)
+}
+
+// Marshal encodes the arguments.
+func (w *WriteArgs) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, w.WireSize()))
+	encodeFH(e, w.FH)
+	e.Uint64(w.Offset)
+	e.Uint32(w.Count)
+	e.Uint32(w.Stable)
+	if w.Data != nil {
+		e.Opaque(w.Data)
+	} else {
+		e.Uint32(w.DataLen)
+		e.FixedOpaque(make([]byte, w.DataLen))
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (w *WriteArgs) WireSize() int {
+	return fhWireSize + 8 + 4 + 4 + 4 + pad4(w.dataLen())
+}
+
+// UnmarshalWriteArgs decodes WRITE3args.
+func UnmarshalWriteArgs(b []byte) (*WriteArgs, error) {
+	d := xdr.NewDecoder(b)
+	w := &WriteArgs{FH: decodeFH(d), Offset: d.Uint64(), Count: d.Uint32(), Stable: d.Uint32()}
+	w.Data = d.Opaque(MaxData)
+	w.DataLen = uint32(len(w.Data))
+	return w, d.Err()
+}
+
+// WriteRes is WRITE3res (wcc_data reduced to post-op attributes).
+type WriteRes struct {
+	Status    uint32
+	Attrs     *Fattr
+	Count     uint32
+	Committed uint32
+}
+
+// Marshal encodes the result.
+func (w *WriteRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, w.WireSize()))
+	e.Uint32(w.Status)
+	encodePostOpAttr(e, w.Attrs)
+	if w.Status == OK {
+		e.Uint32(w.Count)
+		e.Uint32(w.Committed)
+		e.Uint64(0) // write verifier
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (w *WriteRes) WireSize() int {
+	n := 4 + postOpAttrSize(w.Attrs)
+	if w.Status == OK {
+		n += 4 + 4 + 8
+	}
+	return n
+}
+
+// UnmarshalWriteRes decodes WRITE3res.
+func UnmarshalWriteRes(b []byte) (*WriteRes, error) {
+	d := xdr.NewDecoder(b)
+	w := &WriteRes{Status: d.Uint32(), Attrs: decodePostOpAttr(d)}
+	if w.Status == OK {
+		w.Count = d.Uint32()
+		w.Committed = d.Uint32()
+		d.Uint64()
+	}
+	return w, d.Err()
+}
+
+// LookupArgs is LOOKUP3args.
+type LookupArgs struct {
+	Dir  FH
+	Name string
+}
+
+// Marshal encodes the arguments.
+func (l *LookupArgs) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, l.WireSize()))
+	encodeFH(e, l.Dir)
+	e.String(l.Name)
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (l *LookupArgs) WireSize() int { return fhWireSize + 4 + pad4(len(l.Name)) }
+
+// UnmarshalLookupArgs decodes LOOKUP3args.
+func UnmarshalLookupArgs(b []byte) (*LookupArgs, error) {
+	d := xdr.NewDecoder(b)
+	l := &LookupArgs{Dir: decodeFH(d), Name: d.String(MaxName)}
+	return l, d.Err()
+}
+
+// LookupRes is LOOKUP3res.
+type LookupRes struct {
+	Status uint32
+	FH     FH
+	Attrs  *Fattr
+}
+
+// Marshal encodes the result.
+func (l *LookupRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, l.WireSize()))
+	e.Uint32(l.Status)
+	if l.Status == OK {
+		encodeFH(e, l.FH)
+		encodePostOpAttr(e, l.Attrs)
+	}
+	encodePostOpAttr(e, nil) // dir post-op attributes
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (l *LookupRes) WireSize() int {
+	n := 4
+	if l.Status == OK {
+		n += fhWireSize + postOpAttrSize(l.Attrs)
+	}
+	return n + 4
+}
+
+// UnmarshalLookupRes decodes LOOKUP3res.
+func UnmarshalLookupRes(b []byte) (*LookupRes, error) {
+	d := xdr.NewDecoder(b)
+	l := &LookupRes{Status: d.Uint32()}
+	if l.Status == OK {
+		l.FH = decodeFH(d)
+		l.Attrs = decodePostOpAttr(d)
+	}
+	decodePostOpAttr(d)
+	return l, d.Err()
+}
+
+// GetattrArgs is GETATTR3args.
+type GetattrArgs struct {
+	FH FH
+}
+
+// Marshal encodes the arguments.
+func (g *GetattrArgs) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, g.WireSize()))
+	encodeFH(e, g.FH)
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (g *GetattrArgs) WireSize() int { return fhWireSize }
+
+// UnmarshalGetattrArgs decodes GETATTR3args.
+func UnmarshalGetattrArgs(b []byte) (*GetattrArgs, error) {
+	d := xdr.NewDecoder(b)
+	g := &GetattrArgs{FH: decodeFH(d)}
+	return g, d.Err()
+}
+
+// GetattrRes is GETATTR3res.
+type GetattrRes struct {
+	Status uint32
+	Attrs  Fattr
+}
+
+// Marshal encodes the result.
+func (g *GetattrRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, g.WireSize()))
+	e.Uint32(g.Status)
+	if g.Status == OK {
+		g.Attrs.encode(e)
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (g *GetattrRes) WireSize() int {
+	if g.Status == OK {
+		return 4 + fattrWireSize
+	}
+	return 4
+}
+
+// UnmarshalGetattrRes decodes GETATTR3res.
+func UnmarshalGetattrRes(b []byte) (*GetattrRes, error) {
+	d := xdr.NewDecoder(b)
+	g := &GetattrRes{Status: d.Uint32()}
+	if g.Status == OK {
+		g.Attrs = decodeFattr(d)
+	}
+	return g, d.Err()
+}
+
+// AccessArgs is ACCESS3args.
+type AccessArgs struct {
+	FH     FH
+	Access uint32
+}
+
+// Marshal encodes the arguments.
+func (a *AccessArgs) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.WireSize()))
+	encodeFH(e, a.FH)
+	e.Uint32(a.Access)
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (a *AccessArgs) WireSize() int { return fhWireSize + 4 }
+
+// UnmarshalAccessArgs decodes ACCESS3args.
+func UnmarshalAccessArgs(b []byte) (*AccessArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &AccessArgs{FH: decodeFH(d), Access: d.Uint32()}
+	return a, d.Err()
+}
+
+// AccessRes is ACCESS3res.
+type AccessRes struct {
+	Status uint32
+	Attrs  *Fattr
+	Access uint32
+}
+
+// Marshal encodes the result.
+func (a *AccessRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.WireSize()))
+	e.Uint32(a.Status)
+	encodePostOpAttr(e, a.Attrs)
+	if a.Status == OK {
+		e.Uint32(a.Access)
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (a *AccessRes) WireSize() int {
+	n := 4 + postOpAttrSize(a.Attrs)
+	if a.Status == OK {
+		n += 4
+	}
+	return n
+}
+
+// UnmarshalAccessRes decodes ACCESS3res.
+func UnmarshalAccessRes(b []byte) (*AccessRes, error) {
+	d := xdr.NewDecoder(b)
+	a := &AccessRes{Status: d.Uint32(), Attrs: decodePostOpAttr(d)}
+	if a.Status == OK {
+		a.Access = d.Uint32()
+	}
+	return a, d.Err()
+}
+
+// CreateArgs is a reduced CREATE3args (unchecked mode, size attribute
+// only).
+type CreateArgs struct {
+	Dir  FH
+	Name string
+	Size uint64
+}
+
+// Marshal encodes the arguments.
+func (c *CreateArgs) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, c.WireSize()))
+	encodeFH(e, c.Dir)
+	e.String(c.Name)
+	e.Uint32(0) // createmode3 UNCHECKED
+	e.Bool(true)
+	e.Uint64(c.Size)
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (c *CreateArgs) WireSize() int {
+	return fhWireSize + 4 + pad4(len(c.Name)) + 4 + 4 + 8
+}
+
+// UnmarshalCreateArgs decodes CreateArgs.
+func UnmarshalCreateArgs(b []byte) (*CreateArgs, error) {
+	d := xdr.NewDecoder(b)
+	c := &CreateArgs{Dir: decodeFH(d), Name: d.String(MaxName)}
+	d.Uint32()
+	d.Bool()
+	c.Size = d.Uint64()
+	return c, d.Err()
+}
+
+// CreateRes is a reduced CREATE3res.
+type CreateRes struct {
+	Status uint32
+	FH     FH
+	Attrs  *Fattr
+}
+
+// Marshal encodes the result.
+func (c *CreateRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, c.WireSize()))
+	e.Uint32(c.Status)
+	if c.Status == OK {
+		e.Bool(true)
+		encodeFH(e, c.FH)
+		encodePostOpAttr(e, c.Attrs)
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (c *CreateRes) WireSize() int {
+	if c.Status == OK {
+		return 4 + 4 + fhWireSize + postOpAttrSize(c.Attrs)
+	}
+	return 4
+}
+
+// UnmarshalCreateRes decodes CreateRes.
+func UnmarshalCreateRes(b []byte) (*CreateRes, error) {
+	d := xdr.NewDecoder(b)
+	c := &CreateRes{Status: d.Uint32()}
+	if c.Status == OK {
+		d.Bool()
+		c.FH = decodeFH(d)
+		c.Attrs = decodePostOpAttr(d)
+	}
+	return c, d.Err()
+}
+
+// FsstatRes is a reduced FSSTAT3res.
+type FsstatRes struct {
+	Status uint32
+	Tbytes uint64
+	Fbytes uint64
+}
+
+// Marshal encodes the result.
+func (f *FsstatRes) Marshal() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, f.WireSize()))
+	e.Uint32(f.Status)
+	encodePostOpAttr(e, nil)
+	if f.Status == OK {
+		e.Uint64(f.Tbytes)
+		e.Uint64(f.Fbytes)
+		e.Uint64(f.Fbytes) // abytes
+		e.Uint64(0)        // tfiles
+		e.Uint64(0)        // ffiles
+		e.Uint64(0)        // afiles
+		e.Uint32(0)        // invarsec
+	}
+	return e.Bytes()
+}
+
+// WireSize reports the exact encoded size.
+func (f *FsstatRes) WireSize() int {
+	n := 4 + 4
+	if f.Status == OK {
+		n += 6*8 + 4
+	}
+	return n
+}
+
+// UnmarshalFsstatRes decodes FsstatRes.
+func UnmarshalFsstatRes(b []byte) (*FsstatRes, error) {
+	d := xdr.NewDecoder(b)
+	f := &FsstatRes{Status: d.Uint32()}
+	decodePostOpAttr(d)
+	if f.Status == OK {
+		f.Tbytes = d.Uint64()
+		f.Fbytes = d.Uint64()
+		d.Uint64()
+		d.Uint64()
+		d.Uint64()
+		d.Uint64()
+		d.Uint32()
+	}
+	return f, d.Err()
+}
+
+// ProcName returns a human-readable procedure name.
+func ProcName(proc uint32) string {
+	switch proc {
+	case ProcNull:
+		return "NULL"
+	case ProcGetattr:
+		return "GETATTR"
+	case ProcLookup:
+		return "LOOKUP"
+	case ProcAccess:
+		return "ACCESS"
+	case ProcRead:
+		return "READ"
+	case ProcWrite:
+		return "WRITE"
+	case ProcCreate:
+		return "CREATE"
+	case ProcFsstat:
+		return "FSSTAT"
+	default:
+		return fmt.Sprintf("PROC%d", proc)
+	}
+}

@@ -1,0 +1,253 @@
+package nfsproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleAttrs() *Fattr {
+	return &Fattr{Type: TypeReg, Mode: 0644, Nlink: 1, UID: 1000, GID: 1000,
+		Size: 1 << 28, Used: 1 << 28, FSID: 7, FileID: 42}
+}
+
+func TestReadArgsRoundTrip(t *testing.T) {
+	a := &ReadArgs{FH: 0x1122334455667788, Offset: 1 << 33, Count: 8192}
+	b := a.Marshal()
+	if len(b) != a.WireSize() {
+		t.Fatalf("wire size %d != marshalled %d", a.WireSize(), len(b))
+	}
+	got, err := UnmarshalReadArgs(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadResRoundTrip(t *testing.T) {
+	r := &ReadRes{Status: OK, Attrs: sampleAttrs(), Count: 5, EOF: true,
+		Data: []byte{1, 2, 3, 4, 5}}
+	b := r.Marshal()
+	if len(b) != r.WireSize() {
+		t.Fatalf("wire size %d != marshalled %d", r.WireSize(), len(b))
+	}
+	got, err := UnmarshalReadRes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != OK || got.Count != 5 || !got.EOF || !bytes.Equal(got.Data, r.Data) {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Attrs == nil || got.Attrs.Size != r.Attrs.Size {
+		t.Fatalf("attrs lost: %+v", got.Attrs)
+	}
+}
+
+func TestReadResErrorOmitsPayload(t *testing.T) {
+	r := &ReadRes{Status: ErrStale}
+	b := r.Marshal()
+	if len(b) != r.WireSize() || len(b) != 8 {
+		t.Fatalf("error reply size = %d (wire %d), want 8", len(b), r.WireSize())
+	}
+	got, err := UnmarshalReadRes(b)
+	if err != nil || got.Status != ErrStale {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestReadResSimulatedPayloadSize(t *testing.T) {
+	// The simulator sets DataLen without carrying bytes; the wire size
+	// must match a real payload of that length.
+	withData := &ReadRes{Status: OK, Attrs: sampleAttrs(), Count: 8192,
+		Data: make([]byte, 8192)}
+	simulated := &ReadRes{Status: OK, Attrs: sampleAttrs(), Count: 8192,
+		DataLen: 8192}
+	if withData.WireSize() != simulated.WireSize() {
+		t.Fatalf("simulated size %d != real size %d",
+			simulated.WireSize(), withData.WireSize())
+	}
+	if len(simulated.Marshal()) != simulated.WireSize() {
+		t.Fatal("simulated marshal length mismatch")
+	}
+}
+
+func TestWriteArgsRoundTrip(t *testing.T) {
+	w := &WriteArgs{FH: 3, Offset: 8192, Count: 4, Stable: WriteFileSync,
+		Data: []byte{9, 8, 7, 6}}
+	b := w.Marshal()
+	if len(b) != w.WireSize() {
+		t.Fatalf("wire size %d != marshalled %d", w.WireSize(), len(b))
+	}
+	got, err := UnmarshalWriteArgs(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FH != 3 || got.Offset != 8192 || got.Stable != WriteFileSync ||
+		!bytes.Equal(got.Data, w.Data) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	a := &LookupArgs{Dir: 1, Name: "f256m"}
+	b := a.Marshal()
+	if len(b) != a.WireSize() {
+		t.Fatalf("args wire size %d != %d", a.WireSize(), len(b))
+	}
+	gotA, err := UnmarshalLookupArgs(b)
+	if err != nil || gotA.Name != "f256m" || gotA.Dir != 1 {
+		t.Fatalf("args %+v err %v", gotA, err)
+	}
+
+	r := &LookupRes{Status: OK, FH: 55, Attrs: sampleAttrs()}
+	rb := r.Marshal()
+	if len(rb) != r.WireSize() {
+		t.Fatalf("res wire size %d != %d", r.WireSize(), len(rb))
+	}
+	gotR, err := UnmarshalLookupRes(rb)
+	if err != nil || gotR.FH != 55 {
+		t.Fatalf("res %+v err %v", gotR, err)
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	r := &LookupRes{Status: ErrNoEnt}
+	got, err := UnmarshalLookupRes(r.Marshal())
+	if err != nil || got.Status != ErrNoEnt || got.FH != 0 {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestGetattrRoundTrip(t *testing.T) {
+	a := &GetattrArgs{FH: 12345}
+	got, err := UnmarshalGetattrArgs(a.Marshal())
+	if err != nil || got.FH != 12345 {
+		t.Fatalf("args %+v err %v", got, err)
+	}
+	r := &GetattrRes{Status: OK, Attrs: *sampleAttrs()}
+	b := r.Marshal()
+	if len(b) != r.WireSize() {
+		t.Fatalf("res wire size %d != %d", r.WireSize(), len(b))
+	}
+	gotR, err := UnmarshalGetattrRes(b)
+	if err != nil || gotR.Attrs.FileID != 42 {
+		t.Fatalf("res %+v err %v", gotR, err)
+	}
+}
+
+func TestAccessRoundTrip(t *testing.T) {
+	a := &AccessArgs{FH: 9, Access: 0x3f}
+	got, err := UnmarshalAccessArgs(a.Marshal())
+	if err != nil || got.Access != 0x3f {
+		t.Fatalf("%+v err %v", got, err)
+	}
+	r := &AccessRes{Status: OK, Attrs: sampleAttrs(), Access: 0x1f}
+	b := r.Marshal()
+	if len(b) != r.WireSize() {
+		t.Fatalf("wire size %d != %d", r.WireSize(), len(b))
+	}
+	gotR, err := UnmarshalAccessRes(b)
+	if err != nil || gotR.Access != 0x1f {
+		t.Fatalf("%+v err %v", gotR, err)
+	}
+}
+
+func TestCreateRoundTrip(t *testing.T) {
+	c := &CreateArgs{Dir: 1, Name: "newfile", Size: 1 << 20}
+	b := c.Marshal()
+	if len(b) != c.WireSize() {
+		t.Fatalf("wire size %d != %d", c.WireSize(), len(b))
+	}
+	got, err := UnmarshalCreateArgs(b)
+	if err != nil || got.Name != "newfile" || got.Size != 1<<20 {
+		t.Fatalf("%+v err %v", got, err)
+	}
+	r := &CreateRes{Status: OK, FH: 77, Attrs: sampleAttrs()}
+	rb := r.Marshal()
+	if len(rb) != r.WireSize() {
+		t.Fatalf("res wire size %d != %d", r.WireSize(), len(rb))
+	}
+	gotR, err := UnmarshalCreateRes(rb)
+	if err != nil || gotR.FH != 77 {
+		t.Fatalf("%+v err %v", gotR, err)
+	}
+}
+
+func TestFsstatRoundTrip(t *testing.T) {
+	r := &FsstatRes{Status: OK, Tbytes: 1 << 34, Fbytes: 1 << 33}
+	b := r.Marshal()
+	if len(b) != r.WireSize() {
+		t.Fatalf("wire size %d != %d", r.WireSize(), len(b))
+	}
+	got, err := UnmarshalFsstatRes(b)
+	if err != nil || got.Tbytes != 1<<34 {
+		t.Fatalf("%+v err %v", got, err)
+	}
+}
+
+func TestFHRoundTripProperty(t *testing.T) {
+	f := func(fh uint64) bool {
+		a := &ReadArgs{FH: FH(fh), Offset: 0, Count: 1}
+		got, err := UnmarshalReadArgs(a.Marshal())
+		return err == nil && got.FH == FH(fh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WireSize always equals the marshalled length, across all
+// message types and arbitrary field values. The simulator depends on
+// this to charge the network for exact byte counts.
+func TestWireSizeMatchesMarshalProperty(t *testing.T) {
+	f := func(fh uint64, off uint64, n uint16, name string, ok bool, withAttrs bool) bool {
+		if len(name) > MaxName {
+			return true
+		}
+		status := uint32(OK)
+		if !ok {
+			status = ErrIO
+		}
+		var attrs *Fattr
+		if withAttrs {
+			attrs = sampleAttrs()
+		}
+		data := make([]byte, int(n)%MaxData)
+		msgs := []interface {
+			Marshal() []byte
+			WireSize() int
+		}{
+			&ReadArgs{FH: FH(fh), Offset: off, Count: uint32(n)},
+			&ReadRes{Status: status, Attrs: attrs, Count: uint32(len(data)), Data: data},
+			&ReadRes{Status: status, Attrs: attrs, Count: uint32(len(data)), DataLen: uint32(len(data))},
+			&WriteArgs{FH: FH(fh), Offset: off, Count: uint32(len(data)), Data: data},
+			&WriteRes{Status: status, Attrs: attrs, Count: uint32(n)},
+			&LookupArgs{Dir: FH(fh), Name: name},
+			&LookupRes{Status: status, FH: FH(fh), Attrs: attrs},
+			&GetattrArgs{FH: FH(fh)},
+			&GetattrRes{Status: status},
+			&AccessArgs{FH: FH(fh), Access: uint32(n)},
+			&AccessRes{Status: status, Attrs: attrs, Access: 7},
+			&CreateArgs{Dir: FH(fh), Name: name, Size: off},
+			&CreateRes{Status: status, FH: FH(fh), Attrs: attrs},
+			&FsstatRes{Status: status, Tbytes: off},
+		}
+		for _, m := range msgs {
+			if len(m.Marshal()) != m.WireSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcName(t *testing.T) {
+	if ProcName(ProcRead) != "READ" || ProcName(999) != "PROC999" {
+		t.Fatal("ProcName broken")
+	}
+}

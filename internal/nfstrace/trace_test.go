@@ -1,0 +1,207 @@
+package nfstrace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const readProc = 6
+
+func readRec(fh, block uint64) Record {
+	return Record{Proc: readProc, FH: fh, Offset: block * 8192, Count: 8192}
+}
+
+func TestTracerUnlimited(t *testing.T) {
+	var tr Tracer
+	for i := 0; i < 100; i++ {
+		tr.Add(readRec(1, uint64(i)))
+	}
+	if tr.Total() != 100 || len(tr.Records()) != 100 {
+		t.Fatalf("total=%d len=%d", tr.Total(), len(tr.Records()))
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := Tracer{Limit: 10}
+	for i := 0; i < 25; i++ {
+		tr.Add(readRec(1, uint64(i)))
+	}
+	recs := tr.Records()
+	if len(recs) != 10 || tr.Total() != 25 {
+		t.Fatalf("len=%d total=%d", len(recs), tr.Total())
+	}
+	// Must retain the most recent 10, in arrival order.
+	for i, r := range recs {
+		if want := uint64(15 + i); r.Offset != want*8192 {
+			t.Fatalf("recs[%d].Offset = %d, want block %d", i, r.Offset, want)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := Tracer{Limit: 4}
+	for i := 0; i < 8; i++ {
+		tr.Add(readRec(1, uint64(i)))
+	}
+	tr.Reset()
+	if tr.Total() != 0 || len(tr.Records()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	tr.Add(readRec(1, 0))
+	if len(tr.Records()) != 1 {
+		t.Fatal("tracer unusable after reset")
+	}
+}
+
+func TestAnalyzeSequential(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, readRec(1, uint64(i)))
+	}
+	a := Analyze(recs, readProc)
+	if a.Reads != 50 || a.Files != 1 {
+		t.Fatalf("reads=%d files=%d", a.Reads, a.Files)
+	}
+	if a.Reordered != 0 || a.ReorderFrac != 0 {
+		t.Fatalf("sequential trace shows reordering: %+v", a)
+	}
+	if a.SequentialFrac < 0.9 {
+		t.Fatalf("sequential fraction = %.2f", a.SequentialFrac)
+	}
+	if a.MeanRunBlocks < 40 {
+		t.Fatalf("mean run = %.1f for one 50-block run", a.MeanRunBlocks)
+	}
+}
+
+func TestAnalyzeDetectsSwaps(t *testing.T) {
+	// Blocks 0,1,3,2,4,5: one swap = one regression.
+	var recs []Record
+	for _, b := range []uint64{0, 1, 3, 2, 4, 5} {
+		recs = append(recs, readRec(1, b))
+	}
+	a := Analyze(recs, readProc)
+	if a.Reordered != 1 {
+		t.Fatalf("reordered = %d, want 1", a.Reordered)
+	}
+	if a.ReorderFrac < 0.15 || a.ReorderFrac > 0.18 {
+		t.Fatalf("reorder frac = %.3f, want 1/6", a.ReorderFrac)
+	}
+}
+
+func TestAnalyzePerFileIndependence(t *testing.T) {
+	// Interleaved reads of two files, each internally sequential: no
+	// reordering should be charged.
+	var recs []Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, readRec(1, uint64(i)))
+		recs = append(recs, readRec(2, uint64(i)))
+	}
+	a := Analyze(recs, readProc)
+	if a.Files != 2 || a.Reordered != 0 {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestAnalyzeIgnoresNonReads(t *testing.T) {
+	recs := []Record{
+		{Proc: 1, FH: 1},
+		readRec(1, 0),
+		{Proc: 4, FH: 1},
+		readRec(1, 1),
+	}
+	a := Analyze(recs, readProc)
+	if a.Reads != 2 {
+		t.Fatalf("reads = %d, want 2", a.Reads)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil, readProc)
+	if a.Reads != 0 || a.ReorderFrac != 0 {
+		t.Fatalf("%+v", a)
+	}
+	if !strings.Contains(a.String(), "reads=0") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestOpMixAndFormat(t *testing.T) {
+	recs := []Record{
+		{Proc: 6}, {Proc: 6}, {Proc: 6},
+		{Proc: 1}, {Proc: 4},
+	}
+	mix := OpMix(recs)
+	if mix[6] != 3 || mix[1] != 1 {
+		t.Fatalf("mix = %v", mix)
+	}
+	out := FormatOpMix(mix, func(p uint32) string {
+		return map[uint32]string{6: "READ", 1: "GETATTR", 4: "ACCESS"}[p]
+	})
+	if !strings.HasPrefix(out, "READ:3") {
+		t.Fatalf("FormatOpMix = %q", out)
+	}
+}
+
+func TestInterarrival(t *testing.T) {
+	recs := []Record{
+		{When: 0}, {When: 10 * time.Millisecond}, {When: 40 * time.Millisecond},
+	}
+	mean, max := InterarrivalStats(recs)
+	if mean != 20*time.Millisecond || max != 30*time.Millisecond {
+		t.Fatalf("mean=%v max=%v", mean, max)
+	}
+	if m, x := InterarrivalStats(recs[:1]); m != 0 || x != 0 {
+		t.Fatal("single-record stats nonzero")
+	}
+}
+
+// Property: ReorderFrac is 0 for any per-file monotone trace and always
+// within [0, 1].
+func TestAnalyzeProperties(t *testing.T) {
+	f := func(blocks []uint8, twoFiles bool) bool {
+		var recs []Record
+		next := map[uint64]uint64{}
+		for i, b := range blocks {
+			fh := uint64(1)
+			if twoFiles && i%2 == 0 {
+				fh = 2
+			}
+			_ = b
+			recs = append(recs, readRec(fh, next[fh]))
+			next[fh]++
+		}
+		a := Analyze(recs, readProc)
+		return a.Reordered == 0 && a.ReorderFrac >= 0 && a.ReorderFrac <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ring buffer always returns at most Limit records and
+// the newest record is always retained.
+func TestTracerRingProperty(t *testing.T) {
+	f := func(n uint8, limit uint8) bool {
+		lim := int(limit%16) + 1
+		tr := Tracer{Limit: lim}
+		for i := 0; i < int(n); i++ {
+			tr.Add(readRec(1, uint64(i)))
+		}
+		recs := tr.Records()
+		if len(recs) > lim {
+			return false
+		}
+		if n > 0 {
+			last := recs[len(recs)-1]
+			if last.Offset != uint64(n-1)*8192 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package readahead
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const blk = 8192 // NFS block size used throughout the paper
+
+func seqRead(h Heuristic, s *State, n int) int {
+	last := 0
+	for i := 0; i < n; i++ {
+		last = h.Update(s, uint64(i*blk), blk)
+	}
+	return last
+}
+
+func TestDefaultGrowsOnSequential(t *testing.T) {
+	var s State
+	s.Reset()
+	got := seqRead(Default{}, &s, 10)
+	// Starts at 1, +1 per matching read after the first.
+	if got < 10 {
+		t.Fatalf("seqcount after 10 sequential reads = %d, want >= 10", got)
+	}
+}
+
+func TestDefaultCapsAtSeqMax(t *testing.T) {
+	var s State
+	s.Reset()
+	got := seqRead(Default{}, &s, 500)
+	if got != SeqMax {
+		t.Fatalf("seqcount = %d, want cap %d", got, SeqMax)
+	}
+}
+
+func TestDefaultResetsOnAnyReorder(t *testing.T) {
+	var s State
+	s.Reset()
+	seqRead(Default{}, &s, 20)
+	// One request a single block out of order: paper §1 — "read-ahead
+	// can be disabled by a small percentage of out-of-order requests".
+	got := Default{}.Update(&s, 21*blk, blk) // skipped block 20
+	if got != 1 {
+		t.Fatalf("default after 8KB jitter = %d, want reset to 1", got)
+	}
+}
+
+func TestSlowDownToleratesJitter(t *testing.T) {
+	var s State
+	s.Reset()
+	seqRead(SlowDown{}, &s, 20)
+	before := s.SeqCount
+	// A swap of two adjacent requests: 21 arrives before 20.
+	c1 := (SlowDown{}).Update(&s, 21*blk, blk)
+	if c1 != before {
+		t.Fatalf("slowdown changed count on +8KB jitter: %d -> %d", before, c1)
+	}
+	c2 := (SlowDown{}).Update(&s, 20*blk, blk)
+	if c2 < before {
+		t.Fatalf("slowdown dropped count on the late half of a swap: %d", c2)
+	}
+	// Stream re-synchronizes and keeps growing.
+	c3 := (SlowDown{}).Update(&s, 22*blk, blk)
+	if c3 < before {
+		t.Fatalf("slowdown failed to resync after swap: %d < %d", c3, before)
+	}
+}
+
+func TestSlowDownHalvesOnBigJump(t *testing.T) {
+	var s State
+	s.Reset()
+	seqRead(SlowDown{}, &s, 64) // count 64
+	before := s.SeqCount
+	got := (SlowDown{}).Update(&s, 1000*blk, blk) // >64KB away
+	if got != before/2 {
+		t.Fatalf("slowdown after big jump = %d, want %d", got, before/2)
+	}
+}
+
+func TestSlowDownRandomPatternDecaysQuickly(t *testing.T) {
+	// "if the access pattern is truly random, it will quickly disable
+	// read-ahead" (§6.2): repeated halving chops the count to 1.
+	var s State
+	s.Reset()
+	seqRead(SlowDown{}, &s, 127)
+	rng := rand.New(rand.NewSource(7))
+	h := SlowDown{}
+	count := SeqMax
+	for i := 0; i < 10; i++ {
+		off := uint64(rng.Intn(1<<20)) * blk * 100
+		count = h.Update(&s, off, blk)
+	}
+	if count > 1 {
+		t.Fatalf("slowdown after 10 random reads = %d, want 1", count)
+	}
+}
+
+func TestSlowDownNeverBelowOne(t *testing.T) {
+	var s State
+	s.Reset()
+	h := SlowDown{}
+	for i := 0; i < 20; i++ {
+		if got := h.Update(&s, uint64(i)*1<<30, blk); got < 1 {
+			t.Fatalf("slowdown count fell below 1: %d", got)
+		}
+	}
+}
+
+func TestAlwaysIsConstant(t *testing.T) {
+	var s State
+	s.Reset()
+	h := Always{}
+	for _, off := range []uint64{0, 5 * blk, 1 << 30, 3} {
+		if got := h.Update(&s, off, blk); got != SeqMax {
+			t.Fatalf("always = %d at off %d", got, off)
+		}
+	}
+}
+
+func TestCursorDetectsStride(t *testing.T) {
+	// A 2-stride read of a file: blocks 0, N/2, 1, N/2+1, ... (§7).
+	// Both sub-streams must build sequentiality.
+	const half = 1 << 27
+	h := &CursorHeuristic{}
+	var s State
+	s.Reset()
+	var low, high int
+	for i := 0; i < 32; i++ {
+		low = h.Update(&s, uint64(i*blk), blk)
+		high = h.Update(&s, half+uint64(i*blk), blk)
+	}
+	if low < 30 || high < 30 {
+		t.Fatalf("stride sub-streams seqcount = %d/%d, want ~32", low, high)
+	}
+	if len(s.Cursors) != 2 {
+		t.Fatalf("cursors allocated = %d, want 2", len(s.Cursors))
+	}
+}
+
+func TestCursorEightStride(t *testing.T) {
+	h := &CursorHeuristic{}
+	var s State
+	s.Reset()
+	const stride = 1 << 25
+	counts := make([]int, 8)
+	for i := 0; i < 16; i++ {
+		for sub := 0; sub < 8; sub++ {
+			counts[sub] = h.Update(&s, uint64(sub)*stride+uint64(i*blk), blk)
+		}
+	}
+	for sub, c := range counts {
+		if c < 14 {
+			t.Fatalf("sub-stream %d seqcount = %d, want ~16", sub, c)
+		}
+	}
+}
+
+func TestCursorRandomAccessNoReadAhead(t *testing.T) {
+	// "If the access pattern is truly random, then many cursors are
+	// created, but their sequentiality counts do not grow" (§7).
+	h := &CursorHeuristic{}
+	var s State
+	s.Reset()
+	rng := rand.New(rand.NewSource(11))
+	maxCount := 0
+	for i := 0; i < 200; i++ {
+		off := uint64(rng.Intn(1<<22)) * blk * 64
+		if got := h.Update(&s, off, blk); got > maxCount {
+			maxCount = got
+		}
+	}
+	if maxCount > 2 {
+		t.Fatalf("random access built seqcount %d; cursors should not grow", maxCount)
+	}
+	if len(s.Cursors) != DefaultCursors {
+		t.Fatalf("cursor count = %d, want full set %d", len(s.Cursors), DefaultCursors)
+	}
+}
+
+func TestCursorLRURecycling(t *testing.T) {
+	h := &CursorHeuristic{MaxCursors: 2}
+	var s State
+	s.Reset()
+	h.Update(&s, 0, blk)     // cursor A
+	h.Update(&s, 1<<30, blk) // cursor B
+	h.Update(&s, blk, blk)   // touch A
+	h.Update(&s, 1<<31, blk) // C must recycle B (LRU)
+	if len(s.Cursors) != 2 {
+		t.Fatalf("cursors = %d, want 2", len(s.Cursors))
+	}
+	// A must still match and grow.
+	if got := h.Update(&s, 2*blk, blk); got < 3 {
+		t.Fatalf("surviving cursor count = %d, want >= 3", got)
+	}
+}
+
+func TestCursorToleratesJitterPerStream(t *testing.T) {
+	h := &CursorHeuristic{}
+	var s State
+	s.Reset()
+	for i := 0; i < 10; i++ {
+		h.Update(&s, uint64(i*blk), blk)
+	}
+	before := s.Cursors[0].SeqCount
+	h.Update(&s, 11*blk, blk) // skipped one block: jitter
+	if s.Cursors[0].SeqCount != before {
+		t.Fatalf("cursor count changed on jitter: %d -> %d", before, s.Cursors[0].SeqCount)
+	}
+	if len(s.Cursors) != 1 {
+		t.Fatalf("jitter spawned a new cursor: %d", len(s.Cursors))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	cases := []struct{ seq, max, want int }{
+		{0, 16, 0},
+		{1, 16, 0},
+		{2, 16, 2},
+		{8, 16, 8},
+		{127, 16, 16},
+		{127, 8, 8},
+	}
+	for _, c := range cases {
+		if got := Window(c.seq, c.max); got != c.want {
+			t.Errorf("Window(%d,%d) = %d, want %d", c.seq, c.max, got, c.want)
+		}
+	}
+}
+
+func TestResetClearsCursors(t *testing.T) {
+	h := &CursorHeuristic{}
+	var s State
+	s.Reset()
+	h.Update(&s, 0, blk)
+	h.Update(&s, 1<<30, blk)
+	s.Reset()
+	if len(s.Cursors) != 0 || s.SeqCount != 1 || s.NextOff != 0 {
+		t.Fatalf("Reset left state %+v", s)
+	}
+}
+
+// Property: every heuristic keeps seqcount within [1, SeqMax] after the
+// first update, for arbitrary access patterns.
+func TestHeuristicBoundsProperty(t *testing.T) {
+	heuristics := []Heuristic{Default{}, SlowDown{}, Always{}, &CursorHeuristic{}}
+	f := func(offs []uint32) bool {
+		for _, h := range heuristics {
+			var s State
+			s.Reset()
+			for _, o := range offs {
+				got := h.Update(&s, uint64(o)*512, blk)
+				if got < 1 || got > SeqMax {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for purely sequential access SlowDown and Default agree.
+func TestSlowDownMatchesDefaultWhenSequential(t *testing.T) {
+	f := func(n uint8) bool {
+		var a, b State
+		a.Reset()
+		b.Reset()
+		count := int(n%64) + 2
+		return seqRead(Default{}, &a, count) == seqRead(SlowDown{}, &b, count)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SlowDown's count after any single perturbation of a long
+// sequential run is >= Default's.
+func TestSlowDownDominatesDefaultUnderPerturbation(t *testing.T) {
+	f := func(jump uint32) bool {
+		var a, b State
+		a.Reset()
+		b.Reset()
+		seqRead(Default{}, &a, 40)
+		seqRead(SlowDown{}, &b, 40)
+		off := uint64(jump) * 512
+		da := (Default{}).Update(&a, off, blk)
+		db := (SlowDown{}).Update(&b, off, blk)
+		return db >= da
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cursor count never exceeds the configured maximum.
+func TestCursorCountBounded(t *testing.T) {
+	f := func(offs []uint32, maxCur uint8) bool {
+		m := int(maxCur%8) + 1
+		h := &CursorHeuristic{MaxCursors: m}
+		var s State
+		s.Reset()
+		for _, o := range offs {
+			h.Update(&s, uint64(o)*4096, blk)
+			if len(s.Cursors) > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package rpcnet runs ONC RPC over real sockets (UDP and TCP with
+// record marking) using the same wire encodings as the simulator. It
+// exists to prove the protocol stack against an actual network path and
+// to make the library usable as a tiny userspace NFS-like file service
+// (see internal/memfs and cmd/nfsserve).
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nfstricks/internal/sunrpc"
+)
+
+// maxUDPMessage bounds datagram buffers (rsize 32 KB + headers).
+const maxUDPMessage = 64 * 1024
+
+// Handler serves one RPC call: given the procedure number and the
+// XDR-encoded argument body, it returns the XDR-encoded result body and
+// an accept status. Handlers must be safe for concurrent use.
+type Handler func(proc uint32, body []byte) (res []byte, stat uint32)
+
+// Server serves one RPC program on a UDP socket and a TCP listener
+// bound to the same address.
+type Server struct {
+	prog, vers uint32
+	handler    Handler
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer binds addr (e.g. "127.0.0.1:0") for program prog version
+// vers and starts serving. Close shuts it down.
+func NewServer(addr string, prog, vers uint32, handler Handler) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: %w", err)
+	}
+	udp, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: %w", err)
+	}
+	tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("rpcnet: %w", err)
+	}
+	s := &Server{
+		prog: prog, vers: vers, handler: handler,
+		udp: udp, tcp: tcp,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return s, nil
+}
+
+// Addr returns the bound address (identical for UDP and TCP).
+func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
+
+// Close stops the server and waits for its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.udp.Close()
+	s.tcp.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, maxUDPMessage)
+	for {
+		n, from, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue
+		}
+		msg := append([]byte(nil), buf[:n]...)
+		go func() {
+			if reply := s.process(msg); reply != nil {
+				s.udp.WriteToUDP(reply, from)
+			}
+		}()
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		msg, err := sunrpc.ReadRecord(conn)
+		if err != nil {
+			return
+		}
+		go func(msg []byte) {
+			if reply := s.process(msg); reply != nil {
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				sunrpc.WriteRecord(conn, reply)
+			}
+		}(msg)
+	}
+}
+
+// process decodes a call, dispatches it and encodes the reply. A nil
+// return means "drop" (undecodable garbage), like a real server.
+func (s *Server) process(msg []byte) []byte {
+	call, err := sunrpc.UnmarshalCall(msg)
+	if err != nil {
+		return nil
+	}
+	reply := &sunrpc.Reply{XID: call.XID, Verf: sunrpc.AuthNoneCred()}
+	switch {
+	case call.Prog != s.prog:
+		reply.Stat = sunrpc.AcceptProgUnavail
+	case call.Vers != s.vers:
+		reply.Stat = sunrpc.AcceptProgMismatch
+	default:
+		body, stat := s.handler(call.Proc, call.Body)
+		reply.Stat = stat
+		reply.Body = body
+	}
+	return sunrpc.MarshalReply(reply)
+}
+
+// Client is a synchronous RPC client over UDP or TCP.
+type Client struct {
+	network string
+	conn    net.Conn
+	prog    uint32
+	vers    uint32
+	xid     atomic.Uint32
+	mu      sync.Mutex // serializes calls (one outstanding at a time)
+	timeout time.Duration
+}
+
+// Dial connects to an RPC server. network is "udp" or "tcp".
+func Dial(network, addr string, prog, vers uint32) (*Client, error) {
+	if network != "udp" && network != "tcp" {
+		return nil, fmt.Errorf("rpcnet: unsupported network %q", network)
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: %w", err)
+	}
+	c := &Client{network: network, conn: conn, prog: prog, vers: vers,
+		timeout: 5 * time.Second}
+	c.xid.Store(uint32(time.Now().UnixNano()))
+	return c, nil
+}
+
+// SetTimeout sets the per-call deadline.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ErrRPC is returned for non-success accept statuses.
+var ErrRPC = errors.New("rpcnet: rpc error")
+
+// Call performs one RPC and returns the reply body.
+func (c *Client) Call(proc uint32, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	xid := c.xid.Add(1)
+	msg := sunrpc.MarshalCall(&sunrpc.Call{
+		XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc,
+		Cred: sunrpc.AuthUnixCred("nfstricks", 0, 0),
+		Verf: sunrpc.AuthNoneCred(),
+		Body: args,
+	})
+	deadline := time.Now().Add(c.timeout)
+	c.conn.SetDeadline(deadline)
+	defer c.conn.SetDeadline(time.Time{})
+
+	if c.network == "tcp" {
+		if err := sunrpc.WriteRecord(c.conn, msg); err != nil {
+			return nil, fmt.Errorf("rpcnet: send: %w", err)
+		}
+	} else {
+		if _, err := c.conn.Write(msg); err != nil {
+			return nil, fmt.Errorf("rpcnet: send: %w", err)
+		}
+	}
+
+	for {
+		var raw []byte
+		var err error
+		if c.network == "tcp" {
+			raw, err = sunrpc.ReadRecord(c.conn)
+		} else {
+			buf := make([]byte, maxUDPMessage)
+			var n int
+			n, err = c.conn.Read(buf)
+			raw = buf[:n]
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rpcnet: recv: %w", err)
+		}
+		reply, err := sunrpc.UnmarshalReply(raw)
+		if err != nil {
+			continue // garbage or stale datagram: keep waiting
+		}
+		if reply.XID != xid {
+			continue // reply to an earlier (timed-out) call
+		}
+		if reply.Stat != sunrpc.AcceptSuccess {
+			return nil, fmt.Errorf("%w: accept status %d", ErrRPC, reply.Stat)
+		}
+		return reply.Body, nil
+	}
+}

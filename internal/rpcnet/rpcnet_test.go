@@ -1,0 +1,181 @@
+package rpcnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"nfstricks/internal/sunrpc"
+)
+
+// echoHandler returns the body with a marker prefix.
+func echoHandler(proc uint32, body []byte) ([]byte, uint32) {
+	if proc == 99 {
+		return nil, sunrpc.AcceptProcUnavail
+	}
+	return append([]byte{byte(proc)}, body...), sunrpc.AcceptSuccess
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", 100003, 3, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCallOverUDPAndTCP(t *testing.T) {
+	s := startServer(t)
+	for _, network := range []string{"udp", "tcp"} {
+		c, err := Dial(network, s.Addr(), 100003, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", network, err)
+		}
+		body, err := c.Call(7, []byte("payload"))
+		if err != nil {
+			t.Fatalf("%s call: %v", network, err)
+		}
+		if !bytes.Equal(body, append([]byte{7}, []byte("payload")...)) {
+			t.Fatalf("%s body = %v", network, body)
+		}
+		c.Close()
+	}
+}
+
+func TestProcUnavail(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial("tcp", s.Addr(), 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(99, nil); err == nil {
+		t.Fatal("proc-unavail call succeeded")
+	}
+}
+
+func TestProgMismatch(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial("tcp", s.Addr(), 200001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(1, nil); err == nil {
+		t.Fatal("wrong-program call succeeded")
+	}
+}
+
+func TestLargePayloadTCP(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial("tcp", s.Addr(), 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := make([]byte, 32*1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	body, err := c.Call(1, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(big)+1 || !bytes.Equal(body[1:], big) {
+		t.Fatalf("large payload mangled: %d bytes", len(body))
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		network := "udp"
+		if i%2 == 0 {
+			network = "tcp"
+		}
+		wg.Add(1)
+		go func(network string, i int) {
+			defer wg.Done()
+			c, err := Dial(network, s.Addr(), 100003, 3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				payload := []byte{byte(i), byte(j)}
+				body, err := c.Call(3, payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(body[1:], payload) {
+					errs <- ErrRPC
+					return
+				}
+			}
+		}(network, i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDialBadNetwork(t *testing.T) {
+	if _, err := Dial("sctp", "127.0.0.1:1", 1, 1); err == nil {
+		t.Fatal("bad network accepted")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	// A server that never answers: handler blocks.
+	block := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(uint32, []byte) ([]byte, uint32) {
+		<-block
+		return nil, sunrpc.AcceptSuccess
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		s.Close()
+	}()
+	c, err := Dial("udp", s.Addr(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Call(1, nil); err == nil {
+		t.Fatal("blocked call returned")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout not honored")
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial("tcp", s.Addr(), 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	c.SetTimeout(500 * time.Millisecond)
+	if _, err := c.Call(1, []byte("y")); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}

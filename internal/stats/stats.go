@@ -1,0 +1,86 @@
+// Package stats provides the small set of summary statistics the
+// benchmark harness reports: mean, standard deviation, min/max and
+// relative deviation, matching the paper's "average of at least ten
+// separate runs / standard deviation below 5% of the mean" methodology.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample summarizes a set of measurements.
+type Sample struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample (n-1) standard deviation
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics over xs. An empty input yields a
+// zero Sample.
+func Summarize(xs []float64) Sample {
+	s := Sample{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// RelDev returns the standard deviation as a fraction of the mean
+// (0 if the mean is 0).
+func (s Sample) RelDev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / math.Abs(s.Mean)
+}
+
+// String renders "mean (stddev)" with two decimals, the paper's Table 1
+// format.
+func (s Sample) String() string {
+	return fmt.Sprintf("%.2f (%.2f)", s.Mean, s.StdDev)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almost(s.StdDev, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty sample = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 {
+		t.Fatalf("single sample = %+v", s)
+	}
+}
+
+func TestRelDev(t *testing.T) {
+	s := Sample{Mean: 10, StdDev: 0.5}
+	if !almost(s.RelDev(), 0.05) {
+		t.Fatalf("RelDev = %v", s.RelDev())
+	}
+	if (Sample{}).RelDev() != 0 {
+		t.Fatal("zero-mean RelDev should be 0")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Sample{Mean: 11.49, StdDev: 0.29}
+	if got := s.String(); got != "11.49 (0.29)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+// Property: mean is always within [min, max] and stddev is non-negative.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip degenerate float inputs
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting all values shifts the mean and preserves stddev.
+func TestSummarizeShiftInvariance(t *testing.T) {
+	f := func(xs []float64, shift float64) bool {
+		if len(xs) == 0 || math.IsNaN(shift) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+			clean = append(clean, x)
+		}
+		a := Summarize(clean)
+		shifted := make([]float64, len(clean))
+		for i, x := range clean {
+			shifted[i] = x + shift
+		}
+		b := Summarize(shifted)
+		return math.Abs((a.Mean+shift)-b.Mean) < 1e-6 && math.Abs(a.StdDev-b.StdDev) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package sunrpc implements the ONC RPC v2 message layer (RFC 5531):
+// call and reply headers with AUTH_NONE/AUTH_UNIX credentials, plus the
+// record-marking framing RPC uses over TCP (RFC 5531 §11). The same
+// marshalled bytes travel over the simulated network and over real
+// sockets in the live server, so simulated message sizes are exact.
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"nfstricks/internal/xdr"
+)
+
+// RPCVersion is the only supported RPC protocol version.
+const RPCVersion = 2
+
+// Message types.
+const (
+	MsgCall  = 0
+	MsgReply = 1
+)
+
+// Reply statuses.
+const (
+	ReplyAccepted = 0
+	ReplyDenied   = 1
+)
+
+// Accept statuses.
+const (
+	AcceptSuccess      = 0
+	AcceptProgUnavail  = 1
+	AcceptProgMismatch = 2
+	AcceptProcUnavail  = 3
+	AcceptGarbageArgs  = 4
+	AcceptSystemErr    = 5
+)
+
+// Auth flavors.
+const (
+	AuthNone = 0
+	AuthUnix = 1
+)
+
+// maxAuthBody bounds credential bodies (RFC 5531: 400 bytes).
+const maxAuthBody = 400
+
+// Auth is an RPC authenticator: a flavor and opaque body.
+type Auth struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// AuthNoneCred is the empty credential.
+func AuthNoneCred() Auth { return Auth{Flavor: AuthNone} }
+
+// AuthUnixCred builds an AUTH_UNIX credential body.
+func AuthUnixCred(machine string, uid, gid uint32) Auth {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(0) // stamp
+	e.String(machine)
+	e.Uint32(uid)
+	e.Uint32(gid)
+	e.Uint32(0) // no auxiliary gids
+	return Auth{Flavor: AuthUnix, Body: e.Bytes()}
+}
+
+// Call is an RPC call message.
+type Call struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred Auth
+	Verf Auth
+	// Body is the procedure-specific argument payload (already XDR).
+	Body []byte
+}
+
+// Reply is an accepted RPC reply message. (Denied replies are folded
+// into Unmarshal errors; NFS servers in this codebase always accept.)
+type Reply struct {
+	XID  uint32
+	Stat uint32 // accept_stat
+	Verf Auth
+	Body []byte
+}
+
+func encodeAuth(e *xdr.Encoder, a Auth) {
+	e.Uint32(a.Flavor)
+	e.Opaque(a.Body)
+}
+
+func decodeAuth(d *xdr.Decoder) Auth {
+	return Auth{Flavor: d.Uint32(), Body: d.Opaque(maxAuthBody)}
+}
+
+// MarshalCall encodes a call message.
+func MarshalCall(c *Call) []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 64+len(c.Body)))
+	e.Uint32(c.XID)
+	e.Uint32(MsgCall)
+	e.Uint32(RPCVersion)
+	e.Uint32(c.Prog)
+	e.Uint32(c.Vers)
+	e.Uint32(c.Proc)
+	encodeAuth(e, c.Cred)
+	encodeAuth(e, c.Verf)
+	out := e.Bytes()
+	return append(out, c.Body...)
+}
+
+// UnmarshalCall decodes a call message.
+func UnmarshalCall(b []byte) (*Call, error) {
+	d := xdr.NewDecoder(b)
+	c := &Call{XID: d.Uint32()}
+	if mt := d.Uint32(); d.Err() == nil && mt != MsgCall {
+		return nil, fmt.Errorf("sunrpc: message type %d is not a call", mt)
+	}
+	if rv := d.Uint32(); d.Err() == nil && rv != RPCVersion {
+		return nil, fmt.Errorf("sunrpc: RPC version %d unsupported", rv)
+	}
+	c.Prog = d.Uint32()
+	c.Vers = d.Uint32()
+	c.Proc = d.Uint32()
+	c.Cred = decodeAuth(d)
+	c.Verf = decodeAuth(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	c.Body = append([]byte(nil), b[len(b)-d.Remaining():]...)
+	return c, nil
+}
+
+// MarshalReply encodes an accepted reply.
+func MarshalReply(r *Reply) []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 32+len(r.Body)))
+	e.Uint32(r.XID)
+	e.Uint32(MsgReply)
+	e.Uint32(ReplyAccepted)
+	encodeAuth(e, r.Verf)
+	e.Uint32(r.Stat)
+	out := e.Bytes()
+	return append(out, r.Body...)
+}
+
+// UnmarshalReply decodes a reply, returning an error for denied replies.
+func UnmarshalReply(b []byte) (*Reply, error) {
+	d := xdr.NewDecoder(b)
+	r := &Reply{XID: d.Uint32()}
+	if mt := d.Uint32(); d.Err() == nil && mt != MsgReply {
+		return nil, fmt.Errorf("sunrpc: message type %d is not a reply", mt)
+	}
+	if rs := d.Uint32(); d.Err() == nil && rs != ReplyAccepted {
+		return nil, fmt.Errorf("sunrpc: reply denied (stat %d)", rs)
+	}
+	r.Verf = decodeAuth(d)
+	r.Stat = d.Uint32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	r.Body = append([]byte(nil), b[len(b)-d.Remaining():]...)
+	return r, nil
+}
+
+// Record marking (TCP framing): each record is sent as fragments with a
+// 4-byte header whose high bit marks the final fragment.
+
+const lastFragmentBit = 0x80000000
+
+// maxFragment bounds accepted fragment sizes (1 MB is far beyond any
+// NFS3 message this codebase produces).
+const maxFragment = 1 << 20
+
+// WriteRecord frames b as a single final fragment on w.
+func WriteRecord(w io.Writer, b []byte) error {
+	hdr := [4]byte{
+		byte((uint32(len(b)) | lastFragmentBit) >> 24),
+		byte(uint32(len(b)) >> 16),
+		byte(uint32(len(b)) >> 8),
+		byte(uint32(len(b))),
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadRecord reads one complete record (possibly multiple fragments)
+// from r.
+func ReadRecord(r io.Reader) ([]byte, error) {
+	var out []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+		last := n&lastFragmentBit != 0
+		n &^= lastFragmentBit
+		if n > maxFragment {
+			return nil, errors.New("sunrpc: fragment too large")
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(r, frag); err != nil {
+			return nil, err
+		}
+		out = append(out, frag...)
+		if last {
+			return out, nil
+		}
+	}
+}

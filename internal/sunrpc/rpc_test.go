@@ -1,0 +1,156 @@
+package sunrpc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	c := &Call{
+		XID:  7,
+		Prog: 100003,
+		Vers: 3,
+		Proc: 6,
+		Cred: AuthUnixCred("client1", 100, 100),
+		Verf: AuthNoneCred(),
+		Body: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	got, err := UnmarshalCall(MarshalCall(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != 7 || got.Prog != 100003 || got.Vers != 3 || got.Proc != 6 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Cred.Flavor != AuthUnix {
+		t.Fatalf("cred flavor = %d", got.Cred.Flavor)
+	}
+	if !bytes.Equal(got.Body, c.Body) {
+		t.Fatalf("body = %v", got.Body)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	r := &Reply{XID: 99, Stat: AcceptSuccess, Verf: AuthNoneCred(), Body: []byte{9, 9, 9, 9}}
+	got, err := UnmarshalReply(MarshalReply(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != 99 || got.Stat != AcceptSuccess || !bytes.Equal(got.Body, r.Body) {
+		t.Fatalf("reply mismatch: %+v", got)
+	}
+}
+
+func TestUnmarshalCallRejectsReply(t *testing.T) {
+	r := MarshalReply(&Reply{XID: 1})
+	if _, err := UnmarshalCall(r); err == nil {
+		t.Fatal("reply accepted as call")
+	}
+}
+
+func TestUnmarshalReplyRejectsCall(t *testing.T) {
+	c := MarshalCall(&Call{XID: 1})
+	if _, err := UnmarshalReply(c); err == nil {
+		t.Fatal("call accepted as reply")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	c := MarshalCall(&Call{XID: 1, Cred: AuthUnixCred("m", 0, 0)})
+	for cut := 1; cut < len(c); cut += 5 {
+		if _, err := UnmarshalCall(c[:cut]); err == nil {
+			// Truncations that only lose body bytes are legal; header
+			// truncations must fail. Header is at least 24 bytes.
+			if cut < 24 {
+				t.Fatalf("truncated call (%d bytes) accepted", cut)
+			}
+		}
+	}
+}
+
+func TestRecordMarkingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{{1}, {2, 3}, make([]byte, 9000), {}}
+	for _, m := range msgs {
+		if err := WriteRecord(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadRecord(&buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestReadRecordMultiFragment(t *testing.T) {
+	// Hand-build a two-fragment record: "ab" + "cd".
+	raw := []byte{
+		0x00, 0x00, 0x00, 0x02, 'a', 'b', // fragment, not last
+		0x80, 0x00, 0x00, 0x02, 'c', 'd', // last fragment
+	}
+	got, err := ReadRecord(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadRecordRejectsHugeFragment(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadRecord(bytes.NewReader(raw)); err == nil {
+		t.Fatal("huge fragment accepted")
+	}
+}
+
+// Property: call marshalling round-trips for arbitrary field values.
+func TestCallRoundTripProperty(t *testing.T) {
+	f := func(xid, prog, vers, proc uint32, body []byte) bool {
+		if len(body) > 4096 {
+			return true
+		}
+		c := &Call{XID: xid, Prog: prog, Vers: vers, Proc: proc,
+			Cred: AuthNoneCred(), Verf: AuthNoneCred(), Body: body}
+		got, err := UnmarshalCall(MarshalCall(c))
+		if err != nil {
+			return false
+		}
+		return got.XID == xid && got.Prog == prog && got.Vers == vers &&
+			got.Proc == proc && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: record marking is transparent for arbitrary payloads.
+func TestRecordMarkingProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		for _, p := range payloads {
+			if len(p) > 10000 {
+				return true
+			}
+			if err := WriteRecord(&buf, p); err != nil {
+				return false
+			}
+		}
+		for _, want := range payloads {
+			got, err := ReadRecord(&buf)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

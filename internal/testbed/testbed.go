@@ -1,0 +1,187 @@
+// Package testbed assembles the paper's benchmark rig (§4): a server
+// with SCSI and IDE disks divided into quarter partitions, a gigabit
+// switch, and a client machine, with every knob the paper turns —
+// scheduler choice, tagged command queues, transport, read-ahead
+// heuristic, nfsheur parameters, and client CPU load — exposed as an
+// option.
+package testbed
+
+import (
+	"fmt"
+
+	"nfstricks/internal/buffercache"
+	"nfstricks/internal/disk"
+	"nfstricks/internal/ffs"
+	"nfstricks/internal/iosched"
+	"nfstricks/internal/netsim"
+	"nfstricks/internal/nfsclient"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/nfsserver"
+	"nfstricks/internal/sim"
+)
+
+// DiskKind selects one of the paper's two test drives.
+type DiskKind string
+
+// The paper's drives.
+const (
+	SCSI DiskKind = "scsi" // IBM DDYS-T36950N
+	IDE  DiskKind = "ide"  // WD WD200BB
+)
+
+// Options configures a testbed instance.
+type Options struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Disk picks the drive (default SCSI).
+	Disk DiskKind
+	// Partition is the quarter partition 1 (outermost) to 4 (innermost)
+	// holding the benchmark file system (default 1).
+	Partition int
+	// Scheduler names the host disk scheduling discipline: "elevator"
+	// (default), "ncscan", "fifo", "sstf".
+	Scheduler string
+	// DisableTCQ turns the drive's tagged command queue off (the
+	// paper's "no tags" configurations). Meaningless on the IDE drive,
+	// which has no TCQ.
+	DisableTCQ bool
+	// ServerCacheBlocks sizes the server buffer cache (default 8192
+	// blocks = 64 MB of the server's 256 MB).
+	ServerCacheBlocks int
+	// Server tunes the NFS server (heuristic, nfsheur table, nfsds).
+	Server nfsserver.Config
+	// Client tunes the NFS client (transport, nfsiods, read-ahead).
+	Client nfsclient.Config
+	// BusyProcs runs this many infinite-loop processes on the client
+	// (the paper's "busy client" runs four).
+	BusyProcs int
+	// Net overrides network parameters.
+	Net netsim.Config
+	// FS tunes the file system (aging etc.).
+	FS ffs.Config
+}
+
+// TB is an assembled testbed.
+type TB struct {
+	K         *sim.Kernel
+	Net       *netsim.Network
+	Device    *disk.Device
+	Driver    *disk.Driver
+	Cache     *buffercache.Cache
+	FS        *ffs.FS
+	Server    *nfsserver.Server
+	Mount     *nfsclient.Mount
+	ClientCPU *sim.CPU
+
+	opts Options
+}
+
+// NewScheduler builds a host scheduler by name.
+func NewScheduler(name string) (iosched.Scheduler, error) {
+	switch name {
+	case "", "elevator":
+		return iosched.NewElevator(), nil
+	case "ncscan":
+		return iosched.NewNCSCAN(), nil
+	case "fifo":
+		return iosched.NewFIFO(), nil
+	case "sstf":
+		return iosched.NewSSTF(), nil
+	default:
+		return nil, fmt.Errorf("testbed: unknown scheduler %q", name)
+	}
+}
+
+// New assembles a testbed. The NFS stack is created but idle until
+// Start.
+func New(opts Options) (*TB, error) {
+	if opts.Disk == "" {
+		opts.Disk = SCSI
+	}
+	if opts.Partition == 0 {
+		opts.Partition = 1
+	}
+	if opts.Partition < 1 || opts.Partition > 4 {
+		return nil, fmt.Errorf("testbed: partition %d out of range 1..4", opts.Partition)
+	}
+	if opts.ServerCacheBlocks == 0 {
+		opts.ServerCacheBlocks = 8192
+	}
+
+	k := sim.NewKernel(opts.Seed)
+
+	var model *disk.Model
+	switch opts.Disk {
+	case SCSI:
+		model = disk.IBMDDYS36950()
+	case IDE:
+		model = disk.WD200BB()
+	default:
+		return nil, fmt.Errorf("testbed: unknown disk %q", opts.Disk)
+	}
+	dev := disk.NewDevice(k, model)
+	if opts.DisableTCQ {
+		dev.SetTCQ(false)
+	}
+	sched, err := NewScheduler(opts.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	driver := disk.NewDriver(k, dev, sched)
+	cache := buffercache.New(k, driver, opts.ServerCacheBlocks)
+
+	parts := model.Geo.QuarterPartitions(string(opts.Disk))
+	part := parts[opts.Partition-1]
+	fsCfg := opts.FS
+	if fsCfg.HandleBase == 0 {
+		fsCfg.HandleBase = uint64(opts.Partition) << 32
+	}
+	fsys := ffs.New(k, cache, part, fsCfg)
+
+	// Network: client uncapped, server behind the measured 54 MB/s
+	// PCI/DMA path (§4.1).
+	net := netsim.New(k, opts.Net)
+	serverHost := net.Host("server", 54e6)
+	clientHost := net.Host("client", 0)
+
+	srv := nfsserver.New(k, serverHost, opts.Server)
+	srv.Export(fsys)
+
+	clientCPU := sim.NewCPU(k)
+	clientCPU.SetBackground(opts.BusyProcs)
+	mnt := nfsclient.New(k, clientCPU, clientHost, 800, netsim.Addr{Host: "server", Port: nfsserver.Port}, opts.Client)
+
+	return &TB{
+		K:         k,
+		Net:       net,
+		Device:    dev,
+		Driver:    driver,
+		Cache:     cache,
+		FS:        fsys,
+		Server:    srv,
+		Mount:     mnt,
+		ClientCPU: clientCPU,
+		opts:      opts,
+	}, nil
+}
+
+// Start spawns the NFS server and client daemons. Local-only
+// experiments (Figures 1-3) need not call it.
+func (tb *TB) Start() error {
+	tb.Server.Start()
+	return tb.Mount.Start()
+}
+
+// RootFH returns the export's root handle.
+func (tb *TB) RootFH() nfsproto.FH { return tb.Server.RootFH(0) }
+
+// FlushCaches defeats all caching between runs, as the paper does:
+// server buffer cache, client block cache, and per-run server state.
+func (tb *TB) FlushCaches() {
+	tb.Cache.Flush()
+	tb.Mount.Flush()
+	tb.Server.FlushState()
+}
+
+// Options returns the options the testbed was built with.
+func (tb *TB) Options() Options { return tb.opts }

@@ -1,0 +1,118 @@
+package testbed
+
+import (
+	"testing"
+
+	"nfstricks/internal/nfsclient"
+)
+
+func TestDefaults(t *testing.T) {
+	tb, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Device.Model().Name == "" {
+		t.Fatal("no disk model")
+	}
+	if !tb.Device.TCQ() {
+		t.Fatal("SCSI TCQ should default on")
+	}
+	if tb.Driver.Scheduler().Name() != "elevator" {
+		t.Fatalf("default scheduler = %s", tb.Driver.Scheduler().Name())
+	}
+	if got := tb.FS.Partition().Name; got != "scsi1" {
+		t.Fatalf("default partition = %s", got)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(Options{Partition: 5}); err == nil {
+		t.Fatal("partition 5 accepted")
+	}
+	if _, err := New(Options{Disk: "floppy"}); err == nil {
+		t.Fatal("unknown disk accepted")
+	}
+	if _, err := New(Options{Scheduler: "magic"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestSchedulerSelection(t *testing.T) {
+	for _, name := range []string{"elevator", "ncscan", "fifo", "sstf"} {
+		tb, err := New(Options{Scheduler: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tb.Driver.Scheduler().Name() != name {
+			t.Fatalf("scheduler = %s, want %s", tb.Driver.Scheduler().Name(), name)
+		}
+	}
+}
+
+func TestDisableTCQ(t *testing.T) {
+	tb, err := New(Options{Disk: SCSI, DisableTCQ: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Device.TCQ() {
+		t.Fatal("TCQ still on")
+	}
+}
+
+func TestIDEHasNoTCQ(t *testing.T) {
+	tb, err := New(Options{Disk: IDE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Device.TCQ() {
+		t.Fatal("IDE drive reports TCQ")
+	}
+}
+
+func TestPartitionsAreDistinct(t *testing.T) {
+	var starts []int64
+	for part := 1; part <= 4; part++ {
+		tb, err := New(Options{Disk: IDE, Partition: part})
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts = append(starts, tb.FS.Partition().StartLBA)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatalf("partitions not ascending: %v", starts)
+		}
+	}
+}
+
+func TestBusyProcsSetBackground(t *testing.T) {
+	tb, err := New(Options{BusyProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ClientCPU.Background() != 4 {
+		t.Fatalf("background = %d", tb.ClientCPU.Background())
+	}
+}
+
+func TestStartAndFlush(t *testing.T) {
+	tb, err := New(Options{Disk: IDE, Client: nfsclient.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.RootFH() == 0 {
+		t.Fatal("zero root handle")
+	}
+	tb.FlushCaches()
+	if tb.Cache.Len() != 0 {
+		t.Fatal("server cache not flushed")
+	}
+	tb.K.Run()
+	tb.K.Shutdown()
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"nfstricks/internal/nfsclient"
+	"nfstricks/internal/nfsheur"
+	"nfstricks/internal/nfsserver"
+	"nfstricks/internal/readahead"
+	"nfstricks/internal/testbed"
+)
+
+// Calibration probes: verbose-only diagnostics used while tuning the
+// models against the paper's magnitudes. Kept as tests so they cannot
+// rot.
+func TestCalibrateLocal(t *testing.T) {
+	for _, d := range []testbed.DiskKind{testbed.IDE, testbed.SCSI} {
+		for _, n := range []int{1, 8} {
+			for _, sched := range []string{"elevator", "ncscan"} {
+				for _, tcq := range []bool{false, true} {
+					tb, _ := testbed.New(testbed.Options{Seed: 1, Disk: d, DisableTCQ: !tcq, Scheduler: sched})
+					CreateFileSet(tb.FS, 16)
+					res, err := RunLocalReaders(tb, FilesFor(n))
+					tb.K.Shutdown()
+					if err != nil {
+						t.Fatal(err)
+					}
+					ds := tb.Device.Stats()
+					t.Logf("%s n=%d %s tcq=%v: %.1f MB/s (hits=%d repos=%d reord=%d)",
+						d, n, sched, tcq, res.ThroughputMBps(), ds.CacheHits, ds.Repositions, ds.Reordered)
+				}
+			}
+		}
+	}
+}
+
+func TestCalibrateNFS(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		for _, n := range []int{1, 8, 32} {
+			tb, _ := testbed.New(testbed.Options{
+				Seed: 1, Disk: testbed.IDE,
+				Server: nfsserver.Config{Heuristic: readahead.Always{}, Table: nfsheur.ImprovedParams()},
+				Client: nfsclient.Config{UseTCP: tcp},
+			})
+			CreateFileSet(tb.FS, 16)
+			tb.Start()
+			res, err := RunNFSReaders(tb, FilesFor(n))
+			tb.K.Shutdown()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := tb.Server.Stats()
+			t.Logf("tcp=%v n=%2d always/improved: %.1f MB/s (reads=%d reord=%d %.1f%%)",
+				tcp, n, res.ThroughputMBps(), st.Reads, st.ReorderedReads,
+				100*float64(st.ReorderedReads)/float64(st.Reads))
+		}
+	}
+	for _, n := range []int{1, 8, 32} {
+		tb, _ := testbed.New(testbed.Options{
+			Seed: 1, Disk: testbed.IDE,
+			Server: nfsserver.Config{Heuristic: readahead.Default{}},
+		})
+		CreateFileSet(tb.FS, 16)
+		tb.Start()
+		res, err := RunNFSReaders(tb, FilesFor(n))
+		tb.K.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := tb.Server.Stats()
+		tblst := tb.Server.Table().Stats()
+		t.Logf("udp n=%2d default/default: %.1f MB/s (reord=%.1f%% tbl miss=%d eject=%d)",
+			n, res.ThroughputMBps(), 100*float64(st.ReorderedReads)/float64(st.Reads),
+			tblst.Misses, tblst.Ejections)
+	}
+}
+
+func TestCalibrateStride(t *testing.T) {
+	for _, cur := range []bool{false, true} {
+		h := readahead.Heuristic(readahead.Default{})
+		if cur {
+			h = &readahead.CursorHeuristic{}
+		}
+		for _, s := range []int{2, 4, 8} {
+			for _, d := range []testbed.DiskKind{testbed.IDE, testbed.SCSI} {
+				tb, _ := testbed.New(testbed.Options{
+					Seed: 1, Disk: d,
+					Server: nfsserver.Config{Heuristic: h, Table: nfsheur.ImprovedParams()},
+				})
+				tb.FS.Create("stride", 16*MB)
+				tb.Start()
+				res, err := RunNFSStrideReader(tb, "stride", s)
+				tb.K.Shutdown()
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%s cursor=%v s=%d: %.2f MB/s", d, cur, s, res.ThroughputMBps())
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package workload implements the paper's benchmark workloads (§4.2):
+// the file set (one 256 MB file, two 128 MB files, ... thirty-two 8 MB
+// files), concurrent sequential readers, and the stride readers of §7.
+// Readers work against either the local file system or an NFS mount.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"nfstricks/internal/ffs"
+	"nfstricks/internal/sim"
+	"nfstricks/internal/testbed"
+)
+
+// MB is 2^20 bytes.
+const MB = 1 << 20
+
+// BlockSize is the benchmark's read unit.
+const BlockSize = ffs.BlockSize
+
+// FileName names the j-th file of a given size class, e.g. "f032m.3".
+func FileName(sizeMB, index int) string {
+	return fmt.Sprintf("f%03dm.%d", sizeMB, index)
+}
+
+// ReaderCounts is the paper's sweep of concurrent reader counts.
+var ReaderCounts = []int{1, 2, 4, 8, 16, 32}
+
+// CreateFileSet populates the file system with the paper's file set,
+// scaled down by scale (1 = full size: 256 MB total per reader count).
+// Returns an error if the partition cannot hold it.
+func CreateFileSet(fs *ffs.FS, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	for _, n := range ReaderCounts {
+		sizeMB := 256 / n
+		size := int64(sizeMB) * MB / int64(scale)
+		if size < BlockSize {
+			size = BlockSize
+		}
+		for j := 0; j < n; j++ {
+			if _, err := fs.Create(FileName(sizeMB, j), size); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FilesFor returns the file names the n-reader iteration reads: n
+// distinct files of 256/n MB.
+func FilesFor(n int) []string {
+	names := make([]string, n)
+	for j := 0; j < n; j++ {
+		names[j] = FileName(256/n, j)
+	}
+	return names
+}
+
+// Result is the outcome of one benchmark iteration.
+type Result struct {
+	// PerReader holds each reader's completion time, in start order.
+	PerReader []time.Duration
+	// Elapsed is the time until the last reader finished.
+	Elapsed time.Duration
+	// Bytes is the total data read.
+	Bytes int64
+}
+
+// ThroughputMBps is the paper's metric: total MB read divided by the
+// time the last reader needed.
+func (r Result) ThroughputMBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / MB / r.Elapsed.Seconds()
+}
+
+// RunLocalReaders starts one local sequential reader per file name,
+// concurrently, and runs the simulation until all complete — the
+// Figure 1-3 workload.
+func RunLocalReaders(tb *testbed.TB, names []string) (Result, error) {
+	res := Result{PerReader: make([]time.Duration, len(names))}
+	wg := sim.NewWaitGroup(tb.K)
+	wg.Add(len(names))
+	errs := make([]error, len(names))
+	for i, name := range names {
+		i, name := i, name
+		tb.K.Go("reader-"+name, func(p *sim.Proc) {
+			defer wg.Done()
+			of, err := tb.FS.Open(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			size := of.File().Size()
+			start := p.Now()
+			for off := int64(0); off < size; off += BlockSize {
+				of.Read(p, off, BlockSize)
+			}
+			res.PerReader[i] = p.Now() - start
+			res.Bytes += size
+		})
+	}
+	done := sim.NewEvent(tb.K)
+	tb.K.Go("waiter", func(p *sim.Proc) {
+		wg.Wait(p)
+		res.Elapsed = p.Now()
+		done.Fire()
+	})
+	tb.K.Run()
+	if !done.Fired() {
+		return res, fmt.Errorf("workload: simulation stalled before readers finished")
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// RunNFSReaders is RunLocalReaders over the NFS mount — the Figure 4-7
+// workload. The mount must be started.
+func RunNFSReaders(tb *testbed.TB, names []string) (Result, error) {
+	res := Result{PerReader: make([]time.Duration, len(names))}
+	wg := sim.NewWaitGroup(tb.K)
+	wg.Add(len(names))
+	errs := make([]error, len(names))
+	root := tb.RootFH()
+	for i, name := range names {
+		i, name := i, name
+		tb.K.Go("nfs-reader-"+name, func(p *sim.Proc) {
+			defer wg.Done()
+			rf, err := tb.Mount.Open(p, root, name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			start := p.Now()
+			size := rf.Size()
+			for off := int64(0); off < size; off += BlockSize {
+				rf.Read(p, off, BlockSize)
+			}
+			res.PerReader[i] = p.Now() - start
+			res.Bytes += size
+		})
+	}
+	done := sim.NewEvent(tb.K)
+	tb.K.Go("waiter", func(p *sim.Proc) {
+		wg.Wait(p)
+		res.Elapsed = p.Now()
+		done.Fire()
+	})
+	tb.K.Run()
+	if !done.Fired() {
+		return res, fmt.Errorf("workload: simulation stalled before NFS readers finished")
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// StrideOffsets generates the §7 stride read order for a file of
+// size bytes read in blockSize units with s sequential sub-streams:
+// block 0, N/s, 2N/s, ..., then 1, N/s+1, ... ("reading blocks 0, N/2,
+// 1, N/2+1, ..." for s=2).
+func StrideOffsets(size int64, blockSize int64, s int) []int64 {
+	nBlocks := (size + blockSize - 1) / blockSize
+	per := nBlocks / int64(s) // blocks per sub-stream
+	var offs []int64
+	for i := int64(0); i < per; i++ {
+		for sub := 0; sub < s; sub++ {
+			offs = append(offs, (int64(sub)*per+i)*blockSize)
+		}
+	}
+	// Trailing blocks not covered by s*per land at the end, in order.
+	for b := per * int64(s); b < nBlocks; b++ {
+		offs = append(offs, b*blockSize)
+	}
+	return offs
+}
+
+// RunNFSStrideReader reads the named file once in an s-stride pattern
+// over NFS and returns the result — the Figure 8 / Table 1 workload.
+func RunNFSStrideReader(tb *testbed.TB, name string, s int) (Result, error) {
+	var res Result
+	var rerr error
+	done := sim.NewEvent(tb.K)
+	root := tb.RootFH()
+	tb.K.Go("stride-reader", func(p *sim.Proc) {
+		rf, err := tb.Mount.Open(p, root, name)
+		if err != nil {
+			rerr = err
+			done.Fire()
+			return
+		}
+		start := p.Now()
+		for _, off := range StrideOffsets(rf.Size(), BlockSize, s) {
+			rf.Read(p, off, BlockSize)
+		}
+		res.Elapsed = p.Now() - start
+		res.PerReader = []time.Duration{res.Elapsed}
+		res.Bytes = rf.Size()
+		done.Fire()
+	})
+	tb.K.Run()
+	if !done.Fired() {
+		return res, fmt.Errorf("workload: stride reader stalled")
+	}
+	return res, rerr
+}

@@ -1,0 +1,160 @@
+// Package xdr implements External Data Representation encoding
+// (RFC 4506), the serialization under ONC RPC and therefore NFS. Only
+// the subset the NFS v2/v3 protocols need is provided: 32/64-bit
+// integers, booleans, and fixed/variable-length opaque data with 4-byte
+// alignment padding.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a decode runs past the end of input.
+var ErrShortBuffer = errors.New("xdr: short buffer")
+
+// Encoder appends XDR-encoded items to a byte slice.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder, optionally reusing buf's storage.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR "unsigned hyper").
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Bool encodes a boolean as 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Opaque encodes variable-length opaque data: length, bytes, padding.
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.FixedOpaque(b)
+}
+
+// FixedOpaque encodes fixed-length opaque data with padding but no
+// length prefix.
+func (e *Encoder) FixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String encodes an XDR string (same wire form as Opaque).
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Decoder consumes XDR items from a byte slice. Errors are sticky: after
+// the first failure all further reads return zero values and Err()
+// reports the failure, so call sites can decode a full structure and
+// check once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Bool decodes a boolean; any nonzero word is true (RFC 4506 §4.4
+// requires 0/1, but be liberal in what we accept).
+func (d *Decoder) Bool() bool { return d.Uint32() != 0 }
+
+// Opaque decodes variable-length opaque data. maxLen bounds the
+// declared length to protect against corrupt or hostile input; pass a
+// value appropriate to the field (e.g. NFS3 data limits).
+func (d *Decoder) Opaque(maxLen uint32) []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		d.err = fmt.Errorf("xdr: opaque length %d exceeds limit %d", n, maxLen)
+		return nil
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// FixedOpaque decodes n opaque bytes plus padding.
+func (d *Decoder) FixedOpaque(n int) []byte {
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	if pad := (4 - n%4) % 4; pad > 0 {
+		d.take(pad)
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String decodes an XDR string bounded by maxLen.
+func (d *Decoder) String(maxLen uint32) string {
+	return string(d.Opaque(maxLen))
+}

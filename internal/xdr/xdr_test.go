@@ -1,0 +1,152 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(0xdeadbeef)
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint32(); got != 0xdeadbeef || d.Err() != nil {
+		t.Fatalf("got %x, err %v", got, d.Err())
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint64(0x0102030405060708)
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint64(); got != 0x0102030405060708 {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestInt32Negative(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Int32(-42)
+	d := NewDecoder(e.Bytes())
+	if got := d.Int32(); got != -42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBoolEncoding(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Bool(true)
+	e.Bool(false)
+	want := []byte{0, 0, 0, 1, 0, 0, 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("bool wire form = %v", e.Bytes())
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder(nil)
+		e.Opaque(make([]byte, n))
+		if e.Len()%4 != 0 {
+			t.Fatalf("opaque(%d) length %d not 4-aligned", n, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got := d.Opaque(64)
+		if len(got) != n || d.Err() != nil {
+			t.Fatalf("opaque(%d) round-trip len=%d err=%v", n, len(got), d.Err())
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("opaque(%d) left %d bytes", n, d.Remaining())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("hello, nfs")
+	d := NewDecoder(e.Bytes())
+	if got := d.String(64); got != "hello, nfs" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	d.Uint32()
+	if d.Err() != ErrShortBuffer {
+		t.Fatalf("err = %v", d.Err())
+	}
+	// Sticky: further reads keep failing and return zero values.
+	if got := d.Uint64(); got != 0 || d.Err() != ErrShortBuffer {
+		t.Fatalf("sticky error violated: %d %v", got, d.Err())
+	}
+}
+
+func TestOpaqueLengthLimit(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Opaque(make([]byte, 100))
+	d := NewDecoder(e.Bytes())
+	if d.Opaque(50); d.Err() == nil {
+		t.Fatal("oversized opaque accepted")
+	}
+}
+
+func TestOpaqueDecodeCopies(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Opaque([]byte{1, 2, 3, 4})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := d.Opaque(16)
+	buf[4] = 99 // mutate the source
+	if got[0] != 1 {
+		t.Fatal("decoded opaque aliases the input buffer")
+	}
+}
+
+// Property: any sequence of mixed values round-trips exactly.
+func TestMixedRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b uint64, s string, blob []byte, flag bool) bool {
+		if len(s) > 1000 || len(blob) > 1000 {
+			return true
+		}
+		e := NewEncoder(nil)
+		e.Uint32(a)
+		e.Uint64(b)
+		e.String(s)
+		e.Opaque(blob)
+		e.Bool(flag)
+		d := NewDecoder(e.Bytes())
+		ga := d.Uint32()
+		gb := d.Uint64()
+		gs := d.String(2000)
+		gblob := d.Opaque(2000)
+		gflag := d.Bool()
+		if d.Err() != nil || d.Remaining() != 0 {
+			return false
+		}
+		return ga == a && gb == b && gs == s && bytes.Equal(gblob, blob) && gflag == flag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded length is always 4-byte aligned.
+func TestAlignmentProperty(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		e := NewEncoder(nil)
+		for _, b := range blobs {
+			if len(b) > 500 {
+				return true
+			}
+			e.Opaque(b)
+			if e.Len()%4 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package nfstricks reproduces "NFS Tricks and Benchmarking Traps"
+// (Daniel Ellard and Margo Seltzer, FREENIX track, USENIX 2003): the
+// SlowDown and cursor-based NFS read-ahead heuristics, the nfsheur
+// table fix, and the paper's catalogue of benchmarking traps (ZCAV,
+// tagged command queues, disk scheduler fairness, UDP vs TCP), all on a
+// deterministic discrete-event simulation of the paper's testbed.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Heuristics (the paper's contribution): [Default], [SlowDown],
+//     [Always], [CursorHeuristic] and the per-file [HeurState], plus the
+//     [NfsheurTable] that caches heuristic state on a stateless server.
+//   - Testbed: [NewTestbed] assembles the paper's server, disks,
+//     network and client; [Options] exposes every knob the paper turns.
+//   - Experiments: [Experiments] and [LookupExperiment] run the
+//     reproductions of every figure and table, returning formatted
+//     [BenchResult] values ("nfsbench -exp fig1" from the CLI).
+//   - Live mode: [NewLiveFS], [NewLiveService], [ServeLive] and
+//     [DialLive] run the same protocol stack over real loopback
+//     sockets.
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	tb, _ := nfstricks.NewTestbed(nfstricks.Options{Disk: nfstricks.IDE})
+//	tb.FS.Create("data", 8<<20)
+//	tb.Start()
+//	res, _ := nfstricks.RunNFSReaders(tb, []string{"data"})
+//	fmt.Printf("%.1f MB/s\n", res.ThroughputMBps())
+package nfstricks
+
+import (
+	"nfstricks/internal/bench"
+	"nfstricks/internal/disk"
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsheur"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/nfstrace"
+	"nfstricks/internal/readahead"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/testbed"
+	"nfstricks/internal/workload"
+)
+
+// Sequentiality heuristics (paper §6-7).
+type (
+	// Heuristic maps observed read offsets to a sequentiality count.
+	Heuristic = readahead.Heuristic
+	// HeurState is the per-file-handle heuristic record.
+	HeurState = readahead.State
+	// Default is the FreeBSD 4.x heuristic: reset on any out-of-order
+	// request.
+	Default = readahead.Default
+	// SlowDown is the paper's jitter-tolerant AIMD heuristic (§6.2).
+	SlowDown = readahead.SlowDown
+	// Always hard-wires maximum read-ahead (§6.1's upper bound).
+	Always = readahead.Always
+	// CursorHeuristic detects sequential sub-streams (strides, §7).
+	CursorHeuristic = readahead.CursorHeuristic
+)
+
+// SeqMax is the OS-imposed ceiling on the sequentiality count (127).
+const SeqMax = readahead.SeqMax
+
+// The nfsheur table (paper §6.3).
+type (
+	// NfsheurTable caches per-file heuristic state on the server.
+	NfsheurTable = nfsheur.Table
+	// NfsheurParams configures table geometry.
+	NfsheurParams = nfsheur.Params
+)
+
+// NewNfsheurTable builds a table with the given geometry.
+func NewNfsheurTable(p NfsheurParams) *NfsheurTable { return nfsheur.New(p) }
+
+// DefaultNfsheur is the FreeBSD 4.x table the paper found too small.
+func DefaultNfsheur() NfsheurParams { return nfsheur.DefaultParams() }
+
+// ImprovedNfsheur is the paper's enlarged table.
+func ImprovedNfsheur() NfsheurParams { return nfsheur.ImprovedParams() }
+
+// Testbed assembly (paper §4).
+type (
+	// Testbed is the assembled simulation of the paper's rig.
+	Testbed = testbed.TB
+	// Options selects disk, partition, scheduler, TCQ, transport,
+	// heuristics and client load.
+	Options = testbed.Options
+	// DiskKind names one of the paper's drives.
+	DiskKind = testbed.DiskKind
+)
+
+// The paper's two test drives.
+const (
+	SCSI = testbed.SCSI
+	IDE  = testbed.IDE
+)
+
+// NewTestbed assembles a testbed.
+func NewTestbed(opts Options) (*Testbed, error) { return testbed.New(opts) }
+
+// Disk models (paper §4.1), usable standalone for ZCAV studies.
+type DiskModel = disk.Model
+
+// SCSIModel returns the IBM DDYS-T36950N model.
+func SCSIModel() *DiskModel { return disk.IBMDDYS36950() }
+
+// IDEModel returns the WD WD200BB model.
+func IDEModel() *DiskModel { return disk.WD200BB() }
+
+// Workloads (paper §4.2, §7).
+type WorkloadResult = workload.Result
+
+// CreateFileSet populates fs with the paper's benchmark files, scaled
+// down by scale (1 = full size).
+var CreateFileSet = workload.CreateFileSet
+
+// FilesFor names the files the n-reader iteration reads.
+var FilesFor = workload.FilesFor
+
+// RunLocalReaders runs concurrent local sequential readers (Figs 1-3).
+var RunLocalReaders = workload.RunLocalReaders
+
+// RunNFSReaders runs concurrent NFS sequential readers (Figs 4-7).
+var RunNFSReaders = workload.RunNFSReaders
+
+// RunNFSStrideReader runs the §7 stride reader (Fig 8 / Table 1).
+var RunNFSStrideReader = workload.RunNFSStrideReader
+
+// ReaderCounts is the paper's sweep of concurrent reader counts.
+var ReaderCounts = workload.ReaderCounts
+
+// Experiments (every table and figure, plus ablations).
+type (
+	// Experiment is one named reproduction.
+	Experiment = bench.Experiment
+	// BenchParams controls runs, scale and seeding.
+	BenchParams = bench.Params
+	// BenchResult is a reproduced figure/table with formatting helpers.
+	BenchResult = bench.Result
+)
+
+// Experiments lists all reproductions in paper order.
+func Experiments() []Experiment { return bench.Experiments() }
+
+// LookupExperiment finds a reproduction by ID ("fig1" .. "table1",
+// "ablate-*").
+func LookupExperiment(id string) (Experiment, bool) { return bench.Lookup(id) }
+
+// Tracing (the measurement methodology behind the paper's §6).
+type (
+	// Tracer records NFS requests at the simulated server
+	// (nfsserver.Config.Tracer).
+	Tracer = nfstrace.Tracer
+	// TraceRecord is one traced request.
+	TraceRecord = nfstrace.Record
+	// TraceAnalysis summarizes reordering and sequentiality.
+	TraceAnalysis = nfstrace.Analysis
+)
+
+// AnalyzeTrace computes reordering/sequentiality metrics over READ
+// records.
+func AnalyzeTrace(records []TraceRecord) TraceAnalysis {
+	return nfstrace.Analyze(records, nfsproto.ProcRead)
+}
+
+// Live mode: the same protocol stack over real loopback sockets.
+type (
+	// LiveFS is an in-memory file store for the live service.
+	LiveFS = memfs.FS
+	// LiveService serves NFS v3 over rpcnet with real heuristics.
+	LiveService = memfs.Service
+	// LiveClient is a synchronous NFS client for the live service.
+	LiveClient = memfs.Client
+	// RPCServer is the underlying UDP+TCP ONC RPC server.
+	RPCServer = rpcnet.Server
+)
+
+// LiveRootFH is the live service's root directory handle.
+const LiveRootFH = memfs.RootFH
+
+// NewLiveFS returns an empty in-memory store.
+func NewLiveFS() *LiveFS { return memfs.NewFS() }
+
+// NewLiveService wraps fs with a heuristic and nfsheur table (nil for
+// the paper's improved defaults).
+func NewLiveService(fs *LiveFS, h Heuristic, t *NfsheurTable) *LiveService {
+	return memfs.NewService(fs, h, t)
+}
+
+// ServeLive binds addr (e.g. "127.0.0.1:0") and serves svc over real
+// UDP and TCP sockets.
+func ServeLive(addr string, svc *LiveService) (*RPCServer, error) {
+	return memfs.NewServer(addr, svc)
+}
+
+// DialLive connects to a live service over "udp" or "tcp".
+func DialLive(network, addr string) (*LiveClient, error) {
+	return memfs.DialClient(network, addr)
+}

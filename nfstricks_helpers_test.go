@@ -1,0 +1,12 @@
+package nfstricks
+
+import (
+	"nfstricks/internal/nfsserver"
+	"nfstricks/internal/nfstrace"
+)
+
+// nfsserverConfigWithTracer builds a server config carrying a tracer;
+// kept in a helper so the facade test reads cleanly.
+func nfsserverConfigWithTracer(tr *nfstrace.Tracer) nfsserver.Config {
+	return nfsserver.Config{Tracer: tr}
+}
