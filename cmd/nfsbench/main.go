@@ -8,6 +8,7 @@
 //	nfsbench -exp all -scale 4    # everything, 64 MB per iteration
 //	nfsbench -list                # show available experiments
 //	nfsbench -exp table1 -csv out.csv
+//	nfsbench -exp live-scale      # real-socket saturation: clients vs nfsheur shards
 //
 // Scale divides the paper's file sizes (scale 1 = the full 256 MB per
 // reader-count iteration); runs is the repetition count per cell.

@@ -1,0 +1,3 @@
+module nfstricks
+
+go 1.22

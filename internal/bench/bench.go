@@ -146,6 +146,7 @@ func Experiments() []Experiment {
 		{"ablate-cursors", "Ablation: cursors per file vs stride throughput", AblationCursors},
 		{"ablate-nfsheur", "Ablation: nfsheur table size vs concurrent readers", AblationNfsheur},
 		{"ablate-window", "Ablation: server read-ahead window size", AblationWindow},
+		{"live-scale", "Live server saturation: nfsheur sharding vs concurrent clients", LiveScale},
 	}
 }
 

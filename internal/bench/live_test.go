@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestLiveScaleShape smoke-tests the real-socket saturation experiment
+// at a tiny scale: every cell must produce a positive throughput and
+// the result must carry one series per shard configuration. (Relative
+// speedups across shard counts are host-dependent — GOMAXPROCS=1 CI
+// machines legitimately show none — so the shape check stops at
+// well-formedness.)
+func TestLiveScaleShape(t *testing.T) {
+	r, err := LiveScale(Params{Runs: 1, Scale: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != len(liveShardCounts) {
+		t.Fatalf("got %d series, want %d", len(r.Series), len(liveShardCounts))
+	}
+	for _, s := range r.Series {
+		if len(s.Samples) != len(liveClientCounts) {
+			t.Fatalf("series %s has %d samples", s.Label, len(s.Samples))
+		}
+		for i, smp := range s.Samples {
+			if smp.Mean <= 0 {
+				t.Fatalf("series %s x=%d mean %.3f", s.Label, liveClientCounts[i], smp.Mean)
+			}
+		}
+	}
+	if _, ok := r.SeriesByLabel("shards=1"); !ok {
+		t.Fatal("single-mutex baseline series missing")
+	}
+}

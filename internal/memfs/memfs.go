@@ -8,6 +8,7 @@ package memfs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
@@ -80,15 +81,22 @@ func (fs *FS) Lookup(name string) (nfsproto.FH, int64, bool) {
 
 // Read copies up to count bytes at off from the file.
 func (fs *FS) Read(fh nfsproto.FH, off uint64, count uint32) (data []byte, eof bool, err error) {
+	data, _, eof, err = fs.readAt(fh, off, count)
+	return data, eof, err
+}
+
+// readAt is Read plus the file's current size, fetched under a single
+// lock acquisition — the READ hot path needs both.
+func (fs *FS) readAt(fh nfsproto.FH, off uint64, count uint32) (data []byte, size uint64, eof bool, err error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	f, ok := fs.byFH[fh]
 	if !ok {
-		return nil, false, fmt.Errorf("memfs: stale handle %d", fh)
+		return nil, 0, false, fmt.Errorf("memfs: stale handle %d", fh)
 	}
-	size := uint64(len(f.data))
+	size = uint64(len(f.data))
 	if off >= size {
-		return nil, true, nil
+		return nil, size, true, nil
 	}
 	end := off + uint64(count)
 	if end > size {
@@ -96,7 +104,7 @@ func (fs *FS) Read(fh nfsproto.FH, off uint64, count uint32) (data []byte, eof b
 	}
 	out := make([]byte, end-off)
 	copy(out, f.data[off:end])
-	return out, end == size, nil
+	return out, size, end == size, nil
 }
 
 // Write stores data at off, extending the file as needed.
@@ -139,32 +147,57 @@ type ServiceStats struct {
 
 // Service adapts an FS to an rpcnet.Handler speaking the NFS v3 subset,
 // running a real nfsheur table + heuristic on the READ path.
+//
+// Service is safe for concurrent use by multiple goroutines, and its
+// hot path holds no global lock: heuristic state is striped across the
+// nfsheur table's shards (one forked heuristic per shard, mutated only
+// under that shard's lock), counters are atomics, and file data is read
+// under the FS's RWMutex read lock only.
 type Service struct {
-	fs *FS
+	fs    *FS
+	table *nfsheur.Table
+	// heur has one heuristic per table shard; heur[i] is only used
+	// while shard i's lock is held, which makes stateful heuristics
+	// (cursor) race-free without any lock of their own.
+	heur []readahead.Heuristic
 
-	mu        sync.Mutex
-	table     *nfsheur.Table
-	heuristic readahead.Heuristic
-	stats     ServiceStats
+	reads     atomic.Int64
+	bytesRead atomic.Int64
+	maxSeq    atomic.Int64
 }
 
-// NewService wraps fs. heuristic and table may be nil for the paper's
-// improved defaults (SlowDown + enlarged table).
+// NewService wraps fs. heuristic and table may be nil for the live
+// defaults: the paper's SlowDown heuristic over a GOMAXPROCS-sharded
+// table (nfsheur.ScaledParams). Pass an explicit table with Shards: 1
+// to reproduce the paper's single-table behaviour.
 func NewService(fs *FS, heuristic readahead.Heuristic, table *nfsheur.Table) *Service {
 	if heuristic == nil {
 		heuristic = readahead.SlowDown{}
 	}
 	if table == nil {
-		table = nfsheur.New(nfsheur.ImprovedParams())
+		table = nfsheur.New(nfsheur.ScaledParams())
 	}
-	return &Service{fs: fs, table: table, heuristic: heuristic}
+	// ForkN gives every shard its own instance (or a safely shared
+	// one), so the service never races on the caller's heuristic.
+	return &Service{fs: fs, table: table,
+		heur: readahead.ForkN(heuristic, table.ShardCount())}
 }
 
-// Stats returns a copy of the counters.
+// Table exposes the service's nfsheur table (for instrumentation).
+func (s *Service) Table() *nfsheur.Table { return s.table }
+
+// Stats returns a snapshot of the counters. The counters are
+// independent atomics (the READ path takes no common lock), so a
+// snapshot taken while requests are in flight may be torn by up to a
+// request's worth of updates — e.g. Reads incremented before that
+// request's bytes land in BytesRead. Quiesce the service for exact
+// cross-counter arithmetic.
 func (s *Service) Stats() ServiceStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServiceStats{
+		Reads:       s.reads.Load(),
+		BytesRead:   s.bytesRead.Load(),
+		MaxSeqCount: int(s.maxSeq.Load()),
+	}
 }
 
 // Handler returns the rpcnet handler for the NFS program.
@@ -215,31 +248,37 @@ func (s *Service) read(body []byte) ([]byte, uint32) {
 	if args.Count > nfsproto.MaxData {
 		args.Count = nfsproto.MaxData
 	}
+	if args.FH == 0 {
+		// The nfsheur table panics on handle 0; a crafted packet must
+		// get a stale-handle error, not crash the server.
+		return (&nfsproto.ReadRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
+	}
 
 	// The paper's code path: nfsheur lookup + heuristic update. The
 	// seqcount would size read-ahead on a disk-backed server; here it
-	// is surfaced through stats.
-	s.mu.Lock()
-	entry, _ := s.table.Lookup(uint64(args.FH))
-	seq := s.heuristic.Update(&entry.State, args.Offset, uint64(args.Count))
-	if seq > s.stats.MaxSeqCount {
-		s.stats.MaxSeqCount = seq
+	// is surfaced through stats. Only the handle's shard is locked, so
+	// reads of distinct files proceed in parallel.
+	var seq int
+	s.table.Update(uint64(args.FH), func(shard int, e *nfsheur.Entry, found bool) {
+		seq = s.heur[shard].Update(&e.State, args.Offset, uint64(args.Count))
+	})
+	for {
+		cur := s.maxSeq.Load()
+		if int64(seq) <= cur || s.maxSeq.CompareAndSwap(cur, int64(seq)) {
+			break
+		}
 	}
-	s.stats.Reads++
-	s.mu.Unlock()
+	s.reads.Add(1)
 
-	data, eof, err := s.fs.Read(args.FH, args.Offset, args.Count)
+	data, size, eof, err := s.fs.readAt(args.FH, args.Offset, args.Count)
 	if err != nil {
 		return (&nfsproto.ReadRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
 	}
-	s.mu.Lock()
-	s.stats.BytesRead += int64(len(data))
-	s.mu.Unlock()
-	size, _ := s.fs.Size(args.FH)
+	s.bytesRead.Add(int64(len(data)))
 	res := &nfsproto.ReadRes{
 		Status: nfsproto.OK,
 		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)},
+			Size: size, Used: size, FileID: uint64(args.FH)},
 		Count: uint32(len(data)), EOF: eof, Data: data,
 	}
 	return res.Marshal(), sunrpc.AcceptSuccess
@@ -288,6 +327,9 @@ func NewServer(addr string, svc *Service) (*rpcnet.Server, error) {
 }
 
 // Client is a minimal NFS client over rpcnet for the live service.
+// Safe for concurrent use by multiple goroutines: calls issued
+// concurrently are pipelined over the one connection (rpcnet.Client
+// demultiplexes replies by XID).
 type Client struct {
 	rpc *rpcnet.Client
 }

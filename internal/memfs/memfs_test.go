@@ -157,6 +157,25 @@ func TestLiveLookupMissing(t *testing.T) {
 	}
 }
 
+// TestLiveZeroHandleRead: a crafted READ with file handle 0 (which the
+// nfsheur table panics on) must draw a stale-handle error, not crash
+// the server — the server must keep serving afterwards.
+func TestLiveZeroHandleRead(t *testing.T) {
+	_, addr := startLive(t)
+	c, err := DialClient("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Read(0, 0, 8); err == nil {
+		t.Fatal("zero-handle read succeeded")
+	}
+	// The server must still be alive and serving.
+	if _, size, err := c.Lookup("hello"); err != nil || size != 12 {
+		t.Fatalf("server dead after zero-handle read: size=%d err=%v", size, err)
+	}
+}
+
 func TestLiveConcurrentClients(t *testing.T) {
 	_, addr := startLive(t)
 	done := make(chan error, 8)

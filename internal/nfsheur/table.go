@@ -13,31 +13,55 @@
 //   - Improved: the paper's fix — a larger table with a multi-slot probe
 //     window and use-count-based victim selection, making ejections
 //     unlikely until the table genuinely fills.
+//
+// The table is lock-striped: slots are partitioned into Params.Shards
+// independent shards keyed by a hash of the file handle, each guarded by
+// its own mutex, with counters kept as atomics. A Table is therefore
+// safe for concurrent use by multiple goroutines via Update (and the
+// read-only accessors); concurrent callers must not retain the *Entry
+// returned by Lookup, which exists for single-goroutine callers such as
+// the simulator. With Shards: 1 the probe sequence, victim selection and
+// eviction order are exactly those of the original single-table
+// implementation, which the paper reproductions rely on.
 package nfsheur
 
-import "nfstricks/internal/readahead"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nfstricks/internal/readahead"
+)
 
 // Params configures a table.
 type Params struct {
-	// Slots is the table size.
+	// Slots is the total table size across all shards.
 	Slots int
 	// Probes is the open-hashing window: a handle may live in any of
-	// the Probes slots starting at its hash.
+	// the Probes slots starting at its hash (within its shard).
 	Probes int
 	// UseInit/UseInc/UseMax drive victim selection, as in FreeBSD
 	// (NHUSE_INIT/NHUSE_INC/NHUSE_MAX): entries gain use on hits and
 	// the lowest-use entry in the probe window is ejected on a miss.
 	UseInit, UseInc, UseMax int
+	// Shards is the number of independent lock-striped partitions. Zero
+	// (and 1) mean a single shard — the original table's exact
+	// semantics, deterministic on every host; concurrent servers opt
+	// into GOMAXPROCS-scaled striping via ScaledParams. Clamped to
+	// Slots.
+	Shards int
 }
 
 // DefaultParams mirrors the FreeBSD 4.x table the paper found "simply
-// too small": 15 slots, one probe.
+// too small": 15 slots, one probe. Single-sharded (the zero default),
+// so the paper's eviction behaviour is reproduced exactly.
 func DefaultParams() Params {
 	return Params{Slots: 15, Probes: 1, UseInit: 64, UseInc: 16, UseMax: 2048}
 }
 
 // ImprovedParams mirrors the paper's enlarged table with better hash
-// parameters (ejections unlikely while not full).
+// parameters (ejections unlikely while not full). Single-sharded for
+// the paper reproductions.
 func ImprovedParams() Params {
 	return Params{Slots: 64, Probes: 4, UseInit: 64, UseInc: 16, UseMax: 2048}
 }
@@ -46,6 +70,24 @@ func ImprovedParams() Params {
 // with many concurrently active files).
 func LargeParams() Params {
 	return Params{Slots: 1024, Probes: 8, UseInit: 64, UseInc: 16, UseMax: 2048}
+}
+
+// ScaledParams is the live-server default: a GOMAXPROCS-scaled shard
+// count so concurrent READs on distinct files proceed without lock
+// contention, with enough slots per shard that a loaded server does not
+// thrash (the paper's §6.3 failure mode).
+func ScaledParams() Params {
+	ns := defaultShards()
+	return Params{Slots: 128 * ns, Probes: 4, UseInit: 64, UseInc: 16, UseMax: 2048, Shards: ns}
+}
+
+// defaultShards picks the shard count for Params.Shards == 0.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Entry is one table slot: a file handle plus its heuristic state.
@@ -62,11 +104,21 @@ type Stats struct {
 	Ejections int64 // installs that evicted another live handle
 }
 
-// Table is the nfsheur cache.
+// shard is one lock-striped partition: a contiguous run of slots with
+// its own mutex and counters.
+type shard struct {
+	mu    sync.Mutex
+	slots []Entry
+
+	hits, misses, ejections atomic.Int64
+}
+
+// Table is the nfsheur cache. Safe for concurrent use by multiple
+// goroutines via Update and the accessor methods; see Lookup for the
+// single-goroutine escape hatch.
 type Table struct {
 	params Params
-	slots  []Entry
-	stats  Stats
+	shards []*shard
 }
 
 // New returns an empty table with the given parameters.
@@ -80,17 +132,45 @@ func New(p Params) *Table {
 	if p.Probes > p.Slots {
 		p.Probes = p.Slots
 	}
-	return &Table{params: p, slots: make([]Entry, p.Slots)}
+	if p.Shards <= 0 {
+		p.Shards = 1
+	}
+	if p.Shards > p.Slots {
+		p.Shards = p.Slots
+	}
+	t := &Table{params: p, shards: make([]*shard, p.Shards)}
+	// Distribute slots across shards as evenly as possible; the first
+	// Slots%Shards shards take one extra.
+	base, extra := p.Slots/p.Shards, p.Slots%p.Shards
+	for i := range t.shards {
+		n := base
+		if i < extra {
+			n++
+		}
+		t.shards[i] = &shard{slots: make([]Entry, n)}
+	}
+	return t
 }
 
-// Params returns the table's configuration.
+// Params returns the table's configuration with defaults resolved.
 func (t *Table) Params() Params { return t.params }
 
-// Stats returns a copy of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+// ShardCount returns the number of lock stripes.
+func (t *Table) ShardCount() int { return len(t.shards) }
 
-// hash mixes the file handle with FNV-1a and reduces it to a slot.
-func (t *Table) hash(fh uint64) int {
+// Stats returns a snapshot of the counters summed across shards.
+func (t *Table) Stats() Stats {
+	var st Stats
+	for _, sh := range t.shards {
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Ejections += sh.ejections.Load()
+	}
+	return st
+}
+
+// hash mixes the file handle with FNV-1a.
+func hash(fh uint64) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -100,32 +180,47 @@ func (t *Table) hash(fh uint64) int {
 		h ^= (fh >> (8 * i)) & 0xff
 		h *= prime64
 	}
-	return int(h % uint64(t.params.Slots))
+	return h
 }
 
-// Lookup returns the entry for fh, installing it if absent. found
-// reports whether the handle was already resident; when false the
-// returned entry has freshly Reset state (any prior sequentiality
-// knowledge about this file is gone — the failure mode the paper
-// diagnoses). The returned pointer is valid until the next Lookup.
-func (t *Table) Lookup(fh uint64) (e *Entry, found bool) {
-	if fh == 0 {
-		panic("nfsheur: zero file handle")
+// locate maps a handle to its shard (index and pointer) and home slot
+// within that shard. With one shard the slot index is hash % Slots —
+// bit-for-bit the original implementation's placement.
+func (t *Table) locate(fh uint64) (si int, sh *shard, home int) {
+	h := hash(fh)
+	si = int(h % uint64(len(t.shards)))
+	sh = t.shards[si]
+	return si, sh, int((h / uint64(len(t.shards))) % uint64(len(sh.slots)))
+}
+
+// probeSpan is the shard's effective probe window: Params.Probes capped
+// at the shard's own slot count.
+func (t *Table) probeSpan(sh *shard) int {
+	probes := t.params.Probes
+	if probes > len(sh.slots) {
+		probes = len(sh.slots)
 	}
-	h := t.hash(fh)
+	return probes
+}
+
+// lookupLocked runs the probe/install step on one shard. Caller holds
+// sh.mu. The loop body is the original single-table algorithm, so one
+// shard preserves the seed's probe order, use decay and victim choice.
+func (t *Table) lookupLocked(sh *shard, home int, fh uint64) (e *Entry, found bool) {
+	probes := t.probeSpan(sh)
 	victim := -1
-	for i := 0; i < t.params.Probes; i++ {
-		idx := (h + i) % t.params.Slots
-		s := &t.slots[idx]
+	for i := 0; i < probes; i++ {
+		idx := (home + i) % len(sh.slots)
+		s := &sh.slots[idx]
 		if s.FH == fh {
-			t.stats.Hits++
+			sh.hits.Add(1)
 			s.Use += t.params.UseInc
 			if s.Use > t.params.UseMax {
 				s.Use = t.params.UseMax
 			}
 			return s, true
 		}
-		if victim == -1 || t.slots[idx].Use < t.slots[victim].Use {
+		if victim == -1 || sh.slots[idx].Use < sh.slots[victim].Use {
 			victim = idx
 		}
 		// Decay: probing past an entry costs it standing, so stale
@@ -137,10 +232,10 @@ func (t *Table) Lookup(fh uint64) (e *Entry, found bool) {
 			}
 		}
 	}
-	t.stats.Misses++
-	v := &t.slots[victim]
+	sh.misses.Add(1)
+	v := &sh.slots[victim]
 	if v.FH != 0 {
-		t.stats.Ejections++
+		sh.ejections.Add(1)
 	}
 	v.FH = fh
 	v.Use = t.params.UseInit
@@ -148,11 +243,49 @@ func (t *Table) Lookup(fh uint64) (e *Entry, found bool) {
 	return v, false
 }
 
+// Lookup returns the entry for fh, installing it if absent. found
+// reports whether the handle was already resident; when false the
+// returned entry has freshly Reset state (any prior sequentiality
+// knowledge about this file is gone — the failure mode the paper
+// diagnoses). The returned pointer is valid until the next Lookup.
+//
+// Lookup is for single-goroutine callers (the simulator, tests):
+// the entry is returned after the shard lock is released, so concurrent
+// callers must use Update instead.
+func (t *Table) Lookup(fh uint64) (e *Entry, found bool) {
+	if fh == 0 {
+		panic("nfsheur: zero file handle")
+	}
+	_, sh, home := t.locate(fh)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return t.lookupLocked(sh, home, fh)
+}
+
+// Update looks up fh (installing it if absent, exactly as Lookup) and
+// invokes fn with the handle's shard index and entry while the shard
+// lock is held. This is the concurrent-server API: fn may freely mutate
+// the entry's heuristic state, and calls for handles on different
+// shards proceed in parallel. fn must not call back into the table.
+func (t *Table) Update(fh uint64, fn func(shard int, e *Entry, found bool)) {
+	if fh == 0 {
+		panic("nfsheur: zero file handle")
+	}
+	si, sh, home := t.locate(fh)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, found := t.lookupLocked(sh, home, fh)
+	fn(si, e, found)
+}
+
 // Contains reports whether fh is resident without disturbing the table.
 func (t *Table) Contains(fh uint64) bool {
-	h := t.hash(fh)
-	for i := 0; i < t.params.Probes; i++ {
-		if t.slots[(h+i)%t.params.Slots].FH == fh {
+	_, sh, home := t.locate(fh)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	probes := t.probeSpan(sh)
+	for i := 0; i < probes; i++ {
+		if sh.slots[(home+i)%len(sh.slots)].FH == fh {
 			return true
 		}
 	}
@@ -162,17 +295,25 @@ func (t *Table) Contains(fh uint64) bool {
 // Active counts non-empty slots.
 func (t *Table) Active() int {
 	n := 0
-	for i := range t.slots {
-		if t.slots[i].FH != 0 {
-			n++
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for i := range sh.slots {
+			if sh.slots[i].FH != 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Flush empties the table.
 func (t *Table) Flush() {
-	for i := range t.slots {
-		t.slots[i] = Entry{}
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for i := range sh.slots {
+			sh.slots[i] = Entry{}
+		}
+		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,255 @@
+package nfsheur
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// seedTable is a verbatim reimplementation of the pre-sharding table
+// algorithm (single slot array, single probe loop), kept as the oracle
+// for the Shards: 1 equivalence tests below.
+type seedTable struct {
+	params Params
+	slots  []Entry
+	stats  Stats
+}
+
+func newSeedTable(p Params) *seedTable {
+	if p.Slots < 1 {
+		p.Slots = 1
+	}
+	if p.Probes < 1 {
+		p.Probes = 1
+	}
+	if p.Probes > p.Slots {
+		p.Probes = p.Slots
+	}
+	return &seedTable{params: p, slots: make([]Entry, p.Slots)}
+}
+
+func (t *seedTable) lookup(fh uint64) (e *Entry, found bool) {
+	h := int(hash(fh) % uint64(t.params.Slots))
+	victim := -1
+	for i := 0; i < t.params.Probes; i++ {
+		idx := (h + i) % t.params.Slots
+		s := &t.slots[idx]
+		if s.FH == fh {
+			t.stats.Hits++
+			s.Use += t.params.UseInc
+			if s.Use > t.params.UseMax {
+				s.Use = t.params.UseMax
+			}
+			return s, true
+		}
+		if victim == -1 || t.slots[idx].Use < t.slots[victim].Use {
+			victim = idx
+		}
+		if s.FH != 0 {
+			s.Use--
+			if s.Use < 0 {
+				s.Use = 0
+			}
+		}
+	}
+	t.stats.Misses++
+	v := &t.slots[victim]
+	if v.FH != 0 {
+		t.stats.Ejections++
+	}
+	v.FH = fh
+	v.Use = t.params.UseInit
+	v.State.Reset()
+	return v, false
+}
+
+// TestShards1MatchesSeedEvictionOrder replays long pseudorandom handle
+// sequences against a Shards: 1 table and the seed oracle and demands
+// identical found flags, identical per-slot contents after every step,
+// and identical counters — i.e. the exact eviction order the paper
+// reproductions were calibrated against.
+func TestShards1MatchesSeedEvictionOrder(t *testing.T) {
+	for _, p := range []Params{
+		DefaultParams(),
+		ImprovedParams(),
+		{Slots: 7, Probes: 3, UseInit: 64, UseInc: 16, UseMax: 2048, Shards: 1},
+	} {
+		rng := rand.New(rand.NewSource(42))
+		tbl := New(p)
+		oracle := newSeedTable(p)
+		if len(tbl.shards) != 1 {
+			t.Fatalf("%+v: expected 1 shard, got %d", p, len(tbl.shards))
+		}
+		for step := 0; step < 5000; step++ {
+			fh := uint64(rng.Intn(4*p.Slots)) + 1
+			e, found := tbl.Lookup(fh)
+			oe, ofound := oracle.lookup(fh)
+			if found != ofound {
+				t.Fatalf("%+v step %d fh %d: found=%v oracle=%v", p, step, fh, found, ofound)
+			}
+			if e.FH != oe.FH || e.Use != oe.Use {
+				t.Fatalf("%+v step %d fh %d: entry {%d %d} oracle {%d %d}",
+					p, step, fh, e.FH, e.Use, oe.FH, oe.Use)
+			}
+			for i := range oracle.slots {
+				if tbl.shards[0].slots[i].FH != oracle.slots[i].FH {
+					t.Fatalf("%+v step %d: slot %d diverged: %d vs %d",
+						p, step, i, tbl.shards[0].slots[i].FH, oracle.slots[i].FH)
+				}
+			}
+		}
+		if got, want := tbl.Stats(), oracle.stats; got != want {
+			t.Fatalf("%+v: stats %+v, oracle %+v", p, got, want)
+		}
+	}
+}
+
+// TestShardedCountersSum drives a multi-shard table and checks that the
+// per-shard atomic counters sum to exactly the operation totals: every
+// lookup is a hit or a miss, and ejections never exceed misses.
+func TestShardedCountersSum(t *testing.T) {
+	p := Params{Slots: 64, Probes: 4, UseInit: 64, UseInc: 16, UseMax: 2048, Shards: 4}
+	tbl := New(p)
+	if tbl.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", tbl.ShardCount())
+	}
+	const handles, rounds = 48, 50
+	var lookups int64
+	for r := 0; r < rounds; r++ {
+		for fh := uint64(1); fh <= handles; fh++ {
+			tbl.Lookup(fh)
+			lookups++
+		}
+	}
+	st := tbl.Stats()
+	if st.Hits+st.Misses != lookups {
+		t.Fatalf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, lookups)
+	}
+	if st.Ejections > st.Misses {
+		t.Fatalf("ejections %d > misses %d", st.Ejections, st.Misses)
+	}
+	// Cross-check against summing each shard by hand.
+	var byHand Stats
+	for _, sh := range tbl.shards {
+		byHand.Hits += sh.hits.Load()
+		byHand.Misses += sh.misses.Load()
+		byHand.Ejections += sh.ejections.Load()
+	}
+	if byHand != st {
+		t.Fatalf("Stats() %+v != per-shard sum %+v", st, byHand)
+	}
+}
+
+// TestShardsClampedToSlots: a table can't have more stripes than slots,
+// the zero value is deterministic (1 shard, the seed semantics), and
+// ScaledParams opts into GOMAXPROCS striping explicitly.
+func TestShardsClampedToSlots(t *testing.T) {
+	tbl := New(Params{Slots: 3, Probes: 1, Shards: 16})
+	if tbl.ShardCount() != 3 {
+		t.Fatalf("ShardCount = %d, want 3", tbl.ShardCount())
+	}
+	total := 0
+	for _, sh := range tbl.shards {
+		total += len(sh.slots)
+	}
+	if total != 3 {
+		t.Fatalf("total slots = %d, want 3", total)
+	}
+	tbl = New(Params{Slots: 1024, Probes: 4})
+	if tbl.ShardCount() != 1 {
+		t.Fatalf("zero-value ShardCount = %d, want 1 (host-independent)", tbl.ShardCount())
+	}
+	if got, want := New(ScaledParams()).ShardCount(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("ScaledParams ShardCount = %d, want GOMAXPROCS %d", got, want)
+	}
+	if tbl.Params().Shards != tbl.ShardCount() {
+		t.Fatal("Params().Shards not resolved")
+	}
+}
+
+// TestConcurrentUpdate hammers one table from many goroutines (run
+// under -race). Each goroutine counts its own lookups; the table's
+// counters must account for every single one.
+func TestConcurrentUpdate(t *testing.T) {
+	tbl := New(ScaledParams())
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				fh := uint64(g*64+i%64) + 1
+				tbl.Update(fh, func(shard int, e *Entry, found bool) {
+					if e.FH != fh {
+						panic("entry for wrong handle")
+					}
+					if shard < 0 || shard >= tbl.ShardCount() {
+						panic("shard index out of range")
+					}
+					e.State.SeqCount++
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := tbl.Stats()
+	if st.Hits+st.Misses != goroutines*perG {
+		t.Fatalf("hits %d + misses %d != %d lookups", st.Hits, st.Misses, goroutines*perG)
+	}
+	if tbl.Active() > tbl.Params().Slots {
+		t.Fatalf("Active %d > Slots %d", tbl.Active(), tbl.Params().Slots)
+	}
+}
+
+// Property: sharded and single-shard tables agree that a just-looked-up
+// handle is resident regardless of shard count.
+func TestShardedResidencyProperty(t *testing.T) {
+	f := func(fhs []uint64, shards uint8) bool {
+		p := ImprovedParams()
+		p.Shards = int(shards%8) + 1
+		tbl := New(p)
+		for _, fh := range fhs {
+			if fh == 0 {
+				continue
+			}
+			tbl.Lookup(fh)
+			if !tbl.Contains(fh) {
+				return false
+			}
+		}
+		return tbl.Active() <= p.Slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkTableLookupParallel measures concurrent Update throughput at
+// 1 shard (the seed's effective configuration: one global lock) vs the
+// GOMAXPROCS-scaled default — the contention the live server used to
+// serialize on.
+func BenchmarkTableLookupParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=auto", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := ScaledParams()
+			p.Shards = cfg.shards
+			tbl := New(p)
+			b.RunParallel(func(pb *testing.PB) {
+				fh := uint64(rand.Int63n(1<<20) + 1)
+				for pb.Next() {
+					fh = fh%(1<<20) + 1
+					tbl.Update(fh, func(int, *Entry, bool) {})
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package readahead
+
+import (
+	"sync"
+	"testing"
+)
+
+// statefulNoFork is a third-party-style heuristic: it mutates its own
+// fields on every Update and does NOT implement Forker.
+type statefulNoFork struct {
+	calls int
+	last  uint64
+}
+
+func (h *statefulNoFork) Name() string { return "stateful" }
+func (h *statefulNoFork) Update(s *State, off, length uint64) int {
+	h.calls++
+	h.last = off
+	s.SeqCount = 1
+	return 1
+}
+func (h *statefulNoFork) Frontier(s *State) *uint64 { return &s.Frontier }
+
+func TestForkNStatelessShared(t *testing.T) {
+	hs := ForkN(SlowDown{}, 4)
+	for _, h := range hs {
+		if h != (SlowDown{}) {
+			t.Fatalf("stateless heuristic not shared as-is: %T", h)
+		}
+	}
+}
+
+func TestForkNForkerForked(t *testing.T) {
+	orig := &CursorHeuristic{MaxCursors: 3}
+	hs := ForkN(orig, 4)
+	seen := map[Heuristic]bool{}
+	for _, h := range hs {
+		c, ok := h.(*CursorHeuristic)
+		if !ok || c == orig {
+			t.Fatalf("Forker not forked per domain: %T (orig=%v)", h, c == orig)
+		}
+		if c.MaxCursors != 3 {
+			t.Fatalf("fork lost configuration: %d", c.MaxCursors)
+		}
+		if seen[h] {
+			t.Fatal("two domains share one fork")
+		}
+		seen[h] = true
+	}
+}
+
+// TestForkNUnknownStatefulSerialized: a stateful non-Forker heuristic
+// must be safe to drive from every domain concurrently (run under
+// -race) — ForkN wraps it in a single lock, the guarantee such
+// heuristics had under the old global service mutex.
+func TestForkNUnknownStatefulSerialized(t *testing.T) {
+	raw := &statefulNoFork{}
+	hs := ForkN(raw, 8)
+	var wg sync.WaitGroup
+	const perDomain = 1000
+	for d := range hs {
+		wg.Add(1)
+		go func(h Heuristic, d int) {
+			defer wg.Done()
+			var s State
+			s.Reset()
+			for i := 0; i < perDomain; i++ {
+				h.Update(&s, uint64(d*i), 8192)
+			}
+		}(hs[d], d)
+	}
+	wg.Wait()
+	if raw.calls != len(hs)*perDomain {
+		t.Fatalf("calls = %d, want %d (updates lost to a race)", raw.calls, len(hs)*perDomain)
+	}
+	if hs[0].Name() != "stateful" {
+		t.Fatalf("wrapper Name = %q", hs[0].Name())
+	}
+}

@@ -7,6 +7,8 @@
 // which files get to keep such a record at all.
 package readahead
 
+import "sync"
+
 // SeqMax is the ceiling on the sequentiality count. The paper notes the
 // count "is never allowed to grow higher than 127, due to the
 // implementation of the lower levels of the operating system"
@@ -55,7 +57,10 @@ func (s *State) Reset() {
 }
 
 // Heuristic computes the sequentiality count to use for a read and
-// updates the per-file state.
+// updates the per-file state. The stateless heuristics (Default,
+// SlowDown, Always) are safe for concurrent use; CursorHeuristic keeps
+// cross-call state and is not — concurrent servers give each lock
+// domain its own instance via Fork.
 type Heuristic interface {
 	// Name identifies the heuristic, e.g. "slowdown".
 	Name() string
@@ -68,6 +73,76 @@ type Heuristic interface {
 	// matched). The caller reads and advances the frontier as it issues
 	// read-ahead.
 	Frontier(s *State) *uint64
+}
+
+// Forker is implemented by heuristics that carry cross-call state and
+// therefore must not be shared between goroutines: Fork returns a fresh
+// instance with the same configuration but no accumulated state.
+type Forker interface {
+	Fork() Heuristic
+}
+
+// Fork returns a heuristic equivalent to h that is safe to use from one
+// additional lock domain: Forker implementations are copied, known
+// stateless ones are returned as-is, and unknown implementations are
+// wrapped in a lock (see ForkN).
+func Fork(h Heuristic) Heuristic {
+	return ForkN(h, 1)[0]
+}
+
+// ForkN returns n heuristics for n independent lock domains (e.g. the
+// shards of an nfsheur table): Forker implementations are forked per
+// domain, the known-stateless heuristics are shared as-is, and any
+// other implementation — possibly stateful, from outside this package —
+// is shared behind one mutex, preserving the serialized-but-safe
+// behavior such heuristics had when servers held a single global lock.
+func ForkN(h Heuristic, n int) []Heuristic {
+	out := make([]Heuristic, n)
+	switch h.(type) {
+	case Default, SlowDown, Always:
+		for i := range out {
+			out[i] = h
+		}
+		return out
+	}
+	if f, ok := h.(Forker); ok {
+		for i := range out {
+			out[i] = f.Fork()
+		}
+		return out
+	}
+	l := &lockedHeuristic{h: h}
+	for i := range out {
+		out[i] = l
+	}
+	return out
+}
+
+// lockedHeuristic serializes calls to an unknown heuristic
+// implementation. Note the Frontier-follows-Update pairing is only
+// meaningful per goroutine; interleaved callers get each call
+// individually serialized, nothing more.
+type lockedHeuristic struct {
+	mu sync.Mutex
+	h  Heuristic
+}
+
+func (l *lockedHeuristic) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Name()
+}
+
+func (l *lockedHeuristic) Update(s *State, off, length uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Update(s, off, length)
+}
+
+func (l *lockedHeuristic) Frontier(s *State) *uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Frontier(s)
 }
 
 func absDiff(a, b uint64) uint64 {
@@ -181,6 +256,12 @@ type CursorHeuristic struct {
 
 // Name implements Heuristic.
 func (c *CursorHeuristic) Name() string { return "cursor" }
+
+// Fork implements Forker: a fresh heuristic with the same cursor limit
+// and no clock/match state, for per-shard use by concurrent servers.
+func (c *CursorHeuristic) Fork() Heuristic {
+	return &CursorHeuristic{MaxCursors: c.MaxCursors}
+}
 
 // Frontier implements Heuristic. It returns the frontier of the cursor
 // the immediately preceding Update call touched, falling back to the

@@ -6,6 +6,7 @@
 package rpcnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -46,14 +47,9 @@ func NewServer(addr string, prog, vers uint32, handler Handler) (*Server, error)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: %w", err)
 	}
-	udp, err := net.ListenUDP("udp", udpAddr)
+	udp, tcp, err := bindBoth(udpAddr)
 	if err != nil {
-		return nil, fmt.Errorf("rpcnet: %w", err)
-	}
-	tcp, err := net.Listen("tcp", udp.LocalAddr().String())
-	if err != nil {
-		udp.Close()
-		return nil, fmt.Errorf("rpcnet: %w", err)
+		return nil, err
 	}
 	s := &Server{
 		prog: prog, vers: vers, handler: handler,
@@ -64,6 +60,32 @@ func NewServer(addr string, prog, vers uint32, handler Handler) (*Server, error)
 	go s.serveUDP()
 	go s.serveTCP()
 	return s, nil
+}
+
+// bindBoth acquires a UDP socket and a TCP listener on the same port.
+// With an explicit port one attempt is made; with port 0 the kernel
+// picks the UDP port, and since the matching TCP port may independently
+// be in use (e.g. as some client's ephemeral port), the pair is retried
+// on a fresh port a few times before giving up.
+func bindBoth(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
+	attempts := 1
+	if udpAddr.Port == 0 {
+		attempts = 16
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		udp, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rpcnet: %w", err)
+		}
+		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+		if err == nil {
+			return udp, tcp, nil
+		}
+		udp.Close()
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("rpcnet: %w", lastErr)
 }
 
 // Addr returns the bound address (identical for UDP and TCP).
@@ -177,15 +199,39 @@ func (s *Server) process(msg []byte) []byte {
 	return sunrpc.MarshalReply(reply)
 }
 
-// Client is a synchronous RPC client over UDP or TCP.
+// Client is a pipelining RPC client over UDP or TCP. It is safe for
+// concurrent use by multiple goroutines: calls issued concurrently are
+// all in flight at once over the single connection — a writer goroutine
+// serializes sends, a reader goroutine demultiplexes replies to the
+// matching call by XID, and each call waits only on its own reply (or
+// its context). There is no one-outstanding-call lock.
 type Client struct {
 	network string
 	conn    net.Conn
 	prog    uint32
 	vers    uint32
 	xid     atomic.Uint32
-	mu      sync.Mutex // serializes calls (one outstanding at a time)
-	timeout time.Duration
+	timeout atomic.Int64 // per-call deadline for Call, in nanoseconds
+
+	sendCh  chan wireMsg
+	closeCh chan struct{} // closed once, by Close or transport failure
+
+	mu      sync.Mutex
+	pending map[uint32]chan callReply
+	err     error // first terminal transport error; nil while healthy
+	closing sync.Once
+}
+
+// wireMsg is one marshalled call handed to the writer goroutine.
+type wireMsg struct {
+	xid uint32
+	msg []byte
+}
+
+// callReply is what the reader delivers to a waiting call.
+type callReply struct {
+	body []byte
+	err  error
 }
 
 // Dial connects to an RPC server. network is "udp" or "tcp".
@@ -197,26 +243,220 @@ func Dial(network, addr string, prog, vers uint32) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: %w", err)
 	}
-	c := &Client{network: network, conn: conn, prog: prog, vers: vers,
-		timeout: 5 * time.Second}
+	c := &Client{
+		network: network, conn: conn, prog: prog, vers: vers,
+		sendCh:  make(chan wireMsg, 64),
+		closeCh: make(chan struct{}),
+		pending: make(map[uint32]chan callReply),
+	}
+	c.timeout.Store(int64(5 * time.Second))
 	c.xid.Store(uint32(time.Now().UnixNano()))
+	go c.writer()
+	go c.reader()
 	return c, nil
 }
 
-// SetTimeout sets the per-call deadline.
-func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+// SetTimeout sets the per-call deadline used by Call (not CallContext)
+// and the write deadline applied to each socket send.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// ErrClientClosed is returned for calls on a closed client.
+var ErrClientClosed = errors.New("rpcnet: client closed")
+
+// Close releases the connection and fails any in-flight calls with
+// ErrClientClosed. It returns the socket close error, if this call is
+// the one that actually closed it.
+func (c *Client) Close() error {
+	return c.fail(ErrClientClosed)
+}
+
+// fail marks the transport dead with err (first error wins), closes the
+// socket to unblock the reader and writer, and fails every pending
+// call (sent or not — nothing can complete on a dead transport). It
+// returns the socket close error when this invocation performed the
+// close, nil otherwise.
+func (c *Client) fail(err error) error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	err = c.err
+	c.mu.Unlock()
+	var closeErr error
+	c.closing.Do(func() {
+		close(c.closeCh)
+		closeErr = c.conn.Close()
+	})
+	c.drainPending(err)
+	return closeErr
+}
+
+// drainPending removes every pending call and fails it with err.
+func (c *Client) drainPending(err error) {
+	c.mu.Lock()
+	stale := c.pending
+	c.pending = make(map[uint32]chan callReply)
+	c.mu.Unlock()
+	for _, ch := range stale {
+		ch <- callReply{err: err}
+	}
+}
+
+// failOne fails a single in-flight call with err, if still pending.
+func (c *Client) failOne(xid uint32, err error) {
+	c.mu.Lock()
+	ch, ok := c.pending[xid]
+	if ok {
+		delete(c.pending, xid)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- callReply{err: err}
+	}
+}
+
+// isClosed reports whether Close or a terminal failure already ran.
+func (c *Client) isClosed() bool {
+	select {
+	case <-c.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// register installs a reply channel for xid, or reports the terminal
+// error if the transport is already dead.
+func (c *Client) register(xid uint32) (chan callReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	ch := make(chan callReply, 1)
+	c.pending[xid] = ch
+	return ch, nil
+}
+
+// unregister removes xid's reply channel (call abandoned: context done).
+// A reply arriving later is dropped by the demultiplexer.
+func (c *Client) unregister(xid uint32) {
+	c.mu.Lock()
+	delete(c.pending, xid)
+	c.mu.Unlock()
+}
+
+// writer drains sendCh onto the socket, serializing sends from
+// concurrent calls. On TCP a send error kills the transport (the
+// stream is dead); on UDP it fails only that call — a connected UDP
+// socket's write error (ECONNREFUSED from a momentarily gone server)
+// is transient and later calls may succeed.
+func (c *Client) writer() {
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case m := <-c.sendCh:
+			// Skip calls already abandoned by their context.
+			c.mu.Lock()
+			_, live := c.pending[m.xid]
+			c.mu.Unlock()
+			if !live {
+				continue
+			}
+			// A write deadline keeps a stalled TCP peer (accepting but
+			// never reading, send buffer full) from wedging the writer
+			// forever; the blocked send errors out and fails the
+			// transport, as the pre-pipelining per-call deadline did.
+			if d := time.Duration(c.timeout.Load()); d > 0 {
+				c.conn.SetWriteDeadline(time.Now().Add(d))
+			}
+			var err error
+			if c.network == "tcp" {
+				err = sunrpc.WriteRecord(c.conn, m.msg)
+			} else {
+				_, err = c.conn.Write(m.msg)
+			}
+			if err != nil {
+				if c.network == "tcp" {
+					c.fail(fmt.Errorf("rpcnet: send: %w", err))
+					return
+				}
+				c.failOne(m.xid, fmt.Errorf("rpcnet: send: %w", err))
+			}
+		}
+	}
+}
+
+// reader demultiplexes replies to pending calls by XID. Garbage and
+// replies to abandoned calls are dropped, like a real client facing
+// stale datagrams. TCP read errors are terminal. A UDP read error
+// (ICMP port-unreachable surfacing as ECONNREFUSED) names no XID, so
+// it fails no one: punishing every in-flight call would drop replies
+// already queued in the socket buffer, and any call whose datagram
+// really was lost is bounded by its own context deadline.
+func (c *Client) reader() {
+	var buf []byte
+	if c.network != "tcp" {
+		buf = make([]byte, maxUDPMessage)
+	}
+	for {
+		var raw []byte
+		var err error
+		if c.network == "tcp" {
+			raw, err = sunrpc.ReadRecord(c.conn)
+		} else {
+			var n int
+			n, err = c.conn.Read(buf)
+			raw = buf[:n]
+		}
+		if err != nil {
+			if c.network == "tcp" || c.isClosed() {
+				c.fail(fmt.Errorf("rpcnet: recv: %w", err))
+				return
+			}
+			// A connected-UDP read error normally just drains a queued
+			// ICMP error and the next read blocks; the pause guards
+			// against hot-spinning on a socket that errors persistently.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		reply, err := sunrpc.UnmarshalReply(raw)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reply.XID]
+		if ok {
+			delete(c.pending, reply.XID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if reply.Stat != sunrpc.AcceptSuccess {
+			ch <- callReply{err: fmt.Errorf("%w: accept status %d", ErrRPC, reply.Stat)}
+			continue
+		}
+		ch <- callReply{body: reply.Body}
+	}
+}
 
 // ErrRPC is returned for non-success accept statuses.
 var ErrRPC = errors.New("rpcnet: rpc error")
 
-// Call performs one RPC and returns the reply body.
+// Call performs one RPC and returns the reply body, waiting at most the
+// SetTimeout deadline. Calls from multiple goroutines are pipelined.
 func (c *Client) Call(proc uint32, args []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(c.timeout.Load()))
+	defer cancel()
+	return c.CallContext(ctx, proc, args)
+}
 
+// CallContext performs one RPC and returns the reply body. The call is
+// abandoned (its late reply dropped) when ctx is done.
+func (c *Client) CallContext(ctx context.Context, proc uint32, args []byte) ([]byte, error) {
 	xid := c.xid.Add(1)
 	msg := sunrpc.MarshalCall(&sunrpc.Call{
 		XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc,
@@ -224,44 +464,27 @@ func (c *Client) Call(proc uint32, args []byte) ([]byte, error) {
 		Verf: sunrpc.AuthNoneCred(),
 		Body: args,
 	})
-	deadline := time.Now().Add(c.timeout)
-	c.conn.SetDeadline(deadline)
-	defer c.conn.SetDeadline(time.Time{})
-
-	if c.network == "tcp" {
-		if err := sunrpc.WriteRecord(c.conn, msg); err != nil {
-			return nil, fmt.Errorf("rpcnet: send: %w", err)
-		}
-	} else {
-		if _, err := c.conn.Write(msg); err != nil {
-			return nil, fmt.Errorf("rpcnet: send: %w", err)
-		}
+	ch, err := c.register(xid)
+	if err != nil {
+		return nil, err
 	}
-
-	for {
-		var raw []byte
-		var err error
-		if c.network == "tcp" {
-			raw, err = sunrpc.ReadRecord(c.conn)
-		} else {
-			buf := make([]byte, maxUDPMessage)
-			var n int
-			n, err = c.conn.Read(buf)
-			raw = buf[:n]
-		}
-		if err != nil {
-			return nil, fmt.Errorf("rpcnet: recv: %w", err)
-		}
-		reply, err := sunrpc.UnmarshalReply(raw)
-		if err != nil {
-			continue // garbage or stale datagram: keep waiting
-		}
-		if reply.XID != xid {
-			continue // reply to an earlier (timed-out) call
-		}
-		if reply.Stat != sunrpc.AcceptSuccess {
-			return nil, fmt.Errorf("%w: accept status %d", ErrRPC, reply.Stat)
-		}
-		return reply.Body, nil
+	select {
+	case c.sendCh <- wireMsg{xid: xid, msg: msg}:
+	case <-c.closeCh:
+		c.unregister(xid)
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	case <-ctx.Done():
+		c.unregister(xid)
+		return nil, fmt.Errorf("rpcnet: %w", ctx.Err())
+	}
+	select {
+	case r := <-ch:
+		return r.body, r.err
+	case <-ctx.Done():
+		c.unregister(xid)
+		return nil, fmt.Errorf("rpcnet: %w", ctx.Err())
 	}
 }

@@ -2,6 +2,8 @@ package rpcnet
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -125,6 +127,171 @@ func TestConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestPipelinedCallsOneClient issues concurrent calls from many
+// goroutines over a single client connection: the XID demultiplexer
+// must route every reply to the call that made it, over both
+// transports. (Run under -race.)
+func TestPipelinedCallsOneClient(t *testing.T) {
+	s := startServer(t)
+	for _, network := range []string{"udp", "tcp"} {
+		c, err := Dial(network, s.Addr(), 100003, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", network, err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for j := 0; j < 25; j++ {
+					payload := []byte{byte(g), byte(j), byte(g ^ j)}
+					body, err := c.Call(3, payload)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(body[1:], payload) {
+						errs <- errors.New("reply routed to wrong call")
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%s: %v", network, err)
+		}
+		c.Close()
+	}
+}
+
+// TestPipeliningOverlapsSlowCalls proves calls really overlap: with a
+// server that stalls one specific procedure, a slow call must not block
+// a fast one issued after it on the same connection.
+func TestPipeliningOverlapsSlowCalls(t *testing.T) {
+	release := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(proc uint32, body []byte) ([]byte, uint32) {
+		if proc == 7 {
+			<-release
+		}
+		return body, sunrpc.AcceptSuccess
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial("tcp", s.Addr(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(7, []byte("slow"))
+		slowDone <- err
+	}()
+	// The fast call must complete while the slow one is still held.
+	if _, err := c.Call(1, []byte("fast")); err != nil {
+		t.Fatalf("fast call blocked behind slow call: %v", err)
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow call finished early: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCallContextCancel abandons a call via its context; the client
+// must return promptly and stay usable for later calls.
+func TestCallContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(proc uint32, body []byte) ([]byte, uint32) {
+		if proc == 7 {
+			<-block
+		}
+		return body, sunrpc.AcceptSuccess
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		s.Close()
+	}()
+	c, err := Dial("udp", s.Addr(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.CallContext(ctx, 7, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call returned %v", err)
+	}
+	if _, err := c.Call(1, []byte("after")); err != nil {
+		t.Fatalf("client unusable after cancel: %v", err)
+	}
+}
+
+// TestUDPClientSurvivesServerRestart: a UDP transport error (server
+// gone, ICMP port-unreachable) fails the in-flight call but must not
+// poison the client — once a server is back on the same port, calls
+// succeed again. TCP clients, by contrast, are dead after a stream
+// error.
+func TestUDPClientSurvivesServerRestart(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr()
+	c, err := Dial("udp", addr, 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(500 * time.Millisecond)
+	if _, err := c.Call(1, []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := c.Call(1, []byte("down")); err == nil {
+		t.Fatal("call to stopped server succeeded")
+	}
+	// Restart on the same address; the old client must recover.
+	s2, err := NewServer(addr, 100003, 3, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if _, lastErr = c.Call(1, []byte("back")); lastErr == nil {
+			return
+		}
+	}
+	t.Fatalf("UDP client never recovered after server restart: %v", lastErr)
+}
+
+// TestCallAfterClose: calls on a closed client fail fast.
+func TestCallAfterClose(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial("tcp", s.Addr(), 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Call(1, nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("call on closed client returned %v", err)
 	}
 }
 

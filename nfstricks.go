@@ -63,10 +63,13 @@ const SeqMax = readahead.SeqMax
 
 // The nfsheur table (paper §6.3).
 type (
-	// NfsheurTable caches per-file heuristic state on the server.
+	// NfsheurTable caches per-file heuristic state on the server. It is
+	// lock-striped (NfsheurParams.Shards) and safe for concurrent use.
 	NfsheurTable = nfsheur.Table
-	// NfsheurParams configures table geometry.
+	// NfsheurParams configures table geometry and shard count.
 	NfsheurParams = nfsheur.Params
+	// NfsheurStats is the table's hit/miss/ejection counters.
+	NfsheurStats = nfsheur.Stats
 )
 
 // NewNfsheurTable builds a table with the given geometry.
@@ -77,6 +80,10 @@ func DefaultNfsheur() NfsheurParams { return nfsheur.DefaultParams() }
 
 // ImprovedNfsheur is the paper's enlarged table.
 func ImprovedNfsheur() NfsheurParams { return nfsheur.ImprovedParams() }
+
+// ScaledNfsheur is the live server's default: a GOMAXPROCS-sharded
+// table so concurrent READs on distinct files never contend on a lock.
+func ScaledNfsheur() NfsheurParams { return nfsheur.ScaledParams() }
 
 // Testbed assembly (paper §4).
 type (
@@ -163,13 +170,20 @@ func AnalyzeTrace(records []TraceRecord) TraceAnalysis {
 	return nfstrace.Analyze(records, nfsproto.ProcRead)
 }
 
-// Live mode: the same protocol stack over real loopback sockets.
+// Live mode: the same protocol stack over real loopback sockets. The
+// whole stack is safe for concurrent use: the service's READ path takes
+// no global lock (heuristic state is striped across the nfsheur table's
+// shards), and a client pipelines concurrent calls over one connection,
+// demultiplexing replies by XID. "nfsbench -exp live-scale" measures
+// this path as concurrent clients grow.
 type (
 	// LiveFS is an in-memory file store for the live service.
 	LiveFS = memfs.FS
-	// LiveService serves NFS v3 over rpcnet with real heuristics.
+	// LiveService serves NFS v3 over rpcnet with real heuristics. Safe
+	// for concurrent use; its hot path holds no global lock.
 	LiveService = memfs.Service
-	// LiveClient is a synchronous NFS client for the live service.
+	// LiveClient is an NFS client for the live service, safe for
+	// concurrent use by multiple goroutines (calls are pipelined).
 	LiveClient = memfs.Client
 	// RPCServer is the underlying UDP+TCP ONC RPC server.
 	RPCServer = rpcnet.Server
@@ -181,8 +195,11 @@ const LiveRootFH = memfs.RootFH
 // NewLiveFS returns an empty in-memory store.
 func NewLiveFS() *LiveFS { return memfs.NewFS() }
 
-// NewLiveService wraps fs with a heuristic and nfsheur table (nil for
-// the paper's improved defaults).
+// NewLiveService wraps fs with a heuristic and nfsheur table. Nil
+// defaults are the live-serving configuration: SlowDown over a
+// GOMAXPROCS-sharded ScaledNfsheur table. Pass an explicit
+// NewNfsheurTable(ImprovedNfsheur()) to reproduce the paper's
+// deterministic single table instead.
 func NewLiveService(fs *LiveFS, h Heuristic, t *NfsheurTable) *LiveService {
 	return memfs.NewService(fs, h, t)
 }
