@@ -9,6 +9,7 @@
 //	nfsbench -list                # show available experiments
 //	nfsbench -exp table1 -csv out.csv
 //	nfsbench -exp live-scale      # real-socket saturation: clients vs nfsheur shards
+//	nfsbench -exp alloc-profile   # allocator cost per live RPC (B/op, allocs/op)
 //
 // Scale divides the paper's file sizes (scale 1 = the full 256 MB per
 // reader-count iteration); runs is the repetition count per cell.

@@ -147,6 +147,7 @@ func Experiments() []Experiment {
 		{"ablate-nfsheur", "Ablation: nfsheur table size vs concurrent readers", AblationNfsheur},
 		{"ablate-window", "Ablation: server read-ahead window size", AblationWindow},
 		{"live-scale", "Live server saturation: nfsheur sharding vs concurrent clients", LiveScale},
+		{"alloc-profile", "Allocator traffic per live RPC: allocs/op and B/op by transfer size", AllocProfile},
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; quantitative allocator bounds are meaningless under its
+// shadow-memory overhead.
+const raceEnabled = true

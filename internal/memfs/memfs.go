@@ -6,6 +6,7 @@
 package memfs
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,21 @@ import (
 // RootFH is the file handle of the root directory.
 const RootFH nfsproto.FH = 1
 
+// MaxFileSize bounds a file's length (4 GB). Write offsets come off the
+// wire, so without this cap a crafted WRITE could demand an absurd
+// allocation or overflow offset+len arithmetic into a slice-bounds
+// panic.
+const MaxFileSize = 1 << 32
+
+// ErrTooBig is returned by Write for offsets or lengths that would grow
+// a file past MaxFileSize.
+var ErrTooBig = errors.New("memfs: write exceeds max file size")
+
+// file holds one file's contents. data is treated as an immutable
+// segment: readers receive sub-slice views of it, so a write never
+// mutates bytes a view can see — overlapping writes copy-on-write to a
+// fresh segment and swap the pointer, and appends only ever touch
+// indices at or past the old length, which no view covers.
 type file struct {
 	name string
 	data []byte
@@ -79,7 +95,11 @@ func (fs *FS) Lookup(name string) (nfsproto.FH, int64, bool) {
 	return 0, 0, false
 }
 
-// Read copies up to count bytes at off from the file.
+// Read returns up to count bytes at off from the file. The returned
+// slice is a stable read-only view of the file segment, not a copy:
+// later Writes never mutate it (copy-on-write), so the only payload
+// copy on the READ reply path is the append into the wire buffer.
+// Callers must not modify the returned bytes.
 func (fs *FS) Read(fh nfsproto.FH, off uint64, count uint32) (data []byte, eof bool, err error) {
 	data, _, eof, err = fs.readAt(fh, off, count)
 	return data, eof, err
@@ -102,12 +122,15 @@ func (fs *FS) readAt(fh nfsproto.FH, off uint64, count uint32) (data []byte, siz
 	if end > size {
 		end = size
 	}
-	out := make([]byte, end-off)
-	copy(out, f.data[off:end])
-	return out, size, end == size, nil
+	// Full slice expression so the view cannot reach the file's spare
+	// capacity, which in-place appends are allowed to fill.
+	return f.data[off:end:end], size, end == size, nil
 }
 
-// Write stores data at off, extending the file as needed.
+// Write stores data at off, extending the file as needed. Extension
+// capacity is doubled (amortized O(1) appends instead of the quadratic
+// exact-size regrow), and any write that touches bytes a Read view
+// could see copies to a fresh segment first (see the file type).
 func (fs *FS) Write(fh nfsproto.FH, off uint64, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -115,13 +138,33 @@ func (fs *FS) Write(fh nfsproto.FH, off uint64, data []byte) error {
 	if !ok {
 		return fmt.Errorf("memfs: stale handle %d", fh)
 	}
-	need := off + uint64(len(data))
-	if need > uint64(len(f.data)) {
-		grown := make([]byte, need)
-		copy(grown, f.data)
-		f.data = grown
+	if off > MaxFileSize || uint64(len(data)) > MaxFileSize-off {
+		return fmt.Errorf("%w (off=%d len=%d)", ErrTooBig, off, len(data))
 	}
-	copy(f.data[off:], data)
+	size := uint64(len(f.data))
+	need := off + uint64(len(data))
+	if need < size {
+		need = size
+	}
+	if off >= size && need <= uint64(cap(f.data)) {
+		// Pure append within capacity: indices >= len were never
+		// exposed to a view, so filling them in place is safe.
+		grown := f.data[:need]
+		clear(grown[size:off])
+		copy(grown[off:], data)
+		f.data = grown
+		return nil
+	}
+	// Copy-on-write (overlapping write), or append past capacity. Only
+	// extensions get the doubled capacity; a pure overwrite stays exact.
+	newCap := int(need)
+	if doubled := 2 * cap(f.data); need > size && doubled > newCap {
+		newCap = doubled
+	}
+	grown := make([]byte, need, newCap)
+	copy(grown, f.data)
+	copy(grown[off:], data)
+	f.data = grown
 	return nil
 }
 
@@ -200,50 +243,55 @@ func (s *Service) Stats() ServiceStats {
 	}
 }
 
-// Handler returns the rpcnet handler for the NFS program.
+// Handler returns the rpcnet handler for the NFS program. Results are
+// appended straight into the server's pooled reply buffer; on the READ
+// path the payload is a copy-on-write view of the file segment, so the
+// append is the single payload copy between storage and the socket.
 func (s *Service) Handler() rpcnet.Handler {
-	return func(proc uint32, body []byte) ([]byte, uint32) {
+	return func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
 		switch proc {
 		case nfsproto.ProcNull:
-			return nil, sunrpc.AcceptSuccess
+			return reply, sunrpc.AcceptSuccess
 		case nfsproto.ProcLookup:
-			return s.lookup(body)
+			return s.lookup(body, reply)
 		case nfsproto.ProcRead:
-			return s.read(body)
+			return s.read(body, reply)
 		case nfsproto.ProcWrite:
-			return s.write(body)
+			return s.write(body, reply)
 		case nfsproto.ProcGetattr:
-			return s.getattr(body)
+			return s.getattr(body, reply)
 		default:
-			return nil, sunrpc.AcceptProcUnavail
+			return reply, sunrpc.AcceptProcUnavail
 		}
 	}
 }
 
-func (s *Service) lookup(body []byte) ([]byte, uint32) {
+func (s *Service) lookup(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalLookupArgs(body)
 	if err != nil {
-		return nil, sunrpc.AcceptGarbageArgs
+		return reply, sunrpc.AcceptGarbageArgs
 	}
 	if args.Dir != RootFH {
-		return (&nfsproto.LookupRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
+		res := nfsproto.LookupRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	fh, size, ok := s.fs.Lookup(args.Name)
 	if !ok {
-		return (&nfsproto.LookupRes{Status: nfsproto.ErrNoEnt}).Marshal(), sunrpc.AcceptSuccess
+		res := nfsproto.LookupRes{Status: nfsproto.ErrNoEnt}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
-	res := &nfsproto.LookupRes{
+	res := nfsproto.LookupRes{
 		Status: nfsproto.OK, FH: fh,
 		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
 			Size: uint64(size), Used: uint64(size), FileID: uint64(fh)},
 	}
-	return res.Marshal(), sunrpc.AcceptSuccess
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
-func (s *Service) read(body []byte) ([]byte, uint32) {
+func (s *Service) read(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalReadArgs(body)
 	if err != nil {
-		return nil, sunrpc.AcceptGarbageArgs
+		return reply, sunrpc.AcceptGarbageArgs
 	}
 	if args.Count > nfsproto.MaxData {
 		args.Count = nfsproto.MaxData
@@ -251,7 +299,8 @@ func (s *Service) read(body []byte) ([]byte, uint32) {
 	if args.FH == 0 {
 		// The nfsheur table panics on handle 0; a crafted packet must
 		// get a stale-handle error, not crash the server.
-		return (&nfsproto.ReadRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
+		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 
 	// The paper's code path: nfsheur lookup + heuristic update. The
@@ -272,53 +321,62 @@ func (s *Service) read(body []byte) ([]byte, uint32) {
 
 	data, size, eof, err := s.fs.readAt(args.FH, args.Offset, args.Count)
 	if err != nil {
-		return (&nfsproto.ReadRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
+		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	s.bytesRead.Add(int64(len(data)))
-	res := &nfsproto.ReadRes{
+	res := nfsproto.ReadRes{
 		Status: nfsproto.OK,
 		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
 			Size: size, Used: size, FileID: uint64(args.FH)},
 		Count: uint32(len(data)), EOF: eof, Data: data,
 	}
-	return res.Marshal(), sunrpc.AcceptSuccess
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
-func (s *Service) write(body []byte) ([]byte, uint32) {
+func (s *Service) write(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalWriteArgs(body)
 	if err != nil {
-		return nil, sunrpc.AcceptGarbageArgs
+		return reply, sunrpc.AcceptGarbageArgs
 	}
 	if err := s.fs.Write(args.FH, args.Offset, args.Data); err != nil {
-		return (&nfsproto.WriteRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
+		status := uint32(nfsproto.ErrStale)
+		if errors.Is(err, ErrTooBig) {
+			status = nfsproto.ErrFBig
+		}
+		res := nfsproto.WriteRes{Status: status}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	size, _ := s.fs.Size(args.FH)
-	res := &nfsproto.WriteRes{
+	res := nfsproto.WriteRes{
 		Status: nfsproto.OK,
 		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
 			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)},
 		Count: uint32(len(args.Data)), Committed: args.Stable,
 	}
-	return res.Marshal(), sunrpc.AcceptSuccess
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
-func (s *Service) getattr(body []byte) ([]byte, uint32) {
+func (s *Service) getattr(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalGetattrArgs(body)
 	if err != nil {
-		return nil, sunrpc.AcceptGarbageArgs
+		return reply, sunrpc.AcceptGarbageArgs
 	}
 	if args.FH == RootFH {
-		return (&nfsproto.GetattrRes{Status: nfsproto.OK,
+		res := nfsproto.GetattrRes{Status: nfsproto.OK,
 			Attrs: nfsproto.Fattr{Type: nfsproto.TypeDir, Mode: 0755, Nlink: 2,
-				FileID: uint64(RootFH)}}).Marshal(), sunrpc.AcceptSuccess
+				FileID: uint64(RootFH)}}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	size, ok := s.fs.Size(args.FH)
 	if !ok {
-		return (&nfsproto.GetattrRes{Status: nfsproto.ErrStale}).Marshal(), sunrpc.AcceptSuccess
+		res := nfsproto.GetattrRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
-	return (&nfsproto.GetattrRes{Status: nfsproto.OK,
+	res := nfsproto.GetattrRes{Status: nfsproto.OK,
 		Attrs: nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)}}).Marshal(), sunrpc.AcceptSuccess
+			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)}}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
 // NewServer binds addr and serves svc over real UDP and TCP sockets.

@@ -4,6 +4,13 @@
 // its exact wire size without marshalling, which lets the simulator
 // move typed messages around while charging the network for the true
 // byte counts (a property verified by tests).
+//
+// Every message supports two encode forms: AppendTo(buf) appends the
+// wire encoding to a caller-owned slice and returns the extended slice
+// (the zero-copy hot path — an entire RPC reply is assembled in one
+// pooled buffer with exactly one copy of any payload), and Marshal() is
+// a convenience wrapper that allocates a right-sized buffer. Tests
+// assert the two forms are byte-identical for every message.
 package nfsproto
 
 import (
@@ -55,16 +62,13 @@ type FH uint64
 
 const fhWireBytes = 8
 
-func encodeFH(e *xdr.Encoder, fh FH) {
-	var b [fhWireBytes]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(fh >> (8 * (7 - i)))
-	}
-	e.Opaque(b[:])
+func appendFH(buf []byte, fh FH) []byte {
+	buf = xdr.AppendUint32(buf, fhWireBytes)
+	return xdr.AppendUint64(buf, uint64(fh))
 }
 
 func decodeFH(d *xdr.Decoder) FH {
-	b := d.Opaque(64)
+	b := d.OpaqueView(64)
 	if len(b) != fhWireBytes {
 		return 0
 	}
@@ -105,20 +109,20 @@ type Fattr struct {
 // fattrWireSize is the fixed encoded size of fattr3.
 const fattrWireSize = 84
 
-func (a *Fattr) encode(e *xdr.Encoder) {
-	e.Uint32(a.Type)
-	e.Uint32(a.Mode)
-	e.Uint32(a.Nlink)
-	e.Uint32(a.UID)
-	e.Uint32(a.GID)
-	e.Uint64(a.Size)
-	e.Uint64(a.Used)
-	e.Uint64(a.Rdev)
-	e.Uint64(a.FSID)
-	e.Uint64(a.FileID)
-	e.Uint64(a.Atime)
-	e.Uint64(a.Mtime)
-	e.Uint64(a.Ctime)
+func (a *Fattr) appendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, a.Type)
+	buf = xdr.AppendUint32(buf, a.Mode)
+	buf = xdr.AppendUint32(buf, a.Nlink)
+	buf = xdr.AppendUint32(buf, a.UID)
+	buf = xdr.AppendUint32(buf, a.GID)
+	buf = xdr.AppendUint64(buf, a.Size)
+	buf = xdr.AppendUint64(buf, a.Used)
+	buf = xdr.AppendUint64(buf, a.Rdev)
+	buf = xdr.AppendUint64(buf, a.FSID)
+	buf = xdr.AppendUint64(buf, a.FileID)
+	buf = xdr.AppendUint64(buf, a.Atime)
+	buf = xdr.AppendUint64(buf, a.Mtime)
+	return xdr.AppendUint64(buf, a.Ctime)
 }
 
 func decodeFattr(d *xdr.Decoder) Fattr {
@@ -132,13 +136,12 @@ func decodeFattr(d *xdr.Decoder) Fattr {
 }
 
 // post-op attributes: bool + optional fattr3.
-func encodePostOpAttr(e *xdr.Encoder, a *Fattr) {
+func appendPostOpAttr(buf []byte, a *Fattr) []byte {
 	if a == nil {
-		e.Bool(false)
-		return
+		return xdr.AppendBool(buf, false)
 	}
-	e.Bool(true)
-	a.encode(e)
+	buf = xdr.AppendBool(buf, true)
+	return a.appendTo(buf)
 }
 
 func decodePostOpAttr(d *xdr.Decoder) *Fattr {
@@ -156,7 +159,7 @@ func postOpAttrSize(a *Fattr) int {
 	return 4 + fattrWireSize
 }
 
-func pad4(n int) int { return (n + 3) &^ 3 }
+func pad4(n int) int { return xdr.Pad4(n) }
 
 // ReadArgs is READ3args.
 type ReadArgs struct {
@@ -165,13 +168,16 @@ type ReadArgs struct {
 	Count  uint32
 }
 
+// AppendTo appends the encoded arguments to buf.
+func (r *ReadArgs) AppendTo(buf []byte) []byte {
+	buf = appendFH(buf, r.FH)
+	buf = xdr.AppendUint64(buf, r.Offset)
+	return xdr.AppendUint32(buf, r.Count)
+}
+
 // Marshal encodes the arguments.
 func (r *ReadArgs) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, r.WireSize()))
-	encodeFH(e, r.FH)
-	e.Uint64(r.Offset)
-	e.Uint32(r.Count)
-	return e.Bytes()
+	return r.AppendTo(make([]byte, 0, r.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -203,24 +209,29 @@ func (r *ReadRes) dataLen() int {
 	return int(r.DataLen)
 }
 
+// AppendTo appends the encoded result to buf — the payload is copied
+// exactly once, from Data into buf. When Data is nil but DataLen is
+// set, the payload is zero-filled in place with no scratch slice.
+func (r *ReadRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, r.Status)
+	buf = appendPostOpAttr(buf, r.Attrs)
+	if r.Status == OK {
+		buf = xdr.AppendUint32(buf, r.Count)
+		buf = xdr.AppendBool(buf, r.EOF)
+		if r.Data != nil {
+			buf = xdr.AppendOpaque(buf, r.Data)
+		} else {
+			buf = xdr.AppendZeroOpaque(buf, int(r.DataLen))
+		}
+	}
+	return buf
+}
+
 // Marshal encodes the result. When Data is nil but DataLen is set, the
 // payload is zero-filled (used only by tests; the live server always
 // carries real data).
 func (r *ReadRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, r.WireSize()))
-	e.Uint32(r.Status)
-	encodePostOpAttr(e, r.Attrs)
-	if r.Status == OK {
-		e.Uint32(r.Count)
-		e.Bool(r.EOF)
-		if r.Data != nil {
-			e.Opaque(r.Data)
-		} else {
-			e.Uint32(r.DataLen)
-			e.FixedOpaque(make([]byte, r.DataLen))
-		}
-	}
-	return e.Bytes()
+	return r.AppendTo(make([]byte, 0, r.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -232,14 +243,16 @@ func (r *ReadRes) WireSize() int {
 	return n
 }
 
-// UnmarshalReadRes decodes READ3res.
+// UnmarshalReadRes decodes READ3res. Data aliases b (no copy): the one
+// client-side payload copy is the reply-body read from the socket, and
+// this decode must not add a second.
 func UnmarshalReadRes(b []byte) (*ReadRes, error) {
 	d := xdr.NewDecoder(b)
 	r := &ReadRes{Status: d.Uint32(), Attrs: decodePostOpAttr(d)}
 	if r.Status == OK {
 		r.Count = d.Uint32()
 		r.EOF = d.Bool()
-		r.Data = d.Opaque(MaxData)
+		r.Data = d.OpaqueView(MaxData)
 		r.DataLen = uint32(len(r.Data))
 	}
 	return r, d.Err()
@@ -270,20 +283,21 @@ func (w *WriteArgs) dataLen() int {
 	return int(w.DataLen)
 }
 
+// AppendTo appends the encoded arguments to buf.
+func (w *WriteArgs) AppendTo(buf []byte) []byte {
+	buf = appendFH(buf, w.FH)
+	buf = xdr.AppendUint64(buf, w.Offset)
+	buf = xdr.AppendUint32(buf, w.Count)
+	buf = xdr.AppendUint32(buf, w.Stable)
+	if w.Data != nil {
+		return xdr.AppendOpaque(buf, w.Data)
+	}
+	return xdr.AppendZeroOpaque(buf, int(w.DataLen))
+}
+
 // Marshal encodes the arguments.
 func (w *WriteArgs) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, w.WireSize()))
-	encodeFH(e, w.FH)
-	e.Uint64(w.Offset)
-	e.Uint32(w.Count)
-	e.Uint32(w.Stable)
-	if w.Data != nil {
-		e.Opaque(w.Data)
-	} else {
-		e.Uint32(w.DataLen)
-		e.FixedOpaque(make([]byte, w.DataLen))
-	}
-	return e.Bytes()
+	return w.AppendTo(make([]byte, 0, w.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -291,11 +305,13 @@ func (w *WriteArgs) WireSize() int {
 	return fhWireSize + 8 + 4 + 4 + 4 + pad4(w.dataLen())
 }
 
-// UnmarshalWriteArgs decodes WRITE3args.
+// UnmarshalWriteArgs decodes WRITE3args. Data aliases b (no copy); a
+// server decoding from a recycled receive buffer must consume Data —
+// e.g. store it into the file — before the buffer is reused.
 func UnmarshalWriteArgs(b []byte) (*WriteArgs, error) {
 	d := xdr.NewDecoder(b)
 	w := &WriteArgs{FH: decodeFH(d), Offset: d.Uint64(), Count: d.Uint32(), Stable: d.Uint32()}
-	w.Data = d.Opaque(MaxData)
+	w.Data = d.OpaqueView(MaxData)
 	w.DataLen = uint32(len(w.Data))
 	return w, d.Err()
 }
@@ -308,17 +324,21 @@ type WriteRes struct {
 	Committed uint32
 }
 
+// AppendTo appends the encoded result to buf.
+func (w *WriteRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, w.Status)
+	buf = appendPostOpAttr(buf, w.Attrs)
+	if w.Status == OK {
+		buf = xdr.AppendUint32(buf, w.Count)
+		buf = xdr.AppendUint32(buf, w.Committed)
+		buf = xdr.AppendUint64(buf, 0) // write verifier
+	}
+	return buf
+}
+
 // Marshal encodes the result.
 func (w *WriteRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, w.WireSize()))
-	e.Uint32(w.Status)
-	encodePostOpAttr(e, w.Attrs)
-	if w.Status == OK {
-		e.Uint32(w.Count)
-		e.Uint32(w.Committed)
-		e.Uint64(0) // write verifier
-	}
-	return e.Bytes()
+	return w.AppendTo(make([]byte, 0, w.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -348,12 +368,15 @@ type LookupArgs struct {
 	Name string
 }
 
+// AppendTo appends the encoded arguments to buf.
+func (l *LookupArgs) AppendTo(buf []byte) []byte {
+	buf = appendFH(buf, l.Dir)
+	return xdr.AppendString(buf, l.Name)
+}
+
 // Marshal encodes the arguments.
 func (l *LookupArgs) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, l.WireSize()))
-	encodeFH(e, l.Dir)
-	e.String(l.Name)
-	return e.Bytes()
+	return l.AppendTo(make([]byte, 0, l.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -373,16 +396,19 @@ type LookupRes struct {
 	Attrs  *Fattr
 }
 
+// AppendTo appends the encoded result to buf.
+func (l *LookupRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, l.Status)
+	if l.Status == OK {
+		buf = appendFH(buf, l.FH)
+		buf = appendPostOpAttr(buf, l.Attrs)
+	}
+	return appendPostOpAttr(buf, nil) // dir post-op attributes
+}
+
 // Marshal encodes the result.
 func (l *LookupRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, l.WireSize()))
-	e.Uint32(l.Status)
-	if l.Status == OK {
-		encodeFH(e, l.FH)
-		encodePostOpAttr(e, l.Attrs)
-	}
-	encodePostOpAttr(e, nil) // dir post-op attributes
-	return e.Bytes()
+	return l.AppendTo(make([]byte, 0, l.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -411,11 +437,14 @@ type GetattrArgs struct {
 	FH FH
 }
 
+// AppendTo appends the encoded arguments to buf.
+func (g *GetattrArgs) AppendTo(buf []byte) []byte {
+	return appendFH(buf, g.FH)
+}
+
 // Marshal encodes the arguments.
 func (g *GetattrArgs) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, g.WireSize()))
-	encodeFH(e, g.FH)
-	return e.Bytes()
+	return g.AppendTo(make([]byte, 0, g.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -434,14 +463,18 @@ type GetattrRes struct {
 	Attrs  Fattr
 }
 
+// AppendTo appends the encoded result to buf.
+func (g *GetattrRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, g.Status)
+	if g.Status == OK {
+		buf = g.Attrs.appendTo(buf)
+	}
+	return buf
+}
+
 // Marshal encodes the result.
 func (g *GetattrRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, g.WireSize()))
-	e.Uint32(g.Status)
-	if g.Status == OK {
-		g.Attrs.encode(e)
-	}
-	return e.Bytes()
+	return g.AppendTo(make([]byte, 0, g.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -468,12 +501,15 @@ type AccessArgs struct {
 	Access uint32
 }
 
+// AppendTo appends the encoded arguments to buf.
+func (a *AccessArgs) AppendTo(buf []byte) []byte {
+	buf = appendFH(buf, a.FH)
+	return xdr.AppendUint32(buf, a.Access)
+}
+
 // Marshal encodes the arguments.
 func (a *AccessArgs) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, a.WireSize()))
-	encodeFH(e, a.FH)
-	e.Uint32(a.Access)
-	return e.Bytes()
+	return a.AppendTo(make([]byte, 0, a.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -493,15 +529,19 @@ type AccessRes struct {
 	Access uint32
 }
 
+// AppendTo appends the encoded result to buf.
+func (a *AccessRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, a.Status)
+	buf = appendPostOpAttr(buf, a.Attrs)
+	if a.Status == OK {
+		buf = xdr.AppendUint32(buf, a.Access)
+	}
+	return buf
+}
+
 // Marshal encodes the result.
 func (a *AccessRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, a.WireSize()))
-	e.Uint32(a.Status)
-	encodePostOpAttr(e, a.Attrs)
-	if a.Status == OK {
-		e.Uint32(a.Access)
-	}
-	return e.Bytes()
+	return a.AppendTo(make([]byte, 0, a.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -531,15 +571,18 @@ type CreateArgs struct {
 	Size uint64
 }
 
+// AppendTo appends the encoded arguments to buf.
+func (c *CreateArgs) AppendTo(buf []byte) []byte {
+	buf = appendFH(buf, c.Dir)
+	buf = xdr.AppendString(buf, c.Name)
+	buf = xdr.AppendUint32(buf, 0) // createmode3 UNCHECKED
+	buf = xdr.AppendBool(buf, true)
+	return xdr.AppendUint64(buf, c.Size)
+}
+
 // Marshal encodes the arguments.
 func (c *CreateArgs) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, c.WireSize()))
-	encodeFH(e, c.Dir)
-	e.String(c.Name)
-	e.Uint32(0) // createmode3 UNCHECKED
-	e.Bool(true)
-	e.Uint64(c.Size)
-	return e.Bytes()
+	return c.AppendTo(make([]byte, 0, c.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -564,16 +607,20 @@ type CreateRes struct {
 	Attrs  *Fattr
 }
 
+// AppendTo appends the encoded result to buf.
+func (c *CreateRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, c.Status)
+	if c.Status == OK {
+		buf = xdr.AppendBool(buf, true)
+		buf = appendFH(buf, c.FH)
+		buf = appendPostOpAttr(buf, c.Attrs)
+	}
+	return buf
+}
+
 // Marshal encodes the result.
 func (c *CreateRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, c.WireSize()))
-	e.Uint32(c.Status)
-	if c.Status == OK {
-		e.Bool(true)
-		encodeFH(e, c.FH)
-		encodePostOpAttr(e, c.Attrs)
-	}
-	return e.Bytes()
+	return c.AppendTo(make([]byte, 0, c.WireSize()))
 }
 
 // WireSize reports the exact encoded size.
@@ -603,21 +650,25 @@ type FsstatRes struct {
 	Fbytes uint64
 }
 
+// AppendTo appends the encoded result to buf.
+func (f *FsstatRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, f.Status)
+	buf = appendPostOpAttr(buf, nil)
+	if f.Status == OK {
+		buf = xdr.AppendUint64(buf, f.Tbytes)
+		buf = xdr.AppendUint64(buf, f.Fbytes)
+		buf = xdr.AppendUint64(buf, f.Fbytes) // abytes
+		buf = xdr.AppendUint64(buf, 0)        // tfiles
+		buf = xdr.AppendUint64(buf, 0)        // ffiles
+		buf = xdr.AppendUint64(buf, 0)        // afiles
+		buf = xdr.AppendUint32(buf, 0)        // invarsec
+	}
+	return buf
+}
+
 // Marshal encodes the result.
 func (f *FsstatRes) Marshal() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, f.WireSize()))
-	e.Uint32(f.Status)
-	encodePostOpAttr(e, nil)
-	if f.Status == OK {
-		e.Uint64(f.Tbytes)
-		e.Uint64(f.Fbytes)
-		e.Uint64(f.Fbytes) // abytes
-		e.Uint64(0)        // tfiles
-		e.Uint64(0)        // ffiles
-		e.Uint64(0)        // afiles
-		e.Uint32(0)        // invarsec
-	}
-	return e.Bytes()
+	return f.AppendTo(make([]byte, 0, f.WireSize()))
 }
 
 // WireSize reports the exact encoded size.

@@ -1,0 +1,7 @@
+//go:build race
+
+package nfsproto
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; exact allocation counts are unreliable under it.
+const raceEnabled = true

@@ -7,6 +7,7 @@ package rpcnet
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -20,10 +21,42 @@ import (
 // maxUDPMessage bounds datagram buffers (rsize 32 KB + headers).
 const maxUDPMessage = 64 * 1024
 
-// Handler serves one RPC call: given the procedure number and the
-// XDR-encoded argument body, it returns the XDR-encoded result body and
-// an accept status. Handlers must be safe for concurrent use.
-type Handler func(proc uint32, body []byte) (res []byte, stat uint32)
+// Handler serves one RPC call: given the procedure number, the
+// XDR-encoded argument body and the partially built reply, it appends
+// the XDR-encoded result to reply and returns the extended slice plus
+// an accept status. Appending into the caller's buffer — which already
+// holds the record mark and RPC header — is what makes the reply path
+// single-copy: a READ payload moves from storage to the wire buffer
+// exactly once.
+//
+// body may alias a pooled receive buffer and is valid only for the
+// duration of the call; handlers must not retain it (or views decoded
+// from it) after returning. Handlers must only append to reply and must
+// be safe for concurrent use.
+type Handler func(proc uint32, body []byte, reply []byte) ([]byte, uint32)
+
+// wireBufs is the message arena: recycled buffers for everything that
+// crosses a socket — datagrams read, TCP records read, calls and
+// replies marshalled. Entries start at the maximum wire size
+// (maxUDPMessage) and, when an append outgrows one, the grown storage
+// is what returns to the pool, so entries converge on the true peak
+// wire size instead of being re-allocated per message.
+var wireBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, maxUDPMessage)
+		return &b
+	},
+}
+
+// getBuf fetches a zero-length arena buffer.
+func getBuf() *[]byte { return wireBufs.Get().(*[]byte) }
+
+// putBuf recycles an arena buffer. The caller must be done with every
+// view into it.
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	wireBufs.Put(b)
+}
 
 // Server serves one RPC program on a UDP socket and a TCP listener
 // bound to the same address.
@@ -113,18 +146,26 @@ func (s *Server) isClosed() bool {
 
 func (s *Server) serveUDP() {
 	defer s.wg.Done()
-	buf := make([]byte, maxUDPMessage)
 	for {
+		// Each datagram lands in its own pooled buffer, so handing it to
+		// the serving goroutine needs no copy; the buffer is recycled
+		// once the reply hits the socket.
+		bp := getBuf()
+		buf := (*bp)[:cap(*bp)]
 		n, from, err := s.udp.ReadFromUDP(buf)
 		if err != nil {
+			putBuf(bp)
 			if s.isClosed() {
 				return
 			}
 			continue
 		}
-		msg := append([]byte(nil), buf[:n]...)
 		go func() {
-			if reply := s.process(msg); reply != nil {
+			defer putBuf(bp)
+			rp := getBuf()
+			defer putBuf(rp)
+			if reply, ok := s.process(buf[:n], *rp); ok {
+				*rp = reply
 				s.udp.WriteToUDP(reply, from)
 			}
 		}()
@@ -164,39 +205,58 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	for {
-		msg, err := sunrpc.ReadRecord(conn)
+		bp := getBuf()
+		msg, err := sunrpc.ReadRecordInto(conn, *bp)
 		if err != nil {
+			putBuf(bp)
 			return
 		}
-		go func(msg []byte) {
-			if reply := s.process(msg); reply != nil {
-				writeMu.Lock()
-				defer writeMu.Unlock()
-				sunrpc.WriteRecord(conn, reply)
+		*bp = msg
+		go func(bp *[]byte, msg []byte) {
+			defer putBuf(bp)
+			rp := getBuf()
+			defer putBuf(rp)
+			// Record mark, RPC header and result are appended into one
+			// pooled buffer and written in a single call — no re-framing
+			// copy, no per-reply allocation.
+			reply, ok := s.process(msg, sunrpc.BeginRecord(*rp))
+			if !ok {
+				return
 			}
-		}(msg)
+			*rp = reply
+			sunrpc.FinishRecord(reply, 0)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			conn.Write(reply)
+		}(bp, msg)
 	}
 }
 
-// process decodes a call, dispatches it and encodes the reply. A nil
-// return means "drop" (undecodable garbage), like a real server.
-func (s *Server) process(msg []byte) []byte {
+// process decodes a call, dispatches it and appends the encoded reply
+// to out. ok == false means "drop" (undecodable garbage), like a real
+// server.
+func (s *Server) process(msg []byte, out []byte) (reply []byte, ok bool) {
 	call, err := sunrpc.UnmarshalCall(msg)
 	if err != nil {
-		return nil
+		return out, false
 	}
-	reply := &sunrpc.Reply{XID: call.XID, Verf: sunrpc.AuthNoneCred()}
+	hdr := &sunrpc.Reply{XID: call.XID, Verf: sunrpc.AuthNoneCred()}
 	switch {
 	case call.Prog != s.prog:
-		reply.Stat = sunrpc.AcceptProgUnavail
+		hdr.Stat = sunrpc.AcceptProgUnavail
 	case call.Vers != s.vers:
-		reply.Stat = sunrpc.AcceptProgMismatch
+		hdr.Stat = sunrpc.AcceptProgMismatch
 	default:
-		body, stat := s.handler(call.Proc, call.Body)
-		reply.Stat = stat
-		reply.Body = body
+		// The accept status precedes the result on the wire but the
+		// handler produces both together, so the header goes out with a
+		// success placeholder that is patched once the handler returns.
+		out = hdr.AppendTo(out)
+		statOff := len(out) - 4
+		out, hdr.Stat = s.handler(call.Proc, call.Body, out)
+		binary.BigEndian.PutUint32(out[statOff:], hdr.Stat)
+		return out, true
 	}
-	return sunrpc.MarshalReply(reply)
+	return hdr.AppendTo(out), true
 }
 
 // Client is a pipelining RPC client over UDP or TCP. It is safe for
@@ -222,10 +282,12 @@ type Client struct {
 	closing sync.Once
 }
 
-// wireMsg is one marshalled call handed to the writer goroutine.
+// wireMsg is one marshalled call handed to the writer goroutine. buf is
+// a pooled arena buffer (record mark included on TCP) that the writer
+// recycles after the send.
 type wireMsg struct {
 	xid uint32
-	msg []byte
+	buf *[]byte
 }
 
 // callReply is what the reader delivers to a waiting call.
@@ -325,25 +387,42 @@ func (c *Client) isClosed() bool {
 	}
 }
 
-// register installs a reply channel for xid, or reports the terminal
-// error if the transport is already dead.
+// replyChans recycles per-call reply channels. A channel may return to
+// the pool only when no send can ever reach it again: either its one
+// value was received, or it was removed from the pending map before any
+// sender saw it (senders remove a channel from the map, under the
+// client mutex, before their single send).
+var replyChans = sync.Pool{
+	New: func() any { return make(chan callReply, 1) },
+}
+
+// register installs a pooled reply channel for xid, or reports the
+// terminal error if the transport is already dead.
 func (c *Client) register(xid uint32) (chan callReply, error) {
+	ch := replyChans.Get().(chan callReply)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
+		replyChans.Put(ch)
 		return nil, c.err
 	}
-	ch := make(chan callReply, 1)
 	c.pending[xid] = ch
 	return ch, nil
 }
 
 // unregister removes xid's reply channel (call abandoned: context done).
-// A reply arriving later is dropped by the demultiplexer.
-func (c *Client) unregister(xid uint32) {
+// A reply arriving later is dropped by the demultiplexer. It reports
+// whether the channel was still registered — if so, no sender can ever
+// reach it and the caller may recycle it; if not, a send is (or was) in
+// flight and the channel must be left to the garbage collector.
+func (c *Client) unregister(xid uint32) bool {
 	c.mu.Lock()
-	delete(c.pending, xid)
+	_, ok := c.pending[xid]
+	if ok {
+		delete(c.pending, xid)
+	}
 	c.mu.Unlock()
+	return ok
 }
 
 // writer drains sendCh onto the socket, serializing sends from
@@ -352,31 +431,44 @@ func (c *Client) unregister(xid uint32) {
 // socket's write error (ECONNREFUSED from a momentarily gone server)
 // is transient and later calls may succeed.
 func (c *Client) writer() {
+	// deadlineArmed remembers whether a previous send left a write
+	// deadline on the socket, so switching to SetTimeout(0) disarms it
+	// once instead of letting the stale deadline fail a later send.
+	deadlineArmed := false
 	for {
 		select {
 		case <-c.closeCh:
 			return
 		case m := <-c.sendCh:
-			// Skip calls already abandoned by their context.
-			c.mu.Lock()
-			_, live := c.pending[m.xid]
-			c.mu.Unlock()
-			if !live {
-				continue
-			}
 			// A write deadline keeps a stalled TCP peer (accepting but
 			// never reading, send buffer full) from wedging the writer
 			// forever; the blocked send errors out and fails the
 			// transport, as the pre-pipelining per-call deadline did.
-			if d := time.Duration(c.timeout.Load()); d > 0 {
-				c.conn.SetWriteDeadline(time.Now().Add(d))
-			}
+			// With no timeout configured a send cannot be abandoned
+			// early, so both the deadline and the pending-map liveness
+			// check (one mutex round-trip per send) are skipped.
 			var err error
-			if c.network == "tcp" {
-				err = sunrpc.WriteRecord(c.conn, m.msg)
-			} else {
-				_, err = c.conn.Write(m.msg)
+			if d := time.Duration(c.timeout.Load()); d > 0 {
+				// Skip calls already abandoned by their context.
+				c.mu.Lock()
+				_, live := c.pending[m.xid]
+				c.mu.Unlock()
+				if !live {
+					putBuf(m.buf)
+					continue
+				}
+				err = c.conn.SetWriteDeadline(time.Now().Add(d))
+				deadlineArmed = true
+			} else if deadlineArmed {
+				err = c.conn.SetWriteDeadline(time.Time{})
+				deadlineArmed = false
 			}
+			if err == nil {
+				// The record mark (TCP) is already embedded in the
+				// buffer, so both transports send with one write.
+				_, err = c.conn.Write(*m.buf)
+			}
+			putBuf(m.buf)
 			if err != nil {
 				if c.network == "tcp" {
 					c.fail(fmt.Errorf("rpcnet: send: %w", err))
@@ -396,16 +488,23 @@ func (c *Client) writer() {
 // already queued in the socket buffer, and any call whose datagram
 // really was lost is bounded by its own context deadline.
 func (c *Client) reader() {
-	var buf []byte
-	if c.network != "tcp" {
-		buf = make([]byte, maxUDPMessage)
-	}
+	// One pooled arena buffer serves the reader's whole life: datagrams
+	// land in it directly, TCP records are appended into it (growing it
+	// at most once to the peak record size). UnmarshalReply copies the
+	// body out — the client's one payload copy — before the next read
+	// overwrites the buffer.
+	bp := getBuf()
+	defer putBuf(bp)
 	for {
 		var raw []byte
 		var err error
 		if c.network == "tcp" {
-			raw, err = sunrpc.ReadRecord(c.conn)
+			raw, err = sunrpc.ReadRecordInto(c.conn, *bp)
+			if raw != nil {
+				*bp = raw
+			}
 		} else {
+			buf := (*bp)[:cap(*bp)]
 			var n int
 			n, err = c.conn.Read(buf)
 			raw = buf[:n]
@@ -445,46 +544,129 @@ func (c *Client) reader() {
 // ErrRPC is returned for non-success accept statuses.
 var ErrRPC = errors.New("rpcnet: rpc error")
 
+// authUnixCred is the constant credential every call carries, built
+// once so marshalling a call allocates nothing.
+var authUnixCred = sunrpc.AuthUnixCred("nfstricks", 0, 0)
+
+// callTimers recycles the deadline timers Call arms per invocation —
+// building a context.WithTimeout per call costs several allocations on
+// a path that otherwise makes none.
+var callTimers = sync.Pool{
+	New: func() any {
+		t := time.NewTimer(time.Hour)
+		t.Stop()
+		return t
+	},
+}
+
+func acquireTimer(d time.Duration) *time.Timer {
+	t := callTimers.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+func releaseTimer(t *time.Timer) {
+	// A failed Stop means the timer fired (or is firing): under Go 1.22
+	// timer semantics a tick may still be in flight to t.C, and a
+	// non-blocking drain cannot rule that out. Pooling such a timer
+	// would hand the stale tick to a later call, expiring it instantly —
+	// so only cleanly stopped timers are recycled; fired ones (the rare
+	// timeout and timeout-adjacent paths) go to the garbage collector.
+	if t.Stop() {
+		callTimers.Put(t)
+	}
+}
+
 // Call performs one RPC and returns the reply body, waiting at most the
-// SetTimeout deadline. Calls from multiple goroutines are pipelined.
+// SetTimeout deadline (forever when the timeout is zero). Calls from
+// multiple goroutines are pipelined.
 func (c *Client) Call(proc uint32, args []byte) ([]byte, error) {
-	ctx, cancel := context.WithTimeout(context.Background(),
-		time.Duration(c.timeout.Load()))
-	defer cancel()
-	return c.CallContext(ctx, proc, args)
+	d := time.Duration(c.timeout.Load())
+	if d <= 0 {
+		return c.call(proc, args, nil, nil, nil)
+	}
+	t := acquireTimer(d)
+	defer releaseTimer(t)
+	return c.call(proc, args, nil, t.C, nil)
 }
 
 // CallContext performs one RPC and returns the reply body. The call is
 // abandoned (its late reply dropped) when ctx is done.
 func (c *Client) CallContext(ctx context.Context, proc uint32, args []byte) ([]byte, error) {
+	return c.call(proc, args, ctx.Done(), nil, ctx.Err)
+}
+
+// call is the shared body of Call and CallContext. The call is
+// abandoned when done is closed or expired fires (a nil channel never
+// selects); cause, when non-nil, names the abandon reason.
+func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-chan time.Time, cause func() error) ([]byte, error) {
+	abandonErr := func() error {
+		if cause != nil {
+			return fmt.Errorf("rpcnet: %w", cause())
+		}
+		return fmt.Errorf("rpcnet: %w", context.DeadlineExceeded)
+	}
 	xid := c.xid.Add(1)
-	msg := sunrpc.MarshalCall(&sunrpc.Call{
+	call := sunrpc.Call{
 		XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc,
-		Cred: sunrpc.AuthUnixCred("nfstricks", 0, 0),
+		Cred: authUnixCred,
 		Verf: sunrpc.AuthNoneCred(),
 		Body: args,
-	})
+	}
+	// Record mark (TCP), RPC header and arguments are marshalled in one
+	// shot into a pooled buffer, recycled by the writer after the send.
+	bp := getBuf()
+	buf := *bp
+	if c.network == "tcp" {
+		buf = sunrpc.BeginRecord(buf)
+	}
+	buf = call.AppendTo(buf)
+	if c.network == "tcp" {
+		sunrpc.FinishRecord(buf, 0)
+	}
+	*bp = buf
 	ch, err := c.register(xid)
 	if err != nil {
+		putBuf(bp)
 		return nil, err
 	}
+	// abandon tears down a call that will never complete; the reply
+	// channel is recycled only when it provably has no sender (see
+	// unregister).
+	abandon := func() {
+		if c.unregister(xid) {
+			replyChans.Put(ch)
+		}
+	}
 	select {
-	case c.sendCh <- wireMsg{xid: xid, msg: msg}:
+	case c.sendCh <- wireMsg{xid: xid, buf: bp}:
 	case <-c.closeCh:
-		c.unregister(xid)
+		putBuf(bp)
+		abandon()
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
 		return nil, err
-	case <-ctx.Done():
-		c.unregister(xid)
-		return nil, fmt.Errorf("rpcnet: %w", ctx.Err())
+	case <-done:
+		putBuf(bp)
+		abandon()
+		return nil, abandonErr()
+	case <-expired:
+		putBuf(bp)
+		abandon()
+		return nil, abandonErr()
 	}
 	select {
 	case r := <-ch:
+		// The single possible send has been received, so the channel is
+		// empty and unreferenced: recycle it.
+		replyChans.Put(ch)
 		return r.body, r.err
-	case <-ctx.Done():
-		c.unregister(xid)
-		return nil, fmt.Errorf("rpcnet: %w", ctx.Err())
+	case <-done:
+		abandon()
+		return nil, abandonErr()
+	case <-expired:
+		abandon()
+		return nil, abandonErr()
 	}
 }

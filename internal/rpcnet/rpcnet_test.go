@@ -11,12 +11,14 @@ import (
 	"nfstricks/internal/sunrpc"
 )
 
-// echoHandler returns the body with a marker prefix.
-func echoHandler(proc uint32, body []byte) ([]byte, uint32) {
+// echoHandler returns the body with a marker prefix, appended into the
+// server's reply buffer.
+func echoHandler(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
 	if proc == 99 {
-		return nil, sunrpc.AcceptProcUnavail
+		return reply, sunrpc.AcceptProcUnavail
 	}
-	return append([]byte{byte(proc)}, body...), sunrpc.AcceptSuccess
+	reply = append(reply, byte(proc))
+	return append(reply, body...), sunrpc.AcceptSuccess
 }
 
 func startServer(t *testing.T) *Server {
@@ -175,11 +177,11 @@ func TestPipelinedCallsOneClient(t *testing.T) {
 // a fast one issued after it on the same connection.
 func TestPipeliningOverlapsSlowCalls(t *testing.T) {
 	release := make(chan struct{})
-	s, err := NewServer("127.0.0.1:0", 1, 1, func(proc uint32, body []byte) ([]byte, uint32) {
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
 		if proc == 7 {
 			<-release
 		}
-		return body, sunrpc.AcceptSuccess
+		return append(reply, body...), sunrpc.AcceptSuccess
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -215,11 +217,11 @@ func TestPipeliningOverlapsSlowCalls(t *testing.T) {
 // must return promptly and stay usable for later calls.
 func TestCallContextCancel(t *testing.T) {
 	block := make(chan struct{})
-	s, err := NewServer("127.0.0.1:0", 1, 1, func(proc uint32, body []byte) ([]byte, uint32) {
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
 		if proc == 7 {
 			<-block
 		}
-		return body, sunrpc.AcceptSuccess
+		return append(reply, body...), sunrpc.AcceptSuccess
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -304,9 +306,9 @@ func TestDialBadNetwork(t *testing.T) {
 func TestCallTimeout(t *testing.T) {
 	// A server that never answers: handler blocks.
 	block := make(chan struct{})
-	s, err := NewServer("127.0.0.1:0", 1, 1, func(uint32, []byte) ([]byte, uint32) {
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(_ uint32, _ []byte, reply []byte) ([]byte, uint32) {
 		<-block
-		return nil, sunrpc.AcceptSuccess
+		return reply, sunrpc.AcceptSuccess
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -327,6 +329,28 @@ func TestCallTimeout(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("timeout not honored")
+	}
+}
+
+// TestZeroTimeoutDisarmsWriteDeadline: switching a client from a short
+// timeout to SetTimeout(0) must clear the socket write deadline armed
+// by the earlier sends — otherwise a send after the old deadline passes
+// fails a healthy TCP transport with a spurious i/o timeout.
+func TestZeroTimeoutDisarmsWriteDeadline(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial("tcp", s.Addr(), 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(100 * time.Millisecond)
+	if _, err := c.Call(1, []byte("armed")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTimeout(0)
+	time.Sleep(250 * time.Millisecond) // let the armed deadline lapse
+	if _, err := c.Call(1, []byte("after")); err != nil {
+		t.Fatalf("call after disarming timeout failed: %v", err)
 	}
 }
 

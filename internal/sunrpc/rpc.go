@@ -88,28 +88,37 @@ type Reply struct {
 	Body []byte
 }
 
-func encodeAuth(e *xdr.Encoder, a Auth) {
-	e.Uint32(a.Flavor)
-	e.Opaque(a.Body)
+func decodeAuth(d *xdr.Decoder) Auth {
+	// The body is a view into the decode buffer (see UnmarshalCall's
+	// aliasing contract) — neither side of this codebase retains
+	// authenticator bodies past the message they arrived in.
+	return Auth{Flavor: d.Uint32(), Body: d.OpaqueView(maxAuthBody)}
 }
 
-func decodeAuth(d *xdr.Decoder) Auth {
-	return Auth{Flavor: d.Uint32(), Body: d.Opaque(maxAuthBody)}
+func appendAuth(buf []byte, a Auth) []byte {
+	buf = xdr.AppendUint32(buf, a.Flavor)
+	return xdr.AppendOpaque(buf, a.Body)
+}
+
+// AppendTo appends the encoded call to buf and returns the extended
+// slice. Header and body land in one buffer, so a client can marshal
+// record mark (TCP), RPC header and procedure arguments in a single
+// pooled allocation.
+func (c *Call) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, c.XID)
+	buf = xdr.AppendUint32(buf, MsgCall)
+	buf = xdr.AppendUint32(buf, RPCVersion)
+	buf = xdr.AppendUint32(buf, c.Prog)
+	buf = xdr.AppendUint32(buf, c.Vers)
+	buf = xdr.AppendUint32(buf, c.Proc)
+	buf = appendAuth(buf, c.Cred)
+	buf = appendAuth(buf, c.Verf)
+	return append(buf, c.Body...)
 }
 
 // MarshalCall encodes a call message.
 func MarshalCall(c *Call) []byte {
-	e := xdr.NewEncoder(make([]byte, 0, 64+len(c.Body)))
-	e.Uint32(c.XID)
-	e.Uint32(MsgCall)
-	e.Uint32(RPCVersion)
-	e.Uint32(c.Prog)
-	e.Uint32(c.Vers)
-	e.Uint32(c.Proc)
-	encodeAuth(e, c.Cred)
-	encodeAuth(e, c.Verf)
-	out := e.Bytes()
-	return append(out, c.Body...)
+	return c.AppendTo(make([]byte, 0, 64+len(c.Body)))
 }
 
 // UnmarshalCall decodes a call message.
@@ -130,20 +139,31 @@ func UnmarshalCall(b []byte) (*Call, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	c.Body = append([]byte(nil), b[len(b)-d.Remaining():]...)
+	// Body aliases b rather than copying it: the payload-bearing WRITE
+	// path must not duplicate its data just to cross this layer. Callers
+	// that recycle b (pooled receive buffers) must finish with the call —
+	// including anything decoded from Body as a view — before reusing it.
+	c.Body = b[len(b)-d.Remaining():]
 	return c, nil
+}
+
+// AppendTo appends the encoded reply to buf and returns the extended
+// slice. With a nil Body it emits just the accepted-reply header, after
+// which the caller appends the procedure result directly — the shape the
+// zero-copy server uses to build record mark, RPC header and NFS result
+// in one buffer.
+func (r *Reply) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, r.XID)
+	buf = xdr.AppendUint32(buf, MsgReply)
+	buf = xdr.AppendUint32(buf, ReplyAccepted)
+	buf = appendAuth(buf, r.Verf)
+	buf = xdr.AppendUint32(buf, r.Stat)
+	return append(buf, r.Body...)
 }
 
 // MarshalReply encodes an accepted reply.
 func MarshalReply(r *Reply) []byte {
-	e := xdr.NewEncoder(make([]byte, 0, 32+len(r.Body)))
-	e.Uint32(r.XID)
-	e.Uint32(MsgReply)
-	e.Uint32(ReplyAccepted)
-	encodeAuth(e, r.Verf)
-	e.Uint32(r.Stat)
-	out := e.Bytes()
-	return append(out, r.Body...)
+	return r.AppendTo(make([]byte, 0, 32+len(r.Body)))
 }
 
 // UnmarshalReply decodes a reply, returning an error for denied replies.
@@ -174,6 +194,30 @@ const lastFragmentBit = 0x80000000
 // NFS3 message this codebase produces).
 const maxFragment = 1 << 20
 
+// MarkSize is the size of the record-marking header BeginRecord
+// reserves.
+const MarkSize = 4
+
+// BeginRecord reserves space for a record mark at the end of buf and
+// returns the extended slice. The caller appends the record's bytes,
+// then seals it with FinishRecord; the mark, RPC header and payload all
+// land in one buffer so the whole record goes to the socket in a single
+// write with no re-framing copy.
+func BeginRecord(buf []byte) []byte {
+	return append(buf, 0, 0, 0, 0)
+}
+
+// FinishRecord fills in the record mark reserved by BeginRecord at
+// offset start, framing everything appended after it as one final
+// fragment.
+func FinishRecord(buf []byte, start int) {
+	n := uint32(len(buf)-start-MarkSize) | lastFragmentBit
+	buf[start] = byte(n >> 24)
+	buf[start+1] = byte(n >> 16)
+	buf[start+2] = byte(n >> 8)
+	buf[start+3] = byte(n)
+}
+
 // WriteRecord frames b as a single final fragment on w.
 func WriteRecord(w io.Writer, b []byte) error {
 	hdr := [4]byte{
@@ -192,9 +236,18 @@ func WriteRecord(w io.Writer, b []byte) error {
 // ReadRecord reads one complete record (possibly multiple fragments)
 // from r.
 func ReadRecord(r io.Reader) ([]byte, error) {
-	var out []byte
+	return ReadRecordInto(r, nil)
+}
+
+// ReadRecordInto reads one complete record from r into buf's storage
+// (appending from length zero, growing if needed) and returns the
+// record. Callers that recycle buffers pass the previous return value —
+// or a pooled buffer — back in, making steady-state record reads
+// allocation-free.
+func ReadRecordInto(r io.Reader, buf []byte) ([]byte, error) {
+	out := buf[:0]
 	for {
-		var hdr [4]byte
+		var hdr [MarkSize]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil, err
 		}
@@ -204,11 +257,15 @@ func ReadRecord(r io.Reader) ([]byte, error) {
 		if n > maxFragment {
 			return nil, errors.New("sunrpc: fragment too large")
 		}
-		frag := make([]byte, n)
-		if _, err := io.ReadFull(r, frag); err != nil {
+		start := len(out)
+		if need := start + int(n); need <= cap(out) {
+			out = out[:need]
+		} else {
+			out = xdr.AppendZero(out, int(n))
+		}
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
 			return nil, err
 		}
-		out = append(out, frag...)
 		if last {
 			return out, nil
 		}

@@ -1,0 +1,100 @@
+//go:build go1.18
+
+package xdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEncodeDecodeReuse drives the same item stream through three
+// encode forms — a fresh Encoder, a Reset-reused Encoder carrying
+// garbage from a previous message, and the package-level Append helpers
+// — asserting byte-identical output, then decodes the stream back with
+// both the copying and view decode forms. Run the corpus as a normal
+// test, or explore with:
+//
+//	go test -fuzz FuzzEncodeDecodeReuse ./internal/xdr/
+func FuzzEncodeDecodeReuse(f *testing.F) {
+	f.Add([]byte{}, uint32(0), uint64(0), false)
+	f.Add([]byte{1, 2, 3}, uint32(7), uint64(1<<40), true)
+	f.Add(bytes.Repeat([]byte{0xff}, 131), uint32(1<<31), uint64(1)<<63, false)
+	f.Fuzz(func(t *testing.T, op []byte, u32 uint32, u64 uint64, b bool) {
+		fresh := NewEncoder(nil)
+		fresh.Uint32(u32)
+		fresh.Uint64(u64)
+		fresh.Bool(b)
+		fresh.Opaque(op)
+		fresh.FixedOpaque(op)
+		fresh.String(string(op))
+		want := fresh.Bytes()
+
+		// A reused encoder must shed every trace of its previous life.
+		reused := NewEncoder(nil)
+		reused.String("stale message from a previous encode")
+		reused.Reset(make([]byte, 0, 16))
+		reused.Uint32(u32)
+		reused.Uint64(u64)
+		reused.Bool(b)
+		reused.Opaque(op)
+		reused.FixedOpaque(op)
+		reused.String(string(op))
+		if !bytes.Equal(reused.Bytes(), want) {
+			t.Fatalf("Reset-reused encoder differs:\n got %x\nwant %x", reused.Bytes(), want)
+		}
+
+		var appended []byte
+		appended = AppendUint32(appended, u32)
+		appended = AppendUint64(appended, u64)
+		appended = AppendBool(appended, b)
+		appended = AppendOpaque(appended, op)
+		appended = AppendFixedOpaque(appended, op)
+		appended = AppendString(appended, string(op))
+		if !bytes.Equal(appended, want) {
+			t.Fatalf("Append helpers differ:\n got %x\nwant %x", appended, want)
+		}
+
+		// Zero-fill form against an explicit zero payload.
+		zeroFill := AppendZeroOpaque(nil, len(op))
+		explicit := AppendOpaque(nil, make([]byte, len(op)))
+		if !bytes.Equal(zeroFill, explicit) {
+			t.Fatalf("AppendZeroOpaque(%d) differs from explicit zeros", len(op))
+		}
+
+		// Decode it all back, copying and view forms agreeing.
+		d := NewDecoder(want)
+		if got := d.Uint32(); got != u32 {
+			t.Fatalf("Uint32 = %d, want %d", got, u32)
+		}
+		if got := d.Uint64(); got != u64 {
+			t.Fatalf("Uint64 = %d, want %d", got, u64)
+		}
+		if got := d.Bool(); got != b {
+			t.Fatalf("Bool = %v, want %v", got, b)
+		}
+		if got := d.Opaque(uint32(len(op))); !bytes.Equal(got, op) {
+			t.Fatalf("Opaque = %x, want %x", got, op)
+		}
+		if got := d.FixedOpaqueView(len(op)); !bytes.Equal(got, op) {
+			t.Fatalf("FixedOpaqueView = %x, want %x", got, op)
+		}
+		if got := d.String(uint32(len(op))); got != string(op) {
+			t.Fatalf("String = %q, want %q", got, op)
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode error: %v", err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("%d bytes left undecoded", d.Remaining())
+		}
+
+		// A view decode of the variable-length opaque must agree too.
+		dv := NewDecoder(want)
+		dv.Uint32()
+		dv.Uint64()
+		dv.Bool()
+		if got := dv.OpaqueView(uint32(len(op))); !bytes.Equal(got, op) {
+			t.Fatalf("OpaqueView = %x, want %x", got, op)
+		}
+	})
+}

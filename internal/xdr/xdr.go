@@ -14,6 +14,74 @@ import (
 // ErrShortBuffer is returned when a decode runs past the end of input.
 var ErrShortBuffer = errors.New("xdr: short buffer")
 
+// Pad4 rounds n up to the next multiple of 4 (XDR item alignment).
+func Pad4(n int) int { return (n + 3) &^ 3 }
+
+// The Append family encodes XDR items into a caller-owned slice, in the
+// style of strconv.AppendInt: each helper appends the wire form of one
+// item to buf and returns the extended slice. They are the hot-path
+// primitives under Encoder — callers that assemble a whole message into
+// one pooled buffer (record mark, RPC header, NFS body, payload) use
+// these directly so the only allocation is the buffer itself.
+
+// AppendUint32 appends a 32-bit unsigned integer.
+func AppendUint32(buf []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(buf, v)
+}
+
+// AppendUint64 appends a 64-bit unsigned integer (XDR "unsigned hyper").
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(buf, v)
+}
+
+// AppendBool appends a boolean as 0 or 1.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return AppendUint32(buf, 1)
+	}
+	return AppendUint32(buf, 0)
+}
+
+// AppendFixedOpaque appends fixed-length opaque data plus alignment
+// padding (no length prefix).
+func AppendFixedOpaque(buf, b []byte) []byte {
+	buf = append(buf, b...)
+	return AppendZero(buf, Pad4(len(b))-len(b))
+}
+
+// AppendOpaque appends variable-length opaque data: length, bytes,
+// padding.
+func AppendOpaque(buf, b []byte) []byte {
+	buf = AppendUint32(buf, uint32(len(b)))
+	return AppendFixedOpaque(buf, b)
+}
+
+// AppendString appends an XDR string (same wire form as opaque data).
+func AppendString(buf []byte, s string) []byte {
+	buf = AppendUint32(buf, uint32(len(s)))
+	buf = append(buf, s...)
+	return AppendZero(buf, Pad4(len(s))-len(s))
+}
+
+// zeros is the shared source for zero-fill appends.
+var zeros [4096]byte
+
+// AppendZero appends n zero bytes without allocating scratch storage.
+func AppendZero(buf []byte, n int) []byte {
+	for n > len(zeros) {
+		buf = append(buf, zeros[:]...)
+		n -= len(zeros)
+	}
+	return append(buf, zeros[:n]...)
+}
+
+// AppendZeroOpaque appends a variable-length opaque of n zero bytes
+// (length, zero fill, padding) without a scratch slice.
+func AppendZeroOpaque(buf []byte, n int) []byte {
+	buf = AppendUint32(buf, uint32(n))
+	return AppendZero(buf, Pad4(n))
+}
+
 // Encoder appends XDR-encoded items to a byte slice.
 type Encoder struct {
 	buf []byte
@@ -22,6 +90,12 @@ type Encoder struct {
 // NewEncoder returns an encoder, optionally reusing buf's storage.
 func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
 
+// Reset rearms the encoder to encode into buf's storage (from length
+// zero), making encoder reuse first-class: a long-lived Encoder plus a
+// recycled buffer encodes an unbounded stream of messages with no
+// per-message allocation.
+func (e *Encoder) Reset(buf []byte) { e.buf = buf[:0] }
+
 // Bytes returns the encoded stream.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
@@ -29,44 +103,26 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 func (e *Encoder) Len() int { return len(e.buf) }
 
 // Uint32 encodes a 32-bit unsigned integer.
-func (e *Encoder) Uint32(v uint32) {
-	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
-}
+func (e *Encoder) Uint32(v uint32) { e.buf = AppendUint32(e.buf, v) }
 
 // Int32 encodes a 32-bit signed integer.
 func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
 
 // Uint64 encodes a 64-bit unsigned integer (XDR "unsigned hyper").
-func (e *Encoder) Uint64(v uint64) {
-	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
-}
+func (e *Encoder) Uint64(v uint64) { e.buf = AppendUint64(e.buf, v) }
 
 // Bool encodes a boolean as 0 or 1.
-func (e *Encoder) Bool(v bool) {
-	if v {
-		e.Uint32(1)
-	} else {
-		e.Uint32(0)
-	}
-}
+func (e *Encoder) Bool(v bool) { e.buf = AppendBool(e.buf, v) }
 
 // Opaque encodes variable-length opaque data: length, bytes, padding.
-func (e *Encoder) Opaque(b []byte) {
-	e.Uint32(uint32(len(b)))
-	e.FixedOpaque(b)
-}
+func (e *Encoder) Opaque(b []byte) { e.buf = AppendOpaque(e.buf, b) }
 
 // FixedOpaque encodes fixed-length opaque data with padding but no
 // length prefix.
-func (e *Encoder) FixedOpaque(b []byte) {
-	e.buf = append(e.buf, b...)
-	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
-		e.buf = append(e.buf, 0)
-	}
-}
+func (e *Encoder) FixedOpaque(b []byte) { e.buf = AppendFixedOpaque(e.buf, b) }
 
 // String encodes an XDR string (same wire form as Opaque).
-func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+func (e *Encoder) String(s string) { e.buf = AppendString(e.buf, s) }
 
 // Decoder consumes XDR items from a byte slice. Errors are sticky: after
 // the first failure all further reads return zero values and Err()
@@ -142,16 +198,43 @@ func (d *Decoder) Opaque(maxLen uint32) []byte {
 
 // FixedOpaque decodes n opaque bytes plus padding.
 func (d *Decoder) FixedOpaque(n int) []byte {
-	b := d.take(n)
+	b := d.FixedOpaqueView(n)
 	if b == nil {
 		return nil
-	}
-	if pad := (4 - n%4) % 4; pad > 0 {
-		d.take(pad)
 	}
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// OpaqueView is Opaque without the defensive copy: the returned slice
+// aliases the decode buffer and is valid only as long as that buffer is.
+// It is the decode half of the zero-copy pipeline — a server decoding
+// from a pooled receive buffer must consume the view before the buffer
+// is recycled.
+func (d *Decoder) OpaqueView(maxLen uint32) []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		d.err = fmt.Errorf("xdr: opaque length %d exceeds limit %d", n, maxLen)
+		return nil
+	}
+	return d.FixedOpaqueView(int(n))
+}
+
+// FixedOpaqueView is FixedOpaque without the defensive copy (see
+// OpaqueView for the aliasing contract).
+func (d *Decoder) FixedOpaqueView(n int) []byte {
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	if pad := Pad4(n) - n; pad > 0 {
+		d.take(pad)
+	}
+	return b[:n:n]
 }
 
 // String decodes an XDR string bounded by maxLen.
