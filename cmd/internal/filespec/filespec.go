@@ -1,0 +1,58 @@
+// Package filespec parses the -file name=sizeMB flags the live-server
+// commands (nfsserve, nfstrace capture) share, and builds the patterned
+// file store they serve.
+package filespec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nfstricks/internal/memfs"
+)
+
+// List collects repeated -file flags (flag.Value).
+type List []string
+
+// String joins the collected specs.
+func (m *List) String() string { return strings.Join(*m, ",") }
+
+// Set appends one spec.
+func (m *List) Set(v string) error { *m = append(*m, v); return nil }
+
+// Parse splits a name=sizeMB spec.
+func Parse(spec string) (name string, sizeMB int, err error) {
+	name, sizeStr, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("bad -file %q, want name=sizeMB", spec)
+	}
+	size, err := strconv.Atoi(sizeStr)
+	if err != nil || size <= 0 || size > 1024 {
+		return "", 0, fmt.Errorf("bad size in -file %q", spec)
+	}
+	return name, size, nil
+}
+
+// BuildFS creates a store holding every spec'd file filled with
+// patterned data, returning the names in spec order. Empty specs
+// default to demo=4.
+func BuildFS(specs []string) (*memfs.FS, []string, error) {
+	if len(specs) == 0 {
+		specs = []string{"demo=4"}
+	}
+	fs := memfs.NewFS()
+	var names []string
+	for _, spec := range specs {
+		name, sizeMB, err := Parse(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		data := make([]byte, sizeMB<<20)
+		for i := range data {
+			data[i] = byte(i * 2654435761)
+		}
+		fs.Create(name, data)
+		names = append(names, name)
+	}
+	return fs, names, nil
+}

@@ -10,12 +10,15 @@
 //	nfsbench -exp table1 -csv out.csv
 //	nfsbench -exp live-scale      # real-socket saturation: clients vs nfsheur shards
 //	nfsbench -exp alloc-profile   # allocator cost per live RPC (B/op, allocs/op)
+//	nfsbench -exp trace-replay    # capture a live run, replay it at several schedules
+//	nfsbench -exp trace-replay -json BENCH.json
 //
 // Scale divides the paper's file sizes (scale 1 = the full 256 MB per
 // reader-count iteration); runs is the repetition count per cell.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,13 +30,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (or 'all')")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		runs   = flag.Int("runs", 10, "runs per cell")
-		scale  = flag.Int("scale", 1, "divide the paper's file sizes by this factor")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		csv    = flag.String("csv", "", "also write results as CSV to this file")
-		verify = flag.Bool("verify", false, "check the paper's shape claims against the results")
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		runs    = flag.Int("runs", 10, "runs per cell")
+		scale   = flag.Int("scale", 1, "divide the paper's file sizes by this factor")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		csv     = flag.String("csv", "", "also write results as CSV to this file")
+		jsonOut = flag.String("json", "", "also write results as JSON to this file")
+		verify  = flag.Bool("verify", false, "check the paper's shape claims against the results")
 	)
 	flag.Parse()
 
@@ -64,6 +68,7 @@ func main() {
 	}
 
 	var csvOut strings.Builder
+	var results []*bench.Result
 	for _, e := range todo {
 		start := time.Now()
 		r, err := e.Run(params)
@@ -87,10 +92,21 @@ func main() {
 			csvOut.WriteString("# " + r.ID + "\n")
 			csvOut.WriteString(r.CSV())
 		}
+		results = append(results, r)
 	}
 	if *csv != "" {
 		if err := os.WriteFile(*csv, []byte(csvOut.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "nfsbench: writing %s: %v\n", *csv, err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}
 	}

@@ -7,6 +7,12 @@
 //
 // then read "demo" (4 MB of patterned data) with any client built on
 // internal/memfs.DialClient, e.g. examples/liveserver.
+//
+// With -trace out.nft every served RPC is recorded to a .nft trace file
+// (arrival time, stream, procedure, handle, offset, count, status,
+// latency) that `nfstrace analyze` and `nfstrace replay` consume. On
+// SIGINT the server stops accepting, prints a final stats line, flushes
+// the trace and exits 0.
 package main
 
 import (
@@ -14,28 +20,27 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"time"
 
+	"nfstricks/cmd/internal/filespec"
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/nfstrace"
 	"nfstricks/internal/readahead"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/tracefile"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:0", "address to bind (UDP and TCP)")
-		files     multiFlag
+		files     filespec.List
 		heuristic = flag.String("heuristic", "slowdown", "read-ahead heuristic: default, slowdown, always, cursor")
 		stats     = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
+		trace     = flag.String("trace", "", "record every served RPC to this .nft trace file")
 	)
 	flag.Var(&files, "file", "file to serve, as name=sizeMB (repeatable; default demo=4)")
 	flag.Parse()
-
-	if len(files) == 0 {
-		files = multiFlag{"demo=4"}
-	}
 
 	var h readahead.Heuristic
 	switch *heuristic {
@@ -52,63 +57,84 @@ func main() {
 		os.Exit(2)
 	}
 
-	fs := memfs.NewFS()
-	for _, spec := range files {
-		name, sizeMB, err := parseFileSpec(spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nfsserve:", err)
-			os.Exit(2)
-		}
-		data := make([]byte, sizeMB<<20)
-		for i := range data {
-			data[i] = byte(i * 2654435761)
-		}
-		fs.Create(name, data)
-		fmt.Printf("serving %s (%d MB)\n", name, sizeMB)
+	fs, names, err := filespec.BuildFS(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfsserve:", err)
+		os.Exit(2)
+	}
+	for _, name := range names {
+		_, size, _ := fs.Lookup(name)
+		fmt.Printf("serving %s (%d MB)\n", name, size>>20)
 	}
 
 	svc := memfs.NewService(fs, h, nil)
-	srv, err := memfs.NewServer(*addr, svc)
+
+	// Optional trace capture: every served RPC is appended to the .nft
+	// file and flushed on shutdown.
+	var capt *nfstrace.Capture
+	var tap rpcnet.Tap
+	if *trace != "" {
+		w, err := tracefile.Create(*trace, time.Now())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfsserve:", err)
+			os.Exit(1)
+		}
+		capt = nfstrace.NewCapture(w)
+		tap = capt.Tap
+	}
+
+	srv, err := memfs.NewServerTap(*addr, svc, tap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
 		os.Exit(1)
 	}
-	defer srv.Close()
 	fmt.Printf("listening on %s (udp+tcp), program %d version %d, heuristic %s\n",
 		srv.Addr(), nfsproto.Program, nfsproto.Version3, *heuristic)
+	if *trace != "" {
+		fmt.Printf("tracing to %s\n", *trace)
+	}
+
+	printStats := func(prefix string) {
+		st := svc.Stats()
+		fmt.Printf("%sreads=%d bytes=%d maxSeqCount=%d\n",
+			prefix, st.Reads, st.BytesRead, st.MaxSeqCount)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
+	// A nil ticker channel never fires, so the loop shape is the same
+	// with stats reporting off.
+	var tick <-chan time.Time
 	if *stats > 0 {
 		ticker := time.NewTicker(*stats)
 		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				st := svc.Stats()
-				fmt.Printf("reads=%d bytes=%d maxSeqCount=%d\n",
-					st.Reads, st.BytesRead, st.MaxSeqCount)
-			case <-stop:
-				return
-			}
+		tick = ticker.C
+	}
+loop:
+	for {
+		select {
+		case <-tick:
+			printStats("")
+		case <-stop:
+			break loop
 		}
 	}
-	<-stop
-}
 
-type multiFlag []string
-
-func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
-func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
-
-func parseFileSpec(spec string) (string, int, error) {
-	name, sizeStr, ok := strings.Cut(spec, "=")
-	if !ok || name == "" {
-		return "", 0, fmt.Errorf("bad -file %q, want name=sizeMB", spec)
+	// Orderly shutdown: stop accepting and wait for in-flight requests
+	// (so the final stats line and the trace cover every served RPC),
+	// then flush and close the trace file, and exit 0.
+	srv.Close()
+	printStats("final: ")
+	if capt != nil {
+		if err := capt.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "nfsserve: trace:", err)
+			capt.Close()
+			os.Exit(1)
+		}
+		if err := capt.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nfsserve: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d records written to %s\n", capt.Total(), *trace)
 	}
-	size, err := strconv.Atoi(sizeStr)
-	if err != nil || size <= 0 || size > 1024 {
-		return "", 0, fmt.Errorf("bad size in -file %q", spec)
-	}
-	return name, size, nil
 }

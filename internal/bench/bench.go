@@ -148,6 +148,7 @@ func Experiments() []Experiment {
 		{"ablate-window", "Ablation: server read-ahead window size", AblationWindow},
 		{"live-scale", "Live server saturation: nfsheur sharding vs concurrent clients", LiveScale},
 		{"alloc-profile", "Allocator traffic per live RPC: allocs/op and B/op by transfer size", AllocProfile},
+		{"trace-replay", "Trace capture & replay: achieved load vs replay schedule", TraceReplay},
 	}
 }
 

@@ -381,7 +381,21 @@ func (s *Service) getattr(body, reply []byte) ([]byte, uint32) {
 
 // NewServer binds addr and serves svc over real UDP and TCP sockets.
 func NewServer(addr string, svc *Service) (*rpcnet.Server, error) {
-	return rpcnet.NewServer(addr, nfsproto.Program, nfsproto.Version3, svc.Handler())
+	return NewServerTap(addr, svc, nil)
+}
+
+// NewServerTap is NewServer with a capture tap observing every served
+// RPC (nil tap = NewServer). Pair it with nfstrace.Capture to record
+// live request streams to a .nft trace file:
+//
+//	w, _ := tracefile.Create("out.nft", time.Now())
+//	cap := nfstrace.NewCapture(w)
+//	srv, _ := memfs.NewServerTap(addr, svc, cap.Tap)
+//
+// The tap adds one pointer check per request when nil and one record
+// append (no payload copy) when capturing.
+func NewServerTap(addr string, svc *Service, tap rpcnet.Tap) (*rpcnet.Server, error) {
+	return rpcnet.NewServerTap(addr, nfsproto.Program, nfsproto.Version3, svc.Handler(), tap)
 }
 
 // Client is a minimal NFS client over rpcnet for the live service.

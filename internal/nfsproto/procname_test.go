@@ -1,0 +1,63 @@
+package nfsproto
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// procNames lists every Proc* constant the package exports with its
+// expected name. Adding a procedure constant without extending this
+// table (and ProcName) is the drift this test exists to catch — see the
+// scan check below, which also fails when ProcName knows a procedure
+// this table does not.
+var procNames = map[uint32]string{
+	ProcNull:    "NULL",
+	ProcGetattr: "GETATTR",
+	ProcLookup:  "LOOKUP",
+	ProcAccess:  "ACCESS",
+	ProcRead:    "READ",
+	ProcWrite:   "WRITE",
+	ProcCreate:  "CREATE",
+	ProcFsstat:  "FSSTAT",
+}
+
+// TestProcNameCoversEveryProc is table-driven over every Proc*
+// constant: each must resolve to its RFC 1813 name, never the numeric
+// fallback.
+func TestProcNameCoversEveryProc(t *testing.T) {
+	for proc, want := range procNames {
+		if got := ProcName(proc); got != want {
+			t.Errorf("ProcName(%d) = %q, want %q", proc, got, want)
+		}
+		if strings.HasPrefix(ProcName(proc), "PROC") {
+			t.Errorf("ProcName(%d) fell through to the numeric fallback", proc)
+		}
+	}
+}
+
+// TestProcNameTableComplete scans the NFS3 procedure number space: any
+// procedure ProcName resolves to a non-fallback name must be in the
+// procNames table above. A new Proc* constant whose name is added to
+// ProcName but not to the table fails here, forcing the table (and so
+// the per-constant assertions) to keep up.
+func TestProcNameTableComplete(t *testing.T) {
+	// NFSPROC3 numbers run 0..21 (RFC 1813); scan beyond for safety.
+	for proc := uint32(0); proc < 64; proc++ {
+		fallback := fmt.Sprintf("PROC%d", proc)
+		got := ProcName(proc)
+		if _, known := procNames[proc]; known {
+			continue // asserted exactly above
+		}
+		if got != fallback {
+			t.Errorf("ProcName(%d) = %q but %d is missing from the procNames test table", proc, got, proc)
+		}
+	}
+}
+
+// TestProcNameFallback pins the fallback form for unknown procedures.
+func TestProcNameFallback(t *testing.T) {
+	if got := ProcName(55); got != "PROC55" {
+		t.Errorf("ProcName(55) = %q", got)
+	}
+}

@@ -1,0 +1,179 @@
+package nfstrace
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"time"
+
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/tracefile"
+	"nfstricks/internal/xdr"
+)
+
+// Capture turns a live server's rpcnet tap events into tracefile
+// records: it decodes the NFS-level fields (file handle, offset, count)
+// from each request body, reads the NFS status off the reply, and
+// appends one record per served RPC to a tracefile.Writer. Install it
+// with rpcnet.NewServerTap (or memfs.NewServerTap):
+//
+//	w, _ := tracefile.Create("out.nft", time.Now())
+//	cap := nfstrace.NewCapture(w)
+//	srv, _ := memfs.NewServerTap(addr, svc, cap.Tap)
+//	...
+//	cap.Close() // flush; then close w's file via w or cap
+//
+// Capture is safe for concurrent use: tap events arrive from every
+// serving goroutine and are serialized onto the writer under one lock.
+type Capture struct {
+	mu    sync.Mutex
+	w     *tracefile.Writer
+	start time.Time
+	err   error
+	total int64
+}
+
+// NewCapture wraps w, timestamping records relative to the writer's
+// own header origin (w.Start()), so file header and record offsets
+// always agree. NewCaptureAt overrides the origin for tests or trace
+// rewriting.
+func NewCapture(w *tracefile.Writer) *Capture {
+	return NewCaptureAt(w, w.Start())
+}
+
+// NewCaptureAt is NewCapture with an explicit time origin (records
+// store arrival time minus start).
+func NewCaptureAt(w *tracefile.Writer, start time.Time) *Capture {
+	return &Capture{w: w, start: start}
+}
+
+// Tap is the rpcnet.Tap. It parses the event and appends a record; the
+// event's buffers are consumed before returning, per the tap contract.
+func (c *Capture) Tap(ev rpcnet.TapEvent) {
+	rec := tracefile.Record{
+		When:    ev.When.Sub(c.start),
+		Stream:  ev.Stream,
+		Proc:    ev.Proc,
+		Latency: ev.Latency,
+	}
+	rec.FH, rec.Offset, rec.Count = parseArgs(ev.Proc, ev.Body)
+	if ev.Stat != sunrpc.AcceptSuccess {
+		rec.Status = tracefile.StatusRPCError | ev.Stat
+	} else if ev.Proc != nfsproto.ProcNull && len(ev.Result) >= 4 {
+		// Every non-NULL NFS3 result opens with its nfsstat3.
+		rec.Status = binary.BigEndian.Uint32(ev.Result)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.err = c.w.Append(rec)
+	if c.err == nil {
+		c.total++
+	}
+}
+
+// parseArgs decodes the handle/offset/count triple a procedure's
+// arguments carry (zero for procedures without the field). The decode
+// mirrors nfsproto's Unmarshal*Args but stops at the traced fields, so
+// capture never copies a WRITE payload.
+func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32) {
+	d := xdr.NewDecoder(body)
+	readFH := func() uint64 {
+		b := d.OpaqueView(64)
+		if len(b) != 8 {
+			return 0
+		}
+		return binary.BigEndian.Uint64(b)
+	}
+	switch proc {
+	case nfsproto.ProcGetattr, nfsproto.ProcLookup, nfsproto.ProcAccess,
+		nfsproto.ProcCreate, nfsproto.ProcFsstat:
+		// First field is the (directory) handle; names and access bits
+		// are not traced.
+		fh = readFH()
+	case nfsproto.ProcRead, nfsproto.ProcWrite:
+		fh = readFH()
+		offset = d.Uint64()
+		count = d.Uint32()
+	}
+	if d.Err() != nil {
+		return 0, 0, 0
+	}
+	return fh, offset, count
+}
+
+// Total reports how many records were captured.
+func (c *Capture) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Err reports the first writer error, if any; records after it were
+// dropped.
+func (c *Capture) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close flushes and closes the underlying writer. The server should be
+// closed (or the tap quiesced) first; late events after Close are
+// dropped.
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.w.Close()
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// FromTracefile converts captured on-disk records to analyzer records,
+// so Analyze, OpMix and InterarrivalStats run identically on live
+// traces and on simulator traces. The file stores records in completion
+// order; the analyzers measure the server-observed arrival order, so
+// the records are stable-sorted by arrival time first (without this, a
+// pipelined capture would charge its own completion jitter as request
+// reordering).
+func FromTracefile(recs []tracefile.Record) []Record {
+	byArrival := append([]tracefile.Record(nil), recs...)
+	sort.SliceStable(byArrival, func(i, j int) bool { return byArrival[i].When < byArrival[j].When })
+	out := make([]Record, len(byArrival))
+	for i, r := range byArrival {
+		out[i] = Record{
+			When:   r.When,
+			Proc:   r.Proc,
+			FH:     r.FH,
+			Offset: r.Offset,
+			Count:  r.Count,
+		}
+	}
+	return out
+}
+
+// FromFile reads a captured .nft trace into analyzer records — the
+// FromFile path that lets the reordering/sequentiality analyzers run on
+// captured live traffic instead of only on the simulated kernel.
+func FromFile(path string) ([]Record, error) {
+	_, recs, err := tracefile.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromTracefile(recs), nil
+}
+
+// AnalyzeFile runs the paper's reordering/sequentiality analysis over a
+// captured trace file's READ records.
+func AnalyzeFile(path string) (Analysis, error) {
+	recs, err := FromFile(path)
+	if err != nil {
+		return Analysis{}, err
+	}
+	return Analyze(recs, nfsproto.ProcRead), nil
+}

@@ -1,0 +1,216 @@
+package nfstrace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/tracefile"
+)
+
+// captureRun serves a small live store with capture enabled, drives a
+// known workload over the given network, and returns the decoded trace.
+func captureRun(t *testing.T, network string) []tracefile.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	start := time.Now()
+	w, err := tracefile.NewWriter(&buf, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := NewCaptureAt(w, start)
+
+	fs := memfs.NewFS()
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fs.Create("data", payload)
+	svc := memfs.NewService(fs, nil, nil)
+	srv, err := memfs.NewServerTap("127.0.0.1:0", svc, cap.Tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := memfs.DialClient(network, srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	fh, size, err := c.Lookup("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < uint64(size); off += 8192 {
+		if _, _, err := c.Read(fh, off, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Write(fh, uint64(size), []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Lookup("missing"); err == nil {
+		t.Fatal("lookup of missing file succeeded")
+	}
+	c.Close()
+	srv.Close()
+
+	if err := cap.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := tracefile.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestCaptureLiveServer checks the whole capture path over both
+// transports: every RPC traced with correct proc/FH/offset/count/status
+// and non-decreasing per-arrival times up to completion-order jitter.
+func TestCaptureLiveServer(t *testing.T) {
+	for _, network := range []string{"udp", "tcp"} {
+		recs := captureRun(t, network)
+		// 1 lookup + 8 reads + 1 write + 1 failed lookup = 11.
+		if len(recs) != 11 {
+			t.Fatalf("%s: %d records, want 11", network, len(recs))
+		}
+		var reads, lookups, writes int
+		var lastOffset uint64
+		var fh uint64
+		for _, r := range recs {
+			if r.Status&tracefile.StatusRPCError != 0 {
+				t.Fatalf("%s: RPC-level error captured: %+v", network, r)
+			}
+			switch r.Proc {
+			case nfsproto.ProcLookup:
+				lookups++
+				if r.FH != uint64(memfs.RootFH) {
+					t.Fatalf("%s: lookup dir FH = %d", network, r.FH)
+				}
+			case nfsproto.ProcRead:
+				reads++
+				if r.Count != 8192 {
+					t.Fatalf("%s: read count = %d", network, r.Count)
+				}
+				if fh == 0 {
+					fh = r.FH
+				} else if r.FH != fh {
+					t.Fatalf("%s: read FH changed: %d then %d", network, fh, r.FH)
+				}
+				if reads > 1 && r.Offset != lastOffset+8192 {
+					t.Fatalf("%s: read offsets not sequential: %d after %d", network, r.Offset, lastOffset)
+				}
+				lastOffset = r.Offset
+				if r.Status != nfsproto.OK {
+					t.Fatalf("%s: read status = %d", network, r.Status)
+				}
+			case nfsproto.ProcWrite:
+				writes++
+				if r.Offset != 64*1024 || r.Count != 4 {
+					t.Fatalf("%s: write off=%d count=%d", network, r.Offset, r.Count)
+				}
+			}
+		}
+		if reads != 8 || lookups != 2 || writes != 1 {
+			t.Fatalf("%s: reads=%d lookups=%d writes=%d", network, reads, lookups, writes)
+		}
+		// The failed lookup carries its NFS error status.
+		var sawNoEnt bool
+		for _, r := range recs {
+			if r.Proc == nfsproto.ProcLookup && r.Status == nfsproto.ErrNoEnt {
+				sawNoEnt = true
+			}
+		}
+		if !sawNoEnt {
+			t.Fatalf("%s: missing-file lookup status not captured", network)
+		}
+		// Latencies are plausible (positive, sub-second on loopback).
+		for _, r := range recs {
+			if r.Latency <= 0 || r.Latency > 10*time.Second {
+				t.Fatalf("%s: latency %v", network, r.Latency)
+			}
+		}
+
+		// The analyzer integration: a sequential capture shows no
+		// reordering and high sequentiality.
+		a := Analyze(FromTracefile(recs), nfsproto.ProcRead)
+		if a.Reads != 8 || a.Reordered != 0 {
+			t.Fatalf("%s: analysis %+v", network, a)
+		}
+		if a.SequentialFrac < 0.8 {
+			t.Fatalf("%s: sequential frac %.2f", network, a.SequentialFrac)
+		}
+	}
+}
+
+// TestFromTracefileSortsByArrival: analyzers measure server-observed
+// arrival order, but trace files are completion-ordered; the conversion
+// must not charge completion jitter as request reordering.
+func TestFromTracefileSortsByArrival(t *testing.T) {
+	// Arrival order (by When) is perfectly sequential; file order is
+	// scrambled, as a pipelined capture would store it.
+	recs := []tracefile.Record{
+		{When: 2 * time.Millisecond, Proc: nfsproto.ProcRead, FH: 1, Offset: 2 * 8192, Count: 8192},
+		{When: 0, Proc: nfsproto.ProcRead, FH: 1, Offset: 0, Count: 8192},
+		{When: 3 * time.Millisecond, Proc: nfsproto.ProcRead, FH: 1, Offset: 3 * 8192, Count: 8192},
+		{When: 1 * time.Millisecond, Proc: nfsproto.ProcRead, FH: 1, Offset: 1 * 8192, Count: 8192},
+	}
+	converted := FromTracefile(recs)
+	for i, r := range converted {
+		if r.When != time.Duration(i)*time.Millisecond {
+			t.Fatalf("converted[%d].When = %v, not arrival-sorted", i, r.When)
+		}
+	}
+	a := Analyze(converted, nfsproto.ProcRead)
+	if a.Reordered != 0 {
+		t.Fatalf("completion jitter charged as reordering: %+v", a)
+	}
+	if a.SequentialFrac < 0.7 {
+		t.Fatalf("sequential frac %.2f", a.SequentialFrac)
+	}
+}
+
+// TestAnalyzeFile runs the FromFile path end to end through a real file.
+func TestAnalyzeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.nft")
+	w, err := tracefile.Create(path, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rec := tracefile.Record{
+			When: time.Duration(i) * time.Millisecond, Stream: 1,
+			Proc: nfsproto.ProcRead, FH: 7, Offset: uint64(i) * 8192, Count: 8192,
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reads != 20 || a.Reordered != 0 || a.Files != 1 {
+		t.Fatalf("analysis %+v", a)
+	}
+	recs, err := FromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 || recs[19].When != 19*time.Millisecond {
+		t.Fatalf("FromFile: %d records, last When %v", len(recs), recs[len(recs)-1].When)
+	}
+	if mix := OpMix(recs); mix[nfsproto.ProcRead] != 20 {
+		t.Fatalf("op mix %v", mix)
+	}
+}

@@ -40,6 +40,65 @@ func TestTracerRingBuffer(t *testing.T) {
 	}
 }
 
+// TestTracerWraparoundBoundary pins the exact Limit boundary: at
+// Total == Limit nothing has been evicted and order is untouched; the
+// very next Add evicts exactly the oldest record.
+func TestTracerWraparoundBoundary(t *testing.T) {
+	tr := Tracer{Limit: 8}
+	for i := 0; i < 8; i++ {
+		tr.Add(readRec(1, uint64(i)))
+	}
+	recs := tr.Records()
+	if len(recs) != 8 || tr.Total() != 8 {
+		t.Fatalf("at limit: len=%d total=%d", len(recs), tr.Total())
+	}
+	for i, r := range recs {
+		if r.Offset != uint64(i)*8192 {
+			t.Fatalf("pre-wrap order broken at %d: %+v", i, r)
+		}
+	}
+
+	// One past the limit: block 0 evicted, order still arrival order.
+	tr.Add(readRec(1, 8))
+	recs = tr.Records()
+	if len(recs) != 8 || tr.Total() != 9 {
+		t.Fatalf("one past limit: len=%d total=%d", len(recs), tr.Total())
+	}
+	for i, r := range recs {
+		if want := uint64(1 + i); r.Offset != want*8192 {
+			t.Fatalf("post-wrap order: recs[%d] = block %d, want %d", i, r.Offset/8192, want)
+		}
+	}
+}
+
+// TestTracerWrapsManyTimes drives the ring through several full
+// revolutions: Total counts every Add ever made while Records always
+// returns the newest Limit records in arrival order.
+func TestTracerWrapsManyTimes(t *testing.T) {
+	const limit = 7
+	tr := Tracer{Limit: limit}
+	for n := 1; n <= 5*limit+3; n++ {
+		tr.Add(readRec(1, uint64(n-1)))
+		if tr.Total() != int64(n) {
+			t.Fatalf("after %d adds Total = %d", n, tr.Total())
+		}
+		recs := tr.Records()
+		wantLen := n
+		if wantLen > limit {
+			wantLen = limit
+		}
+		if len(recs) != wantLen {
+			t.Fatalf("after %d adds len = %d, want %d", n, len(recs), wantLen)
+		}
+		first := n - wantLen
+		for i, r := range recs {
+			if want := uint64(first + i); r.Offset != want*8192 {
+				t.Fatalf("after %d adds recs[%d] = block %d, want %d", n, i, r.Offset/8192, want)
+			}
+		}
+	}
+}
+
 func TestTracerReset(t *testing.T) {
 	tr := Tracer{Limit: 4}
 	for i := 0; i < 8; i++ {

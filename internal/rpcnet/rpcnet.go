@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,14 +59,55 @@ func putBuf(b *[]byte) {
 	wireBufs.Put(b)
 }
 
+// TapEvent describes one served RPC to a capture tap: when the request
+// arrived, which client stream carried it, what was called, how the
+// server answered and how long service took. Body and Result alias
+// pooled wire buffers and are valid only for the duration of the tap
+// call — taps must parse what they need before returning, never retain
+// the slices.
+type TapEvent struct {
+	// Stream identifies the client connection: TCP connections get one
+	// id each for their lifetime, UDP peers one id per distinct source
+	// address. Ids are unique within a Server, never reused.
+	Stream uint32
+	// When is the request's arrival time (read off the socket).
+	When time.Time
+	// Latency is the service time: handler plus decode, excluding the
+	// reply's socket write.
+	Latency time.Duration
+	// Proc is the procedure number from the call header.
+	Proc uint32
+	// Stat is the RPC accept status of the reply.
+	Stat uint32
+	// Body is the XDR argument payload of the call.
+	Body []byte
+	// Result is the XDR result the handler appended (nil when the call
+	// was rejected before dispatch, e.g. program mismatch).
+	Result []byte
+}
+
+// Tap observes served RPCs for trace capture. It is called after the
+// handler returns, concurrently from the serving goroutines, so
+// implementations must be safe for concurrent use. A nil Tap on the
+// server costs one pointer check per request — capture is free when
+// disabled.
+type Tap func(ev TapEvent)
+
 // Server serves one RPC program on a UDP socket and a TCP listener
 // bound to the same address.
 type Server struct {
 	prog, vers uint32
 	handler    Handler
+	tap        Tap
 
 	udp *net.UDPConn
 	tcp net.Listener
+
+	// nextStream allocates tap stream ids; udpStreams maps datagram
+	// peers to theirs (only touched when a tap is installed).
+	nextStream atomic.Uint32
+	streamMu   sync.Mutex
+	udpStreams map[netip.AddrPort]uint32
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -76,6 +118,12 @@ type Server struct {
 // NewServer binds addr (e.g. "127.0.0.1:0") for program prog version
 // vers and starts serving. Close shuts it down.
 func NewServer(addr string, prog, vers uint32, handler Handler) (*Server, error) {
+	return NewServerTap(addr, prog, vers, handler, nil)
+}
+
+// NewServerTap is NewServer with a capture tap observing every served
+// RPC (see Tap). A nil tap is exactly NewServer.
+func NewServerTap(addr string, prog, vers uint32, handler Handler, tap Tap) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: %w", err)
@@ -85,14 +133,40 @@ func NewServer(addr string, prog, vers uint32, handler Handler) (*Server, error)
 		return nil, err
 	}
 	s := &Server{
-		prog: prog, vers: vers, handler: handler,
+		prog: prog, vers: vers, handler: handler, tap: tap,
 		udp: udp, tcp: tcp,
 		conns: make(map[net.Conn]struct{}),
+	}
+	if tap != nil {
+		s.udpStreams = make(map[netip.AddrPort]uint32)
 	}
 	s.wg.Add(2)
 	go s.serveUDP()
 	go s.serveTCP()
 	return s, nil
+}
+
+// maxUDPStreams bounds the peer→stream-id map: a long-running traced
+// server facing ephemeral-port churn must not grow it forever. At the
+// cap the map is reset; ids stay unique (never reused), so a peer that
+// spans a reset continues as a new stream — for trace consumers that is
+// a connection epoch, same as a TCP reconnect.
+const maxUDPStreams = 65536
+
+// udpStream resolves the tap stream id for a datagram peer.
+func (s *Server) udpStream(from *net.UDPAddr) uint32 {
+	key := from.AddrPort()
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	id, ok := s.udpStreams[key]
+	if !ok {
+		if len(s.udpStreams) >= maxUDPStreams {
+			s.udpStreams = make(map[netip.AddrPort]uint32)
+		}
+		id = s.nextStream.Add(1)
+		s.udpStreams[key] = id
+	}
+	return id
 }
 
 // bindBoth acquires a UDP socket and a TCP listener on the same port.
@@ -160,15 +234,38 @@ func (s *Server) serveUDP() {
 			}
 			continue
 		}
+		// Arrival time and stream id are resolved on the read loop (the
+		// peer address is at hand here) but only when capture is on.
+		var ev *TapEvent
+		if s.tap != nil {
+			ev = &TapEvent{Stream: s.udpStream(from), When: time.Now()}
+		}
+		// The handler goroutine joins the server's WaitGroup (the read
+		// loop still holds its own count, so this Add cannot race a
+		// Close that already reached zero): Close drains in-flight
+		// requests, which is what lets a shutdown trust that the final
+		// stats and the capture tap saw every served RPC.
+		s.wg.Add(1)
 		go func() {
+			defer s.wg.Done()
 			defer putBuf(bp)
 			rp := getBuf()
 			defer putBuf(rp)
-			if reply, ok := s.process(buf[:n], *rp); ok {
+			if reply, ok := s.process(buf[:n], *rp, ev); ok {
 				*rp = reply
+				s.emit(ev)
 				s.udp.WriteToUDP(reply, from)
 			}
 		}()
+	}
+}
+
+// emit delivers a populated tap event; ev is nil when capture is off or
+// the message was dropped as garbage.
+func (s *Server) emit(ev *TapEvent) {
+	if ev != nil {
+		ev.Latency = time.Since(ev.When)
+		s.tap(*ev)
 	}
 }
 
@@ -203,6 +300,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	// One tap stream id covers the connection's whole life.
+	var stream uint32
+	if s.tap != nil {
+		stream = s.nextStream.Add(1)
+	}
 	var writeMu sync.Mutex
 	for {
 		bp := getBuf()
@@ -212,19 +314,29 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		*bp = msg
+		var ev *TapEvent
+		if s.tap != nil {
+			ev = &TapEvent{Stream: stream, When: time.Now()}
+		}
+		// As in serveUDP: in-flight requests are part of the WaitGroup
+		// so Close drains them (this goroutine's Add is covered by the
+		// connection's own count).
+		s.wg.Add(1)
 		go func(bp *[]byte, msg []byte) {
+			defer s.wg.Done()
 			defer putBuf(bp)
 			rp := getBuf()
 			defer putBuf(rp)
 			// Record mark, RPC header and result are appended into one
 			// pooled buffer and written in a single call — no re-framing
 			// copy, no per-reply allocation.
-			reply, ok := s.process(msg, sunrpc.BeginRecord(*rp))
+			reply, ok := s.process(msg, sunrpc.BeginRecord(*rp), ev)
 			if !ok {
 				return
 			}
 			*rp = reply
 			sunrpc.FinishRecord(reply, 0)
+			s.emit(ev)
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			conn.Write(reply)
@@ -234,8 +346,9 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // process decodes a call, dispatches it and appends the encoded reply
 // to out. ok == false means "drop" (undecodable garbage), like a real
-// server.
-func (s *Server) process(msg []byte, out []byte) (reply []byte, ok bool) {
+// server. When ev is non-nil (capture on) the call's procedure, accept
+// status, argument body and result region are recorded into it.
+func (s *Server) process(msg []byte, out []byte, ev *TapEvent) (reply []byte, ok bool) {
 	call, err := sunrpc.UnmarshalCall(msg)
 	if err != nil {
 		return out, false
@@ -252,9 +365,17 @@ func (s *Server) process(msg []byte, out []byte) (reply []byte, ok bool) {
 		// success placeholder that is patched once the handler returns.
 		out = hdr.AppendTo(out)
 		statOff := len(out) - 4
+		resultStart := len(out)
 		out, hdr.Stat = s.handler(call.Proc, call.Body, out)
 		binary.BigEndian.PutUint32(out[statOff:], hdr.Stat)
+		if ev != nil {
+			ev.Proc, ev.Stat, ev.Body = call.Proc, hdr.Stat, call.Body
+			ev.Result = out[resultStart:]
+		}
 		return out, true
+	}
+	if ev != nil {
+		ev.Proc, ev.Stat, ev.Body = call.Proc, hdr.Stat, call.Body
 	}
 	return hdr.AppendTo(out), true
 }
@@ -596,16 +717,10 @@ func (c *Client) CallContext(ctx context.Context, proc uint32, args []byte) ([]b
 	return c.call(proc, args, ctx.Done(), nil, ctx.Err)
 }
 
-// call is the shared body of Call and CallContext. The call is
-// abandoned when done is closed or expired fires (a nil channel never
-// selects); cause, when non-nil, names the abandon reason.
-func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-chan time.Time, cause func() error) ([]byte, error) {
-	abandonErr := func() error {
-		if cause != nil {
-			return fmt.Errorf("rpcnet: %w", cause())
-		}
-		return fmt.Errorf("rpcnet: %w", context.DeadlineExceeded)
-	}
+// marshalCall assigns an XID and marshals record mark (TCP), RPC
+// header and arguments in one shot into a pooled buffer, recycled by
+// the writer after the send.
+func (c *Client) marshalCall(proc uint32, args []byte) (uint32, *[]byte) {
 	xid := c.xid.Add(1)
 	call := sunrpc.Call{
 		XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc,
@@ -613,8 +728,6 @@ func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-
 		Verf: sunrpc.AuthNoneCred(),
 		Body: args,
 	}
-	// Record mark (TCP), RPC header and arguments are marshalled in one
-	// shot into a pooled buffer, recycled by the writer after the send.
 	bp := getBuf()
 	buf := *bp
 	if c.network == "tcp" {
@@ -625,6 +738,20 @@ func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-
 		sunrpc.FinishRecord(buf, 0)
 	}
 	*bp = buf
+	return xid, bp
+}
+
+// call is the shared body of Call and CallContext. The call is
+// abandoned when done is closed or expired fires (a nil channel never
+// selects); cause, when non-nil, names the abandon reason.
+func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-chan time.Time, cause func() error) ([]byte, error) {
+	abandonErr := func() error {
+		if cause != nil {
+			return fmt.Errorf("rpcnet: %w", cause())
+		}
+		return fmt.Errorf("rpcnet: %w", context.DeadlineExceeded)
+	}
+	xid, bp := c.marshalCall(proc, args)
 	ch, err := c.register(xid)
 	if err != nil {
 		putBuf(bp)
@@ -668,5 +795,77 @@ func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-
 	case <-expired:
 		abandon()
 		return nil, abandonErr()
+	}
+}
+
+// Pending is an in-flight asynchronous call started by Go. Exactly one
+// Wait must be made on each Pending.
+type Pending struct {
+	c   *Client
+	xid uint32
+	ch  chan callReply
+	err error // immediate failure (transport already dead), or Wait consumed
+}
+
+// Go starts an RPC and returns without waiting for the reply, which a
+// later Wait collects. Unlike spawning Call in a goroutine, Go issues
+// the request before returning: calls made by one goroutine through Go
+// are handed to the transport in program order, which is what lets an
+// open-loop trace replay fire a stream's requests on schedule while
+// preserving the stream's send order. Go blocks only for transport
+// backpressure (the writer's queue).
+func (c *Client) Go(proc uint32, args []byte) *Pending {
+	xid, bp := c.marshalCall(proc, args)
+	ch, err := c.register(xid)
+	if err != nil {
+		putBuf(bp)
+		return &Pending{err: err}
+	}
+	select {
+	case c.sendCh <- wireMsg{xid: xid, buf: bp}:
+		return &Pending{c: c, xid: xid, ch: ch}
+	case <-c.closeCh:
+		putBuf(bp)
+		if c.unregister(xid) {
+			replyChans.Put(ch)
+		}
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return &Pending{err: err}
+	}
+}
+
+// errWaited poisons a Pending whose single Wait already ran.
+var errWaited = errors.New("rpcnet: reply already consumed")
+
+// Wait blocks for the reply body, at most d when d > 0 (forever
+// otherwise). On timeout the call is abandoned and its late reply
+// dropped, exactly like an expired Call.
+func (p *Pending) Wait(d time.Duration) ([]byte, error) {
+	if p.ch == nil {
+		return nil, p.err
+	}
+	if d <= 0 {
+		r := <-p.ch
+		replyChans.Put(p.ch)
+		p.ch, p.err = nil, errWaited
+		return r.body, r.err
+	}
+	t := acquireTimer(d)
+	defer releaseTimer(t)
+	select {
+	case r := <-p.ch:
+		replyChans.Put(p.ch)
+		p.ch, p.err = nil, errWaited
+		return r.body, r.err
+	case <-t.C:
+		// Recycle the channel only if no sender can reach it (see
+		// unregister); a racing reply leaves it to the collector.
+		if p.c.unregister(p.xid) {
+			replyChans.Put(p.ch)
+		}
+		p.ch, p.err = nil, errWaited
+		return nil, fmt.Errorf("rpcnet: %w", context.DeadlineExceeded)
 	}
 }

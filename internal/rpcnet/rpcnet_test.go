@@ -354,6 +354,192 @@ func TestZeroTimeoutDisarmsWriteDeadline(t *testing.T) {
 	}
 }
 
+// tapSink collects tap events under a lock (taps run concurrently).
+type tapSink struct {
+	mu  sync.Mutex
+	evs []TapEvent
+}
+
+func (ts *tapSink) tap(ev TapEvent) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	// Body/Result alias pooled buffers; a real tap parses them in
+	// place, this test copies to inspect later.
+	ev.Body = append([]byte(nil), ev.Body...)
+	ev.Result = append([]byte(nil), ev.Result...)
+	ts.evs = append(ts.evs, ev)
+}
+
+func (ts *tapSink) events() []TapEvent {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]TapEvent(nil), ts.evs...)
+}
+
+// TestServerTap: every served RPC is observed with its procedure,
+// accept status, body and result, per-connection stream ids are stable,
+// and distinct connections get distinct ids.
+func TestServerTap(t *testing.T) {
+	for _, network := range []string{"udp", "tcp"} {
+		var sink tapSink
+		s, err := NewServerTap("127.0.0.1:0", 100003, 3, echoHandler, sink.tap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := Dial(network, s.Addr(), 100003, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Dial(network, s.Addr(), 100003, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := c1.Call(3, []byte{byte(i)}); err != nil {
+				t.Fatalf("%s: %v", network, err)
+			}
+		}
+		if _, err := c2.Call(7, []byte("two")); err != nil {
+			t.Fatalf("%s: %v", network, err)
+		}
+		c2.Call(99, nil) // proc-unavail still taps, with its accept stat
+		c1.Close()
+		c2.Close()
+		s.Close()
+
+		evs := sink.events()
+		if len(evs) != 7 {
+			t.Fatalf("%s: %d events, want 7", network, len(evs))
+		}
+		streams := make(map[uint32]int)
+		var unavail bool
+		for _, ev := range evs {
+			streams[ev.Stream]++
+			if ev.When.IsZero() || ev.Latency < 0 {
+				t.Fatalf("%s: bad timing %+v", network, ev)
+			}
+			switch ev.Proc {
+			case 3:
+				if ev.Stat != sunrpc.AcceptSuccess || len(ev.Body) != 1 ||
+					!bytes.Equal(ev.Result, append([]byte{3}, ev.Body...)) {
+					t.Fatalf("%s: proc 3 event %+v", network, ev)
+				}
+			case 7:
+				if string(ev.Body) != "two" {
+					t.Fatalf("%s: proc 7 body %q", network, ev.Body)
+				}
+			case 99:
+				if ev.Stat != sunrpc.AcceptProcUnavail {
+					t.Fatalf("%s: proc 99 stat %d", network, ev.Stat)
+				}
+				unavail = true
+			}
+		}
+		if !unavail {
+			t.Fatalf("%s: proc-unavail call not tapped", network)
+		}
+		if len(streams) != 2 {
+			t.Fatalf("%s: %d stream ids, want 2 (one per connection): %v", network, len(streams), streams)
+		}
+		for id, n := range streams {
+			if n != 5 && n != 2 {
+				t.Fatalf("%s: stream %d has %d events, want 5 or 2", network, id, n)
+			}
+		}
+	}
+}
+
+// TestCloseDrainsInFlightRequests: Close must wait for requests whose
+// handlers are still running, so a shutdown (final stats, trace flush)
+// can trust it saw every served RPC. The tap is the observer: its event
+// must be emitted before Close returns.
+func TestCloseDrainsInFlightRequests(t *testing.T) {
+	for _, network := range []string{"udp", "tcp"} {
+		var sink tapSink
+		entered := make(chan struct{}, 1)
+		s, err := NewServerTap("127.0.0.1:0", 1, 1, func(_ uint32, _ []byte, reply []byte) ([]byte, uint32) {
+			entered <- struct{}{}
+			time.Sleep(100 * time.Millisecond)
+			return reply, sunrpc.AcceptSuccess
+		}, sink.tap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Dial(network, s.Addr(), 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.Go(1, []byte("slow"))
+		<-entered // the handler is running
+		s.Close() // must block until the handler (and its tap) finish
+		if evs := sink.events(); len(evs) != 1 {
+			t.Fatalf("%s: %d tap events after Close, want 1 (in-flight request dropped)", network, len(evs))
+		}
+		p.Wait(time.Second) // reply may or may not make it out; either way, no hang
+		c.Close()
+	}
+}
+
+// TestGoPipelinesInOrder: Go issues calls without waiting; replies
+// collected afterwards match their requests.
+func TestGoPipelinesInOrder(t *testing.T) {
+	s := startServer(t)
+	for _, network := range []string{"udp", "tcp"} {
+		c, err := Dial(network, s.Addr(), 100003, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 200
+		pending := make([]*Pending, n)
+		for i := range pending {
+			pending[i] = c.Go(3, []byte{byte(i), byte(i >> 8)})
+		}
+		for i, p := range pending {
+			body, err := p.Wait(5 * time.Second)
+			if err != nil {
+				t.Fatalf("%s call %d: %v", network, i, err)
+			}
+			if !bytes.Equal(body, []byte{3, byte(i), byte(i >> 8)}) {
+				t.Fatalf("%s call %d: reply %v", network, i, body)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestGoWaitTimeoutAndClosed: Wait times out on a silent server; Go on
+// a closed client fails immediately; double Wait is an error, not a
+// hang.
+func TestGoWaitTimeoutAndClosed(t *testing.T) {
+	block := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", 1, 1, func(_ uint32, _ []byte, reply []byte) ([]byte, uint32) {
+		<-block
+		return reply, sunrpc.AcceptSuccess
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		s.Close()
+	}()
+	c, err := Dial("udp", s.Addr(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Go(1, nil)
+	if _, err := p.Wait(100 * time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on silent server = %v", err)
+	}
+	if _, err := p.Wait(time.Second); err == nil {
+		t.Fatal("second Wait succeeded")
+	}
+	c.Close()
+	if _, err := c.Go(1, nil).Wait(time.Second); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Go on closed client = %v", err)
+	}
+}
+
 func TestServerCloseUnblocksClients(t *testing.T) {
 	s := startServer(t)
 	c, err := Dial("tcp", s.Addr(), 100003, 3)

@@ -1,0 +1,221 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{When: 0, Stream: 1, Proc: 6, FH: 42, Offset: 0, Count: 8192, Status: 0, Latency: 120 * time.Microsecond},
+		{When: 1 * time.Millisecond, Stream: 2, Proc: 6, FH: 43, Offset: 8192, Count: 8192, Status: 0, Latency: 90 * time.Microsecond},
+		// Completion-order regression: earlier arrival written later.
+		{When: 900 * time.Microsecond, Stream: 1, Proc: 7, FH: 42, Offset: 16384, Count: 4096, Status: 0, Latency: 2 * time.Millisecond},
+		{When: 5 * time.Millisecond, Stream: 1, Proc: 1, FH: 42, Status: 70, Latency: time.Microsecond},
+		{When: 5 * time.Millisecond, Stream: 3, Proc: 0, Status: StatusRPCError | 4},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	start := time.Unix(1700000000, 123456789)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, start, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	hdr, got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != Version {
+		t.Fatalf("version = %d", hdr.Version)
+	}
+	if !hdr.Start.Equal(start) {
+		t.Fatalf("start = %v, want %v", hdr.Start, start)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriterStreamingAndTotal(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000 // forces several internal flushes
+	for i := 0; i < n; i++ {
+		if err := w.Append(Record{
+			When: time.Duration(i) * time.Microsecond, Stream: uint32(i % 7),
+			Proc: 6, FH: uint64(i % 13), Offset: uint64(i) * 8192, Count: 8192,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Total() != n {
+		t.Fatalf("Total = %d", w.Total())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Append(Record{}) == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	_, recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read back %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.When != time.Duration(i)*time.Microsecond || r.Offset != uint64(i)*8192 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// A steady stream must beat the fixed-width encoding (~44 B/record).
+	if perRec := float64(buf.Len()-16) / n; perRec > 20 {
+		t.Fatalf("encoding too fat: %.1f bytes/record", perRec)
+	}
+}
+
+// TestAppendAllocFree pins the zero-allocation append path.
+func TestAppendAllocFree(t *testing.T) {
+	w, err := NewWriter(io.Discard, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r := Record{Stream: 1, Proc: 6, FH: 9, Offset: 1 << 20, Count: 8192, Latency: time.Millisecond}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.When += 10 * time.Microsecond
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.nft")
+	start := time.Unix(99, 0)
+	w, err := Create(path, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming reader over the file.
+	tr, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if !tr.Header().Start.Equal(start) {
+		t.Fatalf("header start = %v", tr.Header().Start)
+	}
+	var rec Record
+	for i := 0; ; i++ {
+		err := tr.Next(&rec)
+		if errors.Is(err, io.EOF) {
+			if i != len(want) {
+				t.Fatalf("EOF after %d records, want %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want[i])
+		}
+	}
+
+	// Whole-file helper agrees.
+	hdr, recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Start.Equal(start) || len(recs) != len(want) {
+		t.Fatalf("ReadFile: hdr=%+v len=%d", hdr, len(recs))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTATRACEFILE123"),
+		append([]byte("NFT2"), make([]byte, 12)...),
+	} {
+		if _, err := NewReader(bytes.NewReader(in)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("NewReader(%q) err = %v, want ErrBadMagic", in, err)
+		}
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, time.Unix(0, 0), sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	tr, err := NewReader(bytes.NewReader(b[:len(b)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	var sawErr error
+	for {
+		if err := tr.Next(&rec); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if errors.Is(sawErr, io.EOF) || !errors.Is(sawErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated trace error = %v, want ErrUnexpectedEOF", sawErr)
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	recs := []Record{
+		{When: math.MaxInt64 / 2, Stream: math.MaxUint32, Proc: math.MaxUint32,
+			FH: math.MaxUint64, Offset: math.MaxUint64, Count: math.MaxUint32,
+			Status: math.MaxUint32, Latency: math.MaxInt64},
+		{When: 0}, // max negative delta
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, time.Unix(0, 0), recs); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}

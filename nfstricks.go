@@ -18,6 +18,10 @@
 //   - Live mode: [NewLiveFS], [NewLiveService], [ServeLive] and
 //     [DialLive] run the same protocol stack over real loopback
 //     sockets.
+//   - Trace capture & replay: [ServeLiveTraced] records the live
+//     server's request stream to a .nft trace file;
+//     [AnalyzeTraceFile] runs the paper's §6 analysis on it and
+//     [ReplayTraceFile] plays it back as a benchmark workload.
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //
@@ -29,6 +33,8 @@
 package nfstricks
 
 import (
+	"time"
+
 	"nfstricks/internal/bench"
 	"nfstricks/internal/disk"
 	"nfstricks/internal/memfs"
@@ -36,8 +42,10 @@ import (
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/nfstrace"
 	"nfstricks/internal/readahead"
+	"nfstricks/internal/replay"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/testbed"
+	"nfstricks/internal/tracefile"
 	"nfstricks/internal/workload"
 )
 
@@ -213,4 +221,63 @@ func ServeLive(addr string, svc *LiveService) (*RPCServer, error) {
 // DialLive connects to a live service over "udp" or "tcp".
 func DialLive(network, addr string) (*LiveClient, error) {
 	return memfs.DialClient(network, addr)
+}
+
+// Trace capture & replay: record the live server's real request stream
+// to a compact on-disk trace (.nft) and replay it as a first-class
+// benchmark workload ("nfsbench -exp trace-replay"; cmd/nfstrace is the
+// CLI for capture/info/analyze/replay).
+type (
+	// TraceFileRecord is one on-disk trace record (arrival time, stream,
+	// proc, FH, offset, count, status, latency).
+	TraceFileRecord = tracefile.Record
+	// TraceFileWriter streams records to a .nft file with a pooled
+	// zero-allocation append path.
+	TraceFileWriter = tracefile.Writer
+	// TraceCapture bridges a live server's RPC tap to a trace writer.
+	TraceCapture = nfstrace.Capture
+	// ReplayOptions selects transport, timing policy (as-fast /
+	// faithful / scaled) and open- vs closed-loop dispatch.
+	ReplayOptions = replay.Options
+	// ReplayStats summarizes a replay run (ops/s, latency percentiles,
+	// issue-span fidelity).
+	ReplayStats = replay.Stats
+)
+
+// CreateTrace opens a .nft trace file for writing.
+func CreateTrace(path string) (*TraceFileWriter, error) {
+	return tracefile.Create(path, time.Now())
+}
+
+// ServeLiveTraced is ServeLive with every served RPC recorded through
+// capture (see NewTraceCapture).
+func ServeLiveTraced(addr string, svc *LiveService, capture *TraceCapture) (*RPCServer, error) {
+	return memfs.NewServerTap(addr, svc, capture.Tap)
+}
+
+// NewTraceCapture wraps a trace writer for use with ServeLiveTraced.
+func NewTraceCapture(w *TraceFileWriter) *TraceCapture {
+	return nfstrace.NewCapture(w)
+}
+
+// ReadTraceFile loads a captured trace.
+func ReadTraceFile(path string) ([]TraceFileRecord, error) {
+	_, recs, err := tracefile.ReadFile(path)
+	return recs, err
+}
+
+// AnalyzeTraceFile runs the §6 reordering/sequentiality analysis over a
+// captured live trace.
+func AnalyzeTraceFile(path string) (TraceAnalysis, error) {
+	return nfstrace.AnalyzeFile(path)
+}
+
+// ReplayTrace replays captured records against a live server.
+func ReplayTrace(records []TraceFileRecord, opts ReplayOptions) (*ReplayStats, error) {
+	return replay.Run(records, opts)
+}
+
+// ReplayTraceFile replays a trace file against a live server.
+func ReplayTraceFile(path string, opts ReplayOptions) (*ReplayStats, error) {
+	return replay.File(path, opts)
 }
