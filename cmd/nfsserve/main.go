@@ -1,18 +1,26 @@
 // Command nfsserve runs the live userspace NFS-like file service over
 // real UDP and TCP sockets, with the paper's read-ahead heuristics
-// running on its READ path. It is the zero-infrastructure way to poke
-// at the protocol stack:
+// running on its READ path and the write-gathering engine on its WRITE
+// path. It is the zero-infrastructure way to poke at the protocol
+// stack:
 //
 //	nfsserve -addr 127.0.0.1:12049 -file demo=4 -heuristic slowdown
 //
 // then read "demo" (4 MB of patterned data) with any client built on
 // internal/memfs.DialClient, e.g. examples/liveserver.
 //
+// The asynchronous write path is configured with -gather-window (0 =
+// synchronous write-through), -gather-bytes (per-file dirty bound) and
+// -sink (mem = immediate, throttled = a disk-like cost model shaped by
+// -sink-latency and -sink-mbps).
+//
 // With -trace out.nft every served RPC is recorded to a .nft trace file
-// (arrival time, stream, procedure, handle, offset, count, status,
-// latency) that `nfstrace analyze` and `nfstrace replay` consume. On
-// SIGINT the server stops accepting, prints a final stats line, flushes
-// the trace and exits 0.
+// (arrival time, stream, procedure, handle, offset, count, stability,
+// status, latency) that `nfstrace analyze` and `nfstrace replay`
+// consume. On SIGINT the server stops accepting, prints a final stats
+// line — per-procedure counters, WRITEs split by stability, COMMITs,
+// and the gather engine's flush/coalescing accounting — flushes the
+// trace and exits 0.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"nfstricks/cmd/internal/filespec"
@@ -29,15 +38,21 @@ import (
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/tracefile"
+	"nfstricks/internal/wgather"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:0", "address to bind (UDP and TCP)")
-		files     filespec.List
-		heuristic = flag.String("heuristic", "slowdown", "read-ahead heuristic: default, slowdown, always, cursor")
-		stats     = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
-		trace     = flag.String("trace", "", "record every served RPC to this .nft trace file")
+		addr         = flag.String("addr", "127.0.0.1:0", "address to bind (UDP and TCP)")
+		files        filespec.List
+		heuristic    = flag.String("heuristic", "slowdown", "read-ahead heuristic: default, slowdown, always, cursor")
+		stats        = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
+		trace        = flag.String("trace", "", "record every served RPC to this .nft trace file")
+		gatherWindow = flag.Duration("gather-window", 0, "write gather window (0 = synchronous write-through)")
+		gatherBytes  = flag.Int64("gather-bytes", 0, "per-file dirty byte bound before an early flush (0 = default)")
+		sinkKind     = flag.String("sink", "mem", "stable-storage sink: mem (immediate) or throttled")
+		sinkLatency  = flag.Duration("sink-latency", 300*time.Microsecond, "throttled sink: fixed cost per flush")
+		sinkMBps     = flag.Float64("sink-mbps", 0, "throttled sink: bandwidth in MB/s (0 = infinite)")
 	)
 	flag.Var(&files, "file", "file to serve, as name=sizeMB (repeatable; default demo=4)")
 	flag.Parse()
@@ -57,6 +72,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var sink wgather.Sink
+	switch *sinkKind {
+	case "mem":
+		sink = wgather.NullSink{}
+	case "throttled":
+		sink = &wgather.ThrottledSink{Latency: *sinkLatency, BytesPerSec: *sinkMBps * 1e6}
+	default:
+		fmt.Fprintf(os.Stderr, "nfsserve: unknown sink %q (want mem or throttled)\n", *sinkKind)
+		os.Exit(2)
+	}
+
 	fs, names, err := filespec.BuildFS(files)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
@@ -67,7 +93,11 @@ func main() {
 		fmt.Printf("serving %s (%d MB)\n", name, size>>20)
 	}
 
-	svc := memfs.NewService(fs, h, nil)
+	svc := memfs.NewServiceGather(fs, h, nil, wgather.Config{
+		Window:       *gatherWindow,
+		MaxFileBytes: *gatherBytes,
+		Sink:         sink,
+	})
 
 	// Optional trace capture: every served RPC is appended to the .nft
 	// file and flushed on shutdown.
@@ -90,14 +120,16 @@ func main() {
 	}
 	fmt.Printf("listening on %s (udp+tcp), program %d version %d, heuristic %s\n",
 		srv.Addr(), nfsproto.Program, nfsproto.Version3, *heuristic)
+	fmt.Printf("write path: gather-window=%v sink=%s (verifier %016x)\n",
+		*gatherWindow, *sinkKind, svc.WriteVerifier())
 	if *trace != "" {
 		fmt.Printf("tracing to %s\n", *trace)
 	}
 
 	printStats := func(prefix string) {
 		st := svc.Stats()
-		fmt.Printf("%sreads=%d bytes=%d maxSeqCount=%d\n",
-			prefix, st.Reads, st.BytesRead, st.MaxSeqCount)
+		fmt.Printf("%sreads=%d bytes=%d maxSeqCount=%d writes=%d bytesWritten=%d commits=%d\n",
+			prefix, st.Reads, st.BytesRead, st.MaxSeqCount, st.Writes, st.BytesWritten, st.Commits)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -122,9 +154,22 @@ loop:
 
 	// Orderly shutdown: stop accepting and wait for in-flight requests
 	// (so the final stats line and the trace cover every served RPC),
-	// then flush and close the trace file, and exit 0.
+	// flush remaining dirty data through the sink, then flush and close
+	// the trace file, and exit 0.
 	srv.Close()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "nfsserve: flush:", err)
+	}
 	printStats("final: ")
+	fmt.Printf("final: procs: %s\n", formatProcCounts(svc.ProcCounts()))
+	ws := svc.WriteStats()
+	fmt.Printf("final: writes: %s:%d %s:%d %s:%d commits=%d\n",
+		nfsproto.StableName(nfsproto.WriteUnstable), ws.WritesUnstable,
+		nfsproto.StableName(nfsproto.WriteDataSync), ws.WritesDataSync,
+		nfsproto.StableName(nfsproto.WriteFileSync), ws.WritesFileSync,
+		ws.Commits)
+	fmt.Printf("final: gather: flushes=%d gathered=%dB coalesced=%dB flushed=%dB maxDirty=%dB\n",
+		ws.Flushes, ws.GatheredBytes, ws.CoalescedBytes, ws.FlushedBytes, ws.MaxDirtyBytes)
 	if capt != nil {
 		if err := capt.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "nfsserve: trace:", err)
@@ -137,4 +182,22 @@ loop:
 		}
 		fmt.Printf("trace: %d records written to %s\n", capt.Total(), *trace)
 	}
+}
+
+// formatProcCounts renders nonzero per-procedure counters.
+func formatProcCounts(counts []int64) string {
+	var b strings.Builder
+	for proc, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", nfsproto.ProcName(uint32(proc)), n)
+	}
+	if b.Len() == 0 {
+		return "(none)"
+	}
+	return b.String()
 }

@@ -8,11 +8,13 @@
 //
 // capture serves a live file store with tracing enabled until the
 // duration elapses or SIGINT arrives; with -synthetic it also drives a
-// built-in multi-stream workload against itself and exits, which is the
-// one-command way to produce a demo trace. info prints the header and
-// summary counts, analyze runs the paper's reordering/sequentiality
-// analysis, and replay plays the trace back against a live server
-// (nfsserve, or anything speaking the same protocol subset).
+// built-in multi-stream workload (reads plus an UNSTABLE-write/COMMIT
+// stream) against itself and exits, which is the one-command way to
+// produce a demo trace. info prints the header and summary counts,
+// analyze runs the paper's reordering/sequentiality analysis plus the
+// write-side view (stability mix, WRITE→COMMIT distances), and replay
+// plays the trace back against a live server (nfsserve, or anything
+// speaking the same protocol subset).
 package main
 
 import (
@@ -139,8 +141,10 @@ func cmdCapture(args []string) error {
 }
 
 // syntheticWorkload reads every served file over a mix of transports
-// with small think times — enough structure that analyze and faithful
-// replay have something to show.
+// with small think times, then rewrites a slice of each file as an
+// UNSTABLE write-behind stream capped by a COMMIT — enough structure
+// that analyze (reordering, stability mix, WRITE→COMMIT distances) and
+// faithful replay have something to show.
 func syntheticWorkload(addr string, names []string) error {
 	errs := make(chan error, 2*len(names))
 	n := 0
@@ -164,7 +168,26 @@ func syntheticWorkload(addr string, names []string) error {
 						}
 						time.Sleep(time.Millisecond)
 					}
-					return nil
+					if network != "tcp" {
+						return nil
+					}
+					// The write stream: rewrite the file's head through a
+					// write-behind window, one COMMIT per 16 writes.
+					wb := c.NewWriteBehind(fh, 8)
+					buf := make([]byte, 8192)
+					for k := 0; k < 64; k++ {
+						off := uint64(k) * 8192 % uint64(size)
+						if err := wb.Write(off, buf); err != nil {
+							return err
+						}
+						if (k+1)%16 == 0 {
+							if _, err := wb.Commit(); err != nil {
+								return err
+							}
+						}
+					}
+					_, err = wb.Commit()
+					return err
 				}()
 			}(network, name, 1+i%3)
 		}
@@ -239,6 +262,13 @@ func cmdAnalyze(args []string) error {
 	fmt.Println(a.String())
 	mean, max := nfstrace.InterarrivalStats(recs)
 	fmt.Printf("interarrival: mean=%v max=%v\n", mean.Round(time.Microsecond), max.Round(time.Microsecond))
+
+	// The write side of the capture: stability mix and how far WRITEs
+	// sit from the COMMIT that makes them stable.
+	if mix := nfstrace.WriteStabilityMix(raw); mix[0]+mix[1]+mix[2] > 0 {
+		fmt.Printf("write stability: %s\n", nfstrace.FormatWriteStabilityMix(mix))
+		fmt.Printf("write→commit: %s\n", nfstrace.CommitDistances(raw).String())
+	}
 
 	// Per-stream reorder fractions: the per-connection view of the
 	// paper's §6 measurement.

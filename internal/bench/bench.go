@@ -149,6 +149,7 @@ func Experiments() []Experiment {
 		{"live-scale", "Live server saturation: nfsheur sharding vs concurrent clients", LiveScale},
 		{"alloc-profile", "Allocator traffic per live RPC: allocs/op and B/op by transfer size", AllocProfile},
 		{"trace-replay", "Trace capture & replay: achieved load vs replay schedule", TraceReplay},
+		{"write-path", "Asynchronous write pipeline: gather window vs synchronous writes", WritePath},
 	}
 }
 

@@ -30,6 +30,8 @@ func Verify(r *Result) []Check {
 		return verifyFig7(r)
 	case "fig8", "table1":
 		return verifyFig8(r)
+	case "write-path":
+		return verifyWritePath(r)
 	default:
 		return nil
 	}
@@ -210,6 +212,38 @@ func verifyFig8(r *Result) []Check {
 			ok && worst > 1.0,
 			"worst ratio %.2fx at s=%d", worst, worstAt))
 	}
+	return out
+}
+
+func verifyWritePath(r *Result) []Check {
+	var out []Check
+	// X index 2 is a comfortably nonzero window (4 ms).
+	const winIdx = 2
+	for _, sink := range []string{"fast", "slow"} {
+		sync4, ok1 := mean(r, "filesync ops/s ("+sink+" sink)", winIdx)
+		unst4, ok2 := mean(r, "unstable+commit ops/s ("+sink+" sink)", winIdx)
+		out = append(out, check(
+			fmt.Sprintf("unstable+COMMIT beats FILE_SYNC on the %s throttled sink at a nonzero window", sink),
+			ok1 && ok2 && unst4 > sync4,
+			"4ms window: unstable %.0f vs filesync %.0f ops/s", unst4, sync4))
+	}
+	fl4, ok3 := mean(r, "sink flushes per 1k writes", winIdx)
+	out = append(out, check(
+		"gathering flushes far fewer times than the client writes",
+		ok3 && fl4 < 500,
+		"4ms window: %.0f flushes per 1000 writes", fl4))
+	hot0, ok4 := mean(r, "hotspot flushed/gathered (%)", 0)
+	hot4, ok5 := mean(r, "hotspot flushed/gathered (%)", winIdx)
+	out = append(out, check(
+		"overlapping rewrites coalesce inside the window (flushed << gathered)",
+		ok4 && ok5 && hot4 < hot0 && hot4 < 50,
+		"flushed/gathered: %.0f%% at window 0 vs %.0f%% at 4ms", hot0, hot4))
+	sp99, ok6 := mean(r, "filesync write p99 (µs, slow sink)", winIdx)
+	up50, ok7 := mean(r, "unstable write p50 (µs, slow sink)", winIdx)
+	out = append(out, check(
+		"a typical pipelined unstable write is faster than a p99 synchronous one",
+		ok6 && ok7 && up50 < sp99,
+		"slow sink, 4ms window: unstable p50 %.0fµs vs filesync p99 %.0fµs", up50, sp99))
 	return out
 }
 

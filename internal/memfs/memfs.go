@@ -6,16 +6,19 @@
 package memfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/wgather"
 )
 
 // RootFH is the file handle of the root directory.
@@ -186,6 +189,12 @@ type ServiceStats struct {
 	// MaxSeqCount is the highest seqcount the heuristic produced — a
 	// live view of read-ahead confidence.
 	MaxSeqCount int
+	// Writes and BytesWritten count served WRITE RPCs (any stability);
+	// Commits counts served COMMITs. The per-stability split and the
+	// gather/flush accounting live in Service.WriteStats.
+	Writes       int64
+	BytesWritten int64
+	Commits      int64
 }
 
 // Service adapts an FS to an rpcnet.Handler speaking the NFS v3 subset,
@@ -203,31 +212,93 @@ type Service struct {
 	// while shard i's lock is held, which makes stateful heuristics
 	// (cursor) race-free without any lock of their own.
 	heur []readahead.Heuristic
+	// engine is the write-gathering engine every WRITE and COMMIT
+	// routes through. The default (gather window 0, NullSink) is
+	// write-through: each write is stable before its reply, the
+	// behaviour the service had before the engine existed.
+	engine *wgather.Engine
 
-	reads     atomic.Int64
-	bytesRead atomic.Int64
-	maxSeq    atomic.Int64
+	reads        atomic.Int64
+	bytesRead    atomic.Int64
+	maxSeq       atomic.Int64
+	writes       atomic.Int64
+	bytesWritten atomic.Int64
+	commits      atomic.Int64
+	// procs counts served RPCs by procedure number (garbage-args and
+	// unknown procedures excluded).
+	procs [nfsproto.ProcCommit + 1]atomic.Int64
 }
 
 // NewService wraps fs. heuristic and table may be nil for the live
 // defaults: the paper's SlowDown heuristic over a GOMAXPROCS-sharded
 // table (nfsheur.ScaledParams). Pass an explicit table with Shards: 1
-// to reproduce the paper's single-table behaviour.
+// to reproduce the paper's single-table behaviour. The write path is
+// write-through (gather window 0); use NewServiceGather to enable the
+// asynchronous write pipeline.
 func NewService(fs *FS, heuristic readahead.Heuristic, table *nfsheur.Table) *Service {
+	return NewServiceGather(fs, heuristic, table, wgather.Config{})
+}
+
+// NewServiceGather is NewService with an explicit write-gathering
+// configuration (gather window, byte bounds, stable-storage sink). The
+// engine's Source is always the wrapped FS — cfg.Source is ignored.
+// Close the service to stop the engine's background flusher and flush
+// remaining dirty data.
+func NewServiceGather(fs *FS, heuristic readahead.Heuristic, table *nfsheur.Table, cfg wgather.Config) *Service {
 	if heuristic == nil {
 		heuristic = readahead.SlowDown{}
 	}
 	if table == nil {
 		table = nfsheur.New(nfsheur.ScaledParams())
 	}
+	cfg.Source = func(fh, off uint64, count uint32) ([]byte, error) {
+		data, _, err := fs.Read(nfsproto.FH(fh), off, count)
+		return data, err
+	}
+	engine, err := wgather.New(cfg)
+	if err != nil {
+		// Source is set above; Config has no other invalid states.
+		panic(err)
+	}
 	// ForkN gives every shard its own instance (or a safely shared
 	// one), so the service never races on the caller's heuristic.
 	return &Service{fs: fs, table: table,
-		heur: readahead.ForkN(heuristic, table.ShardCount())}
+		heur:   readahead.ForkN(heuristic, table.ShardCount()),
+		engine: engine}
 }
 
 // Table exposes the service's nfsheur table (for instrumentation).
 func (s *Service) Table() *nfsheur.Table { return s.table }
+
+// WriteStats exposes the write-gathering engine's counters: writes by
+// stability, commits, sink flushes, bytes gathered vs coalesced vs
+// flushed.
+func (s *Service) WriteStats() wgather.Stats { return s.engine.Stats() }
+
+// WriteVerifier returns the server's current write verifier.
+func (s *Service) WriteVerifier() uint64 { return s.engine.Verifier() }
+
+// Reboot simulates a server crash/restart on the write path: dirty
+// uncommitted data is dropped and the write verifier changes, so
+// clients holding unstable writes must detect the new verifier and
+// re-send (the scenario WriteBehind recovers from).
+func (s *Service) Reboot() { s.engine.Reboot() }
+
+// Flush pushes all dirty data to the stable-storage sink without
+// changing the verifier (an orderly sync).
+func (s *Service) Flush() error { return s.engine.FlushAll() }
+
+// Close stops the gathering engine, flushing remaining dirty data.
+func (s *Service) Close() error { return s.engine.Close() }
+
+// ProcCounts returns served-RPC counts indexed by procedure number.
+func (s *Service) ProcCounts() []int64 {
+	out := make([]int64, len(s.procs))
+	for i := range s.procs {
+		out[i] = s.procs[i].Load()
+	}
+	return out
+}
 
 // Stats returns a snapshot of the counters. The counters are
 // independent atomics (the READ path takes no common lock), so a
@@ -237,9 +308,19 @@ func (s *Service) Table() *nfsheur.Table { return s.table }
 // cross-counter arithmetic.
 func (s *Service) Stats() ServiceStats {
 	return ServiceStats{
-		Reads:       s.reads.Load(),
-		BytesRead:   s.bytesRead.Load(),
-		MaxSeqCount: int(s.maxSeq.Load()),
+		Reads:        s.reads.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		MaxSeqCount:  int(s.maxSeq.Load()),
+		Writes:       s.writes.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Commits:      s.commits.Load(),
+	}
+}
+
+// countProc tallies one served RPC for ProcCounts.
+func (s *Service) countProc(proc uint32) {
+	if proc < uint32(len(s.procs)) {
+		s.procs[proc].Add(1)
 	}
 }
 
@@ -249,20 +330,32 @@ func (s *Service) Stats() ServiceStats {
 // append is the single payload copy between storage and the socket.
 func (s *Service) Handler() rpcnet.Handler {
 	return func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
-		switch proc {
-		case nfsproto.ProcNull:
-			return reply, sunrpc.AcceptSuccess
-		case nfsproto.ProcLookup:
-			return s.lookup(body, reply)
-		case nfsproto.ProcRead:
-			return s.read(body, reply)
-		case nfsproto.ProcWrite:
-			return s.write(body, reply)
-		case nfsproto.ProcGetattr:
-			return s.getattr(body, reply)
-		default:
-			return reply, sunrpc.AcceptProcUnavail
+		out, stat := s.dispatch(proc, body, reply)
+		if stat == sunrpc.AcceptSuccess {
+			// Served RPCs only: garbage args and unknown procedures are
+			// rejected above the NFS layer and stay out of ProcCounts.
+			s.countProc(proc)
 		}
+		return out, stat
+	}
+}
+
+func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
+	switch proc {
+	case nfsproto.ProcNull:
+		return reply, sunrpc.AcceptSuccess
+	case nfsproto.ProcLookup:
+		return s.lookup(body, reply)
+	case nfsproto.ProcRead:
+		return s.read(body, reply)
+	case nfsproto.ProcWrite:
+		return s.write(body, reply)
+	case nfsproto.ProcCommit:
+		return s.commit(body, reply)
+	case nfsproto.ProcGetattr:
+		return s.getattr(body, reply)
+	default:
+		return reply, sunrpc.AcceptProcUnavail
 	}
 }
 
@@ -334,6 +427,12 @@ func (s *Service) read(body, reply []byte) ([]byte, uint32) {
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
+// write applies the data to the page cache (the FS), then routes the
+// stability decision through the gathering engine: UNSTABLE writes are
+// deferred inside the gather window, DATA_SYNC/FILE_SYNC writes (and
+// every write when the window is 0) are flushed to the sink before the
+// reply. The reply's Committed reports what the server achieved and
+// Verf carries the write verifier clients compare across a COMMIT.
 func (s *Service) write(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalWriteArgs(body)
 	if err != nil {
@@ -347,12 +446,50 @@ func (s *Service) write(body, reply []byte) ([]byte, uint32) {
 		res := nfsproto.WriteRes{Status: status}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
+	committed, werr := s.engine.Write(uint64(args.FH), args.Offset, uint32(len(args.Data)), args.Stable)
+	if werr != nil {
+		res := nfsproto.WriteRes{Status: nfsproto.ErrIO}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(args.Data)))
 	size, _ := s.fs.Size(args.FH)
 	res := nfsproto.WriteRes{
 		Status: nfsproto.OK,
 		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
 			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)},
-		Count: uint32(len(args.Data)), Committed: args.Stable,
+		Count: uint32(len(args.Data)), Committed: committed,
+		Verf: s.engine.Verifier(),
+	}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// commit serves COMMIT: every dirty extent of the file is flushed to
+// the stable-storage sink (the whole file — a server may commit more
+// than the requested range, never less), and the reply carries the
+// write verifier. Asynchronous flush errors surface here as ErrIO, per
+// RFC 1813.
+func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalCommitArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	size, ok := s.fs.Size(args.FH)
+	if !ok {
+		res := nfsproto.CommitRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	verf, cerr := s.engine.Commit(uint64(args.FH))
+	if cerr != nil {
+		res := nfsproto.CommitRes{Status: nfsproto.ErrIO}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	s.commits.Add(1)
+	res := nfsproto.CommitRes{
+		Status: nfsproto.OK,
+		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
+			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)},
+		Verf: verf,
 	}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
@@ -457,20 +594,219 @@ func (c *Client) Read(fh nfsproto.FH, off uint64, count uint32) ([]byte, bool, e
 	return res.Data, res.EOF, nil
 }
 
-// Write stores data at off.
+// Write stores data at off with FILE_SYNC stability: the data is on
+// stable storage when the call returns.
 func (c *Client) Write(fh nfsproto.FH, off uint64, data []byte) error {
+	_, err := c.WriteStable(fh, off, data, nfsproto.WriteFileSync)
+	return err
+}
+
+// WriteStable stores data at off with the given stability level and
+// returns the full reply (achieved stability, write verifier).
+func (c *Client) WriteStable(fh nfsproto.FH, off uint64, data []byte, stable uint32) (*nfsproto.WriteRes, error) {
 	body, err := c.rpc.Call(nfsproto.ProcWrite,
 		(&nfsproto.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)),
-			Stable: nfsproto.WriteFileSync, Data: data}).Marshal())
+			Stable: stable, Data: data}).Marshal())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res, err := nfsproto.UnmarshalWriteRes(body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if res.Status != nfsproto.OK {
-		return fmt.Errorf("memfs: write: status %d", res.Status)
+		return nil, fmt.Errorf("memfs: write: status %d", res.Status)
 	}
+	return res, nil
+}
+
+// WriteUnstable stores data at off with UNSTABLE stability — the
+// server may buffer it until a COMMIT — and returns the server's write
+// verifier. If a later Commit returns a different verifier, the server
+// restarted in between and this write may be lost: re-send it.
+func (c *Client) WriteUnstable(fh nfsproto.FH, off uint64, data []byte) (verf uint64, err error) {
+	res, err := c.WriteStable(fh, off, data, nfsproto.WriteUnstable)
+	if err != nil {
+		return 0, err
+	}
+	return res.Verf, nil
+}
+
+// Commit flushes [off, off+count) — or the whole file when count is
+// 0 — to stable storage and returns the server's write verifier.
+func (c *Client) Commit(fh nfsproto.FH, off uint64, count uint32) (verf uint64, err error) {
+	body, err := c.rpc.Call(nfsproto.ProcCommit,
+		(&nfsproto.CommitArgs{FH: fh, Offset: off, Count: count}).Marshal())
+	if err != nil {
+		return 0, err
+	}
+	res, err := nfsproto.UnmarshalCommitRes(body)
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != nfsproto.OK {
+		return 0, fmt.Errorf("memfs: commit: status %d", res.Status)
+	}
+	return res.Verf, nil
+}
+
+// writeBehindTimeout bounds each reply wait inside WriteBehind; an
+// expired wait triggers a retransmission (see settleOldest), so it is
+// deliberately short — a retransmit interval, not a failure deadline.
+const writeBehindTimeout = time.Second
+
+// writeBehindRetries bounds retransmissions of one write.
+const writeBehindRetries = 3
+
+// WriteBehind is a biod-style write-behind pipeline over one file: it
+// issues UNSTABLE writes asynchronously (via the client's Go API, so a
+// single goroutine's writes reach the transport in program order),
+// keeps at most Window requests in flight, and retains every
+// uncommitted write's data until a COMMIT confirms it reached stable
+// storage under an unchanged write verifier. If the verifier changes —
+// the server restarted and may have dropped buffered writes — Commit
+// re-sends the retained writes with FILE_SYNC, exactly the recovery
+// RFC 1813 prescribes for the asynchronous write path.
+//
+// WriteBehind is not safe for concurrent use; it models one writing
+// process (the kernel would run one biod pipeline per dirty file).
+type WriteBehind struct {
+	c      *Client
+	fh     nfsproto.FH
+	window int
+
+	inflight []pendingWrite // issued, reply not yet consumed
+	retained []retainedWrite
+	verf     uint64
+	haveVerf bool
+	stale    bool // a reply carried a different verifier
+	err      error
+}
+
+// pendingWrite is one in-flight UNSTABLE write. data aliases the
+// retained copy, so a retransmission needs no further copy.
+type pendingWrite struct {
+	p    *rpcnet.Pending
+	off  uint64
+	data []byte
+}
+
+// retainedWrite holds a write's data until a COMMIT confirms it.
+type retainedWrite struct {
+	off  uint64
+	data []byte
+}
+
+// NewWriteBehind starts a write-behind pipeline on fh with the given
+// in-flight window (<= 0 means 8).
+func (c *Client) NewWriteBehind(fh nfsproto.FH, window int) *WriteBehind {
+	if window <= 0 {
+		window = 8
+	}
+	return &WriteBehind{c: c, fh: fh, window: window}
+}
+
+// Write issues one UNSTABLE write of data at off, blocking only when
+// the in-flight window is full (it then settles the oldest reply). The
+// data is copied, so the caller may reuse the slice.
+func (w *WriteBehind) Write(off uint64, data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.inflight) >= w.window {
+		w.settleOldest()
+		if w.err != nil {
+			return w.err
+		}
+	}
+	kept := append([]byte(nil), data...)
+	w.retained = append(w.retained, retainedWrite{off: off, data: kept})
+	args := &nfsproto.WriteArgs{FH: w.fh, Offset: off, Count: uint32(len(data)),
+		Stable: nfsproto.WriteUnstable, Data: data}
+	w.inflight = append(w.inflight, pendingWrite{
+		p: w.c.rpc.Go(nfsproto.ProcWrite, args.Marshal()), off: off, data: kept})
 	return nil
 }
+
+// settleOldest consumes the oldest in-flight reply, recording the
+// verifier it carried. A reply wait that times out triggers the
+// classic NFS-over-UDP recovery: WRITEs are idempotent, so the write
+// is simply retransmitted (synchronously) a bounded number of times —
+// a dropped request or reply datagram costs a retransmit interval, not
+// the pipeline.
+func (w *WriteBehind) settleOldest() {
+	pw := w.inflight[0]
+	w.inflight = w.inflight[1:]
+	body, err := pw.p.Wait(writeBehindTimeout)
+	for try := 0; err != nil && errors.Is(err, context.DeadlineExceeded) && try < writeBehindRetries; try++ {
+		var res *nfsproto.WriteRes
+		res, err = w.c.WriteStable(w.fh, pw.off, pw.data, nfsproto.WriteUnstable)
+		if err == nil {
+			w.observeVerf(res.Verf)
+			return
+		}
+	}
+	if err != nil {
+		w.err = err
+		return
+	}
+	res, err := nfsproto.UnmarshalWriteRes(body)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if res.Status != nfsproto.OK {
+		w.err = fmt.Errorf("memfs: write-behind at %d: status %d", pw.off, res.Status)
+		return
+	}
+	w.observeVerf(res.Verf)
+}
+
+// observeVerf folds one reply's verifier into the pipeline's view.
+func (w *WriteBehind) observeVerf(verf uint64) {
+	if w.haveVerf && verf != w.verf {
+		w.stale = true
+	}
+	w.verf, w.haveVerf = verf, true
+}
+
+// Flush settles every in-flight write (without committing).
+func (w *WriteBehind) Flush() error {
+	for len(w.inflight) > 0 && w.err == nil {
+		w.settleOldest()
+	}
+	return w.err
+}
+
+// Commit drains the pipeline, COMMITs the file and verifies the write
+// verifier: if any reply (or the COMMIT itself) reported a verifier
+// different from the one the retained writes were issued under, the
+// server may have dropped them, so they are re-sent with FILE_SYNC
+// before returning. On success the retained set is released and the
+// server's current verifier returned.
+func (w *WriteBehind) Commit() (verf uint64, err error) {
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	verf, err = w.c.Commit(w.fh, 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	if w.stale || (w.haveVerf && verf != w.verf) {
+		// Verifier changed: every uncommitted write may be lost.
+		// Re-send stable (no second COMMIT needed) and clear the flag.
+		for _, r := range w.retained {
+			if _, err := w.c.WriteStable(w.fh, r.off, r.data, nfsproto.WriteFileSync); err != nil {
+				return 0, fmt.Errorf("memfs: write-behind rewrite at %d: %w", r.off, err)
+			}
+		}
+		w.stale = false
+	}
+	w.retained = nil
+	w.verf, w.haveVerf = verf, true
+	return verf, nil
+}
+
+// Retained reports how many writes are held awaiting COMMIT
+// confirmation (diagnostics for tests and benchmarks).
+func (w *WriteBehind) Retained() int { return len(w.retained) }

@@ -35,8 +35,15 @@ func appendCases() []struct {
 		{"ReadRes/err", &ReadRes{Status: ErrStale}},
 		{"WriteArgs", &WriteArgs{FH: 7, Offset: 8192, Count: 6, Stable: WriteFileSync, Data: []byte("payload")}},
 		{"WriteArgs/zero-fill", &WriteArgs{FH: 7, Count: 11, DataLen: 11}},
+		{"WriteArgs/unstable", &WriteArgs{FH: 7, Offset: 0, Count: 4, Stable: WriteUnstable, Data: []byte("asyn")}},
 		{"WriteRes", &WriteRes{Status: OK, Attrs: attrs, Count: 6, Committed: WriteDataSync}},
+		{"WriteRes/verifier", &WriteRes{Status: OK, Attrs: attrs, Count: 6,
+			Committed: WriteUnstable, Verf: 0xdeadbeefcafef00d}},
 		{"WriteRes/err", &WriteRes{Status: ErrNoSpc}},
+		{"CommitArgs", &CommitArgs{FH: 7, Offset: 1 << 20, Count: 65536}},
+		{"CommitArgs/whole-file", &CommitArgs{FH: 8}},
+		{"CommitRes", &CommitRes{Status: OK, Attrs: attrs, Verf: 0x0123456789abcdef}},
+		{"CommitRes/err", &CommitRes{Status: ErrIO}},
 		{"LookupArgs", &LookupArgs{Dir: 1, Name: "file.dat"}},
 		{"LookupRes", &LookupRes{Status: OK, FH: 9, Attrs: attrs}},
 		{"LookupRes/err", &LookupRes{Status: ErrNoEnt}},

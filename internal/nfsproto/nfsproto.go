@@ -35,6 +35,7 @@ const (
 	ProcWrite   = 7
 	ProcCreate  = 8
 	ProcFsstat  = 18
+	ProcCommit  = 21
 )
 
 // Status codes (nfsstat3).
@@ -258,12 +259,29 @@ func UnmarshalReadRes(b []byte) (*ReadRes, error) {
 	return r, d.Err()
 }
 
-// Write stability levels.
+// Write stability levels (stable_how, RFC 1813 §3.3.7): UNSTABLE lets
+// the server buffer the write and defer stable storage until COMMIT,
+// DATA_SYNC requires the data (not necessarily metadata) on stable
+// storage before replying, FILE_SYNC requires both.
 const (
 	WriteUnstable = 0
 	WriteDataSync = 1
 	WriteFileSync = 2
 )
+
+// StableName returns a human-readable stability-level name.
+func StableName(stable uint32) string {
+	switch stable {
+	case WriteUnstable:
+		return "UNSTABLE"
+	case WriteDataSync:
+		return "DATA_SYNC"
+	case WriteFileSync:
+		return "FILE_SYNC"
+	default:
+		return fmt.Sprintf("STABLE%d", stable)
+	}
+}
 
 // WriteArgs is WRITE3args.
 type WriteArgs struct {
@@ -317,11 +335,18 @@ func UnmarshalWriteArgs(b []byte) (*WriteArgs, error) {
 }
 
 // WriteRes is WRITE3res (wcc_data reduced to post-op attributes).
+// Committed is the stability the server actually achieved — it may be
+// stronger than the client asked for (an UNSTABLE request answered
+// FILE_SYNC by a write-through server) but never weaker. Verf is the
+// server's write verifier (boot cookie): it changes exactly when the
+// server may have lost uncommitted writes, telling clients to re-send
+// everything written since the last COMMIT.
 type WriteRes struct {
 	Status    uint32
 	Attrs     *Fattr
 	Count     uint32
 	Committed uint32
+	Verf      uint64
 }
 
 // AppendTo appends the encoded result to buf.
@@ -331,7 +356,7 @@ func (w *WriteRes) AppendTo(buf []byte) []byte {
 	if w.Status == OK {
 		buf = xdr.AppendUint32(buf, w.Count)
 		buf = xdr.AppendUint32(buf, w.Committed)
-		buf = xdr.AppendUint64(buf, 0) // write verifier
+		buf = xdr.AppendUint64(buf, w.Verf)
 	}
 	return buf
 }
@@ -357,9 +382,83 @@ func UnmarshalWriteRes(b []byte) (*WriteRes, error) {
 	if w.Status == OK {
 		w.Count = d.Uint32()
 		w.Committed = d.Uint32()
-		d.Uint64()
+		w.Verf = d.Uint64()
 	}
 	return w, d.Err()
+}
+
+// CommitArgs is COMMIT3args: flush [Offset, Offset+Count) — or the
+// whole file when Count is 0 — to stable storage.
+type CommitArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+}
+
+// AppendTo appends the encoded arguments to buf.
+func (c *CommitArgs) AppendTo(buf []byte) []byte {
+	buf = appendFH(buf, c.FH)
+	buf = xdr.AppendUint64(buf, c.Offset)
+	return xdr.AppendUint32(buf, c.Count)
+}
+
+// Marshal encodes the arguments.
+func (c *CommitArgs) Marshal() []byte {
+	return c.AppendTo(make([]byte, 0, c.WireSize()))
+}
+
+// WireSize reports the exact encoded size.
+func (c *CommitArgs) WireSize() int { return fhWireSize + 8 + 4 }
+
+// UnmarshalCommitArgs decodes COMMIT3args.
+func UnmarshalCommitArgs(b []byte) (*CommitArgs, error) {
+	d := xdr.NewDecoder(b)
+	c := &CommitArgs{FH: decodeFH(d), Offset: d.Uint64(), Count: d.Uint32()}
+	return c, d.Err()
+}
+
+// CommitRes is COMMIT3res (wcc_data reduced to post-op attributes).
+// Verf is the server's write verifier; a client comparing it against
+// the verifier its WRITE replies carried detects a server reboot that
+// may have dropped uncommitted data (see WriteRes).
+type CommitRes struct {
+	Status uint32
+	Attrs  *Fattr
+	Verf   uint64
+}
+
+// AppendTo appends the encoded result to buf.
+func (c *CommitRes) AppendTo(buf []byte) []byte {
+	buf = xdr.AppendUint32(buf, c.Status)
+	buf = appendPostOpAttr(buf, c.Attrs)
+	if c.Status == OK {
+		buf = xdr.AppendUint64(buf, c.Verf)
+	}
+	return buf
+}
+
+// Marshal encodes the result.
+func (c *CommitRes) Marshal() []byte {
+	return c.AppendTo(make([]byte, 0, c.WireSize()))
+}
+
+// WireSize reports the exact encoded size.
+func (c *CommitRes) WireSize() int {
+	n := 4 + postOpAttrSize(c.Attrs)
+	if c.Status == OK {
+		n += 8
+	}
+	return n
+}
+
+// UnmarshalCommitRes decodes COMMIT3res.
+func UnmarshalCommitRes(b []byte) (*CommitRes, error) {
+	d := xdr.NewDecoder(b)
+	c := &CommitRes{Status: d.Uint32(), Attrs: decodePostOpAttr(d)}
+	if c.Status == OK {
+		c.Verf = d.Uint64()
+	}
+	return c, d.Err()
 }
 
 // LookupArgs is LOOKUP3args.
@@ -716,6 +815,8 @@ func ProcName(proc uint32) string {
 		return "CREATE"
 	case ProcFsstat:
 		return "FSSTAT"
+	case ProcCommit:
+		return "COMMIT"
 	default:
 		return fmt.Sprintf("PROC%d", proc)
 	}

@@ -90,6 +90,72 @@ func TestWriteArgsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWriteResVerifierRoundTrip(t *testing.T) {
+	w := &WriteRes{Status: OK, Attrs: sampleAttrs(), Count: 8192,
+		Committed: WriteUnstable, Verf: 0xfeedface01234567}
+	b := w.Marshal()
+	if len(b) != w.WireSize() {
+		t.Fatalf("wire size %d != marshalled %d", w.WireSize(), len(b))
+	}
+	got, err := UnmarshalWriteRes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Committed != WriteUnstable || got.Verf != w.Verf || got.Count != 8192 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCommitArgsRoundTrip(t *testing.T) {
+	c := &CommitArgs{FH: 0x1122334455667788, Offset: 1 << 40, Count: 1 << 20}
+	b := c.Marshal()
+	if len(b) != c.WireSize() {
+		t.Fatalf("wire size %d != marshalled %d", c.WireSize(), len(b))
+	}
+	got, err := UnmarshalCommitArgs(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *c {
+		t.Fatalf("got %+v, want %+v", got, c)
+	}
+}
+
+func TestCommitResRoundTrip(t *testing.T) {
+	c := &CommitRes{Status: OK, Attrs: sampleAttrs(), Verf: 0x0011223344556677}
+	b := c.Marshal()
+	if len(b) != c.WireSize() {
+		t.Fatalf("wire size %d != marshalled %d", c.WireSize(), len(b))
+	}
+	got, err := UnmarshalCommitRes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != OK || got.Verf != c.Verf {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Attrs == nil || got.Attrs.FileID != c.Attrs.FileID {
+		t.Fatalf("attrs lost: %+v", got.Attrs)
+	}
+
+	errRes := &CommitRes{Status: ErrStale}
+	gotE, err := UnmarshalCommitRes(errRes.Marshal())
+	if err != nil || gotE.Status != ErrStale || gotE.Verf != 0 {
+		t.Fatalf("error arm: %+v err %v", gotE, err)
+	}
+}
+
+func TestStableName(t *testing.T) {
+	for stable, want := range map[uint32]string{
+		WriteUnstable: "UNSTABLE", WriteDataSync: "DATA_SYNC",
+		WriteFileSync: "FILE_SYNC", 9: "STABLE9",
+	} {
+		if got := StableName(stable); got != want {
+			t.Errorf("StableName(%d) = %q, want %q", stable, got, want)
+		}
+	}
+}
+
 func TestLookupRoundTrip(t *testing.T) {
 	a := &LookupArgs{Dir: 1, Name: "f256m"}
 	b := a.Marshal()
@@ -233,6 +299,9 @@ func TestWireSizeMatchesMarshalProperty(t *testing.T) {
 			&CreateArgs{Dir: FH(fh), Name: name, Size: off},
 			&CreateRes{Status: status, FH: FH(fh), Attrs: attrs},
 			&FsstatRes{Status: status, Tbytes: off},
+			&WriteRes{Status: status, Attrs: attrs, Count: uint32(n), Committed: uint32(n) % 3, Verf: off},
+			&CommitArgs{FH: FH(fh), Offset: off, Count: uint32(n)},
+			&CommitRes{Status: status, Attrs: attrs, Verf: fh},
 		}
 		for _, m := range msgs {
 			if len(m.Marshal()) != m.WireSize() {

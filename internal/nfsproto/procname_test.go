@@ -20,6 +20,7 @@ var procNames = map[uint32]string{
 	ProcWrite:   "WRITE",
 	ProcCreate:  "CREATE",
 	ProcFsstat:  "FSSTAT",
+	ProcCommit:  "COMMIT",
 }
 
 // TestProcNameCoversEveryProc is table-driven over every Proc*

@@ -2,6 +2,7 @@ package nfstrace
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -58,7 +59,7 @@ func (c *Capture) Tap(ev rpcnet.TapEvent) {
 		Proc:    ev.Proc,
 		Latency: ev.Latency,
 	}
-	rec.FH, rec.Offset, rec.Count = parseArgs(ev.Proc, ev.Body)
+	rec.FH, rec.Offset, rec.Count, rec.Stable = parseArgs(ev.Proc, ev.Body)
 	if ev.Stat != sunrpc.AcceptSuccess {
 		rec.Status = tracefile.StatusRPCError | ev.Stat
 	} else if ev.Proc != nfsproto.ProcNull && len(ev.Result) >= 4 {
@@ -76,11 +77,12 @@ func (c *Capture) Tap(ev rpcnet.TapEvent) {
 	}
 }
 
-// parseArgs decodes the handle/offset/count triple a procedure's
-// arguments carry (zero for procedures without the field). The decode
-// mirrors nfsproto's Unmarshal*Args but stops at the traced fields, so
-// capture never copies a WRITE payload.
-func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32) {
+// parseArgs decodes the handle/offset/count (and, for WRITE, the
+// requested stability) a procedure's arguments carry (zero for
+// procedures without the field). The decode mirrors nfsproto's
+// Unmarshal*Args but stops at the traced fields, so capture never
+// copies a WRITE payload.
+func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32, stable uint32) {
 	d := xdr.NewDecoder(body)
 	readFH := func() uint64 {
 		b := d.OpaqueView(64)
@@ -95,15 +97,20 @@ func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32
 		// First field is the (directory) handle; names and access bits
 		// are not traced.
 		fh = readFH()
-	case nfsproto.ProcRead, nfsproto.ProcWrite:
+	case nfsproto.ProcRead, nfsproto.ProcCommit:
 		fh = readFH()
 		offset = d.Uint64()
 		count = d.Uint32()
+	case nfsproto.ProcWrite:
+		fh = readFH()
+		offset = d.Uint64()
+		count = d.Uint32()
+		stable = d.Uint32()
 	}
 	if d.Err() != nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	return fh, offset, count
+	return fh, offset, count, stable
 }
 
 // Total reports how many records were captured.
@@ -152,9 +159,108 @@ func FromTracefile(recs []tracefile.Record) []Record {
 			FH:     r.FH,
 			Offset: r.Offset,
 			Count:  r.Count,
+			Stable: r.Stable,
 		}
 	}
 	return out
+}
+
+// WriteStabilityMix tallies a capture's WRITE records by requested
+// stability level (index by nfsproto.WriteUnstable/DataSync/FileSync).
+// Stability levels beyond FILE_SYNC — impossible from a conforming
+// client — count as FILE_SYNC, matching how the server clamps them.
+func WriteStabilityMix(recs []tracefile.Record) (mix [3]int64) {
+	for _, r := range recs {
+		if r.Proc != nfsproto.ProcWrite {
+			continue
+		}
+		s := r.Stable
+		if s > nfsproto.WriteFileSync {
+			s = nfsproto.WriteFileSync
+		}
+		mix[s]++
+	}
+	return mix
+}
+
+// FormatWriteStabilityMix renders a stability mix compactly.
+func FormatWriteStabilityMix(mix [3]int64) string {
+	return fmt.Sprintf("%s:%d %s:%d %s:%d",
+		nfsproto.StableName(nfsproto.WriteUnstable), mix[nfsproto.WriteUnstable],
+		nfsproto.StableName(nfsproto.WriteDataSync), mix[nfsproto.WriteDataSync],
+		nfsproto.StableName(nfsproto.WriteFileSync), mix[nfsproto.WriteFileSync])
+}
+
+// CommitDistanceStats summarizes how far WRITEs sit from the COMMIT
+// that makes them stable — the client-side shape of the asynchronous
+// write pipeline. Distance is measured in requests: how many of the
+// same stream's subsequent requests arrive before a COMMIT on the same
+// file handle (0 = the very next request is the COMMIT). WRITEs never
+// followed by a COMMIT on their handle are Uncommitted — for UNSTABLE
+// writes that is data the server was still free to lose when the
+// capture ended.
+type CommitDistanceStats struct {
+	Writes      int64
+	Committed   int64
+	Uncommitted int64
+	MeanOps     float64
+	P50Ops      int
+	MaxOps      int
+}
+
+// String renders the stats on one line.
+func (s CommitDistanceStats) String() string {
+	return fmt.Sprintf("writes=%d committed=%d uncommitted=%d distance mean=%.1f p50=%d max=%d",
+		s.Writes, s.Committed, s.Uncommitted, s.MeanOps, s.P50Ops, s.MaxOps)
+}
+
+// CommitDistances computes the WRITE→COMMIT distance distribution over
+// a capture. Records are processed per stream in arrival order, so a
+// pipelined capture's completion jitter does not distort distances.
+func CommitDistances(recs []tracefile.Record) CommitDistanceStats {
+	byArrival := append([]tracefile.Record(nil), recs...)
+	sort.SliceStable(byArrival, func(i, j int) bool { return byArrival[i].When < byArrival[j].When })
+
+	// Per-stream request index and, per (stream, fh), the indices of
+	// writes awaiting a commit.
+	type key struct {
+		stream uint32
+		fh     uint64
+	}
+	idx := make(map[uint32]int)
+	pending := make(map[key][]int)
+	var st CommitDistanceStats
+	var dists []int
+	for _, r := range byArrival {
+		i := idx[r.Stream]
+		idx[r.Stream] = i + 1
+		switch r.Proc {
+		case nfsproto.ProcWrite:
+			st.Writes++
+			k := key{r.Stream, r.FH}
+			pending[k] = append(pending[k], i)
+		case nfsproto.ProcCommit:
+			k := key{r.Stream, r.FH}
+			for _, wi := range pending[k] {
+				dists = append(dists, i-wi-1)
+			}
+			delete(pending, k)
+		}
+	}
+	st.Committed = int64(len(dists))
+	st.Uncommitted = st.Writes - st.Committed
+	if len(dists) == 0 {
+		return st
+	}
+	sort.Ints(dists)
+	var sum int64
+	for _, d := range dists {
+		sum += int64(d)
+	}
+	st.MeanOps = float64(sum) / float64(len(dists))
+	st.P50Ops = dists[len(dists)/2]
+	st.MaxOps = dists[len(dists)-1]
+	return st
 }
 
 // FromFile reads a captured .nft trace into analyzer records — the

@@ -9,6 +9,7 @@ import (
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/tracefile"
+	"nfstricks/internal/wgather"
 )
 
 // captureRun serves a small live store with capture enabled, drives a
@@ -212,5 +213,112 @@ func TestAnalyzeFile(t *testing.T) {
 	}
 	if mix := OpMix(recs); mix[nfsproto.ProcRead] != 20 {
 		t.Fatalf("op mix %v", mix)
+	}
+}
+
+// TestCaptureWritePath drives UNSTABLE writes plus a COMMIT through a
+// gathering live server and checks capture records their stability
+// levels and the COMMIT's range — the fields the replay engine needs to
+// reproduce an asynchronous write stream.
+func TestCaptureWritePath(t *testing.T) {
+	var buf bytes.Buffer
+	start := time.Now()
+	w, err := tracefile.NewWriter(&buf, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := NewCaptureAt(w, start)
+
+	fs := memfs.NewFS()
+	fh := fs.Create("w", make([]byte, 64*1024))
+	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: time.Minute})
+	defer svc.Close()
+	srv, err := memfs.NewServerTap("127.0.0.1:0", svc, cap.Tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := memfs.DialClient("tcp", srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	data := make([]byte, 8192)
+	for off := uint64(0); off < 4*8192; off += 8192 {
+		if _, err := c.WriteUnstable(fh, off, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Write(fh, 4*8192, data); err != nil { // FILE_SYNC
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(fh, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	if err := cap.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err := tracefile.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unstable, filesync, commits int
+	for _, r := range recs {
+		switch r.Proc {
+		case nfsproto.ProcWrite:
+			switch r.Stable {
+			case nfsproto.WriteUnstable:
+				unstable++
+			case nfsproto.WriteFileSync:
+				filesync++
+			default:
+				t.Fatalf("write captured with stability %d", r.Stable)
+			}
+		case nfsproto.ProcCommit:
+			commits++
+			if r.FH != uint64(fh) || r.Offset != 0 || r.Count != 0 {
+				t.Fatalf("commit captured as fh=%d off=%d count=%d", r.FH, r.Offset, r.Count)
+			}
+			if r.Status != nfsproto.OK {
+				t.Fatalf("commit status %d", r.Status)
+			}
+		}
+	}
+	if unstable != 4 || filesync != 1 || commits != 1 {
+		t.Fatalf("captured unstable=%d filesync=%d commits=%d, want 4/1/1", unstable, filesync, commits)
+	}
+
+	mix := WriteStabilityMix(recs)
+	if mix[nfsproto.WriteUnstable] != 4 || mix[nfsproto.WriteFileSync] != 1 {
+		t.Fatalf("stability mix %v", mix)
+	}
+	cd := CommitDistances(recs)
+	if cd.Writes != 5 || cd.Committed != 5 || cd.Uncommitted != 0 {
+		t.Fatalf("commit distances %+v", cd)
+	}
+	// The last write (FILE_SYNC, immediately before COMMIT) is 0 ops
+	// away; the first unstable write is 4 ops away.
+	if cd.MaxOps != 4 || cd.P50Ops != 2 {
+		t.Fatalf("commit distances %+v", cd)
+	}
+}
+
+// TestCommitDistancesUncommitted checks writes with no following COMMIT
+// are reported as uncommitted.
+func TestCommitDistancesUncommitted(t *testing.T) {
+	recs := []tracefile.Record{
+		{When: 0, Stream: 1, Proc: nfsproto.ProcWrite, FH: 1, Stable: nfsproto.WriteUnstable},
+		{When: 1, Stream: 1, Proc: nfsproto.ProcWrite, FH: 2, Stable: nfsproto.WriteUnstable},
+		{When: 2, Stream: 1, Proc: nfsproto.ProcCommit, FH: 1},
+	}
+	cd := CommitDistances(recs)
+	if cd.Writes != 2 || cd.Committed != 1 || cd.Uncommitted != 1 {
+		t.Fatalf("%+v", cd)
+	}
+	if cd.MaxOps != 1 {
+		t.Fatalf("distance to commit = %d, want 1 (one request between)", cd.MaxOps)
 	}
 }

@@ -22,6 +22,7 @@ type Record struct {
 	FH     uint64
 	Offset uint64
 	Count  uint32
+	Stable uint32 // requested write stability (WRITE records)
 }
 
 // Tracer collects records; a zero Tracer is ready to use. A Limit > 0

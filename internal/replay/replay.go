@@ -148,11 +148,12 @@ func File(path string, opts Options) (*Stats, error) {
 // Run replays records against opts.Addr. Each captured stream gets its
 // own connection and issues its records in captured order; streams run
 // concurrently and race each other exactly as the original clients did.
-// READ, WRITE, GETATTR and NULL are replayed natively (WRITE payloads
-// are zero-filled to the captured length); procedures whose arguments a
-// trace cannot reconstruct (LOOKUP names, ACCESS bits, ...) are sent as
-// GETATTR on the captured handle to preserve the request's slot in the
-// schedule, and counted in Stats.Surrogates.
+// READ, WRITE, COMMIT, GETATTR and NULL are replayed natively (WRITE
+// payloads are zero-filled to the captured length, at the captured
+// stability level); procedures whose arguments a trace cannot
+// reconstruct (LOOKUP names, ACCESS bits, ...) are sent as GETATTR on
+// the captured handle to preserve the request's slot in the schedule,
+// and counted in Stats.Surrogates.
 func Run(records []tracefile.Record, opts Options) (*Stats, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
@@ -343,10 +344,16 @@ func buildCall(rec tracefile.Record, mapFH func(uint64) nfsproto.FH) (proc uint3
 		return rec.Proc, (&nfsproto.ReadArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
 	case nfsproto.ProcWrite:
 		// The captured payload is not stored; a zero-fill of the same
-		// length exercises the same wire and storage path.
+		// length exercises the same wire and storage path. The recorded
+		// stability is replayed faithfully (v1 traces surface FILE_SYNC,
+		// what their era's client sent), so a captured asynchronous
+		// write stream drives the target's gathering engine the same way
+		// the original did.
 		w := &nfsproto.WriteArgs{FH: fh, Offset: rec.Offset, Count: rec.Count,
-			Stable: nfsproto.WriteUnstable, DataLen: rec.Count}
+			Stable: rec.Stable, DataLen: rec.Count}
 		return rec.Proc, w.Marshal(), false
+	case nfsproto.ProcCommit:
+		return rec.Proc, (&nfsproto.CommitArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
 	default:
 		// LOOKUP names, ACCESS bits and CREATE arguments are not in the
 		// trace; a GETATTR on the captured handle keeps the request's

@@ -11,6 +11,7 @@ import (
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/nfstrace"
 	"nfstricks/internal/tracefile"
+	"nfstricks/internal/wgather"
 )
 
 // replayTarget is a live capturing server to replay against.
@@ -323,5 +324,93 @@ func TestOptionsValidation(t *testing.T) {
 	st, err := Run(nil, Options{Addr: "127.0.0.1:1"})
 	if err != nil || st.Ops != 0 {
 		t.Fatalf("empty trace: %v %+v", err, st)
+	}
+}
+
+// TestReplayWriteStabilityAndCommit replays an asynchronous write
+// stream — UNSTABLE writes capped by COMMITs, plus one FILE_SYNC
+// write — against a gathering live server and checks the server
+// observed exactly the recorded stability mix and commit count.
+func TestReplayWriteStabilityAndCommit(t *testing.T) {
+	fs := memfs.NewFS()
+	fh := fs.Create("w", make([]byte, 256*1024))
+	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: time.Minute})
+	defer svc.Close()
+	srv, err := memfs.NewServer("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var recs []tracefile.Record
+	when := time.Duration(0)
+	add := func(proc uint32, off uint64, count, stable uint32) {
+		recs = append(recs, tracefile.Record{
+			When: when, Stream: 1, Proc: proc, FH: uint64(fh),
+			Offset: off, Count: count, Stable: stable,
+		})
+		when += time.Millisecond
+	}
+	for i := 0; i < 8; i++ {
+		add(nfsproto.ProcWrite, uint64(i)*8192, 8192, nfsproto.WriteUnstable)
+		if i%4 == 3 {
+			add(nfsproto.ProcCommit, 0, 0, 0)
+		}
+	}
+	add(nfsproto.ProcWrite, 8*8192, 8192, nfsproto.WriteFileSync)
+
+	st, err := Run(recs, Options{Network: "tcp", Addr: srv.Addr(), Timing: AsFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 0 || st.NFSErrors != 0 || st.Surrogates != 0 {
+		t.Fatalf("replay stats %+v", st)
+	}
+	ws := svc.WriteStats()
+	if ws.WritesUnstable != 8 || ws.WritesFileSync != 1 || ws.Commits != 2 {
+		t.Fatalf("server observed unstable=%d filesync=%d commits=%d, want 8/1/2",
+			ws.WritesUnstable, ws.WritesFileSync, ws.Commits)
+	}
+}
+
+// TestReplayV1TraceStillWorks replays a version-1 (no stability field)
+// stream: its writes must arrive FILE_SYNC — what the v1-era client
+// actually sent — and the per-stream order must hold.
+func TestReplayV1TraceStillWorks(t *testing.T) {
+	fs := memfs.NewFS()
+	fh := fs.Create("w", make([]byte, 64*1024))
+	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: time.Minute})
+	defer svc.Close()
+	srv, err := memfs.NewServer("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Simulate records loaded from a v1 file: the Reader synthesizes
+	// Stable = V1Stable (FILE_SYNC).
+	var recs []tracefile.Record
+	for i := 0; i < 4; i++ {
+		recs = append(recs, tracefile.Record{
+			When: time.Duration(i) * time.Millisecond, Stream: 1,
+			Proc: nfsproto.ProcWrite, FH: uint64(fh),
+			Offset: uint64(i) * 8192, Count: 8192, Stable: tracefile.V1Stable,
+		})
+	}
+	st, err := Run(recs, Options{Network: "udp", Addr: srv.Addr(), Timing: AsFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 0 || st.NFSErrors != 0 {
+		t.Fatalf("replay stats %+v", st)
+	}
+	ws := svc.WriteStats()
+	if ws.WritesFileSync != 4 || ws.WritesUnstable != 0 {
+		t.Fatalf("v1 writes arrived unstable=%d filesync=%d, want 0/4",
+			ws.WritesUnstable, ws.WritesFileSync)
+	}
+	// FILE_SYNC write-through: everything already flushed, nothing dirty.
+	if ws.DirtyBytes != 0 {
+		t.Fatalf("dirty = %d after v1 replay", ws.DirtyBytes)
 	}
 }

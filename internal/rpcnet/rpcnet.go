@@ -185,6 +185,13 @@ func bindBoth(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("rpcnet: %w", err)
 		}
+		// A server socket facing pipelined writers sees bursts of
+		// near-wsize datagrams; the kernel default receive buffer
+		// (~200 KB) drops part of such a burst. Ask for more — the
+		// kernel caps the request at rmem_max, and clients recover
+		// from any residual loss by retransmitting (UDP NFS's
+		// contract), so a failure here is not an error.
+		udp.SetReadBuffer(udpReadBuffer)
 		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
 		if err == nil {
 			return udp, tcp, nil
@@ -194,6 +201,10 @@ func bindBoth(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
 	}
 	return nil, nil, fmt.Errorf("rpcnet: %w", lastErr)
 }
+
+// udpReadBuffer is the receive buffer requested for UDP sockets (the
+// kernel may cap it lower).
+const udpReadBuffer = 4 << 20
 
 // Addr returns the bound address (identical for UDP and TCP).
 func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
@@ -425,6 +436,11 @@ func Dial(network, addr string, prog, vers uint32) (*Client, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: %w", err)
+	}
+	// Pipelined READ streams burst wsize replies at the client; the
+	// same buffer courtesy as the server side (capped by the kernel).
+	if uc, ok := conn.(*net.UDPConn); ok {
+		uc.SetReadBuffer(udpReadBuffer)
 	}
 	c := &Client{
 		network: network, conn: conn, prog: prog, vers: vers,

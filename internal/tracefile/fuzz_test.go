@@ -31,7 +31,8 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, raw []byte, startNanos int64) {
 		// Slice raw into records: 46 bytes each (6 uint64 + uint16 for
 		// the stream, keeping stream cardinality low enough that streams
-		// actually interleave).
+		// actually interleave). The stability field is derived from the
+		// same bytes, covering small legal values and huge illegal ones.
 		const recBytes = 46
 		var want []Record
 		var when time.Duration
@@ -50,6 +51,7 @@ func FuzzRoundTrip(f *testing.F) {
 				FH:      u(18),
 				Offset:  u(26),
 				Count:   uint32(u(34)),
+				Stable:  uint32(u(18) >> 32),
 				Status:  uint32(u(34) >> 32),
 				Latency: time.Duration(u(38) % uint64(time.Minute)),
 			})
@@ -79,7 +81,7 @@ func FuzzRoundTrip(f *testing.F) {
 			perStream[want[i].Stream] = append(perStream[want[i].Stream], want[i])
 		}
 		// Per-stream dispatch sequences: filter the decode by stream and
-		// compare (proc, FH, offset, count) in order.
+		// compare (proc, FH, offset, count, stable) in order.
 		for stream, wantSeq := range perStream {
 			var i int
 			for _, r := range got {
@@ -87,9 +89,9 @@ func FuzzRoundTrip(f *testing.F) {
 					continue
 				}
 				w := wantSeq[i]
-				if r.Proc != w.Proc || r.FH != w.FH || r.Offset != w.Offset || r.Count != w.Count {
-					t.Fatalf("stream %d op %d: got (%d,%d,%d,%d), want (%d,%d,%d,%d)",
-						stream, i, r.Proc, r.FH, r.Offset, r.Count, w.Proc, w.FH, w.Offset, w.Count)
+				if r.Proc != w.Proc || r.FH != w.FH || r.Offset != w.Offset || r.Count != w.Count || r.Stable != w.Stable {
+					t.Fatalf("stream %d op %d: got (%d,%d,%d,%d,%d), want (%d,%d,%d,%d,%d)",
+						stream, i, r.Proc, r.FH, r.Offset, r.Count, r.Stable, w.Proc, w.FH, w.Offset, w.Count, w.Stable)
 				}
 				i++
 			}

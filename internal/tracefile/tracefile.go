@@ -8,11 +8,11 @@
 // artifacts that can be inspected and replayed as first-class benchmark
 // workloads.
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 // A trace file is a fixed 16-byte header followed by records until EOF:
 //
-//	offset 0:  4-byte magic "NFT1"
+//	offset 0:  4-byte magic "NFT2"
 //	offset 4:  4-byte reserved (zero)
 //	offset 8:  8-byte big-endian capture start time (Unix nanoseconds)
 //
@@ -25,15 +25,24 @@
 //	stream  uvarint, per-connection (TCP) / per-peer (UDP) stream id
 //	proc    uvarint, NFS procedure number
 //	fh      uvarint, file handle
-//	offset  uvarint, byte offset (READ/WRITE; 0 otherwise)
-//	count   uvarint, byte count (READ/WRITE; 0 otherwise)
+//	offset  uvarint, byte offset (READ/WRITE/COMMIT; 0 otherwise)
+//	count   uvarint, byte count (READ/WRITE/COMMIT; 0 otherwise)
+//	stable  uvarint, requested write stability (WRITE; 0 otherwise)
 //	status  uvarint, NFS status, or StatusRPCError|accept_stat for
 //	        calls rejected at the RPC layer
 //	latency uvarint, nanoseconds of server-side service time
 //
 // Varint-delta timestamps make the format compact: a steady request
-// stream costs ~10-14 bytes per record instead of the ~44 bytes of a
+// stream costs ~10-15 bytes per record instead of the ~48 bytes of a
 // fixed-width layout.
+//
+// # Version 1
+//
+// Version-1 files (magic "NFT1") predate the asynchronous write path
+// and lack the stable field. The Reader auto-detects them by magic and
+// decodes their records with Stable set to V1Stable (FILE_SYNC — the
+// only stability the version-1-era live client ever sent). The Writer
+// always emits version 2.
 package tracefile
 
 import (
@@ -48,10 +57,19 @@ import (
 )
 
 // Version is the current format version (encoded in the magic).
-const Version = 1
+const Version = 2
 
-// magic identifies a version-1 trace file.
-var magic = [4]byte{'N', 'F', 'T', '1'}
+// V1Stable is the Stable value synthesized for records read from
+// version-1 files: FILE_SYNC, the only stability the version-1-era
+// live client ever requested (and the only one its server honoured).
+const V1Stable = 2
+
+// magicV1 and magicV2 identify trace-file versions; the Writer emits
+// magicV2, the Reader accepts both.
+var (
+	magicV1 = [4]byte{'N', 'F', 'T', '1'}
+	magicV2 = [4]byte{'N', 'F', 'T', '2'}
+)
 
 // headerSize is the fixed encoded size of the file header.
 const headerSize = 16
@@ -62,8 +80,8 @@ const headerSize = 16
 const StatusRPCError = 1 << 31
 
 // ErrBadMagic is returned by NewReader for streams that are not
-// version-1 trace files.
-var ErrBadMagic = errors.New("tracefile: bad magic (not a .nft version 1 trace)")
+// trace files of a known version.
+var ErrBadMagic = errors.New("tracefile: bad magic (not a .nft version 1 or 2 trace)")
 
 // Record is one traced request. When is relative to the capture start
 // recorded in the header, so traces are position-independent.
@@ -72,8 +90,9 @@ type Record struct {
 	Stream  uint32        // client connection (TCP) / peer (UDP) id
 	Proc    uint32        // NFS procedure number
 	FH      uint64        // file handle (dir handle for LOOKUP/CREATE)
-	Offset  uint64        // byte offset (READ/WRITE)
-	Count   uint32        // byte count (READ/WRITE)
+	Offset  uint64        // byte offset (READ/WRITE/COMMIT)
+	Count   uint32        // byte count (READ/WRITE/COMMIT)
+	Stable  uint32        // requested write stability (WRITE; V1Stable for v1 files)
 	Status  uint32        // NFS status, or StatusRPCError|accept_stat
 	Latency time.Duration // server-side service time
 }
@@ -95,10 +114,10 @@ var recBufs = sync.Pool{
 	},
 }
 
-// maxRecordSize bounds one encoded record (8 varints of at most 10
+// maxRecordSize bounds one encoded record (9 varints of at most 10
 // bytes each); the staging buffer is flushed when less than this much
 // headroom remains, so Append never grows it.
-const maxRecordSize = 8 * binary.MaxVarintLen64
+const maxRecordSize = 9 * binary.MaxVarintLen64
 
 // Writer encodes records onto an io.Writer. Append is allocation-free:
 // each record is varint-encoded into a pooled staging buffer that is
@@ -119,7 +138,7 @@ type Writer struct {
 func NewWriter(w io.Writer, start time.Time) (*Writer, error) {
 	tw := &Writer{w: w, buf: recBufs.Get().(*[]byte), start: start}
 	hdr := make([]byte, headerSize)
-	copy(hdr, magic[:])
+	copy(hdr, magicV2[:])
 	binary.BigEndian.PutUint64(hdr[8:], uint64(start.UnixNano()))
 	if _, err := w.Write(hdr); err != nil {
 		tw.release()
@@ -176,6 +195,7 @@ func (w *Writer) Append(r Record) error {
 	buf = binary.AppendUvarint(buf, r.FH)
 	buf = binary.AppendUvarint(buf, r.Offset)
 	buf = binary.AppendUvarint(buf, uint64(r.Count))
+	buf = binary.AppendUvarint(buf, uint64(r.Stable))
 	buf = binary.AppendUvarint(buf, uint64(r.Status))
 	buf = binary.AppendUvarint(buf, uint64(r.Latency))
 	*w.buf = buf
@@ -228,7 +248,8 @@ func (w *Writer) Close() error {
 	return err
 }
 
-// Reader decodes a trace stream.
+// Reader decodes a trace stream, auto-detecting version 1 and 2 files
+// by magic (Header().Version reports which was found).
 type Reader struct {
 	br     *bufio.Reader
 	hdr    Header
@@ -246,13 +267,19 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		return nil, fmt.Errorf("tracefile: %w", err)
 	}
-	if [4]byte(hdr[:4]) != magic {
+	var version int
+	switch [4]byte(hdr[:4]) {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
 		return nil, ErrBadMagic
 	}
 	return &Reader{
 		br: br,
 		hdr: Header{
-			Version: Version,
+			Version: version,
 			Start:   time.Unix(0, int64(binary.BigEndian.Uint64(hdr[8:]))),
 		},
 	}, nil
@@ -288,8 +315,13 @@ func (r *Reader) Next(rec *Record) error {
 		return fmt.Errorf("tracefile: %w", err)
 	}
 	dt := int64(zz>>1) ^ -int64(zz&1)
-	fields := [7]uint64{}
-	for i := range fields {
+	// Version 1 records have no stable field; one fewer varint.
+	nFields := 8
+	if r.hdr.Version == 1 {
+		nFields = 7
+	}
+	fields := [8]uint64{}
+	for i := 0; i < nFields; i++ {
 		v, err := binary.ReadUvarint(r.br)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -301,14 +333,21 @@ func (r *Reader) Next(rec *Record) error {
 	}
 	r.prev += time.Duration(dt)
 	*rec = Record{
-		When:    r.prev,
-		Stream:  uint32(fields[0]),
-		Proc:    uint32(fields[1]),
-		FH:      fields[2],
-		Offset:  fields[3],
-		Count:   uint32(fields[4]),
-		Status:  uint32(fields[5]),
-		Latency: time.Duration(fields[6]),
+		When:   r.prev,
+		Stream: uint32(fields[0]),
+		Proc:   uint32(fields[1]),
+		FH:     fields[2],
+		Offset: fields[3],
+		Count:  uint32(fields[4]),
+	}
+	if r.hdr.Version == 1 {
+		rec.Stable = V1Stable
+		rec.Status = uint32(fields[5])
+		rec.Latency = time.Duration(fields[6])
+	} else {
+		rec.Stable = uint32(fields[5])
+		rec.Status = uint32(fields[6])
+		rec.Latency = time.Duration(fields[7])
 	}
 	return nil
 }

@@ -167,10 +167,17 @@ func TestBadMagic(t *testing.T) {
 		nil,
 		[]byte("short"),
 		[]byte("NOTATRACEFILE123"),
-		append([]byte("NFT2"), make([]byte, 12)...),
+		// A future version the reader does not know.
+		append([]byte("NFT3"), make([]byte, 12)...),
 	} {
 		if _, err := NewReader(bytes.NewReader(in)); !errors.Is(err, ErrBadMagic) {
 			t.Fatalf("NewReader(%q) err = %v, want ErrBadMagic", in, err)
+		}
+	}
+	// Both known versions parse.
+	for _, magic := range []string{"NFT1", "NFT2"} {
+		if _, err := NewReader(bytes.NewReader(append([]byte(magic), make([]byte, 12)...))); err != nil {
+			t.Fatalf("NewReader(%s header) err = %v", magic, err)
 		}
 	}
 }

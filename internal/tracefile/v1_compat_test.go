@@ -1,0 +1,150 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// goldenV1Records is the exact content of testdata/golden_v1.nft, a
+// fixture written in the PR 3 (version 1) layout: 7 varints per record,
+// no stability field. Readers must surface these records with Stable =
+// V1Stable.
+var goldenV1Records = []Record{
+	{When: 0, Stream: 1, Proc: 6, FH: 2, Offset: 0, Count: 8192, Stable: V1Stable, Status: 0, Latency: 1500},
+	{When: 2 * time.Millisecond, Stream: 2, Proc: 7, FH: 3, Offset: 8192, Count: 8192, Stable: V1Stable, Status: 0, Latency: 900},
+	{When: 1 * time.Millisecond, Stream: 1, Proc: 6, FH: 2, Offset: 8192, Count: 8192, Stable: V1Stable, Status: 0, Latency: 1100},
+	{When: 5 * time.Millisecond, Stream: 2, Proc: 1, FH: 3, Offset: 0, Count: 0, Stable: V1Stable, Status: 70, Latency: 50},
+	{When: 6 * time.Millisecond, Stream: 3, Proc: 0, FH: 0, Offset: 0, Count: 0, Stable: V1Stable, Status: 0, Latency: 10},
+}
+
+// goldenV1Start is the capture start stamped into the fixture header.
+const goldenV1Start = 1700000000123456789
+
+// TestGoldenV1Fixture loads the committed version-1 trace and checks
+// every decoded field — the backward-compatibility contract that keeps
+// PR 3 era traces loading forever.
+func TestGoldenV1Fixture(t *testing.T) {
+	hdr, recs, err := ReadFile("testdata/golden_v1.nft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != 1 {
+		t.Fatalf("version = %d, want 1", hdr.Version)
+	}
+	if hdr.Start.UnixNano() != goldenV1Start {
+		t.Fatalf("start = %d, want %d", hdr.Start.UnixNano(), goldenV1Start)
+	}
+	if len(recs) != len(goldenV1Records) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(goldenV1Records))
+	}
+	for i, got := range recs {
+		if got != goldenV1Records[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got, goldenV1Records[i])
+		}
+	}
+}
+
+// writeV1 encodes records in the version-1 layout (no stable field),
+// reproducing the PR 3 writer for compatibility tests.
+func writeV1(start time.Time, recs []Record) []byte {
+	out := make([]byte, headerSize)
+	copy(out, magicV1[:])
+	binary.BigEndian.PutUint64(out[8:], uint64(start.UnixNano()))
+	var prev time.Duration
+	for _, r := range recs {
+		dt := int64(r.When - prev)
+		prev = r.When
+		out = binary.AppendUvarint(out, uint64(dt)<<1^uint64(dt>>63))
+		out = binary.AppendUvarint(out, uint64(r.Stream))
+		out = binary.AppendUvarint(out, uint64(r.Proc))
+		out = binary.AppendUvarint(out, r.FH)
+		out = binary.AppendUvarint(out, r.Offset)
+		out = binary.AppendUvarint(out, uint64(r.Count))
+		out = binary.AppendUvarint(out, uint64(r.Status))
+		out = binary.AppendUvarint(out, uint64(r.Latency))
+	}
+	return out
+}
+
+// TestV1AutoDetection feeds a synthesized v1 stream and the same
+// records as v2 through one Reader path: v1 surfaces Stable=V1Stable,
+// v2 preserves the written stability, and all other fields agree.
+func TestV1AutoDetection(t *testing.T) {
+	src := []Record{
+		{When: 0, Stream: 1, Proc: 7, FH: 9, Offset: 0, Count: 4096, Stable: 0, Status: 0, Latency: 100},
+		{When: time.Millisecond, Stream: 1, Proc: 21, FH: 9, Offset: 0, Count: 0, Stable: 0, Status: 0, Latency: 300},
+	}
+	start := time.Unix(0, 42)
+
+	hdr1, v1recs, err := ReadAll(bytes.NewReader(writeV1(start, src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr1.Version != 1 {
+		t.Fatalf("v1 stream decoded as version %d", hdr1.Version)
+	}
+	for i, r := range v1recs {
+		if r.Stable != V1Stable {
+			t.Fatalf("v1 record %d: Stable = %d, want V1Stable", i, r.Stable)
+		}
+		want := src[i]
+		want.Stable = V1Stable
+		if r != want {
+			t.Fatalf("v1 record %d: got %+v, want %+v", i, r, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, start, src); err != nil {
+		t.Fatal(err)
+	}
+	hdr2, v2recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr2.Version != 2 {
+		t.Fatalf("writer emitted version %d, want 2", hdr2.Version)
+	}
+	for i, r := range v2recs {
+		if r != src[i] {
+			t.Fatalf("v2 record %d: got %+v, want %+v", i, r, src[i])
+		}
+	}
+}
+
+// TestStableSurvivesRoundTrip pins the new field across the full
+// write/read cycle for every stability level.
+func TestStableSurvivesRoundTrip(t *testing.T) {
+	var recs []Record
+	for s := uint32(0); s < 4; s++ {
+		recs = append(recs, Record{
+			When: time.Duration(s) * time.Millisecond, Stream: 1,
+			Proc: 7, FH: 5, Offset: uint64(s) * 8192, Count: 8192, Stable: s,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, time.Unix(0, 0), recs); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Stable != recs[i].Stable {
+			t.Fatalf("record %d: Stable = %d, want %d", i, r.Stable, recs[i].Stable)
+		}
+	}
+}
+
+// TestTruncatedV1Record checks the v1 decode path reports a cut record
+// the same way the v2 path does.
+func TestTruncatedV1Record(t *testing.T) {
+	full := writeV1(time.Unix(0, 0), goldenV1Records[:1])
+	_, _, err := ReadAll(bytes.NewReader(full[:len(full)-2]))
+	if err == nil {
+		t.Fatal("truncated v1 record decoded cleanly")
+	}
+}

@@ -1,0 +1,592 @@
+package wgather
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memStore is a minimal page cache backing Config.Source in tests.
+type memStore struct {
+	mu    sync.Mutex
+	files map[uint64][]byte
+}
+
+func newMemStore() *memStore { return &memStore{files: make(map[uint64][]byte)} }
+
+func (m *memStore) write(fh, off uint64, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := m.files[fh]
+	if need := off + uint64(len(data)); need > uint64(len(img)) {
+		grown := make([]byte, need)
+		copy(grown, img)
+		img = grown
+	}
+	copy(img[off:], data)
+	m.files[fh] = img
+}
+
+func (m *memStore) source(fh, off uint64, count uint32) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := m.files[fh]
+	if off >= uint64(len(img)) {
+		return nil, nil
+	}
+	end := off + uint64(count)
+	if end > uint64(len(img)) {
+		end = uint64(len(img))
+	}
+	return append([]byte(nil), img[off:end]...), nil
+}
+
+// recordingSink records every flush call (and forwards to a MemSink
+// image) so tests can assert flush counts and coalescing.
+type recordingSink struct {
+	mu      sync.Mutex
+	flushes []extent
+	img     *MemSink
+}
+
+func newRecordingSink() *recordingSink { return &recordingSink{img: NewMemSink()} }
+
+func (r *recordingSink) Flush(fh, off uint64, data []byte) error {
+	r.mu.Lock()
+	r.flushes = append(r.flushes, extent{off: off, end: off + uint64(len(data))})
+	r.mu.Unlock()
+	return r.img.Flush(fh, off, data)
+}
+
+func (r *recordingSink) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.flushes)
+}
+
+func newEngine(t *testing.T, store *memStore, cfg Config) *Engine {
+	t.Helper()
+	cfg.Source = store.source
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+	return b
+}
+
+// TestWriteThroughZeroWindow pins the degenerate configuration: with
+// Window 0 every write — even UNSTABLE — reaches the sink before Write
+// returns, advertises FILE_SYNC, and the stable image matches the page
+// cache bit for bit.
+func TestWriteThroughZeroWindow(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: 0, Sink: sink})
+
+	const writes = 16
+	for i := 0; i < writes; i++ {
+		data := pattern(100, byte(i))
+		store.write(1, uint64(i*100), data)
+		committed, err := e.Write(1, uint64(i*100), 100, Unstable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if committed != FileSync {
+			t.Fatalf("write %d: committed = %d, want FileSync", i, committed)
+		}
+	}
+	if got := sink.count(); got != writes {
+		t.Fatalf("sink flushes = %d, want %d (one per write)", got, writes)
+	}
+	if !bytes.Equal(sink.img.Bytes(1), store.files[1]) {
+		t.Fatal("stable image differs from page cache under write-through")
+	}
+	if st := e.Stats(); st.DirtyBytes != 0 || st.GatheredBytes != 0 {
+		t.Fatalf("write-through left dirty=%d gathered=%d", st.DirtyBytes, st.GatheredBytes)
+	}
+}
+
+// TestGatherCoalescesAndCommitFlushes drives sequential UNSTABLE writes
+// inside a wide window: nothing reaches the sink until COMMIT, which
+// flushes them as one coalesced extent.
+func TestGatherCoalescesAndCommitFlushes(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Minute, Sink: sink})
+
+	const writes = 32
+	for i := 0; i < writes; i++ {
+		data := pattern(512, byte(i))
+		store.write(7, uint64(i*512), data)
+		committed, err := e.Write(7, uint64(i*512), 512, Unstable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if committed != Unstable {
+			t.Fatalf("write %d: committed = %d, want Unstable", i, committed)
+		}
+	}
+	if got := sink.count(); got != 0 {
+		t.Fatalf("sink saw %d flushes before COMMIT", got)
+	}
+	if st := e.Stats(); st.DirtyBytes != writes*512 {
+		t.Fatalf("dirty = %d, want %d", st.DirtyBytes, writes*512)
+	}
+	if _, err := e.Commit(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count(); got != 1 {
+		t.Fatalf("COMMIT made %d flushes, want 1 coalesced extent", got)
+	}
+	if !bytes.Equal(sink.img.Bytes(7), store.files[7]) {
+		t.Fatal("stable image differs from page cache after COMMIT")
+	}
+	st := e.Stats()
+	if st.DirtyBytes != 0 || st.FlushedBytes != writes*512 || st.GatheredBytes != writes*512 {
+		t.Fatalf("stats after commit: %+v", st)
+	}
+}
+
+// TestOverlapAbsorption rewrites the same range repeatedly: gathered
+// bytes pile up, dirty and flushed bytes do not.
+func TestOverlapAbsorption(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Minute, Sink: sink})
+
+	const passes = 10
+	for p := 0; p < passes; p++ {
+		data := pattern(1000, byte(p))
+		store.write(3, 0, data)
+		if _, err := e.Write(3, 0, 1000, Unstable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.GatheredBytes != passes*1000 {
+		t.Fatalf("gathered = %d, want %d", st.GatheredBytes, passes*1000)
+	}
+	if st.DirtyBytes != 1000 {
+		t.Fatalf("dirty = %d, want 1000 (overlaps absorbed)", st.DirtyBytes)
+	}
+	if st.CoalescedBytes != (passes-1)*1000 {
+		t.Fatalf("coalesced = %d, want %d", st.CoalescedBytes, (passes-1)*1000)
+	}
+	if _, err := e.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.FlushedBytes != 1000 {
+		t.Fatalf("flushed = %d, want 1000", st.FlushedBytes)
+	}
+	if !bytes.Equal(sink.img.Bytes(3), store.files[3]) {
+		t.Fatal("stable image differs after overlap commit")
+	}
+}
+
+// TestExtentMerging exercises insert's merge cases directly through
+// out-of-order and overlapping writes, checking the committed image.
+func TestExtentMerging(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Minute, Sink: sink})
+
+	// Disjoint, adjacent, overlapping, containing — in shuffled order.
+	ranges := [][2]uint64{{100, 200}, {300, 400}, {200, 300}, {50, 120}, {0, 500}, {600, 700}}
+	for i, r := range ranges {
+		data := pattern(int(r[1]-r[0]), byte(i*17))
+		store.write(9, r[0], data)
+		if _, err := e.Write(9, r[0], uint32(r[1]-r[0]), Unstable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.DirtyBytes != 600 {
+		t.Fatalf("dirty = %d, want 600 ([0,500) + [600,700))", st.DirtyBytes)
+	}
+	if _, err := e.Commit(9); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count(); got != 2 {
+		t.Fatalf("flushes = %d, want 2 extents", got)
+	}
+	img := sink.img.Bytes(9)
+	want := store.files[9]
+	// Only bytes inside the dirty extents are defined in the image; the
+	// gap [500,600) was never written.
+	if !bytes.Equal(img[:500], want[:500]) || !bytes.Equal(img[600:700], want[600:700]) {
+		t.Fatal("stable image differs inside committed extents")
+	}
+}
+
+// TestSyncWriteFlushesOverlappingDirty checks a FILE_SYNC write drags
+// the dirty ranges it touches to stable storage with it, as one
+// contiguous flush.
+func TestSyncWriteFlushesOverlappingDirty(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Minute, Sink: sink})
+
+	store.write(4, 0, pattern(1000, 1))
+	if _, err := e.Write(4, 0, 1000, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	// Sync write overlapping the tail of the dirty range.
+	store.write(4, 900, pattern(200, 2))
+	committed, err := e.Write(4, 900, 200, FileSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != FileSync {
+		t.Fatalf("committed = %d, want FileSync", committed)
+	}
+	if got := sink.count(); got != 1 {
+		t.Fatalf("flushes = %d, want 1 merged flush", got)
+	}
+	if st := e.Stats(); st.DirtyBytes != 0 || st.FlushedBytes != 1100 {
+		t.Fatalf("after sync write: dirty=%d flushed=%d, want 0/1100", st.DirtyBytes, st.FlushedBytes)
+	}
+	if !bytes.Equal(sink.img.Bytes(4), store.files[4]) {
+		t.Fatal("stable image differs after sync write")
+	}
+}
+
+// TestWindowExpiryFlushes verifies the background flusher pushes dirty
+// data out once the gather window elapses, without any COMMIT.
+func TestWindowExpiryFlushes(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: 20 * time.Millisecond, Sink: sink})
+
+	store.write(5, 0, pattern(4096, 9))
+	if _, err := e.Write(5, 0, 4096, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("window expired but nothing was flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !bytes.Equal(sink.img.Bytes(5), store.files[5]) {
+		t.Fatal("stable image differs after window flush")
+	}
+	if st := e.Stats(); st.DirtyBytes != 0 {
+		t.Fatalf("dirty = %d after window flush", st.DirtyBytes)
+	}
+}
+
+// TestMaxFileBytesForcesEarlyFlush checks the per-file byte bound.
+func TestMaxFileBytesForcesEarlyFlush(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Hour, MaxFileBytes: 4096, Sink: sink})
+
+	for i := 0; i < 8; i++ {
+		store.write(6, uint64(i*1024), pattern(1024, byte(i)))
+		if _, err := e.Write(6, uint64(i*1024), 1024, Unstable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.count(); got == 0 {
+		t.Fatal("per-file bound never forced a flush")
+	}
+	if st := e.Stats(); st.MaxDirtyBytes > 4096 {
+		t.Fatalf("max dirty %d exceeded the 4096 per-file bound", st.MaxDirtyBytes)
+	}
+}
+
+// TestMaxTotalBytesForcesFlushAll checks the global memory-pressure cap.
+func TestMaxTotalBytesForcesFlushAll(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Hour, MaxFileBytes: 1 << 30, MaxTotalBytes: 8192, Sink: sink})
+
+	for fh := uint64(1); fh <= 16; fh++ {
+		store.write(fh, 0, pattern(1024, byte(fh)))
+		if _, err := e.Write(fh, 0, 1024, Unstable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.DirtyBytes >= 8192 {
+		t.Fatalf("dirty = %d, cap 8192 never enforced", st.DirtyBytes)
+	}
+	if sink.count() == 0 {
+		t.Fatal("memory pressure never flushed")
+	}
+}
+
+// TestRebootDropsDirtyAndChangesVerifier is the crash contract: dirty
+// uncommitted data never reaches the sink, and the verifier changes so
+// clients know to re-send.
+func TestRebootDropsDirtyAndChangesVerifier(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Hour, Sink: sink})
+
+	v0 := e.Verifier()
+	store.write(2, 0, pattern(2048, 5))
+	if _, err := e.Write(2, 0, 2048, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	e.Reboot()
+	if e.Verifier() == v0 {
+		t.Fatal("verifier unchanged across reboot")
+	}
+	verf, err := e.Commit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verf != e.Verifier() {
+		t.Fatal("commit returned a stale verifier")
+	}
+	if got := sink.count(); got != 0 {
+		t.Fatalf("dropped dirty data still reached the sink (%d flushes)", got)
+	}
+	if len(sink.img.Bytes(2)) != 0 {
+		t.Fatal("stable image contains data written only before the crash")
+	}
+}
+
+// TestCommitReportsAsyncSinkError pins the RFC 1813 error contract:
+// a background flush failure surfaces on the next COMMIT.
+func TestCommitReportsAsyncSinkError(t *testing.T) {
+	store := newMemStore()
+	boom := errors.New("disk on fire")
+	fail := failingSink{err: boom}
+	cfg := Config{Window: 5 * time.Millisecond, Sink: fail, Source: store.source}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	store.write(1, 0, pattern(128, 1))
+	if _, err := e.Write(1, 0, 128, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := e.Commit(1)
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("commit error = %v, want wrapped %v", err, boom)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async sink error never surfaced on COMMIT")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type failingSink struct{ err error }
+
+func (f failingSink) Flush(uint64, uint64, []byte) error { return f.err }
+
+// TestRebootClearsAsyncError pins the recovery protocol: a rebooted
+// server has no memory of the old boot's flush failures, so after the
+// verifier-change rewrite the client's COMMIT must succeed.
+func TestRebootClearsAsyncError(t *testing.T) {
+	store := newMemStore()
+	boom := errors.New("disk on fire")
+	cfg := Config{Window: 2 * time.Millisecond, Sink: failingSink{err: boom}, Source: store.source}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	store.write(1, 0, pattern(128, 1))
+	if _, err := e.Write(1, 0, 128, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := e.Commit(1); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async sink error never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Reboot()
+	if _, err := e.Commit(1); err != nil {
+		t.Fatalf("COMMIT after reboot still fails: %v", err)
+	}
+}
+
+// TestWriteAfterCloseIsWriteThrough pins Close's documented contract:
+// later writes degrade to write-through instead of parking data in a
+// queue the departed flusher will never drain.
+func TestWriteAfterCloseIsWriteThrough(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	cfg := Config{Window: time.Hour, Sink: sink, Source: store.source}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store.write(1, 0, pattern(256, 4))
+	committed, err := e.Write(1, 0, 256, Unstable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != FileSync {
+		t.Fatalf("post-Close write committed = %d, want FileSync (write-through)", committed)
+	}
+	if sink.count() != 1 {
+		t.Fatalf("post-Close write made %d flushes, want 1", sink.count())
+	}
+	if !bytes.Equal(sink.img.Bytes(1), store.files[1]) {
+		t.Fatal("post-Close write did not reach the sink")
+	}
+}
+
+// TestConcurrentWritersRace hammers the engine from many goroutines
+// (run under -race in CI): concurrent writers on shared and distinct
+// files, commits racing the background flusher, and a final commit
+// whose image must match the store.
+func TestConcurrentWritersRace(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	e := newEngine(t, store, Config{Window: time.Millisecond, Sink: sink})
+
+	const goroutines = 8
+	const writesEach = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fh := uint64(g%4 + 1) // shared across pairs of goroutines
+			for i := 0; i < writesEach; i++ {
+				off := uint64((g*writesEach + i) % 64 * 64)
+				data := pattern(64, byte(g*31+i))
+				store.write(fh, off, data)
+				if _, err := e.Write(fh, off, 64, Unstable); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 49 {
+					if _, err := e.Commit(fh); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for fh := uint64(1); fh <= 4; fh++ {
+		if _, err := e.Commit(fh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.DirtyBytes != 0 {
+		t.Fatalf("dirty = %d after final commits", st.DirtyBytes)
+	}
+}
+
+// TestCloseFlushesRemainingDirty checks orderly shutdown pushes dirty
+// data to the sink.
+func TestCloseFlushesRemainingDirty(t *testing.T) {
+	store := newMemStore()
+	sink := newRecordingSink()
+	cfg := Config{Window: time.Hour, Sink: sink, Source: store.source}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.write(1, 0, pattern(512, 3))
+	if _, err := e.Write(1, 0, 512, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.img.Bytes(1), store.files[1]) {
+		t.Fatal("Close did not flush remaining dirty data")
+	}
+}
+
+// TestSourceRequired pins the constructor contract.
+func TestSourceRequired(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config without a Source")
+	}
+}
+
+// TestThrottledSinkCharges checks the cost model sleeps.
+func TestThrottledSinkCharges(t *testing.T) {
+	inner := NewMemSink()
+	s := &ThrottledSink{Inner: inner, Latency: 10 * time.Millisecond}
+	t0 := time.Now()
+	if err := s.Flush(1, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("flush took %v, want >= 10ms", d)
+	}
+	if !bytes.Equal(inner.Bytes(1), []byte("abc")) {
+		t.Fatal("throttled sink did not forward to inner")
+	}
+}
+
+// TestStatsString smoke-checks that stability accounting by level works
+// through the three write kinds.
+func TestStabilityAccounting(t *testing.T) {
+	store := newMemStore()
+	e := newEngine(t, store, Config{Window: time.Minute})
+	store.write(1, 0, pattern(64, 0))
+	for _, s := range []uint32{Unstable, DataSync, FileSync, 99} {
+		if _, err := e.Write(1, 0, 64, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.WritesUnstable != 1 || st.WritesDataSync != 1 || st.WritesFileSync != 2 {
+		t.Fatalf("stability mix = %d/%d/%d, want 1/1/2 (unknown clamps to FILE_SYNC)",
+			st.WritesUnstable, st.WritesDataSync, st.WritesFileSync)
+	}
+}
+
+// BenchmarkGatherWrite measures the deferred-write hot path: one 8 KB
+// unstable write recorded into an existing dirty extent.
+func BenchmarkGatherWrite(b *testing.B) {
+	store := newMemStore()
+	store.write(1, 0, make([]byte, 8192))
+	cfg := Config{Window: time.Hour, MaxFileBytes: 1 << 40, MaxTotalBytes: 1 << 40,
+		Source: store.source}
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Write(1, 0, 8192, Unstable); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.DirtyBytes != 8192 {
+		b.Fatalf("dirty = %d", st.DirtyBytes)
+	}
+}

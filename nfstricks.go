@@ -18,6 +18,10 @@
 //   - Live mode: [NewLiveFS], [NewLiveService], [ServeLive] and
 //     [DialLive] run the same protocol stack over real loopback
 //     sockets.
+//   - Write path: [NewLiveServiceGather] serves UNSTABLE WRITE +
+//     COMMIT through a server-side write-gathering engine
+//     ([WriteGatherConfig]); [LiveWriteBehind] is the matching
+//     biod-style client pipeline with verifier-change recovery.
 //   - Trace capture & replay: [ServeLiveTraced] records the live
 //     server's request stream to a .nft trace file;
 //     [AnalyzeTraceFile] runs the paper's §6 analysis on it and
@@ -46,6 +50,7 @@ import (
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/testbed"
 	"nfstricks/internal/tracefile"
+	"nfstricks/internal/wgather"
 	"nfstricks/internal/workload"
 )
 
@@ -197,6 +202,9 @@ type (
 	RPCServer = rpcnet.Server
 )
 
+// LiveFH is a live-service file handle.
+type LiveFH = nfsproto.FH
+
 // LiveRootFH is the live service's root directory handle.
 const LiveRootFH = memfs.RootFH
 
@@ -222,6 +230,45 @@ func ServeLive(addr string, svc *LiveService) (*RPCServer, error) {
 func DialLive(network, addr string) (*LiveClient, error) {
 	return memfs.DialClient(network, addr)
 }
+
+// The asynchronous write path (RFC 1813's UNSTABLE WRITE + COMMIT) with
+// server-side write gathering: UNSTABLE writes land in the page cache
+// and their stable-storage flush is deferred inside a configurable
+// gather window, during which adjacent/overlapping dirty ranges
+// coalesce — the write half of the paper's server-side tricks.
+// "nfsbench -exp write-path" sweeps the gather window against a
+// throttled sink.
+type (
+	// WriteGatherConfig configures the live service's gathering engine:
+	// gather window (0 = synchronous write-through), per-file and total
+	// dirty-byte bounds, the stable-storage sink and the verifier seed.
+	WriteGatherConfig = wgather.Config
+	// WriteGatherStats counts writes by stability, commits, sink
+	// flushes and bytes gathered/coalesced/flushed.
+	WriteGatherStats = wgather.Stats
+	// StableSink is pluggable stable storage for the gathering engine.
+	StableSink = wgather.Sink
+	// MemStableSink retains flushed bytes (the observable "disk" of the
+	// crash/rewrite tests).
+	MemStableSink = wgather.MemSink
+	// ThrottledStableSink charges a latency/bandwidth cost per flush —
+	// the disk-like sink gathering wins against.
+	ThrottledStableSink = wgather.ThrottledSink
+	// LiveWriteBehind is the client-side biod-style pipeline: bounded
+	// in-flight UNSTABLE writes, COMMIT with verifier checking, and
+	// automatic rewrite after a server reboot.
+	LiveWriteBehind = memfs.WriteBehind
+)
+
+// NewLiveServiceGather is NewLiveService with an explicit write-gather
+// configuration. Close the service to stop the engine's background
+// flusher and flush remaining dirty data.
+func NewLiveServiceGather(fs *LiveFS, h Heuristic, t *NfsheurTable, cfg WriteGatherConfig) *LiveService {
+	return memfs.NewServiceGather(fs, h, t, cfg)
+}
+
+// NewMemStableSink returns an empty retaining sink.
+func NewMemStableSink() *MemStableSink { return wgather.NewMemSink() }
 
 // Trace capture & replay: record the live server's real request stream
 // to a compact on-disk trace (.nft) and replay it as a first-class

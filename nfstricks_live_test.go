@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // startLiveServer serves nFiles patterned files and returns the service
@@ -145,5 +146,107 @@ func TestLiveSharedClientPipelines(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestLiveAsyncWritePipeline drives the asynchronous write path
+// through the facade under -race: concurrent clients stream UNSTABLE
+// writes through biod-style write-behind pipelines over UDP and TCP at
+// once, COMMIT, and then every client must have observed one stable
+// write verifier and the stable-storage sink must hold exactly the
+// written bytes.
+func TestLiveAsyncWritePipeline(t *testing.T) {
+	const clients = 8
+	const fileSize = 64 * 1024
+	const chunk = 8192
+
+	fs := NewLiveFS()
+	var fhs [clients]LiveFH
+	for i := 0; i < clients; i++ {
+		fhs[i] = fs.Create(fmt.Sprintf("w%d", i), make([]byte, fileSize))
+	}
+	sink := NewMemStableSink()
+	svc := NewLiveServiceGather(fs, nil, nil, WriteGatherConfig{
+		Window: 2 * time.Millisecond,
+		Sink:   sink,
+	})
+	srv, err := ServeLive("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+
+	pattern := func(off uint64, i, n int) []byte {
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte((int(off) + j*3 + i) * 17)
+		}
+		return b
+	}
+
+	var wg sync.WaitGroup
+	verfs := make([]uint64, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		network := "udp"
+		if i%2 == 0 {
+			network = "tcp"
+		}
+		wg.Add(1)
+		go func(i int, network string) {
+			defer wg.Done()
+			errs <- func() error {
+				c, err := DialLive(network, srv.Addr())
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				wb := c.NewWriteBehind(fhs[i], 4)
+				for off := uint64(0); off < fileSize; off += chunk {
+					if err := wb.Write(off, pattern(off, i, chunk)); err != nil {
+						return fmt.Errorf("client %d: %w", i, err)
+					}
+				}
+				verf, err := wb.Commit()
+				if err != nil {
+					return fmt.Errorf("client %d commit: %w", i, err)
+				}
+				verfs[i] = verf
+				return nil
+			}()
+		}(i, network)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if verfs[i] != verfs[0] {
+			t.Fatalf("verifier not stable across clients: %x vs %x", verfs[i], verfs[0])
+		}
+	}
+	for i := 0; i < clients; i++ {
+		img := sink.Bytes(uint64(fhs[i]))
+		if len(img) < fileSize {
+			t.Fatalf("client %d: stable image %d bytes, want %d", i, len(img), fileSize)
+		}
+		for off := uint64(0); off < fileSize; off += chunk {
+			want := pattern(off, i, chunk)
+			for j, b := range want {
+				if img[int(off)+j] != b {
+					t.Fatalf("client %d: stable image corrupt at %d", i, int(off)+j)
+				}
+			}
+		}
+	}
+	ws := svc.WriteStats()
+	if want := int64(clients * fileSize / chunk); ws.WritesUnstable != want {
+		t.Fatalf("unstable writes = %d, want %d", ws.WritesUnstable, want)
+	}
+	if ws.Commits != clients {
+		t.Fatalf("commits = %d, want %d", ws.Commits, clients)
 	}
 }
