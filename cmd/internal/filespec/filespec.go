@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"nfstricks/internal/memfs"
+	"nfstricks/internal/vfs"
 )
 
 // List collects repeated -file flags (flag.Value).
@@ -33,26 +34,37 @@ func Parse(spec string) (name string, sizeMB int, err error) {
 	return name, size, nil
 }
 
-// BuildFS creates a store holding every spec'd file filled with
-// patterned data, returning the names in spec order. Empty specs
+// BuildInto creates every spec'd file, filled with patterned data, in
+// an existing backend, returning the names in spec order. Empty specs
 // default to demo=4.
-func BuildFS(specs []string) (*memfs.FS, []string, error) {
+func BuildInto(b vfs.Backend, specs []string) ([]string, error) {
 	if len(specs) == 0 {
 		specs = []string{"demo=4"}
 	}
-	fs := memfs.NewFS()
 	var names []string
 	for _, spec := range specs {
 		name, sizeMB, err := Parse(spec)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		data := make([]byte, sizeMB<<20)
 		for i := range data {
 			data[i] = byte(i * 2654435761)
 		}
-		fs.Create(name, data)
+		if b.Create(name, data) == 0 {
+			return nil, fmt.Errorf("creating %s (%d MB): backend out of space", name, sizeMB)
+		}
 		names = append(names, name)
+	}
+	return names, nil
+}
+
+// BuildFS is BuildInto on a fresh in-memory store.
+func BuildFS(specs []string) (*memfs.FS, []string, error) {
+	fs := memfs.NewFS()
+	names, err := BuildInto(fs, specs)
+	if err != nil {
+		return nil, nil, err
 	}
 	return fs, names, nil
 }

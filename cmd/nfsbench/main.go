@@ -21,12 +21,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"nfstricks/internal/bench"
 )
+
+// printExperiments writes the experiment table, one "id  title" row
+// per registered experiment plus the "all" pseudo-id.
+func printExperiments(w io.Writer) {
+	for _, e := range bench.Experiments() {
+		fmt.Fprintf(w, "  %-16s %s\n", e.ID, e.Title)
+	}
+	fmt.Fprintf(w, "  %-16s %s\n", "all", "run every experiment")
+}
 
 func main() {
 	var (
@@ -43,9 +53,7 @@ func main() {
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
-		for _, e := range bench.Experiments() {
-			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
-		}
+		printExperiments(os.Stdout)
 		if *exp == "" {
 			os.Exit(2)
 		}
@@ -60,7 +68,9 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := bench.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q (try -list)\n", id)
+				fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q\n", id)
+				fmt.Fprintln(os.Stderr, "available experiments:")
+				printExperiments(os.Stderr)
 				os.Exit(2)
 			}
 			todo = append(todo, e)

@@ -9,10 +9,18 @@
 // then read "demo" (4 MB of patterned data) with any client built on
 // internal/memfs.DialClient, e.g. examples/liveserver.
 //
+// The storage backend is pluggable: -backend mem (the default
+// in-memory store) or -backend zone, which places files at concrete
+// LBAs on a simulated zoned drive (-disk ide|scsi) behind a block
+// buffer cache (-cache-mb), so reads pay real elapsed time that
+// depends on zone placement (-zone outer|inner) and cache warmth —
+// the paper's ZCAV trap, live on the wire.
+//
 // The asynchronous write path is configured with -gather-window (0 =
 // synchronous write-through), -gather-bytes (per-file dirty bound) and
 // -sink (mem = immediate, throttled = a disk-like cost model shaped by
-// -sink-latency and -sink-mbps).
+// -sink-latency and -sink-mbps); with -backend zone, commits
+// additionally pay the simulated disk.
 //
 // With -trace out.nft every served RPC is recorded to a .nft trace file
 // (arrival time, stream, procedure, handle, offset, count, stability,
@@ -32,19 +40,27 @@ import (
 	"time"
 
 	"nfstricks/cmd/internal/filespec"
+	"nfstricks/internal/disk"
 	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/nfstrace"
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/tracefile"
+	"nfstricks/internal/vfs"
 	"nfstricks/internal/wgather"
+	"nfstricks/internal/zonefs"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:0", "address to bind (UDP and TCP)")
 		files        filespec.List
+		backendKind  = flag.String("backend", "mem", "storage backend: mem (in-memory) or zone (ZCAV disk stack)")
+		zone         = flag.String("zone", "outer", "zone backend: place files on the outer or inner quarter of the drive")
+		cacheMB      = flag.Int("cache-mb", 64, "zone backend: buffer cache size in MB")
+		diskKind     = flag.String("disk", "ide", "zone backend: drive model, ide (WD200BB) or scsi (IBM DDYS)")
 		heuristic    = flag.String("heuristic", "slowdown", "read-ahead heuristic: default, slowdown, always, cursor")
 		stats        = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 		trace        = flag.String("trace", "", "record every served RPC to this .nft trace file")
@@ -83,20 +99,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	fs, names, err := filespec.BuildFS(files)
+	var backend vfs.Backend
+	var zfs *zonefs.FS
+	switch *backendKind {
+	case "mem":
+		backend = memfs.NewFS()
+	case "zone":
+		var model *disk.Model
+		switch *diskKind {
+		case "ide":
+			model = disk.WD200BB()
+		case "scsi":
+			model = disk.IBMDDYS36950()
+		default:
+			fmt.Fprintf(os.Stderr, "nfsserve: unknown disk %q (want ide or scsi)\n", *diskKind)
+			os.Exit(2)
+		}
+		placement := zonefs.Outer
+		switch *zone {
+		case "outer":
+		case "inner":
+			placement = zonefs.Inner
+		default:
+			fmt.Fprintf(os.Stderr, "nfsserve: unknown zone %q (want outer or inner)\n", *zone)
+			os.Exit(2)
+		}
+		zfs = zonefs.New(zonefs.Config{Model: model, Placement: placement, CacheMB: *cacheMB})
+		backend = zfs
+	default:
+		fmt.Fprintf(os.Stderr, "nfsserve: unknown backend %q (want mem or zone)\n", *backendKind)
+		os.Exit(2)
+	}
+
+	names, err := filespec.BuildInto(backend, files)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
 		os.Exit(2)
 	}
 	for _, name := range names {
-		_, size, _ := fs.Lookup(name)
+		_, size, _ := backend.Lookup(name)
 		fmt.Printf("serving %s (%d MB)\n", name, size>>20)
 	}
 
-	svc := memfs.NewServiceGather(fs, h, nil, wgather.Config{
-		Window:       *gatherWindow,
-		MaxFileBytes: *gatherBytes,
-		Sink:         sink,
+	svc := nfsd.New(backend, nfsd.Config{
+		Heuristic: h,
+		Gather: wgather.Config{
+			Window:       *gatherWindow,
+			MaxFileBytes: *gatherBytes,
+			Sink:         sink,
+		},
 	})
 
 	// Optional trace capture: every served RPC is appended to the .nft
@@ -113,13 +164,17 @@ func main() {
 		tap = capt.Tap
 	}
 
-	srv, err := memfs.NewServerTap(*addr, svc, tap)
+	srv, err := nfsd.NewServerTap(*addr, svc, tap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("listening on %s (udp+tcp), program %d version %d, heuristic %s\n",
-		srv.Addr(), nfsproto.Program, nfsproto.Version3, *heuristic)
+	fmt.Printf("listening on %s (udp+tcp), program %d version %d, heuristic %s, backend %s\n",
+		srv.Addr(), nfsproto.Program, nfsproto.Version3, *heuristic, *backendKind)
+	if zfs != nil {
+		fmt.Printf("zone backend: %s, %s placement, %d MB cache\n",
+			zfs.Model().Name, zfs.Placement(), *cacheMB)
+	}
 	fmt.Printf("write path: gather-window=%v sink=%s (verifier %016x)\n",
 		*gatherWindow, *sinkKind, svc.WriteVerifier())
 	if *trace != "" {
@@ -170,6 +225,13 @@ loop:
 		ws.Commits)
 	fmt.Printf("final: gather: flushes=%d gathered=%dB coalesced=%dB flushed=%dB maxDirty=%dB\n",
 		ws.Flushes, ws.GatheredBytes, ws.CoalescedBytes, ws.FlushedBytes, ws.MaxDirtyBytes)
+	if zfs != nil {
+		zs, cs, ds := zfs.Stats(), zfs.CacheStats(), zfs.DiskStats()
+		fmt.Printf("final: zone: demandHits=%d demandMisses=%d diskTime=%v clusters=%d readAheads=%d evictions=%d\n",
+			zs.DemandHits, zs.DemandMisses, zs.DiskTime, cs.Clusters, cs.ReadAheads, cs.Evictions)
+		fmt.Printf("final: disk: commands=%d streamed=%d cacheHits=%d repositions=%d busy=%v\n",
+			ds.Commands, ds.Streamed, ds.CacheHits, ds.Repositions, ds.BusyTime)
+	}
 	if capt != nil {
 		if err := capt.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "nfsserve: trace:", err)

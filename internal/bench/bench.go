@@ -150,6 +150,7 @@ func Experiments() []Experiment {
 		{"alloc-profile", "Allocator traffic per live RPC: allocs/op and B/op by transfer size", AllocProfile},
 		{"trace-replay", "Trace capture & replay: achieved load vs replay schedule", TraceReplay},
 		{"write-path", "Asynchronous write pipeline: gather window vs synchronous writes", WritePath},
+		{"zcav-live", "Live ZCAV trap: zone placement x cache size over real RPC", ZCAVLive},
 	}
 }
 

@@ -32,6 +32,8 @@ func Verify(r *Result) []Check {
 		return verifyFig8(r)
 	case "write-path":
 		return verifyWritePath(r)
+	case "zcav-live":
+		return verifyZCAVLive(r)
 	default:
 		return nil
 	}
@@ -244,6 +246,35 @@ func verifyWritePath(r *Result) []Check {
 		"a typical pipelined unstable write is faster than a p99 synchronous one",
 		ok6 && ok7 && up50 < sp99,
 		"slow sink, 4ms window: unstable p50 %.0fµs vs filesync p99 %.0fµs", up50, sp99))
+	return out
+}
+
+func verifyZCAVLive(r *Result) []Check {
+	var out []Check
+	// x index 0 is the paper's 8 KB request size.
+	oc, ok1 := mean(r, "outer/cold", 0)
+	ic, ok2 := mean(r, "inner/cold", 0)
+	out = append(out, check(
+		"cold cache: outer-zone live READ throughput >= 1.2x inner-zone",
+		ok1 && ok2 && oc >= 1.2*ic,
+		"8K: outer %.1f vs inner %.1f MB/s (%.2fx)", oc, ic, oc/ic))
+	ow, ok3 := mean(r, "outer/warm", 0)
+	iw, ok4 := mean(r, "inner/warm", 0)
+	gap := 1.0
+	if ok3 && ok4 && ow > 0 && iw > 0 {
+		gap = (ow - iw) / ow
+		if gap < 0 {
+			gap = -gap
+		}
+	}
+	out = append(out, check(
+		"warm cache: the placement gap closes to < 5%",
+		ok3 && ok4 && gap < 0.05,
+		"8K: outer %.1f vs inner %.1f MB/s (gap %.1f%%)", ow, iw, gap*100))
+	out = append(out, check(
+		"cache warmth dominates placement (warm inner beats cold outer)",
+		ok1 && ok4 && iw > 2*oc,
+		"8K: warm inner %.1f vs cold outer %.1f MB/s", iw, oc))
 	return out
 }
 

@@ -110,23 +110,45 @@ func (c *Cache) Read(p *sim.Proc, lba int64) {
 // fetched, issuing clustered disk commands for the gaps. It never
 // blocks; safe from both processes and event callbacks.
 func (c *Cache) ReadAhead(lba int64, n int) {
+	c.FetchSpan(lba, n, 0)
+}
+
+// FetchSpan is ReadAhead over a span whose first demand blocks are
+// what the workload actually asked for: those count as hits/misses
+// (in-flight joins included) while the tail counts as speculative
+// read-ahead — but the whole span clusters together, so demand and
+// read-ahead share disk commands exactly as cluster_read would issue
+// them. It never blocks.
+func (c *Cache) FetchSpan(lba int64, n, demand int) {
 	runStart := int64(-1)
 	runLen := 0
 	flush := func() {
 		if runLen == 0 {
 			return
 		}
-		c.stats.ReadAheads += int64(runLen)
 		c.issue(runStart, runLen)
 		runStart, runLen = -1, 0
 	}
 	for i := 0; i < n; i++ {
 		b := lba + int64(i)*SectorsPerBlock
+		speculative := i >= demand
 		_, cached := c.entries[b]
 		_, fetching := c.inflight[b]
 		if cached || fetching {
+			if !speculative {
+				if cached {
+					c.stats.Hits++
+				} else {
+					c.stats.InFlight++
+				}
+			}
 			flush()
 			continue
+		}
+		if speculative {
+			c.stats.ReadAheads++
+		} else {
+			c.stats.Misses++
 		}
 		if runLen == 0 {
 			runStart = b
@@ -137,6 +159,15 @@ func (c *Cache) ReadAhead(lba int64, n int) {
 		}
 	}
 	flush()
+}
+
+// Install marks the block at lba resident without any disk traffic —
+// a dirty page entering the cache from a write system call rather than
+// a fetch. The block is subject to normal LRU eviction; durability is
+// the caller's problem (Write, or zonefs's Commit, issues the actual
+// disk command).
+func (c *Cache) Install(lba int64) {
+	c.insert(lba)
 }
 
 // Write installs the block at lba as dirty and schedules an asynchronous

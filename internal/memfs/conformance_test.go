@@ -1,0 +1,15 @@
+package memfs_test
+
+import (
+	"testing"
+
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/vfs"
+	"nfstricks/internal/vfs/vfstest"
+)
+
+// TestBackendConformance runs the shared vfs.Backend suite against the
+// in-memory store — the same contracts zonefs is held to.
+func TestBackendConformance(t *testing.T) {
+	vfstest.Run(t, func(t *testing.T) vfs.Backend { return memfs.NewFS() })
+}

@@ -1,8 +1,10 @@
-// Package memfs is an in-memory file store with an NFS v3 service
-// adapter for the live (real-socket) server. Unlike the simulator it
-// carries real data bytes, and its READ path runs the same nfsheur
-// table and sequentiality heuristics as the simulated server — so the
-// paper's algorithms can be observed over a genuine network transport.
+// Package memfs is the in-memory storage backend for the live
+// (real-socket) NFS server: a pure vfs.Backend holding real data bytes
+// with copy-on-write read views, plus the live NFS client and its
+// biod-style write-behind pipeline. The protocol work — proc dispatch,
+// nfsheur read-ahead heuristics, write gathering, tracing — lives in
+// internal/nfsd; the Service/NewService names here are thin
+// compatibility wrappers that mount an FS behind that dispatch layer.
 package memfs
 
 import (
@@ -10,29 +12,26 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/rpcnet"
-	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/vfs"
 	"nfstricks/internal/wgather"
 )
 
 // RootFH is the file handle of the root directory.
-const RootFH nfsproto.FH = 1
+const RootFH = vfs.RootFH
 
-// MaxFileSize bounds a file's length (4 GB). Write offsets come off the
-// wire, so without this cap a crafted WRITE could demand an absurd
-// allocation or overflow offset+len arithmetic into a slice-bounds
-// panic.
-const MaxFileSize = 1 << 32
+// MaxFileSize bounds a file's length (4 GB); see vfs.MaxFileSize.
+const MaxFileSize = vfs.MaxFileSize
 
 // ErrTooBig is returned by Write for offsets or lengths that would grow
 // a file past MaxFileSize.
-var ErrTooBig = errors.New("memfs: write exceeds max file size")
+var ErrTooBig = vfs.ErrTooBig
 
 // file holds one file's contents. data is treated as an immutable
 // segment: readers receive sub-slice views of it, so a write never
@@ -64,6 +63,17 @@ func NewFS() *FS {
 // Create adds a file with the given contents, replacing any previous
 // file of that name, and returns its handle.
 func (fs *FS) Create(name string, data []byte) nfsproto.FH {
+	return fs.install(name, append([]byte(nil), data...))
+}
+
+// CreateSized adds a zero-filled file of size bytes (vfs.SizedCreator)
+// — one allocation, no payload copy.
+func (fs *FS) CreateSized(name string, size uint64) nfsproto.FH {
+	return fs.install(name, make([]byte, size))
+}
+
+// install registers a file segment fs now owns under name.
+func (fs *FS) install(name string, data []byte) nfsproto.FH {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if old, ok := fs.files[name]; ok {
@@ -74,7 +84,7 @@ func (fs *FS) Create(name string, data []byte) nfsproto.FH {
 			}
 		}
 	}
-	f := &file{name: name, data: append([]byte(nil), data...)}
+	f := &file{name: name, data: data}
 	fs.files[name] = f
 	fh := fs.nextFH
 	fs.nextFH++
@@ -115,7 +125,7 @@ func (fs *FS) readAt(fh nfsproto.FH, off uint64, count uint32) (data []byte, siz
 	defer fs.mu.RUnlock()
 	f, ok := fs.byFH[fh]
 	if !ok {
-		return nil, 0, false, fmt.Errorf("memfs: stale handle %d", fh)
+		return nil, 0, false, fmt.Errorf("%w: %d", vfs.ErrStale, fh)
 	}
 	size = uint64(len(f.data))
 	if off >= size {
@@ -139,7 +149,7 @@ func (fs *FS) Write(fh nfsproto.FH, off uint64, data []byte) error {
 	defer fs.mu.Unlock()
 	f, ok := fs.byFH[fh]
 	if !ok {
-		return fmt.Errorf("memfs: stale handle %d", fh)
+		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
 	}
 	if off > MaxFileSize || uint64(len(data)) > MaxFileSize-off {
 		return fmt.Errorf("%w (off=%d len=%d)", ErrTooBig, off, len(data))
@@ -182,59 +192,78 @@ func (fs *FS) Size(fh nfsproto.FH) (int64, bool) {
 	return int64(len(f.data)), true
 }
 
-// ServiceStats counts live-service activity.
-type ServiceStats struct {
-	Reads     int64
-	BytesRead int64
-	// MaxSeqCount is the highest seqcount the heuristic produced — a
-	// live view of read-ahead confidence.
-	MaxSeqCount int
-	// Writes and BytesWritten count served WRITE RPCs (any stability);
-	// Commits counts served COMMITs. The per-stability split and the
-	// gather/flush accounting live in Service.WriteStats.
-	Writes       int64
-	BytesWritten int64
-	Commits      int64
+// The vfs.Backend surface: FS's native methods (Create, Lookup, Read,
+// Write, Size) pre-date the interface; the adapters below complete it.
+
+// nominalTotalBytes is the capacity FSSTAT advertises for the
+// unbounded in-memory store (1 TB — honest enough for clients that
+// divide by it).
+const nominalTotalBytes = 1 << 40
+
+// Getattr returns a file's current size (vfs.Backend).
+func (fs *FS) Getattr(fh nfsproto.FH) (int64, bool) { return fs.Size(fh) }
+
+// Access grants read/modify/extend on any live handle (vfs.Backend).
+func (fs *FS) Access(fh nfsproto.FH, mask uint32) (uint32, bool) {
+	if _, ok := fs.Size(fh); !ok {
+		return 0, false
+	}
+	return vfs.FileAccess(mask), true
 }
 
-// Service adapts an FS to an rpcnet.Handler speaking the NFS v3 subset,
-// running a real nfsheur table + heuristic on the READ path.
-//
-// Service is safe for concurrent use by multiple goroutines, and its
-// hot path holds no global lock: heuristic state is striped across the
-// nfsheur table's shards (one forked heuristic per shard, mutated only
-// under that shard's lock), counters are atomics, and file data is read
-// under the FS's RWMutex read lock only.
-type Service struct {
-	fs    *FS
-	table *nfsheur.Table
-	// heur has one heuristic per table shard; heur[i] is only used
-	// while shard i's lock is held, which makes stateful heuristics
-	// (cursor) race-free without any lock of their own.
-	heur []readahead.Heuristic
-	// engine is the write-gathering engine every WRITE and COMMIT
-	// routes through. The default (gather window 0, NullSink) is
-	// write-through: each write is stable before its reply, the
-	// behaviour the service had before the engine existed.
-	engine *wgather.Engine
-
-	reads        atomic.Int64
-	bytesRead    atomic.Int64
-	maxSeq       atomic.Int64
-	writes       atomic.Int64
-	bytesWritten atomic.Int64
-	commits      atomic.Int64
-	// procs counts served RPCs by procedure number (garbage-args and
-	// unknown procedures excluded).
-	procs [nfsproto.ProcCommit + 1]atomic.Int64
+// ReadAt is the vfs.Backend read: Read plus the file's current size.
+// The in-memory store has no prefetch notion, so the read-ahead hint
+// is ignored.
+func (fs *FS) ReadAt(fh nfsproto.FH, off uint64, count uint32, ahead int) (data []byte, size uint64, eof bool, err error) {
+	return fs.readAt(fh, off, count)
 }
 
-// NewService wraps fs. heuristic and table may be nil for the live
-// defaults: the paper's SlowDown heuristic over a GOMAXPROCS-sharded
-// table (nfsheur.ScaledParams). Pass an explicit table with Shards: 1
-// to reproduce the paper's single-table behaviour. The write path is
-// write-through (gather window 0); use NewServiceGather to enable the
-// asynchronous write pipeline.
+// WriteAt stores data at off (vfs.Backend).
+func (fs *FS) WriteAt(fh nfsproto.FH, off uint64, data []byte) error {
+	return fs.Write(fh, off, data)
+}
+
+// Commit is a no-op beyond handle validation: the page cache is the
+// store, so data is as durable as it ever gets the moment WriteAt
+// returns (vfs.Backend).
+func (fs *FS) Commit(fh nfsproto.FH, off uint64, count uint32) error {
+	if _, ok := fs.Size(fh); !ok {
+		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	return nil
+}
+
+// Fsstat reports a nominal 1 TB capacity less the bytes in use
+// (vfs.Backend).
+func (fs *FS) Fsstat() (total, free uint64) {
+	fs.mu.RLock()
+	var used uint64
+	for _, f := range fs.files {
+		used += uint64(len(f.data))
+	}
+	fs.mu.RUnlock()
+	total = nominalTotalBytes
+	if used > total {
+		return total, 0
+	}
+	return total, total - used
+}
+
+// Service is the live NFS service; it lives in internal/nfsd and is
+// aliased here for the packages that grew up against the memfs-hosted
+// dispatch.
+type Service = nfsd.Service
+
+// ServiceStats counts live-service activity (alias of nfsd.Stats).
+type ServiceStats = nfsd.Stats
+
+// NewService mounts fs behind the nfsd dispatch layer. heuristic and
+// table may be nil for the live defaults: the paper's SlowDown
+// heuristic over a GOMAXPROCS-sharded table (nfsheur.ScaledParams).
+// Pass an explicit table with Shards: 1 to reproduce the paper's
+// single-table behaviour. The write path is write-through (gather
+// window 0); use NewServiceGather to enable the asynchronous write
+// pipeline.
 func NewService(fs *FS, heuristic readahead.Heuristic, table *nfsheur.Table) *Service {
 	return NewServiceGather(fs, heuristic, table, wgather.Config{})
 }
@@ -245,294 +274,18 @@ func NewService(fs *FS, heuristic readahead.Heuristic, table *nfsheur.Table) *Se
 // Close the service to stop the engine's background flusher and flush
 // remaining dirty data.
 func NewServiceGather(fs *FS, heuristic readahead.Heuristic, table *nfsheur.Table, cfg wgather.Config) *Service {
-	if heuristic == nil {
-		heuristic = readahead.SlowDown{}
-	}
-	if table == nil {
-		table = nfsheur.New(nfsheur.ScaledParams())
-	}
-	cfg.Source = func(fh, off uint64, count uint32) ([]byte, error) {
-		data, _, err := fs.Read(nfsproto.FH(fh), off, count)
-		return data, err
-	}
-	engine, err := wgather.New(cfg)
-	if err != nil {
-		// Source is set above; Config has no other invalid states.
-		panic(err)
-	}
-	// ForkN gives every shard its own instance (or a safely shared
-	// one), so the service never races on the caller's heuristic.
-	return &Service{fs: fs, table: table,
-		heur:   readahead.ForkN(heuristic, table.ShardCount()),
-		engine: engine}
-}
-
-// Table exposes the service's nfsheur table (for instrumentation).
-func (s *Service) Table() *nfsheur.Table { return s.table }
-
-// WriteStats exposes the write-gathering engine's counters: writes by
-// stability, commits, sink flushes, bytes gathered vs coalesced vs
-// flushed.
-func (s *Service) WriteStats() wgather.Stats { return s.engine.Stats() }
-
-// WriteVerifier returns the server's current write verifier.
-func (s *Service) WriteVerifier() uint64 { return s.engine.Verifier() }
-
-// Reboot simulates a server crash/restart on the write path: dirty
-// uncommitted data is dropped and the write verifier changes, so
-// clients holding unstable writes must detect the new verifier and
-// re-send (the scenario WriteBehind recovers from).
-func (s *Service) Reboot() { s.engine.Reboot() }
-
-// Flush pushes all dirty data to the stable-storage sink without
-// changing the verifier (an orderly sync).
-func (s *Service) Flush() error { return s.engine.FlushAll() }
-
-// Close stops the gathering engine, flushing remaining dirty data.
-func (s *Service) Close() error { return s.engine.Close() }
-
-// ProcCounts returns served-RPC counts indexed by procedure number.
-func (s *Service) ProcCounts() []int64 {
-	out := make([]int64, len(s.procs))
-	for i := range s.procs {
-		out[i] = s.procs[i].Load()
-	}
-	return out
-}
-
-// Stats returns a snapshot of the counters. The counters are
-// independent atomics (the READ path takes no common lock), so a
-// snapshot taken while requests are in flight may be torn by up to a
-// request's worth of updates — e.g. Reads incremented before that
-// request's bytes land in BytesRead. Quiesce the service for exact
-// cross-counter arithmetic.
-func (s *Service) Stats() ServiceStats {
-	return ServiceStats{
-		Reads:        s.reads.Load(),
-		BytesRead:    s.bytesRead.Load(),
-		MaxSeqCount:  int(s.maxSeq.Load()),
-		Writes:       s.writes.Load(),
-		BytesWritten: s.bytesWritten.Load(),
-		Commits:      s.commits.Load(),
-	}
-}
-
-// countProc tallies one served RPC for ProcCounts.
-func (s *Service) countProc(proc uint32) {
-	if proc < uint32(len(s.procs)) {
-		s.procs[proc].Add(1)
-	}
-}
-
-// Handler returns the rpcnet handler for the NFS program. Results are
-// appended straight into the server's pooled reply buffer; on the READ
-// path the payload is a copy-on-write view of the file segment, so the
-// append is the single payload copy between storage and the socket.
-func (s *Service) Handler() rpcnet.Handler {
-	return func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
-		out, stat := s.dispatch(proc, body, reply)
-		if stat == sunrpc.AcceptSuccess {
-			// Served RPCs only: garbage args and unknown procedures are
-			// rejected above the NFS layer and stay out of ProcCounts.
-			s.countProc(proc)
-		}
-		return out, stat
-	}
-}
-
-func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
-	switch proc {
-	case nfsproto.ProcNull:
-		return reply, sunrpc.AcceptSuccess
-	case nfsproto.ProcLookup:
-		return s.lookup(body, reply)
-	case nfsproto.ProcRead:
-		return s.read(body, reply)
-	case nfsproto.ProcWrite:
-		return s.write(body, reply)
-	case nfsproto.ProcCommit:
-		return s.commit(body, reply)
-	case nfsproto.ProcGetattr:
-		return s.getattr(body, reply)
-	default:
-		return reply, sunrpc.AcceptProcUnavail
-	}
-}
-
-func (s *Service) lookup(body, reply []byte) ([]byte, uint32) {
-	args, err := nfsproto.UnmarshalLookupArgs(body)
-	if err != nil {
-		return reply, sunrpc.AcceptGarbageArgs
-	}
-	if args.Dir != RootFH {
-		res := nfsproto.LookupRes{Status: nfsproto.ErrStale}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	fh, size, ok := s.fs.Lookup(args.Name)
-	if !ok {
-		res := nfsproto.LookupRes{Status: nfsproto.ErrNoEnt}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	res := nfsproto.LookupRes{
-		Status: nfsproto.OK, FH: fh,
-		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: uint64(size), Used: uint64(size), FileID: uint64(fh)},
-	}
-	return res.AppendTo(reply), sunrpc.AcceptSuccess
-}
-
-func (s *Service) read(body, reply []byte) ([]byte, uint32) {
-	args, err := nfsproto.UnmarshalReadArgs(body)
-	if err != nil {
-		return reply, sunrpc.AcceptGarbageArgs
-	}
-	if args.Count > nfsproto.MaxData {
-		args.Count = nfsproto.MaxData
-	}
-	if args.FH == 0 {
-		// The nfsheur table panics on handle 0; a crafted packet must
-		// get a stale-handle error, not crash the server.
-		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-
-	// The paper's code path: nfsheur lookup + heuristic update. The
-	// seqcount would size read-ahead on a disk-backed server; here it
-	// is surfaced through stats. Only the handle's shard is locked, so
-	// reads of distinct files proceed in parallel.
-	var seq int
-	s.table.Update(uint64(args.FH), func(shard int, e *nfsheur.Entry, found bool) {
-		seq = s.heur[shard].Update(&e.State, args.Offset, uint64(args.Count))
-	})
-	for {
-		cur := s.maxSeq.Load()
-		if int64(seq) <= cur || s.maxSeq.CompareAndSwap(cur, int64(seq)) {
-			break
-		}
-	}
-	s.reads.Add(1)
-
-	data, size, eof, err := s.fs.readAt(args.FH, args.Offset, args.Count)
-	if err != nil {
-		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	s.bytesRead.Add(int64(len(data)))
-	res := nfsproto.ReadRes{
-		Status: nfsproto.OK,
-		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: size, Used: size, FileID: uint64(args.FH)},
-		Count: uint32(len(data)), EOF: eof, Data: data,
-	}
-	return res.AppendTo(reply), sunrpc.AcceptSuccess
-}
-
-// write applies the data to the page cache (the FS), then routes the
-// stability decision through the gathering engine: UNSTABLE writes are
-// deferred inside the gather window, DATA_SYNC/FILE_SYNC writes (and
-// every write when the window is 0) are flushed to the sink before the
-// reply. The reply's Committed reports what the server achieved and
-// Verf carries the write verifier clients compare across a COMMIT.
-func (s *Service) write(body, reply []byte) ([]byte, uint32) {
-	args, err := nfsproto.UnmarshalWriteArgs(body)
-	if err != nil {
-		return reply, sunrpc.AcceptGarbageArgs
-	}
-	if err := s.fs.Write(args.FH, args.Offset, args.Data); err != nil {
-		status := uint32(nfsproto.ErrStale)
-		if errors.Is(err, ErrTooBig) {
-			status = nfsproto.ErrFBig
-		}
-		res := nfsproto.WriteRes{Status: status}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	committed, werr := s.engine.Write(uint64(args.FH), args.Offset, uint32(len(args.Data)), args.Stable)
-	if werr != nil {
-		res := nfsproto.WriteRes{Status: nfsproto.ErrIO}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	s.writes.Add(1)
-	s.bytesWritten.Add(int64(len(args.Data)))
-	size, _ := s.fs.Size(args.FH)
-	res := nfsproto.WriteRes{
-		Status: nfsproto.OK,
-		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)},
-		Count: uint32(len(args.Data)), Committed: committed,
-		Verf: s.engine.Verifier(),
-	}
-	return res.AppendTo(reply), sunrpc.AcceptSuccess
-}
-
-// commit serves COMMIT: every dirty extent of the file is flushed to
-// the stable-storage sink (the whole file — a server may commit more
-// than the requested range, never less), and the reply carries the
-// write verifier. Asynchronous flush errors surface here as ErrIO, per
-// RFC 1813.
-func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
-	args, err := nfsproto.UnmarshalCommitArgs(body)
-	if err != nil {
-		return reply, sunrpc.AcceptGarbageArgs
-	}
-	size, ok := s.fs.Size(args.FH)
-	if !ok {
-		res := nfsproto.CommitRes{Status: nfsproto.ErrStale}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	verf, cerr := s.engine.Commit(uint64(args.FH))
-	if cerr != nil {
-		res := nfsproto.CommitRes{Status: nfsproto.ErrIO}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	s.commits.Add(1)
-	res := nfsproto.CommitRes{
-		Status: nfsproto.OK,
-		Attrs: &nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)},
-		Verf: verf,
-	}
-	return res.AppendTo(reply), sunrpc.AcceptSuccess
-}
-
-func (s *Service) getattr(body, reply []byte) ([]byte, uint32) {
-	args, err := nfsproto.UnmarshalGetattrArgs(body)
-	if err != nil {
-		return reply, sunrpc.AcceptGarbageArgs
-	}
-	if args.FH == RootFH {
-		res := nfsproto.GetattrRes{Status: nfsproto.OK,
-			Attrs: nfsproto.Fattr{Type: nfsproto.TypeDir, Mode: 0755, Nlink: 2,
-				FileID: uint64(RootFH)}}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	size, ok := s.fs.Size(args.FH)
-	if !ok {
-		res := nfsproto.GetattrRes{Status: nfsproto.ErrStale}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	res := nfsproto.GetattrRes{Status: nfsproto.OK,
-		Attrs: nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
-			Size: uint64(size), Used: uint64(size), FileID: uint64(args.FH)}}
-	return res.AppendTo(reply), sunrpc.AcceptSuccess
+	return nfsd.New(fs, nfsd.Config{Heuristic: heuristic, Table: table, Gather: cfg})
 }
 
 // NewServer binds addr and serves svc over real UDP and TCP sockets.
 func NewServer(addr string, svc *Service) (*rpcnet.Server, error) {
-	return NewServerTap(addr, svc, nil)
+	return nfsd.NewServer(addr, svc)
 }
 
 // NewServerTap is NewServer with a capture tap observing every served
-// RPC (nil tap = NewServer). Pair it with nfstrace.Capture to record
-// live request streams to a .nft trace file:
-//
-//	w, _ := tracefile.Create("out.nft", time.Now())
-//	cap := nfstrace.NewCapture(w)
-//	srv, _ := memfs.NewServerTap(addr, svc, cap.Tap)
-//
-// The tap adds one pointer check per request when nil and one record
-// append (no payload copy) when capturing.
+// RPC (nil tap = NewServer); see nfsd.NewServerTap.
 func NewServerTap(addr string, svc *Service, tap rpcnet.Tap) (*rpcnet.Server, error) {
-	return rpcnet.NewServerTap(addr, nfsproto.Program, nfsproto.Version3, svc.Handler(), tap)
+	return nfsd.NewServerTap(addr, svc, tap)
 }
 
 // Client is a minimal NFS client over rpcnet for the live service.
@@ -648,6 +401,59 @@ func (c *Client) Commit(fh nfsproto.FH, off uint64, count uint32) (verf uint64, 
 		return 0, fmt.Errorf("memfs: commit: status %d", res.Status)
 	}
 	return res.Verf, nil
+}
+
+// Access asks the server which of the mask's ACCESS3 bits it grants
+// on fh.
+func (c *Client) Access(fh nfsproto.FH, mask uint32) (granted uint32, err error) {
+	body, err := c.rpc.Call(nfsproto.ProcAccess,
+		(&nfsproto.AccessArgs{FH: fh, Access: mask}).Marshal())
+	if err != nil {
+		return 0, err
+	}
+	res, err := nfsproto.UnmarshalAccessRes(body)
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != nfsproto.OK {
+		return 0, fmt.Errorf("memfs: access: status %d", res.Status)
+	}
+	return res.Access, nil
+}
+
+// Fsstat fetches the server's total and free capacity in bytes.
+func (c *Client) Fsstat(fh nfsproto.FH) (total, free uint64, err error) {
+	body, err := c.rpc.Call(nfsproto.ProcFsstat,
+		(&nfsproto.FsstatArgs{FH: fh}).Marshal())
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := nfsproto.UnmarshalFsstatRes(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if res.Status != nfsproto.OK {
+		return 0, 0, fmt.Errorf("memfs: fsstat: status %d", res.Status)
+	}
+	return res.Tbytes, res.Fbytes, nil
+}
+
+// Create makes a zero-filled file of the given size under the root and
+// returns its handle.
+func (c *Client) Create(name string, size uint64) (nfsproto.FH, error) {
+	body, err := c.rpc.Call(nfsproto.ProcCreate,
+		(&nfsproto.CreateArgs{Dir: RootFH, Name: name, Size: size}).Marshal())
+	if err != nil {
+		return 0, err
+	}
+	res, err := nfsproto.UnmarshalCreateRes(body)
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != nfsproto.OK {
+		return 0, fmt.Errorf("memfs: create %q: status %d", name, res.Status)
+	}
+	return res.FH, nil
 }
 
 // writeBehindTimeout bounds each reply wait inside WriteBehind; an

@@ -1,0 +1,513 @@
+// Package nfsd is the backend-agnostic live NFS dispatch layer: it
+// owns the procedure switch, per-procedure counters, the nfsheur
+// read-ahead table and its per-shard heuristics, the write-gathering
+// engine, and the capture-tap server wiring — everything between the
+// RPC transport (rpcnet) and a storage backend (vfs.Backend). Any
+// backend mounted behind it gets write gathering, tracing, stats and
+// heuristic-driven read-ahead for free; internal/memfs provides the
+// in-memory backend, internal/zonefs the ZCAV disk-backed one.
+//
+// The hot path holds no global lock: heuristic state is striped across
+// the nfsheur table's shards (one forked heuristic per shard, mutated
+// only under that shard's lock), counters are atomics, and file data
+// access is whatever the backend does (memfs reads under an RWMutex
+// read lock only).
+package nfsd
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"nfstricks/internal/nfsheur"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/readahead"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/vfs"
+	"nfstricks/internal/wgather"
+)
+
+// DefaultMaxReadAhead caps the per-READ read-ahead window the
+// heuristic may request, in blocks (32 blocks = 256 KB, the simulated
+// server's default).
+const DefaultMaxReadAhead = 32
+
+// Config assembles a Service. The zero value is the live default:
+// SlowDown heuristic, GOMAXPROCS-sharded nfsheur table, synchronous
+// write-through (gather window 0) with durability delegated to the
+// backend's Commit.
+type Config struct {
+	// Heuristic computes per-READ seqcounts (nil = readahead.SlowDown).
+	Heuristic readahead.Heuristic
+	// Table is the nfsheur table (nil = nfsheur.ScaledParams; pass
+	// Shards: 1 to reproduce the paper's single-table behaviour).
+	Table *nfsheur.Table
+	// Gather configures the write-gathering engine (window, byte
+	// bounds, sink, verifier seed). Gather.Source is always the
+	// backend — any caller value is ignored. Gather.Sink, when set,
+	// observes every flush before the backend's Commit is charged.
+	Gather wgather.Config
+	// MaxReadAhead caps the heuristic's read-ahead window in blocks
+	// (0 = DefaultMaxReadAhead).
+	MaxReadAhead int
+}
+
+// Stats counts live-service activity.
+type Stats struct {
+	Reads     int64
+	BytesRead int64
+	// MaxSeqCount is the highest seqcount the heuristic produced — a
+	// live view of read-ahead confidence.
+	MaxSeqCount int
+	// Writes and BytesWritten count served WRITE RPCs (any stability);
+	// Commits counts served COMMITs. The per-stability split and the
+	// gather/flush accounting live in Service.WriteStats.
+	Writes       int64
+	BytesWritten int64
+	Commits      int64
+}
+
+// Service adapts a vfs.Backend to an rpcnet.Handler speaking the NFS
+// v3 subset, running a real nfsheur table + heuristic on the READ path
+// and the write-gathering engine on the WRITE path. Safe for
+// concurrent use by multiple goroutines.
+type Service struct {
+	b     vfs.Backend
+	table *nfsheur.Table
+	// heur has one heuristic per table shard; heur[i] is only used
+	// while shard i's lock is held, which makes stateful heuristics
+	// (cursor) race-free without any lock of their own.
+	heur []readahead.Heuristic
+	// engine is the write-gathering engine every WRITE and COMMIT
+	// routes through. The default (gather window 0) is write-through:
+	// each write is durable before its reply, the behaviour the live
+	// service had before the engine existed.
+	engine   *wgather.Engine
+	maxAhead int
+
+	reads        atomic.Int64
+	bytesRead    atomic.Int64
+	maxSeq       atomic.Int64
+	writes       atomic.Int64
+	bytesWritten atomic.Int64
+	commits      atomic.Int64
+	// procs counts served RPCs by procedure number (garbage-args and
+	// unknown procedures excluded).
+	procs [nfsproto.ProcCommit + 1]atomic.Int64
+}
+
+// backendSink routes the gathering engine's flushes into the backend's
+// durability path: the optional observer sink (Config.Gather.Sink)
+// sees the bytes first, then the backend's Commit is charged for the
+// range. For memfs Commit is free; for zonefs it is the disk.
+type backendSink struct {
+	b     vfs.Backend
+	inner wgather.Sink
+}
+
+func (s backendSink) Flush(fh uint64, off uint64, data []byte) error {
+	if s.inner != nil {
+		if err := s.inner.Flush(fh, off, data); err != nil {
+			return err
+		}
+	}
+	return s.b.Commit(nfsproto.FH(fh), off, uint32(len(data)))
+}
+
+// New wraps backend b in a Service.
+func New(b vfs.Backend, cfg Config) *Service {
+	if cfg.Heuristic == nil {
+		cfg.Heuristic = readahead.SlowDown{}
+	}
+	if cfg.Table == nil {
+		cfg.Table = nfsheur.New(nfsheur.ScaledParams())
+	}
+	if cfg.MaxReadAhead <= 0 {
+		cfg.MaxReadAhead = DefaultMaxReadAhead
+	}
+	gcfg := cfg.Gather
+	gcfg.Source = func(fh, off uint64, count uint32) ([]byte, error) {
+		data, _, _, err := b.ReadAt(nfsproto.FH(fh), off, count, 0)
+		if errors.Is(err, vfs.ErrStale) {
+			// The file vanished between the write and its flush (a
+			// CREATE replaced it): nothing left to persist. Empty data
+			// tells the engine to skip the extent rather than latch a
+			// sticky asynchronous error.
+			return nil, nil
+		}
+		return data, err
+	}
+	gcfg.Sink = backendSink{b: b, inner: cfg.Gather.Sink}
+	engine, err := wgather.New(gcfg)
+	if err != nil {
+		// Source and Sink are set above; Config has no other invalid
+		// states.
+		panic(err)
+	}
+	// ForkN gives every shard its own heuristic instance (or a safely
+	// shared one), so the service never races on the caller's value.
+	return &Service{
+		b:        b,
+		table:    cfg.Table,
+		heur:     readahead.ForkN(cfg.Heuristic, cfg.Table.ShardCount()),
+		engine:   engine,
+		maxAhead: cfg.MaxReadAhead,
+	}
+}
+
+// Backend exposes the mounted storage backend.
+func (s *Service) Backend() vfs.Backend { return s.b }
+
+// Table exposes the service's nfsheur table (for instrumentation).
+func (s *Service) Table() *nfsheur.Table { return s.table }
+
+// WriteStats exposes the write-gathering engine's counters: writes by
+// stability, commits, sink flushes, bytes gathered vs coalesced vs
+// flushed.
+func (s *Service) WriteStats() wgather.Stats { return s.engine.Stats() }
+
+// WriteVerifier returns the server's current write verifier.
+func (s *Service) WriteVerifier() uint64 { return s.engine.Verifier() }
+
+// Reboot simulates a server crash/restart on the write path: dirty
+// uncommitted data is dropped and the write verifier changes, so
+// clients holding unstable writes must detect the new verifier and
+// re-send. File handles remain valid across a Reboot (NFS FHs survive
+// server restarts by design).
+func (s *Service) Reboot() { s.engine.Reboot() }
+
+// Flush pushes all dirty data through to the backend without changing
+// the verifier (an orderly sync).
+func (s *Service) Flush() error { return s.engine.FlushAll() }
+
+// Close stops the gathering engine, flushing remaining dirty data.
+func (s *Service) Close() error { return s.engine.Close() }
+
+// ProcCounts returns served-RPC counts indexed by procedure number.
+func (s *Service) ProcCounts() []int64 {
+	out := make([]int64, len(s.procs))
+	for i := range s.procs {
+		out[i] = s.procs[i].Load()
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters. The counters are
+// independent atomics (the READ path takes no common lock), so a
+// snapshot taken while requests are in flight may be torn by up to a
+// request's worth of updates. Quiesce the service for exact
+// cross-counter arithmetic.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Reads:        s.reads.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		MaxSeqCount:  int(s.maxSeq.Load()),
+		Writes:       s.writes.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Commits:      s.commits.Load(),
+	}
+}
+
+// countProc tallies one served RPC for ProcCounts.
+func (s *Service) countProc(proc uint32) {
+	if proc < uint32(len(s.procs)) {
+		s.procs[proc].Add(1)
+	}
+}
+
+// Handler returns the rpcnet handler for the NFS program. Results are
+// appended straight into the server's pooled reply buffer; on the READ
+// path the payload is a copy-on-write view of the file segment, so the
+// append is the single payload copy between storage and the socket.
+func (s *Service) Handler() rpcnet.Handler {
+	return func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
+		out, stat := s.dispatch(proc, body, reply)
+		if stat == sunrpc.AcceptSuccess {
+			// Served RPCs only: garbage args and unknown procedures are
+			// rejected above the NFS layer and stay out of ProcCounts.
+			s.countProc(proc)
+		}
+		return out, stat
+	}
+}
+
+func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
+	switch proc {
+	case nfsproto.ProcNull:
+		return reply, sunrpc.AcceptSuccess
+	case nfsproto.ProcLookup:
+		return s.lookup(body, reply)
+	case nfsproto.ProcAccess:
+		return s.access(body, reply)
+	case nfsproto.ProcRead:
+		return s.read(body, reply)
+	case nfsproto.ProcWrite:
+		return s.write(body, reply)
+	case nfsproto.ProcCreate:
+		return s.create(body, reply)
+	case nfsproto.ProcCommit:
+		return s.commit(body, reply)
+	case nfsproto.ProcGetattr:
+		return s.getattr(body, reply)
+	case nfsproto.ProcFsstat:
+		return s.fsstat(body, reply)
+	default:
+		return reply, sunrpc.AcceptProcUnavail
+	}
+}
+
+// fileAttrs fills the regular-file attribute block every reply
+// carries.
+func fileAttrs(fh nfsproto.FH, size uint64) nfsproto.Fattr {
+	return nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
+		Size: size, Used: size, FileID: uint64(fh)}
+}
+
+func rootAttrs() nfsproto.Fattr {
+	return nfsproto.Fattr{Type: nfsproto.TypeDir, Mode: 0755, Nlink: 2,
+		FileID: uint64(vfs.RootFH)}
+}
+
+func (s *Service) lookup(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalLookupArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if args.Dir != vfs.RootFH {
+		res := nfsproto.LookupRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	fh, size, ok := s.b.Lookup(args.Name)
+	if !ok {
+		res := nfsproto.LookupRes{Status: nfsproto.ErrNoEnt}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	attrs := fileAttrs(fh, uint64(size))
+	res := nfsproto.LookupRes{Status: nfsproto.OK, FH: fh, Attrs: &attrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// access serves ACCESS: the root grants lookup/read, files grant
+// whatever the backend reports (read/modify/extend for the current
+// backends). Clients probe this before their first I/O on a handle.
+func (s *Service) access(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalAccessArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if args.FH == vfs.RootFH {
+		attrs := rootAttrs()
+		res := nfsproto.AccessRes{Status: nfsproto.OK, Attrs: &attrs,
+			Access: vfs.RootAccess(args.Access)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	granted, ok := s.b.Access(args.FH, args.Access)
+	if !ok {
+		res := nfsproto.AccessRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	size, _ := s.b.Getattr(args.FH)
+	attrs := fileAttrs(args.FH, uint64(size))
+	res := nfsproto.AccessRes{Status: nfsproto.OK, Attrs: &attrs, Access: granted}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+func (s *Service) read(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalReadArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if args.Count > nfsproto.MaxData {
+		args.Count = nfsproto.MaxData
+	}
+	if args.FH == 0 {
+		// The nfsheur table panics on handle 0; a crafted packet must
+		// get a stale-handle error, not crash the server.
+		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+
+	// The paper's code path: nfsheur lookup + heuristic update. The
+	// seqcount sizes the read-ahead window handed to the backend (the
+	// disk-backed backend turns it into clustered prefetch; memfs
+	// ignores it). Only the handle's shard is locked, so reads of
+	// distinct files proceed in parallel.
+	var seq int
+	s.table.Update(uint64(args.FH), func(shard int, e *nfsheur.Entry, found bool) {
+		seq = s.heur[shard].Update(&e.State, args.Offset, uint64(args.Count))
+	})
+	for {
+		cur := s.maxSeq.Load()
+		if int64(seq) <= cur || s.maxSeq.CompareAndSwap(cur, int64(seq)) {
+			break
+		}
+	}
+	s.reads.Add(1)
+
+	ahead := readahead.Window(seq, s.maxAhead)
+	data, size, eof, err := s.b.ReadAt(args.FH, args.Offset, args.Count, ahead)
+	if err != nil {
+		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	s.bytesRead.Add(int64(len(data)))
+	attrs := fileAttrs(args.FH, size)
+	res := nfsproto.ReadRes{Status: nfsproto.OK, Attrs: &attrs,
+		Count: uint32(len(data)), EOF: eof, Data: data}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// write applies the data to the backend's page cache, then routes the
+// stability decision through the gathering engine: UNSTABLE writes are
+// deferred inside the gather window, DATA_SYNC/FILE_SYNC writes (and
+// every write when the window is 0) are made durable before the
+// reply. The reply's Committed reports what the server achieved and
+// Verf carries the write verifier clients compare across a COMMIT.
+func (s *Service) write(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalWriteArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if err := s.b.WriteAt(args.FH, args.Offset, args.Data); err != nil {
+		status := uint32(nfsproto.ErrStale)
+		switch {
+		case errors.Is(err, vfs.ErrTooBig):
+			status = nfsproto.ErrFBig
+		case errors.Is(err, vfs.ErrNoSpace):
+			status = nfsproto.ErrNoSpc
+		}
+		res := nfsproto.WriteRes{Status: status}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	committed, werr := s.engine.Write(uint64(args.FH), args.Offset, uint32(len(args.Data)), args.Stable)
+	if werr != nil {
+		res := nfsproto.WriteRes{Status: nfsproto.ErrIO}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(args.Data)))
+	size, _ := s.b.Getattr(args.FH)
+	attrs := fileAttrs(args.FH, uint64(size))
+	res := nfsproto.WriteRes{Status: nfsproto.OK, Attrs: &attrs,
+		Count: uint32(len(args.Data)), Committed: committed,
+		Verf: s.engine.Verifier()}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// create serves CREATE under the root: a named file of the requested
+// initial size (zero-filled), replacing any existing file of that
+// name.
+func (s *Service) create(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalCreateArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if args.Dir != vfs.RootFH {
+		res := nfsproto.CreateRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	if args.Size > vfs.MaxCreateSize {
+		res := nfsproto.CreateRes{Status: nfsproto.ErrFBig}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	// Replacing a file orphans its handle; drop any dirty extents the
+	// gather engine still tracks for it, or a deferred flush would hit
+	// a stale handle and latch a permanent async error.
+	if old, _, ok := s.b.Lookup(args.Name); ok {
+		s.engine.Forget(uint64(old))
+	}
+	var fh nfsproto.FH
+	if sc, ok := s.b.(vfs.SizedCreator); ok {
+		fh = sc.CreateSized(args.Name, args.Size)
+	} else {
+		fh = s.b.Create(args.Name, make([]byte, args.Size))
+	}
+	if fh == 0 {
+		res := nfsproto.CreateRes{Status: nfsproto.ErrNoSpc}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	attrs := fileAttrs(fh, args.Size)
+	res := nfsproto.CreateRes{Status: nfsproto.OK, FH: fh, Attrs: &attrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// commit serves COMMIT: every dirty extent of the file is flushed
+// through the backend (the whole file — a server may commit more than
+// the requested range, never less), and the reply carries the write
+// verifier. Asynchronous flush errors surface here as ErrIO, per RFC
+// 1813.
+func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalCommitArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	size, ok := s.b.Getattr(args.FH)
+	if !ok {
+		res := nfsproto.CommitRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	verf, cerr := s.engine.Commit(uint64(args.FH))
+	if cerr != nil {
+		res := nfsproto.CommitRes{Status: nfsproto.ErrIO}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	s.commits.Add(1)
+	attrs := fileAttrs(args.FH, uint64(size))
+	res := nfsproto.CommitRes{Status: nfsproto.OK, Attrs: &attrs, Verf: verf}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+func (s *Service) getattr(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalGetattrArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if args.FH == vfs.RootFH {
+		res := nfsproto.GetattrRes{Status: nfsproto.OK, Attrs: rootAttrs()}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	size, ok := s.b.Getattr(args.FH)
+	if !ok {
+		res := nfsproto.GetattrRes{Status: nfsproto.ErrStale}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	res := nfsproto.GetattrRes{Status: nfsproto.OK, Attrs: fileAttrs(args.FH, uint64(size))}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// fsstat serves FSSTAT from the backend's space accounting. Any valid
+// handle (the root included) names the one file system.
+func (s *Service) fsstat(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalFsstatArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if args.FH != vfs.RootFH {
+		if _, ok := s.b.Getattr(args.FH); !ok {
+			res := nfsproto.FsstatRes{Status: nfsproto.ErrStale}
+			return res.AppendTo(reply), sunrpc.AcceptSuccess
+		}
+	}
+	total, free := s.b.Fsstat()
+	res := nfsproto.FsstatRes{Status: nfsproto.OK, Tbytes: total, Fbytes: free}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// NewServer binds addr and serves svc over real UDP and TCP sockets.
+func NewServer(addr string, svc *Service) (*rpcnet.Server, error) {
+	return NewServerTap(addr, svc, nil)
+}
+
+// NewServerTap is NewServer with a capture tap observing every served
+// RPC (nil tap = NewServer). Pair it with nfstrace.Capture to record
+// live request streams to a .nft trace file:
+//
+//	w, _ := tracefile.Create("out.nft", time.Now())
+//	cap := nfstrace.NewCapture(w)
+//	srv, _ := nfsd.NewServerTap(addr, svc, cap.Tap)
+//
+// The tap adds one pointer check per request when nil and one record
+// append (no payload copy) when capturing.
+func NewServerTap(addr string, svc *Service, tap rpcnet.Tap) (*rpcnet.Server, error) {
+	return rpcnet.NewServerTap(addr, nfsproto.Program, nfsproto.Version3, svc.Handler(), tap)
+}

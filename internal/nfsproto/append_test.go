@@ -56,6 +56,7 @@ func appendCases() []struct {
 		{"CreateArgs", &CreateArgs{Dir: 1, Name: "new", Size: 1 << 20}},
 		{"CreateRes", &CreateRes{Status: OK, FH: 44, Attrs: attrs}},
 		{"CreateRes/err", &CreateRes{Status: ErrExist}},
+		{"FsstatArgs", &FsstatArgs{FH: 1}},
 		{"FsstatRes", &FsstatRes{Status: OK, Tbytes: 1 << 30, Fbytes: 1 << 29}},
 		{"FsstatRes/err", &FsstatRes{Status: ErrIO}},
 	}

@@ -50,6 +50,16 @@ const (
 	ErrStale = 70
 )
 
+// ACCESS3 permission bits (RFC 1813 §3.3.4).
+const (
+	AccessRead    = 0x0001
+	AccessLookup  = 0x0002
+	AccessModify  = 0x0004
+	AccessExtend  = 0x0008
+	AccessDelete  = 0x0010
+	AccessExecute = 0x0020
+)
+
 // MaxData is the largest READ/WRITE payload supported (rsize/wsize era
 // value; the paper's workloads use 8 KB requests).
 const MaxData = 32 * 1024
@@ -740,6 +750,31 @@ func UnmarshalCreateRes(b []byte) (*CreateRes, error) {
 		c.Attrs = decodePostOpAttr(d)
 	}
 	return c, d.Err()
+}
+
+// FsstatArgs is FSSTAT3args: the file handle of the file system root.
+type FsstatArgs struct {
+	FH FH
+}
+
+// AppendTo appends the encoded arguments to buf.
+func (f *FsstatArgs) AppendTo(buf []byte) []byte {
+	return appendFH(buf, f.FH)
+}
+
+// Marshal encodes the arguments.
+func (f *FsstatArgs) Marshal() []byte {
+	return f.AppendTo(make([]byte, 0, f.WireSize()))
+}
+
+// WireSize reports the exact encoded size.
+func (f *FsstatArgs) WireSize() int { return fhWireSize }
+
+// UnmarshalFsstatArgs decodes FSSTAT3args.
+func UnmarshalFsstatArgs(b []byte) (*FsstatArgs, error) {
+	d := xdr.NewDecoder(b)
+	f := &FsstatArgs{FH: decodeFH(d)}
+	return f, d.Err()
 }
 
 // FsstatRes is a reduced FSSTAT3res.

@@ -1,0 +1,128 @@
+// Package vfs defines the storage-backend contract behind the live NFS
+// dispatch layer (internal/nfsd). A Backend is everything the protocol
+// layer needs from storage — name resolution, attributes, access
+// checks, reads, writes, durability and space accounting — expressed
+// over file handles, so the same dispatch code (proc switch, counters,
+// read-ahead heuristics, write gathering, trace taps) serves any
+// store: the in-memory memfs, the ZCAV disk-backed zonefs, or anything
+// written later.
+//
+// Two contracts matter beyond the method signatures:
+//
+// Copy-on-write read views: the slice ReadAt returns is a stable
+// read-only view of the file at the moment of the call. Later WriteAt
+// calls must never mutate bytes a returned view can see — overlapping
+// writes copy to a fresh segment, appends only touch indices past
+// every view. The zero-copy reply pipeline depends on this: a READ
+// payload is appended straight from the view into the pooled wire
+// buffer, after the handler returned.
+//
+// Stability: WriteAt lands data in the backend's page cache only. The
+// data is durable when Commit returns for a covering range. The nfsd
+// layer's write-gathering engine decides when Commit is called (per
+// the RFC 1813 stable_how the client asked for and the gather window);
+// the backend decides what durability costs. FHs are stable across a
+// server reboot (nfsd.Service.Reboot): a handle issued before the
+// verifier changed still names the same file afterwards.
+package vfs
+
+import (
+	"errors"
+
+	"nfstricks/internal/nfsproto"
+)
+
+// RootFH is the file handle of the single root directory every backend
+// exports. Backends only ever see file handles; the dispatch layer
+// answers for the root itself.
+const RootFH nfsproto.FH = 1
+
+// MaxFileSize bounds a file's length (4 GB). Write offsets come off
+// the wire, so without this cap a crafted WRITE could demand an absurd
+// allocation or overflow offset+len arithmetic into a slice-bounds
+// panic.
+const MaxFileSize = 1 << 32
+
+// MaxCreateSize bounds the initial size a live CREATE may request
+// (the backend must materialize the zeroes somewhere; this keeps one
+// crafted RPC from demanding gigabytes).
+const MaxCreateSize = 256 << 20
+
+// Sentinel errors backends report and the dispatch layer maps to
+// nfsstat3 codes.
+var (
+	// ErrStale marks an unknown or no-longer-valid file handle.
+	ErrStale = errors.New("vfs: stale file handle")
+	// ErrTooBig marks a write that would grow a file past MaxFileSize.
+	ErrTooBig = errors.New("vfs: write exceeds max file size")
+	// ErrNoSpace marks a backend out of room (zonefs: the placement
+	// region's LBA range is exhausted).
+	ErrNoSpace = errors.New("vfs: no space left on backend")
+)
+
+// Backend is a flat file store (one root directory) behind the live
+// dispatch layer. Implementations must be safe for concurrent use by
+// multiple goroutines; ReadAt on distinct files should not serialize
+// (the dispatch hot path holds no global lock of its own).
+type Backend interface {
+	// Create adds a file with the given contents, replacing any
+	// previous file of that name, and returns its handle. A zero
+	// handle means the backend is out of space.
+	Create(name string, data []byte) nfsproto.FH
+
+	// Lookup resolves a name under the root to a handle and size.
+	Lookup(name string) (fh nfsproto.FH, size int64, ok bool)
+
+	// Getattr returns a file's current size; ok is false for handles
+	// the backend does not know.
+	Getattr(fh nfsproto.FH) (size int64, ok bool)
+
+	// Access reports which of the requested ACCESS3 mask bits the
+	// backend grants on fh; ok is false for stale handles.
+	Access(fh nfsproto.FH, mask uint32) (granted uint32, ok bool)
+
+	// ReadAt returns up to count bytes at off as a stable
+	// copy-on-write view (see the package comment), plus the file's
+	// current size and an EOF flag. ahead is the read-ahead window, in
+	// blocks, the sequentiality heuristic recommends beyond this
+	// request; backends without a prefetch notion ignore it.
+	ReadAt(fh nfsproto.FH, off uint64, count uint32, ahead int) (data []byte, size uint64, eof bool, err error)
+
+	// WriteAt stores data at off in the backend's page cache,
+	// extending the file as needed (gaps read as zeros). Durability is
+	// deferred to Commit.
+	WriteAt(fh nfsproto.FH, off uint64, data []byte) error
+
+	// Commit makes [off, off+count) — or the whole file when count is
+	// 0 — durable. The dispatch layer's gathering engine calls this on
+	// COMMIT, on synchronous-stability writes, and when the gather
+	// window expires.
+	Commit(fh nfsproto.FH, off uint64, count uint32) error
+
+	// Fsstat reports the store's total and free capacity in bytes.
+	Fsstat() (totalBytes, freeBytes uint64)
+}
+
+// SizedCreator is an optional Backend capability: create a
+// zero-filled file of the given size without the caller materializing
+// the zeroes. The dispatch layer uses it to serve CREATE with one
+// allocation instead of a payload copy.
+type SizedCreator interface {
+	// CreateSized is Create for a zero-filled file of size bytes;
+	// returns 0 when the backend has no space.
+	CreateSized(name string, size uint64) nfsproto.FH
+}
+
+// FileAccess is the ACCESS3 grant every current backend gives on a
+// regular file: read and write (modify/extend), no delete or execute
+// (the flat root owns its entries).
+func FileAccess(mask uint32) uint32 {
+	return mask & (nfsproto.AccessRead | nfsproto.AccessModify | nfsproto.AccessExtend)
+}
+
+// RootAccess is the grant on the root directory: lookup and read
+// (never modify, delete or execute — the flat root is immutable
+// through ACCESS-gated paths; CREATE has its own policy).
+func RootAccess(mask uint32) uint32 {
+	return mask & (nfsproto.AccessRead | nfsproto.AccessLookup)
+}

@@ -1,0 +1,258 @@
+// Package vfstest is the shared conformance suite for vfs.Backend
+// implementations. Every backend mounted behind the live dispatch
+// layer must pass it: the data-plane contracts (copy-on-write read
+// views, extend-with-zero-fill writes, access grants, space
+// accounting, commit semantics) are exercised directly against the
+// backend, and the control-plane contracts (stability routing through
+// the write-gathering engine, write-verifier semantics, file-handle
+// stability across a simulated reboot) are exercised through an
+// nfsd.Service wrapped around it — the exact stack a live client
+// talks to.
+package vfstest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nfstricks/internal/nfsd"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/vfs"
+	"nfstricks/internal/wgather"
+)
+
+// Factory builds a fresh, empty backend for one subtest.
+type Factory func(t *testing.T) vfs.Backend
+
+// Run drives the whole conformance suite against backends built by
+// mk.
+func Run(t *testing.T, mk Factory) {
+	t.Run("CreateLookupGetattr", func(t *testing.T) { testCreateLookupGetattr(t, mk(t)) })
+	t.Run("ReadViewCOW", func(t *testing.T) { testReadViewCOW(t, mk(t)) })
+	t.Run("WriteExtendZeroFill", func(t *testing.T) { testWriteExtendZeroFill(t, mk(t)) })
+	t.Run("Access", func(t *testing.T) { testAccess(t, mk(t)) })
+	t.Run("Fsstat", func(t *testing.T) { testFsstat(t, mk(t)) })
+	t.Run("Commit", func(t *testing.T) { testCommit(t, mk(t)) })
+	t.Run("StabilityRouting", func(t *testing.T) { testStabilityRouting(t, mk(t)) })
+	t.Run("VerifierAndRebootFHStability", func(t *testing.T) { testVerifierReboot(t, mk(t)) })
+}
+
+func testCreateLookupGetattr(t *testing.T, b vfs.Backend) {
+	data := []byte("the quick brown fox")
+	fh := b.Create("f", data)
+	if fh == 0 {
+		t.Fatal("Create returned 0 on an empty backend")
+	}
+	if fh == vfs.RootFH {
+		t.Fatalf("Create returned the root handle %d", fh)
+	}
+	got, size, ok := b.Lookup("f")
+	if !ok || got != fh || size != int64(len(data)) {
+		t.Fatalf("Lookup = (%d, %d, %v), want (%d, %d, true)", got, size, ok, fh, len(data))
+	}
+	if _, _, ok := b.Lookup("missing"); ok {
+		t.Fatal("Lookup of a missing name succeeded")
+	}
+	if size, ok := b.Getattr(fh); !ok || size != int64(len(data)) {
+		t.Fatalf("Getattr = (%d, %v)", size, ok)
+	}
+	if _, ok := b.Getattr(fh + 999); ok {
+		t.Fatal("Getattr of a stale handle succeeded")
+	}
+
+	view, rsize, eof, err := b.ReadAt(fh, 4, 5, 0)
+	if err != nil || string(view) != "quick" || eof || rsize != uint64(len(data)) {
+		t.Fatalf("ReadAt = (%q, %d, %v, %v)", view, rsize, eof, err)
+	}
+	if _, _, eof, err := b.ReadAt(fh, uint64(len(data))+10, 8, 0); err != nil || !eof {
+		t.Fatalf("read past EOF: eof=%v err=%v", eof, err)
+	}
+	if _, _, _, err := b.ReadAt(fh+999, 0, 1, 0); err == nil {
+		t.Fatal("ReadAt of a stale handle succeeded")
+	}
+}
+
+// testReadViewCOW pins the copy-on-write contract the zero-copy reply
+// pipeline depends on: a view returned by ReadAt must never observe a
+// later WriteAt.
+func testReadViewCOW(t *testing.T, b vfs.Backend) {
+	const size = 4 * 8192
+	fh := b.Create("f", bytes.Repeat([]byte{0xAA}, size))
+	view, _, _, err := b.ReadAt(fh, 0, size, 0)
+	if err != nil || len(view) != size {
+		t.Fatalf("ReadAt: len=%d err=%v", len(view), err)
+	}
+	// Overwrite inside the view, straddle its end, and append past it.
+	for _, off := range []uint64{0, size - 512, size + 8192} {
+		if err := b.WriteAt(fh, off, bytes.Repeat([]byte{0xBB}, 1024)); err != nil {
+			t.Fatalf("WriteAt(%d): %v", off, err)
+		}
+	}
+	for i, c := range view {
+		if c != 0xAA {
+			t.Fatalf("view[%d] = %#x after overlapping writes, want 0xAA", i, c)
+		}
+	}
+	// A fresh read must see the new bytes.
+	got, _, _, err := b.ReadAt(fh, 0, 8, 0)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xBB}, 8)) {
+		t.Fatalf("re-read = %x err=%v, want BB..", got, err)
+	}
+}
+
+func testWriteExtendZeroFill(t *testing.T, b vfs.Backend) {
+	fh := b.Create("f", []byte("abc"))
+	if err := b.WriteAt(fh, 5, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	got, size, eof, err := b.ReadAt(fh, 0, 64, 0)
+	want := []byte{'a', 'b', 'c', 0, 0, 'x', 'y', 'z'}
+	if err != nil || !bytes.Equal(got, want) || !eof || size != 8 {
+		t.Fatalf("after gap write: %v size=%d eof=%v err=%v", got, size, eof, err)
+	}
+	if err := b.WriteAt(fh+999, 0, []byte("x")); err == nil {
+		t.Fatal("WriteAt on a stale handle succeeded")
+	}
+}
+
+func testAccess(t *testing.T, b vfs.Backend) {
+	fh := b.Create("f", []byte("data"))
+	mask := uint32(nfsproto.AccessRead | nfsproto.AccessModify |
+		nfsproto.AccessExtend | nfsproto.AccessDelete | nfsproto.AccessExecute)
+	granted, ok := b.Access(fh, mask)
+	if !ok {
+		t.Fatal("Access on a live handle not ok")
+	}
+	if granted&nfsproto.AccessRead == 0 || granted&nfsproto.AccessModify == 0 {
+		t.Fatalf("granted = %#x, want at least read|modify", granted)
+	}
+	if granted&^mask != 0 {
+		t.Fatalf("granted %#x outside the requested mask %#x", granted, mask)
+	}
+	if _, ok := b.Access(fh+999, mask); ok {
+		t.Fatal("Access on a stale handle ok")
+	}
+}
+
+func testFsstat(t *testing.T, b vfs.Backend) {
+	total0, free0 := b.Fsstat()
+	if total0 == 0 || free0 > total0 {
+		t.Fatalf("empty Fsstat = (%d, %d)", total0, free0)
+	}
+	b.Create("f", make([]byte, 64*1024))
+	total1, free1 := b.Fsstat()
+	if total1 != total0 {
+		t.Fatalf("total changed across Create: %d -> %d", total0, total1)
+	}
+	if free1 >= free0 {
+		t.Fatalf("free did not shrink across a 64 KB create: %d -> %d", free0, free1)
+	}
+}
+
+func testCommit(t *testing.T, b vfs.Backend) {
+	fh := b.Create("f", make([]byte, 3*8192))
+	if err := b.WriteAt(fh, 100, []byte("durable?")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(fh, 0, 0); err != nil {
+		t.Fatalf("whole-file Commit: %v", err)
+	}
+	if err := b.Commit(fh, 8192, 8192); err != nil {
+		t.Fatalf("range Commit: %v", err)
+	}
+	if err := b.Commit(fh+999, 0, 0); err == nil {
+		t.Fatal("Commit on a stale handle succeeded")
+	}
+	// Committed data must still read back.
+	got, _, _, err := b.ReadAt(fh, 100, 8, 0)
+	if err != nil || string(got) != "durable?" {
+		t.Fatalf("read after commit = %q err=%v", got, err)
+	}
+}
+
+// call drives one RPC through a service handler without sockets.
+func call(t *testing.T, svc *nfsd.Service, proc uint32, args []byte) []byte {
+	t.Helper()
+	h := svc.Handler()
+	out, stat := h(proc, args, nil)
+	if stat != sunrpc.AcceptSuccess {
+		t.Fatalf("proc %s: accept stat %d", nfsproto.ProcName(proc), stat)
+	}
+	return out
+}
+
+func writeVia(t *testing.T, svc *nfsd.Service, fh nfsproto.FH, off uint64, data []byte, stable uint32) *nfsproto.WriteRes {
+	t.Helper()
+	out := call(t, svc, nfsproto.ProcWrite, (&nfsproto.WriteArgs{
+		FH: fh, Offset: off, Count: uint32(len(data)), Stable: stable, Data: data,
+	}).Marshal())
+	res, err := nfsproto.UnmarshalWriteRes(out)
+	if err != nil || res.Status != nfsproto.OK {
+		t.Fatalf("WRITE: status=%d err=%v", res.Status, err)
+	}
+	return res
+}
+
+// testStabilityRouting checks the stability contract through the full
+// dispatch stack: with a gather window open, UNSTABLE writes are
+// acknowledged UNSTABLE (deferred), synchronous stabilities come back
+// FILE_SYNC, and with no window everything is write-through.
+func testStabilityRouting(t *testing.T, b vfs.Backend) {
+	fh := b.Create("f", make([]byte, 64*1024))
+
+	gathered := nfsd.New(b, nfsd.Config{Gather: wgather.Config{Window: time.Minute}})
+	defer gathered.Close()
+	if res := writeVia(t, gathered, fh, 0, []byte("unstable"), nfsproto.WriteUnstable); res.Committed != nfsproto.WriteUnstable {
+		t.Fatalf("gathered UNSTABLE write acked %s", nfsproto.StableName(res.Committed))
+	}
+	if res := writeVia(t, gathered, fh, 8192, []byte("datasync"), nfsproto.WriteDataSync); res.Committed != nfsproto.WriteFileSync {
+		t.Fatalf("DATA_SYNC write acked %s, want FILE_SYNC", nfsproto.StableName(res.Committed))
+	}
+	if res := writeVia(t, gathered, fh, 16384, []byte("filesync"), nfsproto.WriteFileSync); res.Committed != nfsproto.WriteFileSync {
+		t.Fatalf("FILE_SYNC write acked %s", nfsproto.StableName(res.Committed))
+	}
+
+	through := nfsd.New(b, nfsd.Config{})
+	defer through.Close()
+	if res := writeVia(t, through, fh, 0, []byte("unstable"), nfsproto.WriteUnstable); res.Committed != nfsproto.WriteFileSync {
+		t.Fatalf("write-through UNSTABLE write acked %s, want FILE_SYNC", nfsproto.StableName(res.Committed))
+	}
+}
+
+// testVerifierReboot checks verifier semantics and FH stability: the
+// verifier is constant across writes and COMMIT, changes exactly on
+// Reboot, and handles issued before the reboot still name the same
+// file afterwards.
+func testVerifierReboot(t *testing.T, b vfs.Backend) {
+	payload := []byte("survives reboots")
+	fh := b.Create("f", payload)
+	svc := nfsd.New(b, nfsd.Config{Gather: wgather.Config{Window: time.Minute}})
+	defer svc.Close()
+
+	v0 := svc.WriteVerifier()
+	res := writeVia(t, svc, fh, 0, []byte("S"), nfsproto.WriteUnstable)
+	if res.Verf != v0 {
+		t.Fatalf("write verifier %x, service verifier %x", res.Verf, v0)
+	}
+	out := call(t, svc, nfsproto.ProcCommit, (&nfsproto.CommitArgs{FH: fh}).Marshal())
+	cres, err := nfsproto.UnmarshalCommitRes(out)
+	if err != nil || cres.Status != nfsproto.OK || cres.Verf != v0 {
+		t.Fatalf("COMMIT: status=%d verf=%x err=%v, want verf %x", cres.Status, cres.Verf, err, v0)
+	}
+
+	svc.Reboot()
+	if svc.WriteVerifier() == v0 {
+		t.Fatal("verifier unchanged across Reboot")
+	}
+	// FH stability: the pre-reboot handle still reads the same file.
+	rout := call(t, svc, nfsproto.ProcRead, (&nfsproto.ReadArgs{FH: fh, Offset: 0, Count: 64}).Marshal())
+	rres, err := nfsproto.UnmarshalReadRes(rout)
+	if err != nil || rres.Status != nfsproto.OK {
+		t.Fatalf("READ after reboot: status=%d err=%v", rres.Status, err)
+	}
+	want := append([]byte("S"), payload[1:]...)
+	if !bytes.Equal(rres.Data, want) {
+		t.Fatalf("READ after reboot = %q, want %q", rres.Data, want)
+	}
+}

@@ -600,6 +600,19 @@ func (e *Engine) runFlusher() {
 	}
 }
 
+// Forget drops fh's dirty extents without flushing them — the file is
+// being replaced or removed, so there is nothing left worth
+// persisting. Without this, a flush racing the removal would read a
+// stale handle from the Source and latch a permanent asynchronous
+// error.
+func (e *Engine) Forget(fh uint64) {
+	e.mu.Lock()
+	if f := e.files[fh]; f != nil {
+		e.takeAll(f)
+	}
+	e.mu.Unlock()
+}
+
 // Reboot simulates a server crash and restart: every uncommitted dirty
 // extent is dropped without reaching the sink and the write verifier
 // changes, which is exactly the signal that tells clients to re-send

@@ -1,0 +1,539 @@
+// Package zonefs is a vfs.Backend that stores file data behind the
+// repository's ZCAV disk stack: every file is placed at concrete
+// logical block addresses on a simulated zoned drive (internal/disk),
+// demand reads and heuristic-driven read-ahead go through the block
+// buffer cache (internal/buffercache) and a host I/O scheduler
+// (internal/iosched), and the simulated service time of every disk
+// command is converted into real elapsed time before the RPC reply
+// leaves. Mounting it behind the live dispatch layer (internal/nfsd)
+// makes live-socket benchmarks position- and cache-sensitive — the
+// paper's headline traps, ZCAV transfer-rate variation by disk
+// position and cache-warmth effects, finally apply to the live server
+// instead of only to the simulator.
+//
+// File bytes live in an embedded memfs store (the page cache — the
+// copy-on-write read-view contract is inherited from it verbatim);
+// the disk stack carries no data, only timing. WriteAt lands in the
+// page cache for free, exactly like a real server; Commit writes the
+// range through to the simulated disk and costs real time at the
+// file's zone rate. A cold cache pays media-rate transfers that
+// depend on zone placement (outer tracks pass more sectors per
+// revolution); a warm cache serves from memory and the placement
+// stops mattering — which is precisely the benchmarking trap the
+// zcav-live experiment demonstrates.
+package zonefs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nfstricks/internal/buffercache"
+	"nfstricks/internal/disk"
+	"nfstricks/internal/iosched"
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/sim"
+	"nfstricks/internal/vfs"
+)
+
+// BlockSize is the file-system block size (8 KB, shared with
+// buffercache).
+const BlockSize = buffercache.BlockSize
+
+// sectorsPerBlock is BlockSize in disk sectors.
+const sectorsPerBlock = buffercache.SectorsPerBlock
+
+// Placement selects where on the drive files are laid out: the
+// outermost quarter (partition 1 in the paper's scsi1..scsi4 naming —
+// the fastest zones) or the innermost quarter (partition 4, the
+// slowest).
+type Placement int
+
+const (
+	// Outer places files in the drive's outermost quarter.
+	Outer Placement = iota
+	// Inner places files in the drive's innermost quarter.
+	Inner
+)
+
+// String names the placement ("outer"/"inner").
+func (p Placement) String() string {
+	if p == Inner {
+		return "inner"
+	}
+	return "outer"
+}
+
+// Config assembles a zonefs store. The zero value is usable: the
+// paper's IDE drive (the one with the pronounced ZCAV spread), outer
+// placement, a 64 MB cache, elevator scheduling.
+type Config struct {
+	// Model is the drive's performance model (nil = disk.WD200BB, the
+	// paper's IDE drive).
+	Model *disk.Model
+	// Placement picks the quarter of the drive files land on.
+	Placement Placement
+	// CacheMB is the buffer cache capacity in MB (0 = 64).
+	CacheMB int
+	// Scheduler is the host-side disk scheduler (nil = elevator).
+	Scheduler iosched.Scheduler
+	// Seed seeds the simulation's random source (rotational latency).
+	Seed int64
+	// TimeScale multiplies simulated disk time before it is slept out
+	// (0 = 1.0, real-time fidelity; tests may shrink it). At exactly
+	// 1.0 the simulated clock also tracks the wall clock between
+	// requests, so idle gaps credit the drive's firmware prefetch as
+	// they would on hardware; at any other scale the store runs on
+	// pure event time and is deterministic for a given seed — wall
+	// jitter amplified by the scale must not leak into timing.
+	TimeScale float64
+}
+
+// Stats counts zonefs-level activity (the cache and device keep their
+// own counters, reachable via CacheStats and DiskStats).
+type Stats struct {
+	// DemandHits and DemandMisses count demanded (non-read-ahead)
+	// blocks by cache residency at request time.
+	DemandHits   int64
+	DemandMisses int64
+	// DiskTime is the total simulated disk time charged (and slept).
+	DiskTime time.Duration
+	// BlocksAllocated counts blocks of LBA space handed to files.
+	BlocksAllocated int64
+}
+
+// extent is one file's on-disk placement: a contiguous block run.
+type extent struct {
+	startLBA int64
+	blocks   int64
+}
+
+// FS is a ZCAV disk-backed file store implementing vfs.Backend. Safe
+// for concurrent use; disk-time accounting serializes on one mutex
+// (there is one disk), but the sleep that charges the time happens
+// outside it, so cache hits never wait behind a miss's mechanical
+// delay — they only wait behind the busy disk itself, exactly like
+// queueing at a real drive.
+type FS struct {
+	store *memfs.FS
+	cfg   Config
+
+	mu      sync.Mutex
+	k       *sim.Kernel
+	dev     *disk.Device
+	cache   *buffercache.Cache
+	region  disk.Partition
+	nextLBA int64
+	extents map[nfsproto.FH]*extent
+	// epoch anchors the mapping from wall-clock to simulated time, so
+	// idle gaps between requests credit the drive's firmware prefetch
+	// exactly as they would on hardware.
+	epoch time.Time
+	// busyUntil is when the (single) disk finishes its queued work, in
+	// wall-clock terms; the queueing model behind the sleeps.
+	busyUntil time.Time
+
+	demandHits   int64
+	demandMisses int64
+	diskTime     time.Duration
+	blocksAlloc  int64
+}
+
+// New builds an empty store on a fresh simulated drive.
+func New(cfg Config) *FS {
+	if cfg.Model == nil {
+		cfg.Model = disk.WD200BB()
+	}
+	if cfg.CacheMB <= 0 {
+		cfg.CacheMB = 64
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = iosched.NewElevator()
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1.0
+	}
+	k := sim.NewKernel(cfg.Seed)
+	dev := disk.NewDevice(k, cfg.Model)
+	dr := disk.NewDriver(k, dev, cfg.Scheduler)
+	cache := buffercache.New(k, dr, cfg.CacheMB<<20/BlockSize)
+	quarters := cfg.Model.Geo.QuarterPartitions("part")
+	region := quarters[0]
+	if cfg.Placement == Inner {
+		region = quarters[3]
+	}
+	return &FS{
+		store:   memfs.NewFS(),
+		cfg:     cfg,
+		k:       k,
+		dev:     dev,
+		cache:   cache,
+		region:  region,
+		nextLBA: region.StartLBA,
+		extents: make(map[nfsproto.FH]*extent),
+		epoch:   time.Now(),
+	}
+}
+
+// Placement reports where this store lays out its files.
+func (fs *FS) Placement() Placement { return fs.cfg.Placement }
+
+// Model returns the drive model backing the store.
+func (fs *FS) Model() *disk.Model { return fs.cfg.Model }
+
+// Stats snapshots the zonefs counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return Stats{
+		DemandHits:      fs.demandHits,
+		DemandMisses:    fs.demandMisses,
+		DiskTime:        fs.diskTime,
+		BlocksAllocated: fs.blocksAlloc,
+	}
+}
+
+// CacheStats snapshots the buffer cache counters.
+func (fs *FS) CacheStats() buffercache.Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cache.Stats()
+}
+
+// DiskStats snapshots the device counters.
+func (fs *FS) DiskStats() disk.Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.dev.Stats()
+}
+
+// DropCaches empties the buffer cache — the paper's "defeat the
+// cache" step between benchmark runs. File data is untouched (it
+// lives on the simulated disk); the next read of every block pays the
+// media again.
+func (fs *FS) DropCaches() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.cache.Flush()
+}
+
+// blocksFor returns the block count covering n bytes (minimum 1, so
+// every file owns an address).
+func blocksFor(n int) int64 {
+	b := (int64(n) + BlockSize - 1) / BlockSize
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// allocate carves blocks of LBA space from the placement region.
+// Caller holds fs.mu. Returns -1 when the region is exhausted.
+func (fs *FS) allocate(blocks int64) int64 {
+	need := blocks * sectorsPerBlock
+	if fs.nextLBA+need > fs.region.StartLBA+fs.region.Sectors {
+		return -1
+	}
+	lba := fs.nextLBA
+	fs.nextLBA += need
+	fs.blocksAlloc += blocks
+	return lba
+}
+
+// Create adds a file with the given contents, placing it at the next
+// free LBAs of the configured region, and returns its handle — or 0
+// when the region has no room (vfs.Backend). The data starts on disk
+// and not in the cache: a fresh store is cold.
+func (fs *FS) Create(name string, data []byte) nfsproto.FH {
+	return fs.create(len(data), func() nfsproto.FH { return fs.store.Create(name, data) })
+}
+
+// CreateSized adds a zero-filled file of size bytes
+// (vfs.SizedCreator).
+func (fs *FS) CreateSized(name string, size uint64) nfsproto.FH {
+	return fs.create(int(size), func() nfsproto.FH { return fs.store.CreateSized(name, size) })
+}
+
+// create allocates placement for n bytes, then registers the file the
+// store builds. Replacing an existing name leaks the old extent's
+// address space; a benchmark store never reclaims.
+func (fs *FS) create(n int, mk func() nfsproto.FH) nfsproto.FH {
+	fs.mu.Lock()
+	blocks := blocksFor(n)
+	start := fs.allocate(blocks)
+	if start < 0 {
+		fs.mu.Unlock()
+		return 0
+	}
+	fh := mk()
+	fs.extents[fh] = &extent{startLBA: start, blocks: blocks}
+	fs.mu.Unlock()
+	return fh
+}
+
+// Lookup resolves a name (vfs.Backend).
+func (fs *FS) Lookup(name string) (nfsproto.FH, int64, bool) {
+	return fs.store.Lookup(name)
+}
+
+// Getattr returns a file's size (vfs.Backend).
+func (fs *FS) Getattr(fh nfsproto.FH) (int64, bool) {
+	return fs.store.Getattr(fh)
+}
+
+// Access grants read/modify/extend on any live handle (vfs.Backend).
+func (fs *FS) Access(fh nfsproto.FH, mask uint32) (uint32, bool) {
+	return fs.store.Access(fh, mask)
+}
+
+// Fsstat reports the placement region's capacity and what allocation
+// has not yet consumed (vfs.Backend).
+func (fs *FS) Fsstat() (total, free uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	total = uint64(fs.region.Bytes())
+	used := uint64(fs.blocksAlloc) * BlockSize
+	if used > total {
+		return total, 0
+	}
+	return total, total - used
+}
+
+// advanceClock brings simulated time up to the wall clock. The drive
+// firmware turns idle time into prefetch for the last-serviced stream,
+// so a latency-bound client re-reading sequentially gets buffer-speed
+// service — the effect the paper's §5 calls out. Only meaningful at
+// real-time fidelity: a scaled store would amplify scheduler jitter
+// by 1/TimeScale into simulated idle, so it runs on pure event time
+// instead (see Config.TimeScale). Caller holds fs.mu.
+func (fs *FS) advanceClock() {
+	if fs.cfg.TimeScale != 1.0 {
+		return
+	}
+	if target := time.Since(fs.epoch); target > fs.k.Now() {
+		fs.k.RunUntil(target)
+	}
+}
+
+// chargeLocked runs the simulation until all issued disk commands
+// complete and folds the simulated delta into the busy-until queue
+// model. It returns the wall-clock instant the disk is free again;
+// the caller sleeps until then after releasing fs.mu. Caller holds
+// fs.mu.
+func (fs *FS) chargeLocked(before time.Duration) time.Time {
+	fs.k.Run()
+	delta := time.Duration(float64(fs.k.Now()-before) * fs.cfg.TimeScale)
+	if delta <= 0 {
+		return time.Time{}
+	}
+	fs.diskTime += delta
+	now := time.Now()
+	start := fs.busyUntil
+	if now.After(start) {
+		start = now
+	}
+	fs.busyUntil = start.Add(delta)
+	return fs.busyUntil
+}
+
+// sleepUntil waits out the disk's service time in real time.
+func sleepUntil(deadline time.Time) {
+	if deadline.IsZero() {
+		return
+	}
+	if d := time.Until(deadline); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ReadAt returns up to count bytes at off as a copy-on-write view
+// (vfs.Backend). Blocks of the demanded range that are not resident
+// in the buffer cache are fetched from the simulated disk — clustered
+// into large commands, together with `ahead` blocks of heuristic
+// read-ahead — and the commands' simulated service time elapses for
+// real before the data is returned. Resident blocks cost nothing:
+// cache warmth decides whether zone placement is visible at all.
+func (fs *FS) ReadAt(fh nfsproto.FH, off uint64, count uint32, ahead int) (data []byte, size uint64, eof bool, err error) {
+	data, size, eof, err = fs.store.ReadAt(fh, off, count, 0)
+	if err != nil || len(data) == 0 {
+		return data, size, eof, err
+	}
+
+	fs.mu.Lock()
+	ext := fs.extents[fh]
+	if ext == nil {
+		// A store file without placement cannot happen via the Backend
+		// surface; fail loudly rather than serve untimed data.
+		fs.mu.Unlock()
+		return nil, 0, false, fmt.Errorf("zonefs: file %d has no extent", fh)
+	}
+	b0 := int64(off) / BlockSize
+	bEnd := (int64(off) + int64(len(data)) + BlockSize - 1) / BlockSize
+	if bEnd > ext.blocks {
+		bEnd = ext.blocks
+	}
+	var deadline time.Time
+	demandMisses := false
+	for b := b0; b < bEnd; b++ {
+		if fs.cache.Contains(ext.startLBA + b*sectorsPerBlock) {
+			fs.demandHits++
+		} else {
+			fs.demandMisses++
+			demandMisses = true
+		}
+	}
+	// Fetch the demand range plus the heuristic's read-ahead window in
+	// one clustered pass. When everything demanded is resident the
+	// read-ahead has either happened already or was never earned —
+	// issuing it again would just re-scan the cache, so skip the disk
+	// entirely (the hit path must stay lock-cheap).
+	if demandMisses {
+		fs.advanceClock()
+		before := fs.k.Now()
+		span := bEnd - b0 + int64(ahead)
+		if b0+span > ext.blocks {
+			span = ext.blocks - b0
+		}
+		fs.cache.FetchSpan(ext.startLBA+b0*sectorsPerBlock, int(span), int(bEnd-b0))
+		deadline = fs.chargeLocked(before)
+	}
+	fs.mu.Unlock()
+	sleepUntil(deadline)
+	return data, size, eof, err
+}
+
+// WriteAt stores data at off in the page cache (vfs.Backend). No disk
+// time is charged — the touched blocks become resident dirty pages,
+// and durability waits for Commit, exactly the asymmetry that makes
+// UNSTABLE writes fast on a real server.
+//
+// Validation and extent growth happen under fs.mu before the page
+// cache is touched, so a write refused for space (or bounds) leaves
+// nothing behind — readers never see bytes the writer was told were
+// rejected — and concurrent writers to one file (a write-behind
+// pipeline) see a consistent size when an extent is relocated.
+func (fs *FS) WriteAt(fh nfsproto.FH, off uint64, data []byte) error {
+	fs.mu.Lock()
+	size, ok := fs.store.Getattr(fh)
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	ext := fs.extents[fh]
+	if ext == nil {
+		fs.mu.Unlock()
+		return fmt.Errorf("zonefs: file %d has no extent", fh)
+	}
+	// The store enforces the same bound; checking here keeps the
+	// extent untouched on a write that would be refused anyway.
+	if off > vfs.MaxFileSize || uint64(len(data)) > vfs.MaxFileSize-off {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w (off=%d len=%d)", vfs.ErrTooBig, off, len(data))
+	}
+	newEnd := int64(off) + int64(len(data))
+	if newEnd < size {
+		newEnd = size
+	}
+	if need := blocksFor(int(newEnd)); need > ext.blocks {
+		if err := fs.growLocked(fh, ext, need, size); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+	}
+	fs.mu.Unlock()
+	if err := fs.store.WriteAt(fh, off, data); err != nil {
+		return err
+	}
+	// The written blocks are resident by definition — they are the
+	// page cache's dirty pages. Installed after the store write under
+	// a fresh lock acquisition: if a concurrent grower relocated the
+	// extent in between, startLBA here is the new placement.
+	fs.mu.Lock()
+	if ext := fs.extents[fh]; ext != nil {
+		b0 := int64(off) / BlockSize
+		bEnd := (int64(off) + int64(len(data)) + BlockSize - 1) / BlockSize
+		for b := b0; b < bEnd && b < ext.blocks; b++ {
+			fs.cache.Install(ext.startLBA + b*sectorsPerBlock)
+		}
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// growLocked extends a file's placement. If the file owns the last
+// allocation it grows in place; otherwise it is relocated to a fresh,
+// larger extent (the old address space leaks — FFS would reallocate
+// similarly under fragmentation, and the page cache holds the bytes
+// so nothing is copied). Caller holds fs.mu.
+func (fs *FS) growLocked(fh nfsproto.FH, ext *extent, need int64, oldSize int64) error {
+	endLBA := ext.startLBA + ext.blocks*sectorsPerBlock
+	if endLBA == fs.nextLBA {
+		extra := need - ext.blocks
+		if fs.allocate(extra) < 0 {
+			return fmt.Errorf("%w: %s region full", vfs.ErrNoSpace, fs.cfg.Placement)
+		}
+		ext.blocks = need
+		return nil
+	}
+	start := fs.allocate(need)
+	if start < 0 {
+		return fmt.Errorf("%w: %s region full", vfs.ErrNoSpace, fs.cfg.Placement)
+	}
+	// Carry residency across the move: exactly the blocks resident
+	// under the old placement are resident under the new one. Blocks
+	// that were never read stay cold — relocation must not warm a
+	// file the benchmark believes is on disk. The old LBAs' entries
+	// stay in the cache until evicted; harmless (never demanded
+	// again).
+	for b := int64(0); b < blocksFor(int(oldSize)) && b < need; b++ {
+		if fs.cache.Contains(ext.startLBA + b*sectorsPerBlock) {
+			fs.cache.Install(start + b*sectorsPerBlock)
+		}
+	}
+	ext.startLBA = start
+	ext.blocks = need
+	return nil
+}
+
+// Commit writes [off, off+count) — or the whole file when count is 0
+// — through to the simulated disk, charging real time for the write
+// commands at the file's zone rate (vfs.Backend).
+func (fs *FS) Commit(fh nfsproto.FH, off uint64, count uint32) error {
+	size, ok := fs.store.Getattr(fh)
+	if !ok {
+		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	fs.mu.Lock()
+	ext := fs.extents[fh]
+	if ext == nil {
+		fs.mu.Unlock()
+		return fmt.Errorf("zonefs: file %d has no extent", fh)
+	}
+	// count 0 means the whole file, whatever off says (the vfs
+	// contract); either way nothing past EOF is written through —
+	// allocation slack holds no data.
+	fileEnd := (size + BlockSize - 1) / BlockSize
+	b0 := int64(off) / BlockSize
+	bEnd := fileEnd
+	if count == 0 {
+		b0 = 0
+	} else if e := (int64(off) + int64(count) + BlockSize - 1) / BlockSize; e < bEnd {
+		bEnd = e
+	}
+	if bEnd > ext.blocks {
+		bEnd = ext.blocks
+	}
+	var deadline time.Time
+	if b0 < bEnd {
+		fs.advanceClock()
+		before := fs.k.Now()
+		for b := b0; b < bEnd; b++ {
+			fs.cache.Write(ext.startLBA + b*sectorsPerBlock)
+		}
+		deadline = fs.chargeLocked(before)
+	}
+	fs.mu.Unlock()
+	sleepUntil(deadline)
+	return nil
+}

@@ -1,0 +1,227 @@
+package zonefs_test
+
+import (
+	"testing"
+	"time"
+
+	"nfstricks/internal/buffercache"
+	"nfstricks/internal/disk"
+	"nfstricks/internal/vfs"
+	"nfstricks/internal/vfs/vfstest"
+	"nfstricks/internal/zonefs"
+)
+
+// fastCfg shrinks simulated disk time 1000x so the conformance suite
+// (which cares about semantics, not timing) stays fast.
+func fastCfg(p zonefs.Placement) zonefs.Config {
+	return zonefs.Config{Placement: p, CacheMB: 4, Seed: 1, TimeScale: 1e-3}
+}
+
+// TestBackendConformance runs the shared vfs.Backend suite against the
+// disk-backed store, both placements.
+func TestBackendConformance(t *testing.T) {
+	for _, p := range []zonefs.Placement{zonefs.Outer, zonefs.Inner} {
+		t.Run(p.String(), func(t *testing.T) {
+			vfstest.Run(t, func(t *testing.T) vfs.Backend { return zonefs.New(fastCfg(p)) })
+		})
+	}
+}
+
+// TestColdReadTouchesDisk: a fresh store is cold — the first
+// sequential read of a file must fetch every block from the simulated
+// disk, and a second pass over a large-enough cache must be all hits.
+func TestColdReadTouchesDisk(t *testing.T) {
+	fs := zonefs.New(fastCfg(zonefs.Outer))
+	const size = 64 * zonefs.BlockSize
+	fh := fs.Create("f", make([]byte, size))
+
+	readAll := func() {
+		for off := uint64(0); off < size; off += 8192 {
+			if _, _, _, err := fs.ReadAt(fh, off, 8192, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	readAll()
+	st := fs.Stats()
+	if st.DemandMisses == 0 {
+		t.Fatalf("cold pass saw no demand misses: %+v", st)
+	}
+	if st.DiskTime == 0 {
+		t.Fatal("cold pass charged no disk time")
+	}
+	if ds := fs.DiskStats(); ds.Commands == 0 {
+		t.Fatal("cold pass issued no disk commands")
+	}
+
+	warmBefore := fs.Stats()
+	readAll()
+	st = fs.Stats()
+	if st.DemandMisses != warmBefore.DemandMisses {
+		t.Fatalf("warm pass missed: %d -> %d", warmBefore.DemandMisses, st.DemandMisses)
+	}
+	if st.DemandHits <= warmBefore.DemandHits {
+		t.Fatal("warm pass recorded no hits")
+	}
+
+	// Dropping the cache makes the next pass cold again.
+	fs.DropCaches()
+	readAll()
+	if fs.Stats().DemandMisses <= st.DemandMisses {
+		t.Fatal("post-DropCaches pass saw no new misses")
+	}
+}
+
+// TestOuterFasterThanInner pins the ZCAV effect at the source: the
+// same cold sequential read charges measurably less simulated disk
+// time on the outer placement than the inner one.
+func TestOuterFasterThanInner(t *testing.T) {
+	times := make(map[zonefs.Placement]time.Duration)
+	for _, p := range []zonefs.Placement{zonefs.Outer, zonefs.Inner} {
+		fs := zonefs.New(fastCfg(p))
+		const size = 128 * zonefs.BlockSize
+		fh := fs.Create("f", make([]byte, size))
+		for off := uint64(0); off < size; off += 8192 {
+			if _, _, _, err := fs.ReadAt(fh, off, 8192, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		times[p] = fs.Stats().DiskTime
+	}
+	if times[zonefs.Outer] >= times[zonefs.Inner] {
+		t.Fatalf("outer disk time %v not below inner %v", times[zonefs.Outer], times[zonefs.Inner])
+	}
+	ratio := float64(times[zonefs.Inner]) / float64(times[zonefs.Outer])
+	if ratio < 1.2 {
+		t.Errorf("inner/outer simulated-time ratio %.2f, want >= 1.2 (ZCAV)", ratio)
+	}
+}
+
+// TestCommitChargesDisk: WriteAt is free (page cache), Commit pays the
+// disk, and the committed blocks are resident afterwards.
+func TestCommitChargesDisk(t *testing.T) {
+	fs := zonefs.New(fastCfg(zonefs.Outer))
+	fh := fs.Create("f", make([]byte, 16*zonefs.BlockSize))
+	before := fs.Stats().DiskTime
+	if err := fs.WriteAt(fh, 0, make([]byte, 4*zonefs.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats().DiskTime; got != before {
+		t.Fatalf("WriteAt charged disk time: %v -> %v", before, got)
+	}
+	if err := fs.Commit(fh, 0, 4*zonefs.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats().DiskTime; got <= before {
+		t.Fatal("Commit charged no disk time")
+	}
+	if cs := fs.CacheStats(); cs.Writes != 4 {
+		t.Fatalf("cache writes = %d, want 4", cs.Writes)
+	}
+}
+
+// tinyModel is the WD200BB timing envelope on a doll-house geometry
+// (192 KB drive, 48 KB per quarter), so exhaustion tests never
+// allocate real gigabytes.
+func tinyModel() *disk.Model {
+	m := disk.WD200BB()
+	m.Geo = disk.MustGeometry(1, []disk.Zone{
+		{Cylinders: 4, SectorsPerTrack: 64},
+		{Cylinders: 4, SectorsPerTrack: 32},
+	})
+	return m
+}
+
+// TestRegionExhaustion: creates larger than the placement region
+// report no space (Create returns 0), and the store keeps its space
+// accounting consistent at the edge.
+func TestRegionExhaustion(t *testing.T) {
+	cfg := fastCfg(zonefs.Outer)
+	cfg.Model = tinyModel()
+	fs := zonefs.New(cfg)
+	total, _ := fs.Fsstat()
+	if fh := fs.Create("huge", nil); fh == 0 {
+		t.Fatal("1-block create failed on an empty region")
+	}
+	chunk := int(total / 4)
+	n := 0
+	for ; n < 8; n++ {
+		if fs.Create("c", make([]byte, chunk)) == 0 {
+			break
+		}
+	}
+	if n == 8 {
+		t.Fatalf("region never filled (total=%d, chunk=%d)", total, chunk)
+	}
+	if _, free := fs.Fsstat(); free > total {
+		t.Fatalf("free %d exceeds total %d", free, total)
+	}
+}
+
+// TestCommitWholeFileIgnoresOffset: count 0 means the whole file per
+// the vfs contract, even with a nonzero offset — and nothing past EOF
+// is written through.
+func TestCommitWholeFileIgnoresOffset(t *testing.T) {
+	fs := zonefs.New(fastCfg(zonefs.Outer))
+	const blocks = 5
+	fh := fs.Create("f", make([]byte, blocks*zonefs.BlockSize+100)) // 6 blocks of data, extent rounds up
+	if err := fs.Commit(fh, 2*zonefs.BlockSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cs := fs.CacheStats(); cs.Writes != blocks+1 {
+		t.Fatalf("whole-file commit at off>0 wrote %d blocks, want %d", cs.Writes, blocks+1)
+	}
+}
+
+// TestRelocationDoesNotWarmColdBlocks: growing a file that is not the
+// last allocation relocates its extent; blocks that were never
+// resident must stay cold at the new placement (only resident blocks
+// carry their residency across the move).
+func TestRelocationDoesNotWarmColdBlocks(t *testing.T) {
+	fs := zonefs.New(fastCfg(zonefs.Outer))
+	const blocks = 8
+	a := fs.Create("a", make([]byte, blocks*zonefs.BlockSize))
+	fs.Create("b", []byte("pin the allocation frontier"))
+	// Warm only block 0 of a, then grow a past its extent (relocates).
+	if _, _, _, err := fs.ReadAt(a, 0, 8192, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt(a, blocks*zonefs.BlockSize, []byte("grow")); err != nil {
+		t.Fatal(err)
+	}
+	pre := fs.Stats()
+	// Block 0 must still be warm, the untouched middle still cold.
+	if _, _, _, err := fs.ReadAt(a, 0, 8192, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.DemandHits != pre.DemandHits+1 {
+		t.Fatalf("block 0 went cold across relocation: hits %d -> %d", pre.DemandHits, st.DemandHits)
+	}
+	if _, _, _, err := fs.ReadAt(a, 4*zonefs.BlockSize, 8192, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.DemandMisses != pre.DemandMisses+1 {
+		t.Fatalf("never-read block is warm after relocation: misses %d -> %d", pre.DemandMisses, st.DemandMisses)
+	}
+}
+
+// TestReadAheadClusters: with a generous read-ahead hint the cache
+// issues multi-block clustered commands instead of one command per
+// block.
+func TestReadAheadClusters(t *testing.T) {
+	fs := zonefs.New(fastCfg(zonefs.Outer))
+	const blocks = 64
+	fh := fs.Create("f", make([]byte, blocks*zonefs.BlockSize))
+	for off := uint64(0); off < blocks*zonefs.BlockSize; off += 8192 {
+		if _, _, _, err := fs.ReadAt(fh, off, 8192, buffercache.MaxClusterBlocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := fs.CacheStats()
+	if cs.Clusters >= blocks {
+		t.Fatalf("%d clusters for %d blocks — no clustering happened", cs.Clusters, blocks)
+	}
+	if cs.ReadAheads == 0 {
+		t.Fatal("no read-ahead blocks fetched despite the hint")
+	}
+}

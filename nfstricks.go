@@ -42,6 +42,7 @@ import (
 	"nfstricks/internal/bench"
 	"nfstricks/internal/disk"
 	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/nfstrace"
@@ -50,8 +51,10 @@ import (
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/testbed"
 	"nfstricks/internal/tracefile"
+	"nfstricks/internal/vfs"
 	"nfstricks/internal/wgather"
 	"nfstricks/internal/workload"
+	"nfstricks/internal/zonefs"
 )
 
 // Sequentiality heuristics (paper §6-7).
@@ -183,24 +186,64 @@ func AnalyzeTrace(records []TraceRecord) TraceAnalysis {
 	return nfstrace.Analyze(records, nfsproto.ProcRead)
 }
 
-// Live mode: the same protocol stack over real loopback sockets. The
-// whole stack is safe for concurrent use: the service's READ path takes
-// no global lock (heuristic state is striped across the nfsheur table's
-// shards), and a client pipelines concurrent calls over one connection,
-// demultiplexing replies by XID. "nfsbench -exp live-scale" measures
-// this path as concurrent clients grow.
+// Live mode: the same protocol stack over real loopback sockets,
+// layered as rpcnet (transport) → nfsd (dispatch: proc switch,
+// heuristics, write gathering, tracing) → a pluggable storage backend
+// (StorageBackend): the in-memory LiveFS or the ZCAV disk-backed
+// ZoneFS. The whole stack is safe for concurrent use: the service's
+// READ path takes no global lock (heuristic state is striped across
+// the nfsheur table's shards), and a client pipelines concurrent calls
+// over one connection, demultiplexing replies by XID. "nfsbench -exp
+// live-scale" measures this path as concurrent clients grow;
+// "nfsbench -exp zcav-live" demonstrates the ZCAV and cache-warmth
+// traps on it.
 type (
+	// StorageBackend is the contract a store must meet to be mounted
+	// behind the live dispatch layer (copy-on-write read views,
+	// deferred durability via Commit; see internal/vfs).
+	StorageBackend = vfs.Backend
+	// LiveConfig assembles a live service around any backend:
+	// heuristic, nfsheur table, write-gather configuration, read-ahead
+	// cap.
+	LiveConfig = nfsd.Config
 	// LiveFS is an in-memory file store for the live service.
 	LiveFS = memfs.FS
+	// ZoneFS is a disk-backed store: files placed by LBA on a
+	// simulated zoned drive behind a block buffer cache, so live reads
+	// pay real elapsed time that depends on zone placement and cache
+	// warmth.
+	ZoneFS = zonefs.FS
+	// ZoneConfig selects the drive model, placement, cache size and
+	// scheduler for a ZoneFS.
+	ZoneConfig = zonefs.Config
+	// ZonePlacement picks the outer or inner quarter of the drive.
+	ZonePlacement = zonefs.Placement
 	// LiveService serves NFS v3 over rpcnet with real heuristics. Safe
 	// for concurrent use; its hot path holds no global lock.
-	LiveService = memfs.Service
+	LiveService = nfsd.Service
 	// LiveClient is an NFS client for the live service, safe for
 	// concurrent use by multiple goroutines (calls are pipelined).
 	LiveClient = memfs.Client
 	// RPCServer is the underlying UDP+TCP ONC RPC server.
 	RPCServer = rpcnet.Server
 )
+
+// Zone placements for ZoneConfig.
+const (
+	ZoneOuter = zonefs.Outer
+	ZoneInner = zonefs.Inner
+)
+
+// NewZoneFS returns an empty disk-backed store (zero-value config:
+// the paper's IDE drive, outer placement, 64 MB cache).
+func NewZoneFS(cfg ZoneConfig) *ZoneFS { return zonefs.New(cfg) }
+
+// NewLiveServiceBackend mounts any storage backend behind the live
+// dispatch layer. NewLiveService and NewLiveServiceGather are the
+// memfs-specific shorthands.
+func NewLiveServiceBackend(b StorageBackend, cfg LiveConfig) *LiveService {
+	return nfsd.New(b, cfg)
+}
 
 // LiveFH is a live-service file handle.
 type LiveFH = nfsproto.FH
