@@ -1,14 +1,18 @@
-// Package filespec parses the -file name=sizeMB flags the live-server
+// Package filespec parses the -file path=sizeMB flags the live-server
 // commands (nfsserve, nfstrace capture) share, and builds the patterned
-// file store they serve.
+// file store they serve. Paths may be nested ("dir/sub/name=4"): parent
+// directories are created on the way down, and directories shared by
+// several specs are created once.
 package filespec
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/vfs"
 )
 
@@ -21,29 +25,71 @@ func (m *List) String() string { return strings.Join(*m, ",") }
 // Set appends one spec.
 func (m *List) Set(v string) error { *m = append(*m, v); return nil }
 
-// Parse splits a name=sizeMB spec.
-func Parse(spec string) (name string, sizeMB int, err error) {
-	name, sizeStr, ok := strings.Cut(spec, "=")
-	if !ok || name == "" {
-		return "", 0, fmt.Errorf("bad -file %q, want name=sizeMB", spec)
+// File is one built file: its spec path and the handle and size it got.
+type File struct {
+	Path string
+	FH   nfsproto.FH
+	Size int64
+}
+
+// Parse splits a path=sizeMB spec.
+func Parse(spec string) (path string, sizeMB int, err error) {
+	path, sizeStr, ok := strings.Cut(spec, "=")
+	if !ok || path == "" {
+		return "", 0, fmt.Errorf("bad -file %q, want path=sizeMB", spec)
+	}
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			return "", 0, fmt.Errorf("bad path in -file %q (empty component)", spec)
+		}
 	}
 	size, err := strconv.Atoi(sizeStr)
 	if err != nil || size <= 0 || size > 1024 {
 		return "", 0, fmt.Errorf("bad size in -file %q", spec)
 	}
-	return name, size, nil
+	return path, size, nil
+}
+
+// mkdirAll walks path's directory components from the root, creating
+// what is missing, and returns the final directory's handle plus the
+// file's base name.
+func mkdirAll(b vfs.Backend, path string) (nfsproto.FH, string, error) {
+	parts := strings.Split(path, "/")
+	dir := vfs.RootFH
+	for _, part := range parts[:len(parts)-1] {
+		fh, attr, err := b.Lookup(dir, part)
+		switch {
+		case err == nil:
+			if !attr.Dir {
+				return 0, "", fmt.Errorf("%s in %q is a file, not a directory", part, path)
+			}
+			dir = fh
+		case errors.Is(err, vfs.ErrNoEnt):
+			if fh, err = b.Mkdir(dir, part); err != nil {
+				return 0, "", fmt.Errorf("mkdir %s in %q: %w", part, path, err)
+			}
+			dir = fh
+		default:
+			return 0, "", fmt.Errorf("lookup %s in %q: %w", part, path, err)
+		}
+	}
+	return dir, parts[len(parts)-1], nil
 }
 
 // BuildInto creates every spec'd file, filled with patterned data, in
-// an existing backend, returning the names in spec order. Empty specs
-// default to demo=4.
-func BuildInto(b vfs.Backend, specs []string) ([]string, error) {
+// an existing backend — parent directories included — returning the
+// built files in spec order. Empty specs default to demo=4.
+func BuildInto(b vfs.Backend, specs []string) ([]File, error) {
 	if len(specs) == 0 {
 		specs = []string{"demo=4"}
 	}
-	var names []string
+	var files []File
 	for _, spec := range specs {
-		name, sizeMB, err := Parse(spec)
+		path, sizeMB, err := Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		dir, name, err := mkdirAll(b, path)
 		if err != nil {
 			return nil, err
 		}
@@ -51,20 +97,21 @@ func BuildInto(b vfs.Backend, specs []string) ([]string, error) {
 		for i := range data {
 			data[i] = byte(i * 2654435761)
 		}
-		if b.Create(name, data) == 0 {
-			return nil, fmt.Errorf("creating %s (%d MB): backend out of space", name, sizeMB)
+		fh, err := b.Create(dir, name, data)
+		if err != nil {
+			return nil, fmt.Errorf("creating %s (%d MB): %w", path, sizeMB, err)
 		}
-		names = append(names, name)
+		files = append(files, File{Path: path, FH: fh, Size: int64(len(data))})
 	}
-	return names, nil
+	return files, nil
 }
 
 // BuildFS is BuildInto on a fresh in-memory store.
-func BuildFS(specs []string) (*memfs.FS, []string, error) {
+func BuildFS(specs []string) (*memfs.FS, []File, error) {
 	fs := memfs.NewFS()
-	names, err := BuildInto(fs, specs)
+	files, err := BuildInto(fs, specs)
 	if err != nil {
 		return nil, nil, err
 	}
-	return fs, names, nil
+	return fs, files, nil
 }

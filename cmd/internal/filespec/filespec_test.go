@@ -1,0 +1,143 @@
+package filespec
+
+import (
+	"strings"
+	"testing"
+
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/vfs"
+)
+
+func TestParse(t *testing.T) {
+	good := []struct {
+		spec string
+		path string
+		size int
+	}{
+		{"demo=4", "demo", 4},
+		{"dir/sub/name=4", "dir/sub/name", 4},
+		{"a/b=1", "a/b", 1},
+		{"deep/er/and/deeper/f=1024", "deep/er/and/deeper/f", 1024},
+	}
+	for _, g := range good {
+		path, size, err := Parse(g.spec)
+		if err != nil || path != g.path || size != g.size {
+			t.Errorf("Parse(%q) = %q, %d, %v; want %q, %d", g.spec, path, size, err, g.path, g.size)
+		}
+	}
+
+	bad := []string{
+		"",          // no separator
+		"demo",      // no size
+		"=4",        // empty path
+		"a//b=1",    // empty middle component
+		"/a=1",      // empty leading component
+		"a/=1",      // empty trailing component
+		"a=0",       // zero size
+		"a=-3",      // negative size
+		"a=1025",    // over the 1 GB cap
+		"a=4potato", // junk size
+	}
+	for _, spec := range bad {
+		if _, _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestBuildIntoNestedPaths(t *testing.T) {
+	fs := memfs.NewFS()
+	built, err := BuildInto(fs, []string{"dir/sub/a=1", "dir/b=1", "top=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 3 {
+		t.Fatalf("built %d files, want 3", len(built))
+	}
+	for _, f := range built {
+		if f.Size != 1<<20 {
+			t.Errorf("%s: size %d, want %d", f.Path, f.Size, 1<<20)
+		}
+	}
+
+	// The intermediate directories exist and are directories.
+	dirFH, attr, err := fs.Lookup(vfs.RootFH, "dir")
+	if err != nil || !attr.Dir {
+		t.Fatalf("dir: attr=%+v err=%v", attr, err)
+	}
+	subFH, attr, err := fs.Lookup(dirFH, "sub")
+	if err != nil || !attr.Dir {
+		t.Fatalf("dir/sub: attr=%+v err=%v", attr, err)
+	}
+	if fh, attr, err := fs.Lookup(subFH, "a"); err != nil || attr.Dir || fh != built[0].FH {
+		t.Fatalf("dir/sub/a: fh=%v attr=%+v err=%v", fh, attr, err)
+	}
+	if fh, attr, err := fs.Lookup(dirFH, "b"); err != nil || attr.Dir || fh != built[1].FH {
+		t.Fatalf("dir/b: fh=%v attr=%+v err=%v", fh, attr, err)
+	}
+	if _, attr, err := fs.Lookup(vfs.RootFH, "top"); err != nil || attr.Dir {
+		t.Fatalf("top: attr=%+v err=%v", attr, err)
+	}
+}
+
+func TestBuildIntoSharedDirCreatedOnce(t *testing.T) {
+	fs := memfs.NewFS()
+	built, err := BuildInto(fs, []string{"shared/a=1", "shared/b=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 2 {
+		t.Fatalf("built %d files, want 2", len(built))
+	}
+	// Root holds exactly one entry: the shared directory, reused for
+	// the second spec rather than erroring or duplicating.
+	page, err := fs.Readdir(vfs.RootFH, 0, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 1 || page.Entries[0].Name != "shared" {
+		t.Fatalf("root entries = %+v, want just \"shared\"", page.Entries)
+	}
+	dir := page.Entries[0].FH
+	page, err = fs.Readdir(dir, 0, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 {
+		t.Fatalf("shared/ holds %d entries, want 2", len(page.Entries))
+	}
+}
+
+func TestBuildIntoFileBlocksPath(t *testing.T) {
+	fs := memfs.NewFS()
+	if _, err := BuildInto(fs, []string{"a=1", "a/b=1"}); err == nil {
+		t.Fatal("building under a file accepted, want error")
+	} else if !strings.Contains(err.Error(), "not a directory") {
+		t.Fatalf("err = %v, want a not-a-directory complaint", err)
+	}
+}
+
+func TestBuildIntoDefaultsAndPattern(t *testing.T) {
+	fs, built, err := BuildFS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 1 || built[0].Path != "demo" || built[0].Size != 4<<20 {
+		t.Fatalf("default build = %+v, want demo at 4 MB", built)
+	}
+	// The fill is patterned, not zero.
+	data, _, err := fs.Read(built[0].FH, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allZero := true
+	for _, b := range data {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("built file reads back as zeros, want patterned data")
+	}
+}

@@ -131,14 +131,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	names, err := filespec.BuildInto(backend, files)
+	built, err := filespec.BuildInto(backend, files)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
 		os.Exit(2)
 	}
-	for _, name := range names {
-		_, size, _ := backend.Lookup(name)
-		fmt.Printf("serving %s (%d MB)\n", name, size>>20)
+	for _, f := range built {
+		fmt.Printf("serving %s (%d MB)\n", f.Path, f.Size>>20)
 	}
 
 	svc := nfsd.New(backend, nfsd.Config{

@@ -142,23 +142,25 @@ func cmdCapture(args []string) error {
 
 // syntheticWorkload reads every served file over a mix of transports
 // with small think times, then rewrites a slice of each file as an
-// UNSTABLE write-behind stream capped by a COMMIT — enough structure
-// that analyze (reordering, stability mix, WRITE→COMMIT distances) and
-// faithful replay have something to show.
-func syntheticWorkload(addr string, names []string) error {
-	errs := make(chan error, 2*len(names))
+// UNSTABLE write-behind stream capped by a COMMIT, and finally runs a
+// metadata stream (MKDIR/CREATE/RENAME/READDIR/REMOVE) — enough
+// structure that analyze (reordering, stability mix, WRITE→COMMIT
+// distances, op mix with namespace calls) and faithful replay have
+// something to show.
+func syntheticWorkload(addr string, built []filespec.File) error {
+	errs := make(chan error, 2*len(built))
 	n := 0
-	for i, name := range names {
+	for i, f := range built {
 		for _, network := range []string{"udp", "tcp"} {
 			n++
-			go func(network, name string, stride int) {
+			go func(network, path string, stride int) {
 				errs <- func() error {
 					c, err := memfs.DialClient(network, addr)
 					if err != nil {
 						return err
 					}
 					defer c.Close()
-					fh, size, err := c.Lookup(name)
+					fh, size, err := c.LookupPath(path)
 					if err != nil {
 						return err
 					}
@@ -189,7 +191,7 @@ func syntheticWorkload(addr string, names []string) error {
 					_, err = wb.Commit()
 					return err
 				}()
-			}(network, name, 1+i%3)
+			}(network, f.Path, 1+i%3)
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -197,7 +199,53 @@ func syntheticWorkload(addr string, names []string) error {
 			return err
 		}
 	}
-	return nil
+	return metadataStream(addr)
+}
+
+// metadataStream exercises the namespace procedures against the live
+// server: a scratch directory filled with small files, stats, a few
+// renames, a paged READDIR scan, then removal of everything — so a
+// synthetic capture's op mix includes the metadata path.
+func metadataStream(addr string) error {
+	c, err := memfs.DialClient("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	dir, err := c.Mkdir(memfs.RootFH, "meta")
+	if err != nil {
+		return err
+	}
+	const files = 24
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		if _, err := c.Create(dir, name, 512); err != nil {
+			return err
+		}
+		fh, _, err := c.Lookup(dir, name)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Getattr(fh); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < files; i += 4 {
+		from := fmt.Sprintf("f%02d", i)
+		if err := c.Rename(dir, from, dir, from+".r"); err != nil {
+			return err
+		}
+	}
+	entries, err := c.ReaddirAll(dir, 8)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := c.Remove(dir, e.Name); err != nil {
+			return err
+		}
+	}
+	return c.Remove(memfs.RootFH, "meta")
 }
 
 func cmdInfo(args []string) error {

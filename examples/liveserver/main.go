@@ -23,7 +23,7 @@ func main() {
 	for i := range data {
 		data[i] = byte(i * 131)
 	}
-	fs.Create("demo", data)
+	fs.Create(nfstricks.LiveRootFH, "demo", data)
 
 	svc := nfstricks.NewLiveService(fs, nfstricks.SlowDown{}, nil)
 	srv, err := nfstricks.ServeLive("127.0.0.1:0", svc)
@@ -38,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fh, size, err := c.Lookup("demo")
+		fh, size, err := c.Lookup(nfstricks.LiveRootFH, "demo")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	fh, size, err := c.Lookup("demo")
+	fh, size, err := c.Lookup(nfstricks.LiveRootFH, "demo")
 	if err != nil {
 		log.Fatal(err)
 	}

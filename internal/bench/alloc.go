@@ -53,7 +53,7 @@ func newAllocProfileEnv() (*allocProfileEnv, error) {
 	for i := range payload {
 		payload[i] = byte(i * 17)
 	}
-	fs.Create("data", payload)
+	fs.Create(memfs.RootFH, "data", payload)
 	svc := memfs.NewService(fs, nil, nil)
 	srv, err := memfs.NewServer("127.0.0.1:0", svc)
 	if err != nil {
@@ -70,7 +70,7 @@ func newAllocProfileEnv() (*allocProfileEnv, error) {
 		srv.Close()
 		return nil, err
 	}
-	fh, _, err := c.Lookup("data")
+	fh, _, err := c.Lookup(memfs.RootFH, "data")
 	if err != nil {
 		rc.Close()
 		c.Close()
@@ -167,7 +167,7 @@ func AllocProfile(p Params) (*Result, error) {
 			return err
 		}},
 		{"LOOKUP", func() error {
-			_, _, err := env.c.Lookup("data")
+			_, _, err := env.c.Lookup(memfs.RootFH, "data")
 			return err
 		}},
 	} {

@@ -151,6 +151,7 @@ func Experiments() []Experiment {
 		{"trace-replay", "Trace capture & replay: achieved load vs replay schedule", TraceReplay},
 		{"write-path", "Asynchronous write pipeline: gather window vs synchronous writes", WritePath},
 		{"zcav-live", "Live ZCAV trap: zone placement x cache size over real RPC", ZCAVLive},
+		{"metadata-path", "Metadata path: create/stat/rename/readdir over live TCP", MetadataPath},
 	}
 }
 

@@ -40,7 +40,7 @@ func liveScaleCell(shards, n int, p Params) (float64, error) {
 	names := make([]string, n)
 	for i := range names {
 		names[i] = fmt.Sprintf("f%d", i)
-		fs.Create(names[i], payload)
+		fs.Create(memfs.RootFH, names[i], payload)
 	}
 	tp := nfsheur.ScaledParams()
 	tp.Shards = shards
@@ -68,7 +68,7 @@ func liveScaleCell(shards, n int, p Params) (float64, error) {
 		wg.Add(1)
 		go func(c *memfs.Client, name string) {
 			defer wg.Done()
-			fh, size, err := c.Lookup(name)
+			fh, size, err := c.Lookup(memfs.RootFH, name)
 			if err != nil {
 				errs <- err
 				return

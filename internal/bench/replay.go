@@ -40,7 +40,7 @@ func traceReplayEnv(perStream int) (*memfs.FS, []nfsproto.FH) {
 	}
 	fhs := make([]nfsproto.FH, traceReplayStreams)
 	for i := range fhs {
-		fhs[i] = fs.Create(fmt.Sprintf("s%d", i), payload)
+		fhs[i], _ = fs.Create(memfs.RootFH, fmt.Sprintf("s%d", i), payload)
 	}
 	return fs, fhs
 }

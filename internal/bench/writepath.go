@@ -72,7 +72,7 @@ func newWritePathEnv(window time.Duration, sinkLatency time.Duration, perClient 
 	for i := range fhs {
 		// Pre-size the files so the sweep measures the write pipeline,
 		// not allocator regrowth.
-		fhs[i] = fs.Create(fmt.Sprintf("w%d", i), make([]byte, perClient))
+		fhs[i], _ = fs.Create(memfs.RootFH, fmt.Sprintf("w%d", i), make([]byte, perClient))
 	}
 	mem := wgather.NewMemSink()
 	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{
@@ -270,7 +270,7 @@ func verifyStable(env *writePathEnv, perClient int) error {
 // FILE_SYNC, and the stable image equals the written bytes exactly.
 func checkWriteThroughEquivalence() error {
 	fs := memfs.NewFS()
-	fh := fs.Create("sync", nil)
+	fh, _ := fs.Create(memfs.RootFH, "sync", nil)
 	mem := wgather.NewMemSink()
 	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: 0, Sink: mem})
 	srv, err := memfs.NewServer("127.0.0.1:0", svc)

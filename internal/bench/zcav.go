@@ -48,7 +48,7 @@ func zcavCell(placement zonefs.Placement, cacheMB, xferKB int, run int, p Params
 	for i := range payload {
 		payload[i] = byte(i * 31)
 	}
-	if backend.Create("data", payload) == 0 {
+	if _, err := backend.Create(memfs.RootFH, "data", payload); err != nil {
 		return 0, fmt.Errorf("zcav-live: create failed (region full?)")
 	}
 	svc := nfsd.New(backend, nfsd.Config{})
@@ -64,7 +64,7 @@ func zcavCell(placement zonefs.Placement, cacheMB, xferKB int, run int, p Params
 	}
 	defer c.Close()
 
-	fh, size, err := c.Lookup("data")
+	fh, size, err := c.Lookup(memfs.RootFH, "data")
 	if err != nil {
 		return 0, err
 	}

@@ -1,9 +1,9 @@
 // Package memfs is the in-memory storage backend for the live
-// (real-socket) NFS server: a pure vfs.Backend holding real data bytes
-// with copy-on-write read views, plus the live NFS client and its
-// biod-style write-behind pipeline. The protocol work — proc dispatch,
-// nfsheur read-ahead heuristics, write gathering, tracing — lives in
-// internal/nfsd; the Service/NewService names here are thin
+// (real-socket) NFS server: a hierarchical vfs.Backend holding real
+// data bytes with copy-on-write read views, plus the live NFS client
+// and its biod-style write-behind pipeline. The protocol work — proc
+// dispatch, nfsheur read-ahead heuristics, write gathering, tracing —
+// lives in internal/nfsd; the Service/NewService names here are thin
 // compatibility wrappers that mount an FS behind that dispatch layer.
 package memfs
 
@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,79 +35,301 @@ const MaxFileSize = vfs.MaxFileSize
 // a file past MaxFileSize.
 var ErrTooBig = vfs.ErrTooBig
 
-// file holds one file's contents. data is treated as an immutable
-// segment: readers receive sub-slice views of it, so a write never
-// mutates bytes a view can see — overlapping writes copy-on-write to a
-// fresh segment and swap the pointer, and appends only ever touch
-// indices at or past the old length, which no view covers.
-type file struct {
-	name string
-	data []byte
+// dirent is one directory entry: the object it names and the readdir
+// cookie assigned when it was linked in (see the vfs paging contract).
+type dirent struct {
+	fh     nfsproto.FH
+	cookie uint64
 }
 
-// FS is a flat in-memory file store (one root directory).
+// dirState is a directory's namespace: its entries, the monotonic
+// cookie allocator, and the cookie verifier (bumped when an entry is
+// removed, which is the only mutation that can invalidate an
+// in-progress scan's resume cookies).
+type dirState struct {
+	entries    map[string]dirent
+	nextCookie uint64
+	verf       uint64
+}
+
+// object is one store object. Exactly one of the two roles applies:
+// dir == nil makes it a regular file whose contents are data; dir !=
+// nil makes it a directory (data stays nil). A file's data is treated
+// as an immutable segment: readers receive sub-slice views of it, so a
+// write never mutates bytes a view can see — overlapping writes
+// copy-on-write to a fresh segment and swap the pointer, and appends
+// only ever touch indices at or past the old length, which no view
+// covers.
+type object struct {
+	data []byte
+	dir  *dirState
+}
+
+func newDir() *object {
+	return &object{dir: &dirState{entries: make(map[string]dirent), nextCookie: 1}}
+}
+
+// FS is a hierarchical in-memory file store. The root directory exists
+// from construction at vfs.RootFH.
 type FS struct {
 	mu     sync.RWMutex
-	files  map[string]*file
-	byFH   map[nfsproto.FH]*file
+	objs   map[nfsproto.FH]*object
 	nextFH nfsproto.FH
 }
 
-// NewFS returns an empty store.
+// NewFS returns a store holding only an empty root directory.
 func NewFS() *FS {
-	return &FS{
-		files:  make(map[string]*file),
-		byFH:   make(map[nfsproto.FH]*file),
+	fs := &FS{
+		objs:   make(map[nfsproto.FH]*object),
 		nextFH: RootFH + 1,
 	}
+	fs.objs[RootFH] = newDir()
+	return fs
 }
 
-// Create adds a file with the given contents, replacing any previous
-// file of that name, and returns its handle.
-func (fs *FS) Create(name string, data []byte) nfsproto.FH {
-	return fs.install(name, append([]byte(nil), data...))
+// dirAt resolves fh to a directory object (caller holds fs.mu).
+func (fs *FS) dirAt(fh nfsproto.FH) (*object, error) {
+	o, ok := fs.objs[fh]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	if o.dir == nil {
+		return nil, fmt.Errorf("%w: %d", vfs.ErrNotDir, fh)
+	}
+	return o, nil
+}
+
+// link adds name→fh to d with a fresh cookie (caller holds fs.mu).
+func (fs *FS) link(d *dirState, name string, fh nfsproto.FH) {
+	d.entries[name] = dirent{fh: fh, cookie: d.nextCookie}
+	d.nextCookie++
+}
+
+// unlink removes name from d and bumps the verifier — resume cookies
+// issued before the removal may now skip or repeat, so outstanding
+// scans must restart (caller holds fs.mu).
+func (d *dirState) unlink(name string) {
+	delete(d.entries, name)
+	d.verf++
+}
+
+// Create adds a file under dir with the given contents, replacing any
+// previous file of that name, and returns its handle (vfs.Backend).
+func (fs *FS) Create(dir nfsproto.FH, name string, data []byte) (nfsproto.FH, error) {
+	return fs.install(dir, name, append([]byte(nil), data...))
 }
 
 // CreateSized adds a zero-filled file of size bytes (vfs.SizedCreator)
 // — one allocation, no payload copy.
-func (fs *FS) CreateSized(name string, size uint64) nfsproto.FH {
-	return fs.install(name, make([]byte, size))
+func (fs *FS) CreateSized(dir nfsproto.FH, name string, size uint64) (nfsproto.FH, error) {
+	return fs.install(dir, name, make([]byte, size))
 }
 
-// install registers a file segment fs now owns under name.
-func (fs *FS) install(name string, data []byte) nfsproto.FH {
+// install registers a file segment fs now owns as dir/name.
+func (fs *FS) install(dir nfsproto.FH, name string, data []byte) (nfsproto.FH, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if old, ok := fs.files[name]; ok {
-		for fh, f := range fs.byFH {
-			if f == old {
-				delete(fs.byFH, fh)
-				break
-			}
-		}
+	d, err := fs.dirAt(dir)
+	if err != nil {
+		return 0, err
 	}
-	f := &file{name: name, data: data}
-	fs.files[name] = f
+	if old, ok := d.dir.entries[name]; ok {
+		if fs.objs[old.fh].dir != nil {
+			return 0, fmt.Errorf("%w: %s", vfs.ErrIsDir, name)
+		}
+		delete(fs.objs, old.fh)
+		d.dir.unlink(name)
+	}
 	fh := fs.nextFH
 	fs.nextFH++
-	fs.byFH[fh] = f
-	return fh
+	fs.objs[fh] = &object{data: data}
+	fs.link(d.dir, name, fh)
+	return fh, nil
 }
 
-// Lookup resolves a name to a handle and size.
-func (fs *FS) Lookup(name string) (nfsproto.FH, int64, bool) {
+// Lookup resolves name under dir (vfs.Backend).
+func (fs *FS) Lookup(dir nfsproto.FH, name string) (nfsproto.FH, vfs.Attr, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	f, ok := fs.files[name]
-	if !ok {
-		return 0, 0, false
+	d, err := fs.dirAt(dir)
+	if err != nil {
+		return 0, vfs.Attr{}, err
 	}
-	for fh, g := range fs.byFH {
-		if g == f {
-			return fh, int64(len(f.data)), true
+	e, ok := d.dir.entries[name]
+	if !ok {
+		return 0, vfs.Attr{}, fmt.Errorf("%w: %s", vfs.ErrNoEnt, name)
+	}
+	return e.fh, fs.objs[e.fh].attr(), nil
+}
+
+// attr reports an object's contract attributes (caller holds fs.mu).
+func (o *object) attr() vfs.Attr {
+	if o.dir != nil {
+		return vfs.Attr{Size: int64(len(o.dir.entries)) * vfs.DirEntryBytes, Dir: true}
+	}
+	return vfs.Attr{Size: int64(len(o.data))}
+}
+
+// Mkdir creates an empty directory under dir; an existing entry of
+// either kind is ErrExist (vfs.Backend).
+func (fs *FS) Mkdir(dir nfsproto.FH, name string) (nfsproto.FH, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dirAt(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := d.dir.entries[name]; ok {
+		return 0, fmt.Errorf("%w: %s", vfs.ErrExist, name)
+	}
+	fh := fs.nextFH
+	fs.nextFH++
+	fs.objs[fh] = newDir()
+	fs.link(d.dir, name, fh)
+	return fh, nil
+}
+
+// Readdir returns up to maxEntries entries of dir with cookies
+// strictly greater than cookie, ascending (vfs.Backend).
+func (fs *FS) Readdir(dir nfsproto.FH, cookie, cookieverf uint64, maxEntries int) (vfs.ReaddirPage, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, err := fs.dirAt(dir)
+	if err != nil {
+		return vfs.ReaddirPage{}, err
+	}
+	if cookie != 0 && cookieverf != d.dir.verf {
+		return vfs.ReaddirPage{}, fmt.Errorf("%w: verf %d != %d", vfs.ErrBadCookie, cookieverf, d.dir.verf)
+	}
+	page := vfs.ReaddirPage{Cookieverf: d.dir.verf}
+	for name, e := range d.dir.entries {
+		if e.cookie > cookie {
+			page.Entries = append(page.Entries, vfs.DirEntry{
+				FH: e.fh, Name: name, Cookie: e.cookie, Attr: fs.objs[e.fh].attr()})
 		}
 	}
-	return 0, 0, false
+	sort.Slice(page.Entries, func(i, j int) bool {
+		return page.Entries[i].Cookie < page.Entries[j].Cookie
+	})
+	if maxEntries > 0 && len(page.Entries) > maxEntries {
+		page.Entries = page.Entries[:maxEntries:maxEntries]
+	} else {
+		page.EOF = true
+	}
+	return page, nil
+}
+
+// Remove unlinks dir/name and returns the removed handle; a directory
+// must be empty (vfs.Backend).
+func (fs *FS) Remove(dir nfsproto.FH, name string) (nfsproto.FH, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dirAt(dir)
+	if err != nil {
+		return 0, err
+	}
+	e, ok := d.dir.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", vfs.ErrNoEnt, name)
+	}
+	o := fs.objs[e.fh]
+	if o.dir != nil && len(o.dir.entries) > 0 {
+		return 0, fmt.Errorf("%w: %s", vfs.ErrNotEmpty, name)
+	}
+	delete(fs.objs, e.fh)
+	d.dir.unlink(name)
+	return e.fh, nil
+}
+
+// Rename moves fromDir/fromName to toDir/toName, atomically replacing
+// a file target (vfs.Backend).
+func (fs *FS) Rename(fromDir nfsproto.FH, fromName string, toDir nfsproto.FH, toName string) (nfsproto.FH, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fd, err := fs.dirAt(fromDir)
+	if err != nil {
+		return 0, err
+	}
+	td, err := fs.dirAt(toDir)
+	if err != nil {
+		return 0, err
+	}
+	src, ok := fd.dir.entries[fromName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", vfs.ErrNoEnt, fromName)
+	}
+	if fromDir == toDir && fromName == toName {
+		return 0, nil // RFC 1813: renaming an entry onto itself succeeds
+	}
+	srcObj := fs.objs[src.fh]
+	if srcObj.dir != nil && fs.inSubtree(src.fh, toDir) {
+		return 0, fmt.Errorf("%w: rename dir into own subtree", vfs.ErrInval)
+	}
+	var replaced nfsproto.FH
+	if tgt, ok := td.dir.entries[toName]; ok {
+		tgtObj := fs.objs[tgt.fh]
+		if tgtObj.dir != nil {
+			return 0, fmt.Errorf("%w: %s", vfs.ErrIsDir, toName)
+		}
+		if srcObj.dir != nil {
+			return 0, fmt.Errorf("%w: %s", vfs.ErrNotDir, toName)
+		}
+		delete(fs.objs, tgt.fh)
+		td.dir.unlink(toName)
+		replaced = tgt.fh
+	}
+	fd.dir.unlink(fromName)
+	fs.link(td.dir, toName, src.fh)
+	return replaced, nil
+}
+
+// inSubtree reports whether fh equals root or lies under the directory
+// root (caller holds fs.mu). Guard against the cycle a rename of a
+// directory into its own subtree would create.
+func (fs *FS) inSubtree(root, fh nfsproto.FH) bool {
+	if root == fh {
+		return true
+	}
+	o := fs.objs[root]
+	if o == nil || o.dir == nil {
+		return false
+	}
+	for _, e := range o.dir.entries {
+		if fs.inSubtree(e.fh, fh) {
+			return true
+		}
+	}
+	return false
+}
+
+// Setattr sets a file's size, truncating or zero-extending
+// (vfs.Backend).
+func (fs *FS) Setattr(fh nfsproto.FH, size uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	o, ok := fs.objs[fh]
+	if !ok {
+		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	if o.dir != nil {
+		return fmt.Errorf("%w: %d", vfs.ErrIsDir, fh)
+	}
+	if size > MaxFileSize {
+		return fmt.Errorf("%w (setattr size=%d)", ErrTooBig, size)
+	}
+	cur := uint64(len(o.data))
+	switch {
+	case size < cur:
+		// Truncate by reslicing with capped capacity: the dropped bytes
+		// stay untouched for outstanding read views, and the cap stops a
+		// later in-place append from reviving them.
+		o.data = o.data[:size:size]
+	case size > cur:
+		grown := make([]byte, size)
+		copy(grown, o.data)
+		o.data = grown
+	}
+	return nil
 }
 
 // Read returns up to count bytes at off from the file. The returned
@@ -123,9 +347,12 @@ func (fs *FS) Read(fh nfsproto.FH, off uint64, count uint32) (data []byte, eof b
 func (fs *FS) readAt(fh nfsproto.FH, off uint64, count uint32) (data []byte, size uint64, eof bool, err error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	f, ok := fs.byFH[fh]
+	f, ok := fs.objs[fh]
 	if !ok {
 		return nil, 0, false, fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	if f.dir != nil {
+		return nil, 0, false, fmt.Errorf("%w: %d", vfs.ErrIsDir, fh)
 	}
 	size = uint64(len(f.data))
 	if off >= size {
@@ -143,13 +370,16 @@ func (fs *FS) readAt(fh nfsproto.FH, off uint64, count uint32) (data []byte, siz
 // Write stores data at off, extending the file as needed. Extension
 // capacity is doubled (amortized O(1) appends instead of the quadratic
 // exact-size regrow), and any write that touches bytes a Read view
-// could see copies to a fresh segment first (see the file type).
+// could see copies to a fresh segment first (see the object type).
 func (fs *FS) Write(fh nfsproto.FH, off uint64, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	f, ok := fs.byFH[fh]
+	f, ok := fs.objs[fh]
 	if !ok {
 		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	if f.dir != nil {
+		return fmt.Errorf("%w: %d", vfs.ErrIsDir, fh)
 	}
 	if off > MaxFileSize || uint64(len(data)) > MaxFileSize-off {
 		return fmt.Errorf("%w (off=%d len=%d)", ErrTooBig, off, len(data))
@@ -181,32 +411,41 @@ func (fs *FS) Write(fh nfsproto.FH, off uint64, data []byte) error {
 	return nil
 }
 
-// Size returns a file's length.
+// Size returns an object's length (for a directory, its nominal
+// entries × vfs.DirEntryBytes size).
 func (fs *FS) Size(fh nfsproto.FH) (int64, bool) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	f, ok := fs.byFH[fh]
-	if !ok {
-		return 0, false
-	}
-	return int64(len(f.data)), true
+	a, ok := fs.Getattr(fh)
+	return a.Size, ok
 }
 
-// The vfs.Backend surface: FS's native methods (Create, Lookup, Read,
-// Write, Size) pre-date the interface; the adapters below complete it.
+// The vfs.Backend surface: FS's native methods pre-date the interface;
+// the adapters below complete it.
 
 // nominalTotalBytes is the capacity FSSTAT advertises for the
 // unbounded in-memory store (1 TB — honest enough for clients that
 // divide by it).
 const nominalTotalBytes = 1 << 40
 
-// Getattr returns a file's current size (vfs.Backend).
-func (fs *FS) Getattr(fh nfsproto.FH) (int64, bool) { return fs.Size(fh) }
+// Getattr returns an object's current attributes (vfs.Backend).
+func (fs *FS) Getattr(fh nfsproto.FH) (vfs.Attr, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	o, ok := fs.objs[fh]
+	if !ok {
+		return vfs.Attr{}, false
+	}
+	return o.attr(), true
+}
 
-// Access grants read/modify/extend on any live handle (vfs.Backend).
+// Access grants read/modify/extend on files and the directory mask on
+// directories (vfs.Backend).
 func (fs *FS) Access(fh nfsproto.FH, mask uint32) (uint32, bool) {
-	if _, ok := fs.Size(fh); !ok {
+	a, ok := fs.Getattr(fh)
+	if !ok {
 		return 0, false
+	}
+	if a.Dir {
+		return vfs.DirAccess(mask), true
 	}
 	return vfs.FileAccess(mask), true
 }
@@ -227,7 +466,9 @@ func (fs *FS) WriteAt(fh nfsproto.FH, off uint64, data []byte) error {
 // store, so data is as durable as it ever gets the moment WriteAt
 // returns (vfs.Backend).
 func (fs *FS) Commit(fh nfsproto.FH, off uint64, count uint32) error {
-	if _, ok := fs.Size(fh); !ok {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if _, ok := fs.objs[fh]; !ok {
 		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
 	}
 	return nil
@@ -238,8 +479,8 @@ func (fs *FS) Commit(fh nfsproto.FH, off uint64, count uint32) error {
 func (fs *FS) Fsstat() (total, free uint64) {
 	fs.mu.RLock()
 	var used uint64
-	for _, f := range fs.files {
-		used += uint64(len(f.data))
+	for _, o := range fs.objs {
+		used += uint64(len(o.data))
 	}
 	fs.mu.RUnlock()
 	total = nominalTotalBytes
@@ -309,10 +550,45 @@ func DialClient(network, addr string) (*Client, error) {
 // Close releases the transport.
 func (c *Client) Close() error { return c.rpc.Close() }
 
-// Lookup resolves a name under the root.
-func (c *Client) Lookup(name string) (nfsproto.FH, int64, error) {
+// statusErr wraps a non-OK nfsstat3 so callers can branch on the code
+// (errors.Is against the matching vfs sentinel where one exists).
+type statusErr struct {
+	op     string
+	status uint32
+}
+
+func (e *statusErr) Error() string {
+	return fmt.Sprintf("memfs: %s: status %d", e.op, e.status)
+}
+
+func (e *statusErr) Is(target error) bool {
+	switch e.status {
+	case nfsproto.ErrNoEnt:
+		return target == vfs.ErrNoEnt
+	case nfsproto.ErrExist:
+		return target == vfs.ErrExist
+	case nfsproto.ErrNotDir:
+		return target == vfs.ErrNotDir
+	case nfsproto.ErrIsDir:
+		return target == vfs.ErrIsDir
+	case nfsproto.ErrNotEmpty:
+		return target == vfs.ErrNotEmpty
+	case nfsproto.ErrBadCookie:
+		return target == vfs.ErrBadCookie
+	case nfsproto.ErrStale:
+		return target == vfs.ErrStale
+	}
+	return false
+}
+
+func statusError(op string, status uint32) error {
+	return &statusErr{op: op, status: status}
+}
+
+// Lookup resolves a name under dir and returns the handle and size.
+func (c *Client) Lookup(dir nfsproto.FH, name string) (nfsproto.FH, int64, error) {
 	body, err := c.rpc.Call(nfsproto.ProcLookup,
-		(&nfsproto.LookupArgs{Dir: RootFH, Name: name}).Marshal())
+		(&nfsproto.LookupArgs{Dir: dir, Name: name}).Marshal())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -321,13 +597,29 @@ func (c *Client) Lookup(name string) (nfsproto.FH, int64, error) {
 		return 0, 0, err
 	}
 	if res.Status != nfsproto.OK {
-		return 0, 0, fmt.Errorf("memfs: lookup %q: status %d", name, res.Status)
+		return 0, 0, statusError(fmt.Sprintf("lookup %q", name), res.Status)
 	}
 	var size int64
 	if res.Attrs != nil {
 		size = int64(res.Attrs.Size)
 	}
 	return res.FH, size, nil
+}
+
+// LookupPath resolves a "/"-separated path from the root.
+func (c *Client) LookupPath(path string) (nfsproto.FH, int64, error) {
+	fh, size := nfsproto.FH(RootFH), int64(0)
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		var err error
+		fh, size, err = c.Lookup(fh, part)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return fh, size, nil
 }
 
 // Read fetches count bytes at off.
@@ -342,7 +634,7 @@ func (c *Client) Read(fh nfsproto.FH, off uint64, count uint32) ([]byte, bool, e
 		return nil, false, err
 	}
 	if res.Status != nfsproto.OK {
-		return nil, false, fmt.Errorf("memfs: read: status %d", res.Status)
+		return nil, false, statusError("read", res.Status)
 	}
 	return res.Data, res.EOF, nil
 }
@@ -368,7 +660,7 @@ func (c *Client) WriteStable(fh nfsproto.FH, off uint64, data []byte, stable uin
 		return nil, err
 	}
 	if res.Status != nfsproto.OK {
-		return nil, fmt.Errorf("memfs: write: status %d", res.Status)
+		return nil, statusError("write", res.Status)
 	}
 	return res, nil
 }
@@ -398,7 +690,7 @@ func (c *Client) Commit(fh nfsproto.FH, off uint64, count uint32) (verf uint64, 
 		return 0, err
 	}
 	if res.Status != nfsproto.OK {
-		return 0, fmt.Errorf("memfs: commit: status %d", res.Status)
+		return 0, statusError("commit", res.Status)
 	}
 	return res.Verf, nil
 }
@@ -416,7 +708,7 @@ func (c *Client) Access(fh nfsproto.FH, mask uint32) (granted uint32, err error)
 		return 0, err
 	}
 	if res.Status != nfsproto.OK {
-		return 0, fmt.Errorf("memfs: access: status %d", res.Status)
+		return 0, statusError("access", res.Status)
 	}
 	return res.Access, nil
 }
@@ -433,16 +725,16 @@ func (c *Client) Fsstat(fh nfsproto.FH) (total, free uint64, err error) {
 		return 0, 0, err
 	}
 	if res.Status != nfsproto.OK {
-		return 0, 0, fmt.Errorf("memfs: fsstat: status %d", res.Status)
+		return 0, 0, statusError("fsstat", res.Status)
 	}
 	return res.Tbytes, res.Fbytes, nil
 }
 
-// Create makes a zero-filled file of the given size under the root and
+// Create makes a zero-filled file of the given size under dir and
 // returns its handle.
-func (c *Client) Create(name string, size uint64) (nfsproto.FH, error) {
+func (c *Client) Create(dir nfsproto.FH, name string, size uint64) (nfsproto.FH, error) {
 	body, err := c.rpc.Call(nfsproto.ProcCreate,
-		(&nfsproto.CreateArgs{Dir: RootFH, Name: name, Size: size}).Marshal())
+		(&nfsproto.CreateArgs{Dir: dir, Name: name, Size: size}).Marshal())
 	if err != nil {
 		return 0, err
 	}
@@ -451,9 +743,176 @@ func (c *Client) Create(name string, size uint64) (nfsproto.FH, error) {
 		return 0, err
 	}
 	if res.Status != nfsproto.OK {
-		return 0, fmt.Errorf("memfs: create %q: status %d", name, res.Status)
+		return 0, statusError(fmt.Sprintf("create %q", name), res.Status)
 	}
 	return res.FH, nil
+}
+
+// Mkdir creates a directory under dir and returns its handle.
+func (c *Client) Mkdir(dir nfsproto.FH, name string) (nfsproto.FH, error) {
+	body, err := c.rpc.Call(nfsproto.ProcMkdir,
+		(&nfsproto.MkdirArgs{Dir: dir, Name: name}).Marshal())
+	if err != nil {
+		return 0, err
+	}
+	res, err := nfsproto.UnmarshalMkdirRes(body)
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != nfsproto.OK {
+		return 0, statusError(fmt.Sprintf("mkdir %q", name), res.Status)
+	}
+	return res.FH, nil
+}
+
+// Remove unlinks name under dir (a directory must be empty).
+func (c *Client) Remove(dir nfsproto.FH, name string) error {
+	body, err := c.rpc.Call(nfsproto.ProcRemove,
+		(&nfsproto.RemoveArgs{Dir: dir, Name: name}).Marshal())
+	if err != nil {
+		return err
+	}
+	res, err := nfsproto.UnmarshalRemoveRes(body)
+	if err != nil {
+		return err
+	}
+	if res.Status != nfsproto.OK {
+		return statusError(fmt.Sprintf("remove %q", name), res.Status)
+	}
+	return nil
+}
+
+// Rename moves fromDir/fromName to toDir/toName.
+func (c *Client) Rename(fromDir nfsproto.FH, fromName string, toDir nfsproto.FH, toName string) error {
+	body, err := c.rpc.Call(nfsproto.ProcRename,
+		(&nfsproto.RenameArgs{FromDir: fromDir, FromName: fromName,
+			ToDir: toDir, ToName: toName}).Marshal())
+	if err != nil {
+		return err
+	}
+	res, err := nfsproto.UnmarshalRenameRes(body)
+	if err != nil {
+		return err
+	}
+	if res.Status != nfsproto.OK {
+		return statusError(fmt.Sprintf("rename %q", fromName), res.Status)
+	}
+	return nil
+}
+
+// Setattr sets a file's size (truncate or zero-extend).
+func (c *Client) Setattr(fh nfsproto.FH, size uint64) error {
+	body, err := c.rpc.Call(nfsproto.ProcSetattr,
+		(&nfsproto.SetattrArgs{FH: fh, Size: size}).Marshal())
+	if err != nil {
+		return err
+	}
+	res, err := nfsproto.UnmarshalSetattrRes(body)
+	if err != nil {
+		return err
+	}
+	if res.Status != nfsproto.OK {
+		return statusError("setattr", res.Status)
+	}
+	return nil
+}
+
+// Getattr fetches an object's attributes.
+func (c *Client) Getattr(fh nfsproto.FH) (nfsproto.Fattr, error) {
+	body, err := c.rpc.Call(nfsproto.ProcGetattr,
+		(&nfsproto.GetattrArgs{FH: fh}).Marshal())
+	if err != nil {
+		return nfsproto.Fattr{}, err
+	}
+	res, err := nfsproto.UnmarshalGetattrRes(body)
+	if err != nil {
+		return nfsproto.Fattr{}, err
+	}
+	if res.Status != nfsproto.OK {
+		return nfsproto.Fattr{}, statusError("getattr", res.Status)
+	}
+	return res.Attrs, nil
+}
+
+// Readdir fetches one page of dir: entries with cookies greater than
+// cookie, valid under cookieverf (0/0 starts a fresh scan). count is
+// the reply-size budget in bytes. A stale verifier surfaces as an
+// error matching vfs.ErrBadCookie — restart from 0/0.
+func (c *Client) Readdir(dir nfsproto.FH, cookie, cookieverf uint64, count uint32) (*nfsproto.ReaddirRes, error) {
+	body, err := c.rpc.Call(nfsproto.ProcReaddir,
+		(&nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Cookieverf: cookieverf,
+			Count: count}).Marshal())
+	if err != nil {
+		return nil, err
+	}
+	res, err := nfsproto.UnmarshalReaddirRes(body)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != nfsproto.OK {
+		return nil, statusError("readdir", res.Status)
+	}
+	return res, nil
+}
+
+// Readdirplus is Readdir with per-entry attributes and handles.
+func (c *Client) Readdirplus(dir nfsproto.FH, cookie, cookieverf uint64, dirCount, maxCount uint32) (*nfsproto.ReaddirplusRes, error) {
+	body, err := c.rpc.Call(nfsproto.ProcReaddirplus,
+		(&nfsproto.ReaddirplusArgs{Dir: dir, Cookie: cookie, Cookieverf: cookieverf,
+			DirCount: dirCount, MaxCount: maxCount}).Marshal())
+	if err != nil {
+		return nil, err
+	}
+	res, err := nfsproto.UnmarshalReaddirplusRes(body)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != nfsproto.OK {
+		return nil, statusError("readdirplus", res.Status)
+	}
+	return res, nil
+}
+
+// readdirAllRestarts bounds full-scan restarts after ErrBadCookie in
+// ReaddirAll; under sustained concurrent removal a scan could
+// otherwise livelock.
+const readdirAllRestarts = 8
+
+// ReaddirAll pages through dir with the given per-page reply budget
+// and returns every entry. If a page resume hits a stale cookie
+// verifier (an entry was removed mid-scan) the whole scan restarts
+// from cookie 0, a bounded number of times — the RFC 1813 client
+// recovery for NFS3ERR_BAD_COOKIE.
+func (c *Client) ReaddirAll(dir nfsproto.FH, count uint32) ([]nfsproto.DirEntry, error) {
+	var lastErr error
+	for attempt := 0; attempt <= readdirAllRestarts; attempt++ {
+		var all []nfsproto.DirEntry
+		var cookie, verf uint64
+		for {
+			res, err := c.Readdir(dir, cookie, verf, count)
+			if err != nil {
+				if errors.Is(err, vfs.ErrBadCookie) {
+					lastErr = err
+					all = nil
+					break // restart from scratch
+				}
+				return nil, err
+			}
+			all = append(all, res.Entries...)
+			verf = res.Cookieverf
+			if len(res.Entries) > 0 {
+				cookie = res.Entries[len(res.Entries)-1].Cookie
+			}
+			if res.EOF {
+				return all, nil
+			}
+			if len(res.Entries) == 0 {
+				return nil, fmt.Errorf("memfs: readdir: empty page without EOF")
+			}
+		}
+	}
+	return nil, fmt.Errorf("memfs: readdir: scan restarted %d times: %w",
+		readdirAllRestarts, lastErr)
 }
 
 // writeBehindTimeout bounds each reply wait inside WriteBehind; an

@@ -28,7 +28,7 @@ func BenchmarkLiveReadSaturation(b *testing.B) {
 			names := make([]string, clients)
 			for i := range names {
 				names[i] = fmt.Sprintf("f%d", i)
-				fs.Create(names[i], payload)
+				fs.Create(RootFH, names[i], payload)
 			}
 			tp := nfsheur.ScaledParams()
 			tp.Shards = shards
@@ -47,7 +47,7 @@ func BenchmarkLiveReadSaturation(b *testing.B) {
 				}
 				defer c.Close()
 				cs[i] = c
-				if fhs[i], _, err = c.Lookup(names[i]); err != nil {
+				if fhs[i], _, err = c.Lookup(RootFH, names[i]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -84,7 +84,7 @@ func BenchmarkLiveReadSaturation(b *testing.B) {
 func BenchmarkPipelinedReadsOneClient(b *testing.B) {
 	const fileSize = 1 << 20
 	fs := NewFS()
-	fs.Create("f", make([]byte, fileSize))
+	fs.Create(RootFH, "f", make([]byte, fileSize))
 	svc := NewService(fs, nil, nil)
 	srv, err := rpcnet.NewServer("127.0.0.1:0", nfsproto.Program, nfsproto.Version3, svc.Handler())
 	if err != nil {
@@ -96,7 +96,7 @@ func BenchmarkPipelinedReadsOneClient(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer c.Close()
-	fh, _, err := c.Lookup("f")
+	fh, _, err := c.Lookup(RootFH, "f")
 	if err != nil {
 		b.Fatal(err)
 	}

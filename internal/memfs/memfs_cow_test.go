@@ -16,7 +16,7 @@ import (
 // zero-filled gaps.
 func TestWriteSemantics(t *testing.T) {
 	fs := NewFS()
-	fh := fs.Create("f", []byte("abcdef"))
+	fh, _ := fs.Create(RootFH, "f", []byte("abcdef"))
 
 	// Overlapping overwrite.
 	if err := fs.Write(fh, 2, []byte("XY")); err != nil {
@@ -59,7 +59,7 @@ func TestWriteAppendAmortized(t *testing.T) {
 	block := make([]byte, 1024)
 	allocs := testing.AllocsPerRun(5, func() {
 		fs := NewFS()
-		fh := fs.Create("f", nil)
+		fh, _ := fs.Create(RootFH, "f", nil)
 		for i := 0; i < 256; i++ {
 			if err := fs.Write(fh, uint64(i)*1024, block); err != nil {
 				panic(err)
@@ -77,10 +77,10 @@ func TestWriteAppendAmortized(t *testing.T) {
 // goroutine or attempt the allocation.
 func TestWriteHugeOffsetRejected(t *testing.T) {
 	fs := NewFS()
-	fs.Create("f", []byte("data"))
+	fs.Create(RootFH, "f", []byte("data"))
 	svc := NewService(fs, nil, nil)
 	h := svc.Handler()
-	fh, _, _ := fs.Lookup("f")
+	fh, _, _ := fs.Lookup(RootFH, "f")
 	for _, off := range []uint64{^uint64(0), ^uint64(0) - 2, 1 << 40, MaxFileSize + 1} {
 		body := (&nfsproto.WriteArgs{FH: fh, Offset: off, Count: 4, Data: []byte("boom")}).Marshal()
 		out, stat := h(nfsproto.ProcWrite, body, nil)
@@ -114,7 +114,7 @@ func TestWriteHugeOffsetRejected(t *testing.T) {
 func TestReadViewStableUnderWrite(t *testing.T) {
 	fs := NewFS()
 	const size = 8192
-	fh := fs.Create("f", bytes.Repeat([]byte{0xAA}, size))
+	fh, _ := fs.Create(RootFH, "f", bytes.Repeat([]byte{0xAA}, size))
 	view, eof, err := fs.Read(fh, 0, size)
 	if err != nil || !eof || len(view) != size {
 		t.Fatalf("Read: len=%d eof=%v err=%v", len(view), eof, err)
@@ -153,7 +153,7 @@ func TestReadViewStableUnderWrite(t *testing.T) {
 func TestLiveReadsConsistentUnderWrites(t *testing.T) {
 	const size = 8192
 	fs := NewFS()
-	fs.Create("f", bytes.Repeat([]byte{0x11}, size))
+	fs.Create(RootFH, "f", bytes.Repeat([]byte{0x11}, size))
 	svc := NewService(fs, nil, nil)
 	srv, err := NewServer("127.0.0.1:0", svc)
 	if err != nil {
@@ -174,7 +174,7 @@ func TestLiveReadsConsistentUnderWrites(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer reader.Close()
-		fh, _, err := reader.Lookup("f")
+		fh, _, err := reader.Lookup(RootFH, "f")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,12 +225,12 @@ func TestLiveReadsConsistentUnderWrites(t *testing.T) {
 func TestReadReplySingleCopy(t *testing.T) {
 	fs := NewFS()
 	payload := bytes.Repeat([]byte{0x5a}, nfsproto.MaxData)
-	fs.Create("f", payload)
+	fs.Create(RootFH, "f", payload)
 	svc := NewService(fs, nil, nil)
 	h := svc.Handler()
-	fh, _, ok := fs.Lookup("f")
-	if !ok {
-		t.Fatal("lookup failed")
+	fh, _, err := fs.Lookup(RootFH, "f")
+	if err != nil {
+		t.Fatal(err)
 	}
 	body := (&nfsproto.ReadArgs{FH: fh, Offset: 0, Count: nfsproto.MaxData}).Marshal()
 	reply := make([]byte, 0, 64*1024)

@@ -12,10 +12,10 @@ import (
 func TestFSCreateLookupRead(t *testing.T) {
 	fs := NewFS()
 	data := []byte("the quick brown fox")
-	fs.Create("f", data)
-	fh, size, ok := fs.Lookup("f")
-	if !ok || size != int64(len(data)) {
-		t.Fatalf("lookup: ok=%v size=%d", ok, size)
+	fs.Create(RootFH, "f", data)
+	fh, attr, err := fs.Lookup(RootFH, "f")
+	if err != nil || attr.Size != int64(len(data)) {
+		t.Fatalf("lookup: err=%v size=%d", err, attr.Size)
 	}
 	got, eof, err := fs.Read(fh, 4, 5)
 	if err != nil || string(got) != "quick" || eof {
@@ -32,7 +32,7 @@ func TestFSCreateLookupRead(t *testing.T) {
 
 func TestFSWriteExtends(t *testing.T) {
 	fs := NewFS()
-	fh := fs.Create("f", []byte("abc"))
+	fh, _ := fs.Create(RootFH, "f", []byte("abc"))
 	if err := fs.Write(fh, 5, []byte("xyz")); err != nil {
 		t.Fatal(err)
 	}
@@ -61,8 +61,8 @@ func startLive(t *testing.T) (*Service, string) {
 	for i := range payload {
 		payload[i] = byte(i * 31)
 	}
-	fs.Create("big", payload)
-	fs.Create("hello", []byte("hello, world"))
+	fs.Create(RootFH, "big", payload)
+	fs.Create(RootFH, "hello", []byte("hello, world"))
 	svc := NewService(fs, nil, nil)
 	srv, err := rpcnet.NewServer("127.0.0.1:0", nfsproto.Program, nfsproto.Version3, svc.Handler())
 	if err != nil {
@@ -79,7 +79,7 @@ func TestLiveServerOverUDPAndTCP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", network, err)
 		}
-		fh, size, err := c.Lookup("hello")
+		fh, size, err := c.Lookup(RootFH, "hello")
 		if err != nil || size != 12 {
 			t.Fatalf("%s lookup: size=%d err=%v", network, size, err)
 		}
@@ -101,7 +101,7 @@ func TestLiveSequentialReadBuildsSeqcount(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fh, size, err := c.Lookup("big")
+	fh, size, err := c.Lookup(RootFH, "big")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestLiveWriteReadBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fh, _, err := c.Lookup("hello")
+	fh, _, err := c.Lookup(RootFH, "hello")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestLiveLookupMissing(t *testing.T) {
 	_, addr := startLive(t)
 	c, _ := DialClient("udp", addr)
 	defer c.Close()
-	if _, _, err := c.Lookup("nope"); err == nil {
+	if _, _, err := c.Lookup(RootFH, "nope"); err == nil {
 		t.Fatal("missing lookup succeeded")
 	}
 }
@@ -171,7 +171,7 @@ func TestLiveZeroHandleRead(t *testing.T) {
 		t.Fatal("zero-handle read succeeded")
 	}
 	// The server must still be alive and serving.
-	if _, size, err := c.Lookup("hello"); err != nil || size != 12 {
+	if _, size, err := c.Lookup(RootFH, "hello"); err != nil || size != 12 {
 		t.Fatalf("server dead after zero-handle read: size=%d err=%v", size, err)
 	}
 }
@@ -191,7 +191,7 @@ func TestLiveConcurrentClients(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			fh, size, err := c.Lookup("big")
+			fh, size, err := c.Lookup(RootFH, "big")
 			if err != nil {
 				done <- err
 				return
@@ -226,7 +226,7 @@ func (e errShort) Error() string { return "short transfer" }
 func TestServiceStrideDetectedByCursor(t *testing.T) {
 	fs := NewFS()
 	payload := make([]byte, 512*1024)
-	fs.Create("s", payload)
+	fs.Create(RootFH, "s", payload)
 	svc := NewService(fs, &readahead.CursorHeuristic{}, nil)
 	srv, err := rpcnet.NewServer("127.0.0.1:0", nfsproto.Program, nfsproto.Version3, svc.Handler())
 	if err != nil {
@@ -238,7 +238,7 @@ func TestServiceStrideDetectedByCursor(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fh, size, err := c.Lookup("s")
+	fh, size, err := c.Lookup(RootFH, "s")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ func startGatherServer(t *testing.T, nFiles, fileSize int, cfg wgather.Config) (
 	fs := NewFS()
 	fhs := make([]nfsproto.FH, nFiles)
 	for i := range fhs {
-		fhs[i] = fs.Create(fmt.Sprintf("w%d", i), make([]byte, fileSize))
+		fhs[i], _ = fs.Create(RootFH, fmt.Sprintf("w%d", i), make([]byte, fileSize))
 	}
 	svc := NewServiceGather(fs, nil, nil, cfg)
 	srv, err := NewServer("127.0.0.1:0", svc)
@@ -105,7 +105,7 @@ func TestLiveUnstableWriteCommit(t *testing.T) {
 // synchronous behaviour the server always had.
 func TestLiveDefaultServiceIsWriteThrough(t *testing.T) {
 	fs := NewFS()
-	fh := fs.Create("f", nil)
+	fh, _ := fs.Create(RootFH, "f", nil)
 	svc := NewService(fs, nil, nil)
 	srv, err := NewServer("127.0.0.1:0", svc)
 	if err != nil {

@@ -249,6 +249,18 @@ func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
 		return s.commit(body, reply)
 	case nfsproto.ProcGetattr:
 		return s.getattr(body, reply)
+	case nfsproto.ProcSetattr:
+		return s.setattr(body, reply)
+	case nfsproto.ProcMkdir:
+		return s.mkdir(body, reply)
+	case nfsproto.ProcRemove:
+		return s.remove(body, reply)
+	case nfsproto.ProcRename:
+		return s.rename(body, reply)
+	case nfsproto.ProcReaddir:
+		return s.readdir(body, reply)
+	case nfsproto.ProcReaddirplus:
+		return s.readdirplus(body, reply)
 	case nfsproto.ProcFsstat:
 		return s.fsstat(body, reply)
 	default:
@@ -256,16 +268,48 @@ func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
 	}
 }
 
-// fileAttrs fills the regular-file attribute block every reply
-// carries.
+// fileAttrs fills the regular-file attribute block the data-path
+// replies carry.
 func fileAttrs(fh nfsproto.FH, size uint64) nfsproto.Fattr {
 	return nfsproto.Fattr{Type: nfsproto.TypeReg, Mode: 0644, Nlink: 1,
 		Size: size, Used: size, FileID: uint64(fh)}
 }
 
-func rootAttrs() nfsproto.Fattr {
-	return nfsproto.Fattr{Type: nfsproto.TypeDir, Mode: 0755, Nlink: 2,
-		FileID: uint64(vfs.RootFH)}
+// objAttrs fills the attribute block for any backend object.
+func objAttrs(fh nfsproto.FH, a vfs.Attr) nfsproto.Fattr {
+	if a.Dir {
+		return nfsproto.Fattr{Type: nfsproto.TypeDir, Mode: 0755, Nlink: 2,
+			Size: uint64(a.Size), Used: uint64(a.Size), FileID: uint64(fh)}
+	}
+	return fileAttrs(fh, uint64(a.Size))
+}
+
+// statusOf maps a backend sentinel error to its nfsstat3 code.
+func statusOf(err error) uint32 {
+	switch {
+	case errors.Is(err, vfs.ErrNoEnt):
+		return nfsproto.ErrNoEnt
+	case errors.Is(err, vfs.ErrExist):
+		return nfsproto.ErrExist
+	case errors.Is(err, vfs.ErrNotDir):
+		return nfsproto.ErrNotDir
+	case errors.Is(err, vfs.ErrIsDir):
+		return nfsproto.ErrIsDir
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return nfsproto.ErrNotEmpty
+	case errors.Is(err, vfs.ErrBadCookie):
+		return nfsproto.ErrBadCookie
+	case errors.Is(err, vfs.ErrInval):
+		return nfsproto.ErrInval
+	case errors.Is(err, vfs.ErrTooBig):
+		return nfsproto.ErrFBig
+	case errors.Is(err, vfs.ErrNoSpace):
+		return nfsproto.ErrNoSpc
+	case errors.Is(err, vfs.ErrStale):
+		return nfsproto.ErrStale
+	default:
+		return nfsproto.ErrIO
+	}
 }
 
 func (s *Service) lookup(body, reply []byte) ([]byte, uint32) {
@@ -273,41 +317,32 @@ func (s *Service) lookup(body, reply []byte) ([]byte, uint32) {
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
 	}
-	if args.Dir != vfs.RootFH {
-		res := nfsproto.LookupRes{Status: nfsproto.ErrStale}
+	fh, a, lerr := s.b.Lookup(args.Dir, args.Name)
+	if lerr != nil {
+		res := nfsproto.LookupRes{Status: statusOf(lerr)}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
-	fh, size, ok := s.b.Lookup(args.Name)
-	if !ok {
-		res := nfsproto.LookupRes{Status: nfsproto.ErrNoEnt}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	attrs := fileAttrs(fh, uint64(size))
+	attrs := objAttrs(fh, a)
 	res := nfsproto.LookupRes{Status: nfsproto.OK, FH: fh, Attrs: &attrs}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
-// access serves ACCESS: the root grants lookup/read, files grant
-// whatever the backend reports (read/modify/extend for the current
-// backends). Clients probe this before their first I/O on a handle.
+// access serves ACCESS: directories (the root included) grant the
+// directory mask, files grant whatever the backend reports
+// (read/modify/extend for the current backends). Clients probe this
+// before their first I/O on a handle.
 func (s *Service) access(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalAccessArgs(body)
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
-	}
-	if args.FH == vfs.RootFH {
-		attrs := rootAttrs()
-		res := nfsproto.AccessRes{Status: nfsproto.OK, Attrs: &attrs,
-			Access: vfs.RootAccess(args.Access)}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	granted, ok := s.b.Access(args.FH, args.Access)
 	if !ok {
 		res := nfsproto.AccessRes{Status: nfsproto.ErrStale}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
-	size, _ := s.b.Getattr(args.FH)
-	attrs := fileAttrs(args.FH, uint64(size))
+	a, _ := s.b.Getattr(args.FH)
+	attrs := objAttrs(args.FH, a)
 	res := nfsproto.AccessRes{Status: nfsproto.OK, Attrs: &attrs, Access: granted}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
@@ -386,25 +421,21 @@ func (s *Service) write(body, reply []byte) ([]byte, uint32) {
 	}
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(args.Data)))
-	size, _ := s.b.Getattr(args.FH)
-	attrs := fileAttrs(args.FH, uint64(size))
+	a, _ := s.b.Getattr(args.FH)
+	attrs := objAttrs(args.FH, a)
 	res := nfsproto.WriteRes{Status: nfsproto.OK, Attrs: &attrs,
 		Count: uint32(len(args.Data)), Committed: committed,
 		Verf: s.engine.Verifier()}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
-// create serves CREATE under the root: a named file of the requested
-// initial size (zero-filled), replacing any existing file of that
-// name.
+// create serves CREATE: a named file of the requested initial size
+// (zero-filled) under the given directory, replacing any existing file
+// of that name.
 func (s *Service) create(body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalCreateArgs(body)
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
-	}
-	if args.Dir != vfs.RootFH {
-		res := nfsproto.CreateRes{Status: nfsproto.ErrStale}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	if args.Size > vfs.MaxCreateSize {
 		res := nfsproto.CreateRes{Status: nfsproto.ErrFBig}
@@ -413,21 +444,180 @@ func (s *Service) create(body, reply []byte) ([]byte, uint32) {
 	// Replacing a file orphans its handle; drop any dirty extents the
 	// gather engine still tracks for it, or a deferred flush would hit
 	// a stale handle and latch a permanent async error.
-	if old, _, ok := s.b.Lookup(args.Name); ok {
+	if old, a, lerr := s.b.Lookup(args.Dir, args.Name); lerr == nil && !a.Dir {
 		s.engine.Forget(uint64(old))
 	}
 	var fh nfsproto.FH
+	var cerr error
 	if sc, ok := s.b.(vfs.SizedCreator); ok {
-		fh = sc.CreateSized(args.Name, args.Size)
+		fh, cerr = sc.CreateSized(args.Dir, args.Name, args.Size)
 	} else {
-		fh = s.b.Create(args.Name, make([]byte, args.Size))
+		fh, cerr = s.b.Create(args.Dir, args.Name, make([]byte, args.Size))
 	}
-	if fh == 0 {
-		res := nfsproto.CreateRes{Status: nfsproto.ErrNoSpc}
+	if cerr != nil {
+		res := nfsproto.CreateRes{Status: statusOf(cerr)}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	attrs := fileAttrs(fh, args.Size)
 	res := nfsproto.CreateRes{Status: nfsproto.OK, FH: fh, Attrs: &attrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// setattr serves the size attribute (truncate/extend); the reduced
+// contract carries no others.
+func (s *Service) setattr(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalSetattrArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	if serr := s.b.Setattr(args.FH, args.Size); serr != nil {
+		res := nfsproto.SetattrRes{Status: statusOf(serr)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	a, _ := s.b.Getattr(args.FH)
+	attrs := objAttrs(args.FH, a)
+	res := nfsproto.SetattrRes{Status: nfsproto.OK, Attrs: &attrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+func (s *Service) mkdir(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalMkdirArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	fh, merr := s.b.Mkdir(args.Dir, args.Name)
+	if merr != nil {
+		res := nfsproto.MkdirRes{Status: statusOf(merr)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	a, _ := s.b.Getattr(fh)
+	attrs := objAttrs(fh, a)
+	res := nfsproto.MkdirRes{Status: nfsproto.OK, FH: fh, Attrs: &attrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// remove serves REMOVE for files and empty directories. The removed
+// object's handle is orphaned, so any dirty extents the gather engine
+// still tracks for it are dropped — the same stale-flush bug class the
+// CREATE-replace path fixes.
+func (s *Service) remove(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalRemoveArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	removed, rerr := s.b.Remove(args.Dir, args.Name)
+	if rerr != nil {
+		res := nfsproto.RemoveRes{Status: statusOf(rerr)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	s.engine.Forget(uint64(removed))
+	a, _ := s.b.Getattr(args.Dir)
+	attrs := objAttrs(args.Dir, a)
+	res := nfsproto.RemoveRes{Status: nfsproto.OK, Attrs: &attrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// rename serves RENAME. The moved object keeps its handle (dirty
+// extents stay valid); a replaced target is orphaned and forgotten
+// like a removed file.
+func (s *Service) rename(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalRenameArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	replaced, rerr := s.b.Rename(args.FromDir, args.FromName, args.ToDir, args.ToName)
+	if rerr != nil {
+		res := nfsproto.RenameRes{Status: statusOf(rerr)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	if replaced != 0 {
+		s.engine.Forget(uint64(replaced))
+	}
+	fa, _ := s.b.Getattr(args.FromDir)
+	fattrs := objAttrs(args.FromDir, fa)
+	ta, _ := s.b.Getattr(args.ToDir)
+	tattrs := objAttrs(args.ToDir, ta)
+	res := nfsproto.RenameRes{Status: nfsproto.OK, FromAttrs: &fattrs, ToAttrs: &tattrs}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// direntWire is the encoded size of one READDIR entry (follows-bool +
+// fileid + name string + cookie).
+func direntWire(name string) int { return 4 + 8 + 4 + (len(name)+3)&^3 + 8 }
+
+// readdirBudget clamps a client-supplied reply budget.
+func readdirBudget(count uint32) int {
+	if count == 0 || count > nfsproto.MaxData {
+		return nfsproto.MaxData
+	}
+	return int(count)
+}
+
+// readdir serves one page of a directory scan: the backend yields
+// entries past the cookie and the reply takes as many as fit the
+// byte budget, at least one (RFC 1813: a reply too small for a single
+// entry would be NFS3ERR_TOOSMALL; serving one keeps scans live).
+func (s *Service) readdir(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalReaddirArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	page, rerr := s.b.Readdir(args.Dir, args.Cookie, args.Cookieverf, 0)
+	if rerr != nil {
+		res := nfsproto.ReaddirRes{Status: statusOf(rerr)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	budget := readdirBudget(args.Count)
+	used := 4 + 88 + 8 + 4 + 4 // status + post-op attrs + verf + terminator + eof
+	var entries []nfsproto.DirEntry
+	for _, e := range page.Entries {
+		esz := direntWire(e.Name)
+		if used+esz > budget && len(entries) > 0 {
+			break
+		}
+		used += esz
+		entries = append(entries, nfsproto.DirEntry{
+			FileID: uint64(e.FH), Name: e.Name, Cookie: e.Cookie})
+	}
+	a, _ := s.b.Getattr(args.Dir)
+	attrs := objAttrs(args.Dir, a)
+	res := nfsproto.ReaddirRes{Status: nfsproto.OK, Attrs: &attrs,
+		Cookieverf: page.Cookieverf, Entries: entries,
+		EOF: page.EOF && len(entries) == len(page.Entries)}
+	return res.AppendTo(reply), sunrpc.AcceptSuccess
+}
+
+// readdirplus is readdir with per-entry attributes and handles; the
+// MaxCount budget covers the whole reply.
+func (s *Service) readdirplus(body, reply []byte) ([]byte, uint32) {
+	args, err := nfsproto.UnmarshalReaddirplusArgs(body)
+	if err != nil {
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	page, rerr := s.b.Readdir(args.Dir, args.Cookie, args.Cookieverf, 0)
+	if rerr != nil {
+		res := nfsproto.ReaddirplusRes{Status: statusOf(rerr)}
+		return res.AppendTo(reply), sunrpc.AcceptSuccess
+	}
+	budget := readdirBudget(args.MaxCount)
+	used := 4 + 88 + 8 + 4 + 4
+	var entries []nfsproto.DirEntryPlus
+	for _, e := range page.Entries {
+		esz := direntWire(e.Name) + 88 + 4 + 12 // + post-op attrs + post-op FH
+		if used+esz > budget && len(entries) > 0 {
+			break
+		}
+		used += esz
+		ea := objAttrs(e.FH, e.Attr)
+		entries = append(entries, nfsproto.DirEntryPlus{
+			FileID: uint64(e.FH), Name: e.Name, Cookie: e.Cookie,
+			Attrs: &ea, FH: e.FH})
+	}
+	a, _ := s.b.Getattr(args.Dir)
+	attrs := objAttrs(args.Dir, a)
+	res := nfsproto.ReaddirplusRes{Status: nfsproto.OK, Attrs: &attrs,
+		Cookieverf: page.Cookieverf, Entries: entries,
+		EOF: page.EOF && len(entries) == len(page.Entries)}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
@@ -441,7 +631,7 @@ func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
 	}
-	size, ok := s.b.Getattr(args.FH)
+	a, ok := s.b.Getattr(args.FH)
 	if !ok {
 		res := nfsproto.CommitRes{Status: nfsproto.ErrStale}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
@@ -452,7 +642,7 @@ func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
 	s.commits.Add(1)
-	attrs := fileAttrs(args.FH, uint64(size))
+	attrs := objAttrs(args.FH, a)
 	res := nfsproto.CommitRes{Status: nfsproto.OK, Attrs: &attrs, Verf: verf}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
@@ -462,16 +652,12 @@ func (s *Service) getattr(body, reply []byte) ([]byte, uint32) {
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
 	}
-	if args.FH == vfs.RootFH {
-		res := nfsproto.GetattrRes{Status: nfsproto.OK, Attrs: rootAttrs()}
-		return res.AppendTo(reply), sunrpc.AcceptSuccess
-	}
-	size, ok := s.b.Getattr(args.FH)
+	a, ok := s.b.Getattr(args.FH)
 	if !ok {
 		res := nfsproto.GetattrRes{Status: nfsproto.ErrStale}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
-	res := nfsproto.GetattrRes{Status: nfsproto.OK, Attrs: fileAttrs(args.FH, uint64(size))}
+	res := nfsproto.GetattrRes{Status: nfsproto.OK, Attrs: objAttrs(args.FH, a)}
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 

@@ -17,7 +17,7 @@ import (
 func startLive(t *testing.T) (*memfs.FS, *nfsd.Service, string) {
 	t.Helper()
 	fs := memfs.NewFS()
-	fs.Create("hello", []byte("hello, world"))
+	fs.Create(vfs.RootFH, "hello", []byte("hello, world"))
 	svc := nfsd.New(fs, nfsd.Config{})
 	srv, err := nfsd.NewServer("127.0.0.1:0", svc)
 	if err != nil {
@@ -45,11 +45,11 @@ func TestLiveAccess(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s root access: %v", network, err)
 		}
-		if granted&nfsproto.AccessLookup == 0 || granted&nfsproto.AccessDelete != 0 {
-			t.Fatalf("%s root granted %#x, want lookup without delete", network, granted)
+		if granted&nfsproto.AccessLookup == 0 || granted&nfsproto.AccessDelete == 0 {
+			t.Fatalf("%s root granted %#x, want lookup and delete (REMOVE is served)", network, granted)
 		}
 
-		fh, _, err := c.Lookup("hello")
+		fh, _, err := c.Lookup(vfs.RootFH, "hello")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func TestLiveFsstat(t *testing.T) {
 	if total == 0 || free == 0 || free > total {
 		t.Fatalf("fsstat = (%d, %d)", total, free)
 	}
-	fs.Create("big", make([]byte, 1<<20))
+	fs.Create(vfs.RootFH, "big", make([]byte, 1<<20))
 	_, free2, err := c.Fsstat(vfs.RootFH)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestLiveCreateWriteReadBack(t *testing.T) {
 	}
 	defer c.Close()
 
-	fh, err := c.Create("fresh", 16)
+	fh, err := c.Create(vfs.RootFH, "fresh", 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestLiveCreateWriteReadBack(t *testing.T) {
 		t.Fatalf("read back %v err=%v", data, err)
 	}
 	// Absurd sizes must be refused, not allocated.
-	if _, err := c.Create("bomb", vfs.MaxCreateSize+1); err == nil {
+	if _, err := c.Create(vfs.RootFH, "bomb", vfs.MaxCreateSize+1); err == nil {
 		t.Fatal("oversized CREATE succeeded")
 	}
 }
@@ -143,8 +143,8 @@ func TestLiveCreateWriteReadBack(t *testing.T) {
 // fail every later COMMIT with ErrIO.
 func TestCreateReplaceDoesNotPoisonGather(t *testing.T) {
 	fs := memfs.NewFS()
-	fs.Create("victim", make([]byte, 8192))
-	fs.Create("other", make([]byte, 8192))
+	fs.Create(vfs.RootFH, "victim", make([]byte, 8192))
+	fs.Create(vfs.RootFH, "other", make([]byte, 8192))
 	svc := nfsd.New(fs, nfsd.Config{Gather: wgather.Config{Window: 50 * time.Millisecond}})
 	defer svc.Close()
 	srv, err := nfsd.NewServer("127.0.0.1:0", svc)
@@ -158,7 +158,7 @@ func TestCreateReplaceDoesNotPoisonGather(t *testing.T) {
 	}
 	defer c.Close()
 
-	fh, _, err := c.Lookup("victim")
+	fh, _, err := c.Lookup(vfs.RootFH, "victim")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,12 +168,12 @@ func TestCreateReplaceDoesNotPoisonGather(t *testing.T) {
 	// Replace the file while its write is still inside the gather
 	// window, then wait for the window to expire so the background
 	// flusher runs against the replaced handle.
-	if _, err := c.Create("victim", 16); err != nil {
+	if _, err := c.Create(vfs.RootFH, "victim", 16); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(150 * time.Millisecond)
 
-	otherFH, _, err := c.Lookup("other")
+	otherFH, _, err := c.Lookup(vfs.RootFH, "other")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,6 +185,72 @@ func TestCreateReplaceDoesNotPoisonGather(t *testing.T) {
 	}
 }
 
+// TestRemoveRenameDoesNotPoisonGather: REMOVE and RENAME-over of
+// files that still hold dirty gathered extents must Forget them from
+// the engine. Otherwise the background flusher's deadline queue runs
+// against a dead handle, latches a permanent asynchronous error, and
+// every later COMMIT on unrelated files fails with ErrIO — and the
+// removed file's extents leak in the dirty accounting forever.
+func TestRemoveRenameDoesNotPoisonGather(t *testing.T) {
+	fs := memfs.NewFS()
+	fs.Create(vfs.RootFH, "removed", make([]byte, 8192))
+	fs.Create(vfs.RootFH, "renamed-over", make([]byte, 8192))
+	fs.Create(vfs.RootFH, "renamed-away", make([]byte, 8192))
+	fs.Create(vfs.RootFH, "other", make([]byte, 8192))
+	svc := nfsd.New(fs, nfsd.Config{Gather: wgather.Config{Window: 50 * time.Millisecond}})
+	defer svc.Close()
+	srv, err := nfsd.NewServer("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := memfs.DialClient("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Dirty three victims inside the gather window, then unlink each a
+	// different way: plain REMOVE, RENAME onto it (replacement), and
+	// RENAME it away over another dirty file.
+	for _, name := range []string{"removed", "renamed-over", "renamed-away"} {
+		fh, _, err := c.Lookup(vfs.RootFH, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.WriteUnstable(fh, 0, []byte("doomed dirty bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Remove(vfs.RootFH, "removed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(vfs.RootFH, "renamed-away", vfs.RootFH, "renamed-over"); err != nil {
+		t.Fatal(err)
+	}
+	// "renamed-away" (now living at "renamed-over") is still a live
+	// file with dirty bytes — only the two unlinked inodes must be
+	// forgotten. Wait out the window so the flusher drains.
+	time.Sleep(150 * time.Millisecond)
+
+	otherFH, _, err := c.Lookup(vfs.RootFH, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteUnstable(otherFH, 0, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(otherFH, 0, 0); err != nil {
+		t.Fatalf("COMMIT after removing/renaming dirty files: %v", err)
+	}
+	if _, err := c.Commit(otherFH, 0, 0); err != nil {
+		t.Fatalf("second COMMIT (no latched async error): %v", err)
+	}
+	if st := svc.WriteStats(); st.DirtyBytes != 0 {
+		t.Fatalf("dirty = %d after flush, want 0 (forgotten extents must not leak)", st.DirtyBytes)
+	}
+}
+
 // TestDispatchUnknownProcStillUnavail pins the dispatch boundary:
 // procedures outside the served subset keep answering PROC_UNAVAIL.
 func TestDispatchUnknownProcStillUnavail(t *testing.T) {
@@ -192,7 +258,7 @@ func TestDispatchUnknownProcStillUnavail(t *testing.T) {
 	svc := nfsd.New(fs, nfsd.Config{})
 	defer svc.Close()
 	h := svc.Handler()
-	for _, proc := range []uint32{2 /* SETATTR */, 16 /* READDIR */, 99} {
+	for _, proc := range []uint32{5 /* READLINK */, 10 /* SYMLINK */, 13 /* RMDIR */, 99} {
 		if _, stat := h(proc, nil, nil); stat != sunrpc.AcceptProcUnavail {
 			t.Fatalf("proc %d: stat %d, want PROC_UNAVAIL", proc, stat)
 		}

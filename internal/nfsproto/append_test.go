@@ -59,6 +59,32 @@ func appendCases() []struct {
 		{"FsstatArgs", &FsstatArgs{FH: 1}},
 		{"FsstatRes", &FsstatRes{Status: OK, Tbytes: 1 << 30, Fbytes: 1 << 29}},
 		{"FsstatRes/err", &FsstatRes{Status: ErrIO}},
+		{"SetattrArgs", &SetattrArgs{FH: 7, Size: 1 << 16}},
+		{"SetattrArgs/truncate-to-zero", &SetattrArgs{FH: 7}},
+		{"SetattrRes", &SetattrRes{Status: OK, Attrs: attrs}},
+		{"SetattrRes/no-attrs", &SetattrRes{Status: OK}},
+		{"SetattrRes/err", &SetattrRes{Status: ErrIsDir}},
+		{"MkdirArgs", &MkdirArgs{Dir: 1, Name: "subdir"}},
+		{"MkdirRes", &MkdirRes{Status: OK, FH: 31, Attrs: attrs}},
+		{"MkdirRes/err", &MkdirRes{Status: ErrExist}},
+		{"RemoveArgs", &RemoveArgs{Dir: 1, Name: "victim"}},
+		{"RemoveRes", &RemoveRes{Status: OK, Attrs: attrs}},
+		{"RemoveRes/err", &RemoveRes{Status: ErrNotEmpty}},
+		{"RenameArgs", &RenameArgs{FromDir: 1, FromName: "a", ToDir: 2, ToName: "bb"}},
+		{"RenameRes", &RenameRes{Status: OK, FromAttrs: attrs, ToAttrs: attrs}},
+		{"RenameRes/one-sided", &RenameRes{Status: OK, FromAttrs: attrs}},
+		{"RenameRes/err", &RenameRes{Status: ErrInval}},
+		{"ReaddirArgs", &ReaddirArgs{Dir: 1, Cookie: 42, Cookieverf: 7, Count: 4096}},
+		{"ReaddirArgs/fresh", &ReaddirArgs{Dir: 1, Count: 8192}},
+		{"ReaddirRes", &ReaddirRes{Status: OK, Attrs: attrs, Cookieverf: 7, EOF: true,
+			Entries: []DirEntry{{FileID: 2, Name: "a", Cookie: 1}, {FileID: 3, Name: "bcd", Cookie: 2}}}},
+		{"ReaddirRes/empty", &ReaddirRes{Status: OK, Cookieverf: 1, EOF: true}},
+		{"ReaddirRes/err", &ReaddirRes{Status: ErrBadCookie}},
+		{"ReaddirplusArgs", &ReaddirplusArgs{Dir: 1, Cookie: 9, Cookieverf: 3, DirCount: 1024, MaxCount: 8192}},
+		{"ReaddirplusRes", &ReaddirplusRes{Status: OK, Attrs: attrs, Cookieverf: 3, EOF: false,
+			Entries: []DirEntryPlus{{FileID: 2, Name: "x", Cookie: 1, Attrs: attrs, FH: 2},
+				{FileID: 4, Name: "no-fh", Cookie: 2}}}},
+		{"ReaddirplusRes/err", &ReaddirplusRes{Status: ErrNotDir}},
 	}
 }
 

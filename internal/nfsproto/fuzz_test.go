@@ -92,3 +92,99 @@ func FuzzWriteCommitRoundTrip(f *testing.F) {
 		UnmarshalCommitRes(data)
 	})
 }
+
+// FuzzReaddirRoundTrip drives the metadata path's one variable-shape
+// reply — the READDIR/READDIRPLUS entry list — through encode/decode
+// with arbitrary cookies, verifiers and entry names, asserting the
+// paging invariants: Marshal length equals WireSize, AppendTo equals
+// Marshal, and the decoded page carries the source entries exactly.
+// The raw fuzz bytes also go straight at every namespace Unmarshal,
+// which must error, never panic. Explore with:
+//
+//	go test -fuzz FuzzReaddirRoundTrip ./internal/nfsproto/
+func FuzzReaddirRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(7), "file.dat", []byte{})
+	f.Add(uint64(1<<62), ^uint64(0), uint64(0), "", []byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, dir uint64, cookie uint64, verf uint64, name string, raw []byte) {
+		if len(name) > MaxName {
+			name = name[:MaxName]
+		}
+
+		ra := &ReaddirArgs{Dir: FH(dir), Cookie: cookie, Cookieverf: verf, Count: uint32(cookie)}
+		b := ra.Marshal()
+		if len(b) != ra.WireSize() {
+			t.Fatalf("ReaddirArgs marshal %d != wire size %d", len(b), ra.WireSize())
+		}
+		if !bytes.Equal(ra.AppendTo(nil), b) {
+			t.Fatal("ReaddirArgs AppendTo != Marshal")
+		}
+		gotRA, err := UnmarshalReaddirArgs(b)
+		if err != nil {
+			t.Fatalf("ReaddirArgs round trip: %v", err)
+		}
+		if *gotRA != *ra {
+			t.Fatalf("ReaddirArgs: got %+v, want %+v", gotRA, ra)
+		}
+
+		// A three-entry page: the fuzzed name plus fixed neighbours, so
+		// the follows-bool chain and padding are exercised at every name
+		// length.
+		res := &ReaddirRes{Status: OK, Cookieverf: verf, EOF: cookie%2 == 0,
+			Entries: []DirEntry{
+				{FileID: dir, Name: name, Cookie: cookie},
+				{FileID: dir + 1, Name: "x", Cookie: cookie + 1},
+				{FileID: dir + 2, Name: "yy", Cookie: cookie + 2},
+			}}
+		b = res.Marshal()
+		if len(b) != res.WireSize() {
+			t.Fatalf("ReaddirRes marshal %d != wire size %d", len(b), res.WireSize())
+		}
+		if !bytes.Equal(res.AppendTo(nil), b) {
+			t.Fatal("ReaddirRes AppendTo != Marshal")
+		}
+		gotRes, err := UnmarshalReaddirRes(b)
+		if err != nil {
+			t.Fatalf("ReaddirRes round trip: %v", err)
+		}
+		if gotRes.Cookieverf != verf || gotRes.EOF != res.EOF || len(gotRes.Entries) != 3 {
+			t.Fatalf("ReaddirRes: got %+v", gotRes)
+		}
+		for i := range res.Entries {
+			if gotRes.Entries[i] != res.Entries[i] {
+				t.Fatalf("entry %d: got %+v, want %+v", i, gotRes.Entries[i], res.Entries[i])
+			}
+		}
+
+		plus := &ReaddirplusRes{Status: OK, Cookieverf: verf,
+			Entries: []DirEntryPlus{
+				{FileID: dir, Name: name, Cookie: cookie, Attrs: sampleAttrs(), FH: FH(dir | 1)},
+				{FileID: dir + 1, Name: "bare", Cookie: cookie + 1},
+			}}
+		b = plus.Marshal()
+		if len(b) != plus.WireSize() {
+			t.Fatalf("ReaddirplusRes marshal %d != wire size %d", len(b), plus.WireSize())
+		}
+		gotPlus, err := UnmarshalReaddirplusRes(b)
+		if err != nil {
+			t.Fatalf("ReaddirplusRes round trip: %v", err)
+		}
+		if len(gotPlus.Entries) != 2 || gotPlus.Entries[0].Name != name ||
+			gotPlus.Entries[0].FH != FH(dir|1) || gotPlus.Entries[1].FH != 0 {
+			t.Fatalf("ReaddirplusRes: got %+v", gotPlus)
+		}
+
+		// Garbage in, errors (not panics) out — every namespace decoder.
+		UnmarshalSetattrArgs(raw)
+		UnmarshalSetattrRes(raw)
+		UnmarshalMkdirArgs(raw)
+		UnmarshalMkdirRes(raw)
+		UnmarshalRemoveArgs(raw)
+		UnmarshalRemoveRes(raw)
+		UnmarshalRenameArgs(raw)
+		UnmarshalRenameRes(raw)
+		UnmarshalReaddirArgs(raw)
+		UnmarshalReaddirRes(raw)
+		UnmarshalReaddirplusArgs(raw)
+		UnmarshalReaddirplusRes(raw)
+	})
+}

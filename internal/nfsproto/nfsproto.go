@@ -27,27 +27,38 @@ const (
 
 // Procedure numbers.
 const (
-	ProcNull    = 0
-	ProcGetattr = 1
-	ProcLookup  = 3
-	ProcAccess  = 4
-	ProcRead    = 6
-	ProcWrite   = 7
-	ProcCreate  = 8
-	ProcFsstat  = 18
-	ProcCommit  = 21
+	ProcNull        = 0
+	ProcGetattr     = 1
+	ProcSetattr     = 2
+	ProcLookup      = 3
+	ProcAccess      = 4
+	ProcRead        = 6
+	ProcWrite       = 7
+	ProcCreate      = 8
+	ProcMkdir       = 9
+	ProcRemove      = 12
+	ProcRename      = 14
+	ProcReaddir     = 16
+	ProcReaddirplus = 17
+	ProcFsstat      = 18
+	ProcCommit      = 21
 )
 
 // Status codes (nfsstat3).
 const (
-	OK       = 0
-	ErrPerm  = 1
-	ErrNoEnt = 2
-	ErrIO    = 5
-	ErrExist = 17
-	ErrFBig  = 27
-	ErrNoSpc = 28
-	ErrStale = 70
+	OK           = 0
+	ErrPerm      = 1
+	ErrNoEnt     = 2
+	ErrIO        = 5
+	ErrExist     = 17
+	ErrNotDir    = 20
+	ErrIsDir     = 21
+	ErrInval     = 22
+	ErrFBig      = 27
+	ErrNoSpc     = 28
+	ErrNotEmpty  = 66
+	ErrStale     = 70
+	ErrBadCookie = 10003
 )
 
 // ACCESS3 permission bits (RFC 1813 §3.3.4).
@@ -838,6 +849,8 @@ func ProcName(proc uint32) string {
 		return "NULL"
 	case ProcGetattr:
 		return "GETATTR"
+	case ProcSetattr:
+		return "SETATTR"
 	case ProcLookup:
 		return "LOOKUP"
 	case ProcAccess:
@@ -848,6 +861,16 @@ func ProcName(proc uint32) string {
 		return "WRITE"
 	case ProcCreate:
 		return "CREATE"
+	case ProcMkdir:
+		return "MKDIR"
+	case ProcRemove:
+		return "REMOVE"
+	case ProcRename:
+		return "RENAME"
+	case ProcReaddir:
+		return "READDIR"
+	case ProcReaddirplus:
+		return "READDIRPLUS"
 	case ProcFsstat:
 		return "FSSTAT"
 	case ProcCommit:

@@ -12,15 +12,21 @@ import (
 // scan check below, which also fails when ProcName knows a procedure
 // this table does not.
 var procNames = map[uint32]string{
-	ProcNull:    "NULL",
-	ProcGetattr: "GETATTR",
-	ProcLookup:  "LOOKUP",
-	ProcAccess:  "ACCESS",
-	ProcRead:    "READ",
-	ProcWrite:   "WRITE",
-	ProcCreate:  "CREATE",
-	ProcFsstat:  "FSSTAT",
-	ProcCommit:  "COMMIT",
+	ProcNull:        "NULL",
+	ProcGetattr:     "GETATTR",
+	ProcSetattr:     "SETATTR",
+	ProcLookup:      "LOOKUP",
+	ProcAccess:      "ACCESS",
+	ProcRead:        "READ",
+	ProcWrite:       "WRITE",
+	ProcCreate:      "CREATE",
+	ProcMkdir:       "MKDIR",
+	ProcRemove:      "REMOVE",
+	ProcRename:      "RENAME",
+	ProcReaddir:     "READDIR",
+	ProcReaddirplus: "READDIRPLUS",
+	ProcFsstat:      "FSSTAT",
+	ProcCommit:      "COMMIT",
 }
 
 // TestProcNameCoversEveryProc is table-driven over every Proc*

@@ -93,10 +93,17 @@ func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32
 	}
 	switch proc {
 	case nfsproto.ProcGetattr, nfsproto.ProcLookup, nfsproto.ProcAccess,
-		nfsproto.ProcCreate, nfsproto.ProcFsstat:
+		nfsproto.ProcCreate, nfsproto.ProcFsstat,
+		nfsproto.ProcMkdir, nfsproto.ProcRemove, nfsproto.ProcRename:
 		// First field is the (directory) handle; names and access bits
-		// are not traced.
+		// are not traced. RENAME records its from-directory.
 		fh = readFH()
+	case nfsproto.ProcSetattr:
+		// The requested size rides in Offset so analyze/replay can see
+		// truncations without a new record field.
+		fh = readFH()
+		d.Bool() // set_size discriminant (always true on our wire)
+		offset = d.Uint64()
 	case nfsproto.ProcRead, nfsproto.ProcCommit:
 		fh = readFH()
 		offset = d.Uint64()
@@ -106,6 +113,19 @@ func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32
 		offset = d.Uint64()
 		count = d.Uint32()
 		stable = d.Uint32()
+	case nfsproto.ProcReaddir:
+		// Cookie rides in Offset; the verifier is not traced (replay
+		// starts scans fresh anyway).
+		fh = readFH()
+		offset = d.Uint64()
+		d.Uint64() // cookieverf
+		count = d.Uint32()
+	case nfsproto.ProcReaddirplus:
+		fh = readFH()
+		offset = d.Uint64()
+		d.Uint64() // cookieverf
+		d.Uint32() // dircount
+		count = d.Uint32() // maxcount
 	}
 	if d.Err() != nil {
 		return 0, 0, 0, 0

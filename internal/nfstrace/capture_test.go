@@ -29,7 +29,7 @@ func captureRun(t *testing.T, network string) []tracefile.Record {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	fs.Create("data", payload)
+	fs.Create(memfs.RootFH, "data", payload)
 	svc := memfs.NewService(fs, nil, nil)
 	srv, err := memfs.NewServerTap("127.0.0.1:0", svc, cap.Tap)
 	if err != nil {
@@ -41,7 +41,7 @@ func captureRun(t *testing.T, network string) []tracefile.Record {
 		srv.Close()
 		t.Fatal(err)
 	}
-	fh, size, err := c.Lookup("data")
+	fh, size, err := c.Lookup(memfs.RootFH, "data")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func captureRun(t *testing.T, network string) []tracefile.Record {
 	if err := c.Write(fh, uint64(size), []byte("tail")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Lookup("missing"); err == nil {
+	if _, _, err := c.Lookup(memfs.RootFH, "missing"); err == nil {
 		t.Fatal("lookup of missing file succeeded")
 	}
 	c.Close()
@@ -230,7 +230,7 @@ func TestCaptureWritePath(t *testing.T) {
 	cap := NewCaptureAt(w, start)
 
 	fs := memfs.NewFS()
-	fh := fs.Create("w", make([]byte, 64*1024))
+	fh, _ := fs.Create(memfs.RootFH, "w", make([]byte, 64*1024))
 	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: time.Minute})
 	defer svc.Close()
 	srv, err := memfs.NewServerTap("127.0.0.1:0", svc, cap.Tap)

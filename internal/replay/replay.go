@@ -148,12 +148,14 @@ func File(path string, opts Options) (*Stats, error) {
 // Run replays records against opts.Addr. Each captured stream gets its
 // own connection and issues its records in captured order; streams run
 // concurrently and race each other exactly as the original clients did.
-// READ, WRITE, COMMIT, GETATTR and NULL are replayed natively (WRITE
-// payloads are zero-filled to the captured length, at the captured
-// stability level); procedures whose arguments a trace cannot
-// reconstruct (LOOKUP names, ACCESS bits, ...) are sent as GETATTR on
-// the captured handle to preserve the request's slot in the schedule,
-// and counted in Stats.Surrogates.
+// READ, WRITE, COMMIT, GETATTR, SETATTR, READDIR, READDIRPLUS and NULL
+// are replayed natively (WRITE payloads are zero-filled to the captured
+// length, at the captured stability level; READDIR scans restart from
+// cookie 0 since captured cookies belong to the original server);
+// procedures whose arguments a trace cannot reconstruct (LOOKUP,
+// MKDIR, REMOVE and RENAME names, ACCESS bits, ...) are sent as
+// GETATTR on the captured handle to preserve the request's slot in the
+// schedule, and counted in Stats.Surrogates.
 func Run(records []tracefile.Record, opts Options) (*Stats, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
@@ -354,10 +356,22 @@ func buildCall(rec tracefile.Record, mapFH func(uint64) nfsproto.FH) (proc uint3
 		return rec.Proc, w.Marshal(), false
 	case nfsproto.ProcCommit:
 		return rec.Proc, (&nfsproto.CommitArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
+	case nfsproto.ProcSetattr:
+		// Capture stores the requested size in Offset.
+		return rec.Proc, (&nfsproto.SetattrArgs{FH: fh, Size: rec.Offset}).Marshal(), false
+	case nfsproto.ProcReaddir:
+		// Captured cookies belong to the original server's scan state;
+		// replaying them verbatim against a fresh store would draw
+		// BAD_COOKIE. A fresh scan (cookie 0) at the captured count
+		// exercises the same directory and reply-size path.
+		return rec.Proc, (&nfsproto.ReaddirArgs{Dir: fh, Count: rec.Count}).Marshal(), false
+	case nfsproto.ProcReaddirplus:
+		return rec.Proc, (&nfsproto.ReaddirplusArgs{Dir: fh, DirCount: rec.Count, MaxCount: rec.Count}).Marshal(), false
 	default:
-		// LOOKUP names, ACCESS bits and CREATE arguments are not in the
-		// trace; a GETATTR on the captured handle keeps the request's
-		// slot (and its handle locality) in the replayed schedule.
+		// LOOKUP names, ACCESS bits and CREATE/MKDIR/REMOVE/RENAME name
+		// arguments are not in the trace; a GETATTR on the captured
+		// (directory) handle keeps the request's slot (and its handle
+		// locality) in the replayed schedule.
 		return nfsproto.ProcGetattr, (&nfsproto.GetattrArgs{FH: fh}).Marshal(), true
 	}
 }

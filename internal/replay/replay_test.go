@@ -28,8 +28,8 @@ func newTarget(t *testing.T) (*replayTarget, func() []tracefile.Record) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	fhA := fs.Create("a", payload)
-	fhB := fs.Create("b", payload)
+	fhA, _ := fs.Create(memfs.RootFH, "a", payload)
+	fhB, _ := fs.Create(memfs.RootFH, "b", payload)
 	svc := memfs.NewService(fs, nil, nil)
 
 	var buf bytes.Buffer
@@ -248,7 +248,7 @@ func TestReplayCaptureRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fh, size, err := c.Lookup("a")
+	fh, size, err := c.Lookup(memfs.RootFH, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestOptionsValidation(t *testing.T) {
 // observed exactly the recorded stability mix and commit count.
 func TestReplayWriteStabilityAndCommit(t *testing.T) {
 	fs := memfs.NewFS()
-	fh := fs.Create("w", make([]byte, 256*1024))
+	fh, _ := fs.Create(memfs.RootFH, "w", make([]byte, 256*1024))
 	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: time.Minute})
 	defer svc.Close()
 	srv, err := memfs.NewServer("127.0.0.1:0", svc)
@@ -378,7 +378,7 @@ func TestReplayWriteStabilityAndCommit(t *testing.T) {
 // actually sent — and the per-stream order must hold.
 func TestReplayV1TraceStillWorks(t *testing.T) {
 	fs := memfs.NewFS()
-	fh := fs.Create("w", make([]byte, 64*1024))
+	fh, _ := fs.Create(memfs.RootFH, "w", make([]byte, 64*1024))
 	svc := memfs.NewServiceGather(fs, nil, nil, wgather.Config{Window: time.Minute})
 	defer svc.Close()
 	srv, err := memfs.NewServer("127.0.0.1:0", svc)

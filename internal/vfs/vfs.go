@@ -1,13 +1,14 @@
 // Package vfs defines the storage-backend contract behind the live NFS
 // dispatch layer (internal/nfsd). A Backend is everything the protocol
-// layer needs from storage — name resolution, attributes, access
+// layer needs from storage — a hierarchical namespace (directories are
+// first-class objects with their own file handles), attributes, access
 // checks, reads, writes, durability and space accounting — expressed
 // over file handles, so the same dispatch code (proc switch, counters,
 // read-ahead heuristics, write gathering, trace taps) serves any
 // store: the in-memory memfs, the ZCAV disk-backed zonefs, or anything
 // written later.
 //
-// Two contracts matter beyond the method signatures:
+// Three contracts matter beyond the method signatures:
 //
 // Copy-on-write read views: the slice ReadAt returns is a stable
 // read-only view of the file at the moment of the call. Later WriteAt
@@ -21,9 +22,22 @@
 // data is durable when Commit returns for a covering range. The nfsd
 // layer's write-gathering engine decides when Commit is called (per
 // the RFC 1813 stable_how the client asked for and the gather window);
-// the backend decides what durability costs. FHs are stable across a
-// server reboot (nfsd.Service.Reboot): a handle issued before the
-// verifier changed still names the same file afterwards.
+// the backend decides what durability costs. FHs — of files and of
+// directories — are stable across a server reboot (nfsd.Service.
+// Reboot): a handle issued before the verifier changed still names the
+// same object afterwards.
+//
+// Readdir paging: every directory carries a monotonic cookie space and
+// a cookie verifier. Each entry is assigned a cookie when it is linked
+// into the directory, and Readdir(dir, cookie, ...) returns entries
+// with cookies strictly greater than the given one, in ascending
+// cookie order — so a multi-page scan resumes exactly where it left
+// off. Entries created mid-scan land at the cookie frontier and are
+// picked up by later pages without disturbing earlier ones; removing
+// an entry (including renaming it away) bumps the directory's
+// verifier, and a resumed scan presenting the old verifier gets
+// ErrBadCookie — the client must restart from cookie 0. A fresh scan
+// (cookie 0) never checks the verifier.
 package vfs
 
 import (
@@ -32,9 +46,9 @@ import (
 	"nfstricks/internal/nfsproto"
 )
 
-// RootFH is the file handle of the single root directory every backend
-// exports. Backends only ever see file handles; the dispatch layer
-// answers for the root itself.
+// RootFH is the file handle of the root directory every backend
+// exports. The root is an ordinary directory object: Getattr, Access
+// and Readdir answer for it like any other handle.
 const RootFH nfsproto.FH = 1
 
 // MaxFileSize bounds a file's length (4 GB). Write offsets come off
@@ -58,24 +72,107 @@ var (
 	// ErrNoSpace marks a backend out of room (zonefs: the placement
 	// region's LBA range is exhausted).
 	ErrNoSpace = errors.New("vfs: no space left on backend")
+	// ErrNoEnt marks a name that does not exist in the directory.
+	ErrNoEnt = errors.New("vfs: no such entry")
+	// ErrExist marks a create/mkdir target name already in use when
+	// the operation does not replace (Mkdir never replaces).
+	ErrExist = errors.New("vfs: entry exists")
+	// ErrNotDir marks a handle used as a directory that names a file.
+	ErrNotDir = errors.New("vfs: not a directory")
+	// ErrIsDir marks a directory handle where a file was required
+	// (data-path ops, Remove-replacing-a-dir targets, ...).
+	ErrIsDir = errors.New("vfs: is a directory")
+	// ErrNotEmpty marks an attempt to remove a non-empty directory.
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+	// ErrBadCookie marks a Readdir resume cookie whose verifier no
+	// longer matches the directory — an entry was removed since the
+	// scan started, so the cookie may skip or repeat entries. Restart
+	// from cookie 0.
+	ErrBadCookie = errors.New("vfs: stale readdir cookie")
+	// ErrInval marks a structurally invalid namespace operation, e.g.
+	// renaming a directory into its own subtree.
+	ErrInval = errors.New("vfs: invalid operation")
 )
 
-// Backend is a flat file store (one root directory) behind the live
-// dispatch layer. Implementations must be safe for concurrent use by
-// multiple goroutines; ReadAt on distinct files should not serialize
-// (the dispatch hot path holds no global lock of its own).
+// DirEntryBytes is the nominal on-store size of one directory entry.
+// A directory's Attr.Size is entries × DirEntryBytes, and zonefs sizes
+// a directory's entry blocks by it (128 entries per 8 KB block).
+const DirEntryBytes = 64
+
+// Attr is the attribute set the contract carries for an object: its
+// size (for a directory, a nominal entries×per-entry-bytes figure) and
+// whether it is a directory.
+type Attr struct {
+	Size int64
+	Dir  bool
+}
+
+// DirEntry is one Readdir result entry.
+type DirEntry struct {
+	FH     nfsproto.FH
+	Name   string
+	Cookie uint64
+	Attr   Attr
+}
+
+// ReaddirPage is one page of a directory scan. Cookieverf is the
+// verifier the page's cookies are valid under; a client resuming with
+// any of these cookies must present it. EOF reports that the page
+// reached the end of the directory (an empty page with EOF set is a
+// completed scan).
+type ReaddirPage struct {
+	Entries    []DirEntry
+	Cookieverf uint64
+	EOF        bool
+}
+
+// Backend is a hierarchical file store behind the live dispatch layer.
+// Implementations must be safe for concurrent use by multiple
+// goroutines; ReadAt on distinct files should not serialize (the
+// dispatch hot path holds no global lock of its own).
 type Backend interface {
-	// Create adds a file with the given contents, replacing any
-	// previous file of that name, and returns its handle. A zero
-	// handle means the backend is out of space.
-	Create(name string, data []byte) nfsproto.FH
+	// Create adds a file under dir with the given contents, replacing
+	// any previous *file* of that name (replacing a directory is
+	// ErrIsDir), and returns its handle. Errors: ErrStale, ErrNotDir,
+	// ErrIsDir, ErrNoSpace.
+	Create(dir nfsproto.FH, name string, data []byte) (nfsproto.FH, error)
 
-	// Lookup resolves a name under the root to a handle and size.
-	Lookup(name string) (fh nfsproto.FH, size int64, ok bool)
+	// Lookup resolves name under dir. Errors: ErrStale, ErrNotDir,
+	// ErrNoEnt.
+	Lookup(dir nfsproto.FH, name string) (nfsproto.FH, Attr, error)
 
-	// Getattr returns a file's current size; ok is false for handles
-	// the backend does not know.
-	Getattr(fh nfsproto.FH) (size int64, ok bool)
+	// Mkdir creates an empty directory under dir. Unlike Create it
+	// never replaces: an existing entry of either kind is ErrExist.
+	Mkdir(dir nfsproto.FH, name string) (nfsproto.FH, error)
+
+	// Readdir returns up to maxEntries entries of dir with cookies
+	// strictly greater than cookie, in ascending cookie order (see the
+	// package comment for the paging contract). maxEntries <= 0 means
+	// no limit. Errors: ErrStale, ErrNotDir, ErrBadCookie.
+	Readdir(dir nfsproto.FH, cookie, cookieverf uint64, maxEntries int) (ReaddirPage, error)
+
+	// Remove unlinks name from dir and returns the removed object's
+	// handle (so the dispatch layer can drop per-file state keyed on
+	// it). A directory must be empty (ErrNotEmpty). Errors: ErrStale,
+	// ErrNotDir, ErrNoEnt, ErrNotEmpty.
+	Remove(dir nfsproto.FH, name string) (nfsproto.FH, error)
+
+	// Rename moves fromDir/fromName to toDir/toName, atomically
+	// replacing a file target (replaced is its handle, 0 when the
+	// target did not exist). Replacing a directory target is ErrIsDir
+	// (even an empty one — the reduced contract keeps replacement to
+	// files); renaming a directory to a file target is ErrNotDir per
+	// RFC 1813. Errors: ErrStale, ErrNotDir, ErrNoEnt, ErrIsDir,
+	// ErrExist.
+	Rename(fromDir nfsproto.FH, fromName string, toDir nfsproto.FH, toName string) (replaced nfsproto.FH, err error)
+
+	// Setattr sets a file's size, truncating or zero-extending.
+	// Errors: ErrStale, ErrIsDir, ErrTooBig, ErrNoSpace.
+	Setattr(fh nfsproto.FH, size uint64) error
+
+	// Getattr returns an object's current attributes; ok is false for
+	// handles the backend does not know.
+	Getattr(fh nfsproto.FH) (Attr, bool)
 
 	// Access reports which of the requested ACCESS3 mask bits the
 	// backend grants on fh; ok is false for stale handles.
@@ -108,21 +205,24 @@ type Backend interface {
 // the zeroes. The dispatch layer uses it to serve CREATE with one
 // allocation instead of a payload copy.
 type SizedCreator interface {
-	// CreateSized is Create for a zero-filled file of size bytes;
-	// returns 0 when the backend has no space.
-	CreateSized(name string, size uint64) nfsproto.FH
+	// CreateSized is Create for a zero-filled file of size bytes.
+	CreateSized(dir nfsproto.FH, name string, size uint64) (nfsproto.FH, error)
 }
 
 // FileAccess is the ACCESS3 grant every current backend gives on a
-// regular file: read and write (modify/extend), no delete or execute
-// (the flat root owns its entries).
+// regular file: read and write (modify/extend), no execute.
 func FileAccess(mask uint32) uint32 {
 	return mask & (nfsproto.AccessRead | nfsproto.AccessModify | nfsproto.AccessExtend)
 }
 
-// RootAccess is the grant on the root directory: lookup and read
-// (never modify, delete or execute — the flat root is immutable
-// through ACCESS-gated paths; CREATE has its own policy).
-func RootAccess(mask uint32) uint32 {
-	return mask & (nfsproto.AccessRead | nfsproto.AccessLookup)
+// DirAccess is the grant on a directory: lookup, read (readdir) and
+// namespace mutation (create/remove entries), no execute.
+func DirAccess(mask uint32) uint32 {
+	return mask & (nfsproto.AccessRead | nfsproto.AccessLookup |
+		nfsproto.AccessModify | nfsproto.AccessExtend | nfsproto.AccessDelete)
 }
+
+// RootAccess is the grant on the root directory (alias of DirAccess
+// now that the root is an ordinary directory; kept for PR 1–5 call
+// sites).
+func RootAccess(mask uint32) uint32 { return DirAccess(mask) }

@@ -163,7 +163,7 @@ func New(cfg Config) *FS {
 	if cfg.Placement == Inner {
 		region = quarters[3]
 	}
-	return &FS{
+	fs := &FS{
 		store:   memfs.NewFS(),
 		cfg:     cfg,
 		k:       k,
@@ -174,6 +174,11 @@ func New(cfg Config) *FS {
 		extents: make(map[nfsproto.FH]*extent),
 		epoch:   time.Now(),
 	}
+	// The root directory exists from construction; its entry blocks get
+	// placement like any other object. A fresh store is cold: the first
+	// readdir pays the media.
+	fs.extents[vfs.RootFH] = &extent{startLBA: fs.allocate(1), blocks: 1}
+	return fs
 }
 
 // Placement reports where this store lays out its files.
@@ -241,48 +246,243 @@ func (fs *FS) allocate(blocks int64) int64 {
 	return lba
 }
 
-// Create adds a file with the given contents, placing it at the next
-// free LBAs of the configured region, and returns its handle — or 0
-// when the region has no room (vfs.Backend). The data starts on disk
-// and not in the cache: a fresh store is cold.
-func (fs *FS) Create(name string, data []byte) nfsproto.FH {
-	return fs.create(len(data), func() nfsproto.FH { return fs.store.Create(name, data) })
+// Create adds a file under dir with the given contents, placing it at
+// the next free LBAs of the configured region, and returns its handle
+// (vfs.Backend). The data starts on disk and not in the cache: a
+// fresh file is cold.
+func (fs *FS) Create(dir nfsproto.FH, name string, data []byte) (nfsproto.FH, error) {
+	return fs.create(dir, len(data), func() (nfsproto.FH, error) { return fs.store.Create(dir, name, data) })
 }
 
 // CreateSized adds a zero-filled file of size bytes
 // (vfs.SizedCreator).
-func (fs *FS) CreateSized(name string, size uint64) nfsproto.FH {
-	return fs.create(int(size), func() nfsproto.FH { return fs.store.CreateSized(name, size) })
+func (fs *FS) CreateSized(dir nfsproto.FH, name string, size uint64) (nfsproto.FH, error) {
+	return fs.create(dir, int(size), func() (nfsproto.FH, error) { return fs.store.CreateSized(dir, name, size) })
 }
 
 // create allocates placement for n bytes, then registers the file the
 // store builds. Replacing an existing name leaks the old extent's
-// address space; a benchmark store never reclaims.
-func (fs *FS) create(n int, mk func() nfsproto.FH) nfsproto.FH {
+// address space; a benchmark store never reclaims. The parent's
+// mutated entry blocks become resident dirty pages (see touchDirLocked).
+func (fs *FS) create(dir nfsproto.FH, n int, mk func() (nfsproto.FH, error)) (nfsproto.FH, error) {
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	blocks := blocksFor(n)
 	start := fs.allocate(blocks)
 	if start < 0 {
-		fs.mu.Unlock()
-		return 0
+		return 0, fmt.Errorf("%w: %s region full", vfs.ErrNoSpace, fs.cfg.Placement)
 	}
-	fh := mk()
+	fh, err := mk()
+	if err != nil {
+		return 0, err // the just-allocated blocks leak; never reclaimed
+	}
 	fs.extents[fh] = &extent{startLBA: start, blocks: blocks}
+	if err := fs.touchDirLocked(dir); err != nil {
+		return 0, err
+	}
+	return fh, nil
+}
+
+// Mkdir creates a directory under dir (vfs.Backend). The new
+// directory gets one entry block of placement; the block is a dirty
+// page (resident) until the cache drops it.
+func (fs *FS) Mkdir(dir nfsproto.FH, name string) (nfsproto.FH, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	start := fs.allocate(1)
+	if start < 0 {
+		return 0, fmt.Errorf("%w: %s region full", vfs.ErrNoSpace, fs.cfg.Placement)
+	}
+	fh, err := fs.store.Mkdir(dir, name)
+	if err != nil {
+		return 0, err
+	}
+	fs.extents[fh] = &extent{startLBA: start, blocks: 1}
+	fs.cache.Install(start)
+	if err := fs.touchDirLocked(dir); err != nil {
+		return 0, err
+	}
+	return fh, nil
+}
+
+// touchDirLocked reflects a namespace mutation of dir into the disk
+// model: the directory's extent is grown to cover its entry bytes
+// (entries × vfs.DirEntryBytes) and the covering blocks are installed
+// as resident dirty pages — a mutation rewrites them in the page
+// cache, it does not read the media. Caller holds fs.mu.
+func (fs *FS) touchDirLocked(dir nfsproto.FH) error {
+	attr, ok := fs.store.Getattr(dir)
+	if !ok {
+		return fmt.Errorf("%w: %d", vfs.ErrStale, dir)
+	}
+	ext := fs.extents[dir]
+	if ext == nil {
+		return fmt.Errorf("zonefs: dir %d has no extent", dir)
+	}
+	need := blocksFor(int(attr.Size))
+	if need > ext.blocks {
+		if err := fs.growLocked(dir, ext, need, attr.Size); err != nil {
+			return err
+		}
+	}
+	for b := int64(0); b < need && b < ext.blocks; b++ {
+		fs.cache.Install(ext.startLBA + b*sectorsPerBlock)
+	}
+	return nil
+}
+
+// Lookup resolves a name under dir (vfs.Backend). Name resolution is
+// charged nothing: the paper-era servers hold the directory name
+// cache (dnlc) in memory, and so do we — only entry-block scans
+// (Readdir) touch the media.
+func (fs *FS) Lookup(dir nfsproto.FH, name string) (nfsproto.FH, vfs.Attr, error) {
+	return fs.store.Lookup(dir, name)
+}
+
+// Readdir returns a page of dir's entries (vfs.Backend). Entry blocks
+// that are not resident are fetched from the simulated disk as one
+// clustered read — a cold directory scan pays seek plus media time at
+// the directory's zone rate, a warm one is free. Paging cost is front
+// loaded: the first page of a scan fetches the whole directory's
+// entry blocks (the media read is clustered regardless of how many
+// entries the reply carries), so later pages ride the now-warm cache.
+func (fs *FS) Readdir(dir nfsproto.FH, cookie, cookieverf uint64, maxEntries int) (vfs.ReaddirPage, error) {
+	page, err := fs.store.Readdir(dir, cookie, cookieverf, maxEntries)
+	if err != nil {
+		return page, err
+	}
+	attr, ok := fs.store.Getattr(dir)
+	if !ok {
+		return vfs.ReaddirPage{}, fmt.Errorf("%w: %d", vfs.ErrStale, dir)
+	}
+	fs.mu.Lock()
+	ext := fs.extents[dir]
+	if ext == nil {
+		fs.mu.Unlock()
+		return vfs.ReaddirPage{}, fmt.Errorf("zonefs: dir %d has no extent", dir)
+	}
+	bEnd := blocksFor(int(attr.Size))
+	if bEnd > ext.blocks {
+		bEnd = ext.blocks
+	}
+	misses := 0
+	for b := int64(0); b < bEnd; b++ {
+		if fs.cache.Contains(ext.startLBA + b*sectorsPerBlock) {
+			fs.demandHits++
+		} else {
+			fs.demandMisses++
+			misses++
+		}
+	}
+	var deadline time.Time
+	if misses > 0 {
+		fs.advanceClock()
+		before := fs.k.Now()
+		fs.cache.FetchSpan(ext.startLBA, int(bEnd), int(bEnd))
+		deadline = fs.chargeLocked(before)
+	}
 	fs.mu.Unlock()
-	return fh
+	sleepUntil(deadline)
+	return page, nil
 }
 
-// Lookup resolves a name (vfs.Backend).
-func (fs *FS) Lookup(name string) (nfsproto.FH, int64, bool) {
-	return fs.store.Lookup(name)
+// Remove unlinks dir/name (vfs.Backend). The removed object's address
+// space leaks — a benchmark store never reclaims — and its extent
+// mapping is dropped with the handle.
+func (fs *FS) Remove(dir nfsproto.FH, name string) (nfsproto.FH, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	removed, err := fs.store.Remove(dir, name)
+	if err != nil {
+		return 0, err
+	}
+	delete(fs.extents, removed)
+	if err := fs.touchDirLocked(dir); err != nil {
+		return 0, err
+	}
+	return removed, nil
 }
 
-// Getattr returns a file's size (vfs.Backend).
-func (fs *FS) Getattr(fh nfsproto.FH) (int64, bool) {
+// Rename moves fromDir/fromName to toDir/toName (vfs.Backend). A
+// replaced target's extent mapping is dropped (its address space
+// leaks); both parents' entry blocks are rewritten in the page cache.
+func (fs *FS) Rename(fromDir nfsproto.FH, fromName string, toDir nfsproto.FH, toName string) (nfsproto.FH, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	replaced, err := fs.store.Rename(fromDir, fromName, toDir, toName)
+	if err != nil {
+		return 0, err
+	}
+	if replaced != 0 {
+		delete(fs.extents, replaced)
+	}
+	if err := fs.touchDirLocked(fromDir); err != nil {
+		return 0, err
+	}
+	if fromDir != toDir {
+		if err := fs.touchDirLocked(toDir); err != nil {
+			return 0, err
+		}
+	}
+	return replaced, nil
+}
+
+// Setattr sets a file's size (vfs.Backend). An extension grows the
+// extent and installs the new blocks as dirty pages (they are
+// zero-filled in the page cache, not read from media); a truncation
+// keeps the placement — allocation slack, like everywhere else here,
+// is never reclaimed.
+func (fs *FS) Setattr(fh nfsproto.FH, size uint64) error {
+	fs.mu.Lock()
+	attr, ok := fs.store.Getattr(fh)
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
+	}
+	if attr.Dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %d", vfs.ErrIsDir, fh)
+	}
+	ext := fs.extents[fh]
+	if ext == nil {
+		fs.mu.Unlock()
+		return fmt.Errorf("zonefs: file %d has no extent", fh)
+	}
+	if size > vfs.MaxFileSize {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w (setattr size=%d)", vfs.ErrTooBig, size)
+	}
+	if need := blocksFor(int(size)); need > ext.blocks {
+		if err := fs.growLocked(fh, ext, need, attr.Size); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+	}
+	fs.mu.Unlock()
+	if err := fs.store.Setattr(fh, size); err != nil {
+		return err
+	}
+	if int64(size) > attr.Size {
+		fs.mu.Lock()
+		if ext := fs.extents[fh]; ext != nil {
+			b0 := attr.Size / BlockSize
+			bEnd := (int64(size) + BlockSize - 1) / BlockSize
+			for b := b0; b < bEnd && b < ext.blocks; b++ {
+				fs.cache.Install(ext.startLBA + b*sectorsPerBlock)
+			}
+		}
+		fs.mu.Unlock()
+	}
+	return nil
+}
+
+// Getattr returns an object's attributes (vfs.Backend).
+func (fs *FS) Getattr(fh nfsproto.FH) (vfs.Attr, bool) {
 	return fs.store.Getattr(fh)
 }
 
-// Access grants read/modify/extend on any live handle (vfs.Backend).
+// Access grants the file or directory mask on any live handle
+// (vfs.Backend).
 func (fs *FS) Access(fh nfsproto.FH, mask uint32) (uint32, bool) {
 	return fs.store.Access(fh, mask)
 }
@@ -415,11 +615,16 @@ func (fs *FS) ReadAt(fh nfsproto.FH, off uint64, count uint32, ahead int) (data 
 // pipeline) see a consistent size when an extent is relocated.
 func (fs *FS) WriteAt(fh nfsproto.FH, off uint64, data []byte) error {
 	fs.mu.Lock()
-	size, ok := fs.store.Getattr(fh)
+	attr, ok := fs.store.Getattr(fh)
 	if !ok {
 		fs.mu.Unlock()
 		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
 	}
+	if attr.Dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %d", vfs.ErrIsDir, fh)
+	}
+	size := attr.Size
 	ext := fs.extents[fh]
 	if ext == nil {
 		fs.mu.Unlock()
@@ -500,10 +705,16 @@ func (fs *FS) growLocked(fh nfsproto.FH, ext *extent, need int64, oldSize int64)
 // — through to the simulated disk, charging real time for the write
 // commands at the file's zone rate (vfs.Backend).
 func (fs *FS) Commit(fh nfsproto.FH, off uint64, count uint32) error {
-	size, ok := fs.store.Getattr(fh)
+	attr, ok := fs.store.Getattr(fh)
 	if !ok {
 		return fmt.Errorf("%w: %d", vfs.ErrStale, fh)
 	}
+	if attr.Dir {
+		// COMMIT of a directory handle is a no-op: entry blocks are
+		// written through by the namespace mutation path.
+		return nil
+	}
+	size := attr.Size
 	fs.mu.Lock()
 	ext := fs.extents[fh]
 	if ext == nil {

@@ -4,12 +4,24 @@ import (
 	"testing"
 	"time"
 
+	"nfstricks/internal/nfsproto"
+
 	"nfstricks/internal/buffercache"
 	"nfstricks/internal/disk"
 	"nfstricks/internal/vfs"
 	"nfstricks/internal/vfs/vfstest"
 	"nfstricks/internal/zonefs"
 )
+
+// create is the test shorthand for a root-directory file create.
+func create(t *testing.T, fs *zonefs.FS, name string, data []byte) nfsproto.FH {
+	t.Helper()
+	fh, err := fs.Create(vfs.RootFH, name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fh
+}
 
 // fastCfg shrinks simulated disk time 1000x so the conformance suite
 // (which cares about semantics, not timing) stays fast.
@@ -33,7 +45,7 @@ func TestBackendConformance(t *testing.T) {
 func TestColdReadTouchesDisk(t *testing.T) {
 	fs := zonefs.New(fastCfg(zonefs.Outer))
 	const size = 64 * zonefs.BlockSize
-	fh := fs.Create("f", make([]byte, size))
+	fh := create(t, fs, "f", make([]byte, size))
 
 	readAll := func() {
 		for off := uint64(0); off < size; off += 8192 {
@@ -80,7 +92,7 @@ func TestOuterFasterThanInner(t *testing.T) {
 	for _, p := range []zonefs.Placement{zonefs.Outer, zonefs.Inner} {
 		fs := zonefs.New(fastCfg(p))
 		const size = 128 * zonefs.BlockSize
-		fh := fs.Create("f", make([]byte, size))
+		fh := create(t, fs, "f", make([]byte, size))
 		for off := uint64(0); off < size; off += 8192 {
 			if _, _, _, err := fs.ReadAt(fh, off, 8192, 8); err != nil {
 				t.Fatal(err)
@@ -101,7 +113,7 @@ func TestOuterFasterThanInner(t *testing.T) {
 // disk, and the committed blocks are resident afterwards.
 func TestCommitChargesDisk(t *testing.T) {
 	fs := zonefs.New(fastCfg(zonefs.Outer))
-	fh := fs.Create("f", make([]byte, 16*zonefs.BlockSize))
+	fh := create(t, fs, "f", make([]byte, 16*zonefs.BlockSize))
 	before := fs.Stats().DiskTime
 	if err := fs.WriteAt(fh, 0, make([]byte, 4*zonefs.BlockSize)); err != nil {
 		t.Fatal(err)
@@ -140,13 +152,13 @@ func TestRegionExhaustion(t *testing.T) {
 	cfg.Model = tinyModel()
 	fs := zonefs.New(cfg)
 	total, _ := fs.Fsstat()
-	if fh := fs.Create("huge", nil); fh == 0 {
-		t.Fatal("1-block create failed on an empty region")
+	if _, err := fs.Create(vfs.RootFH, "huge", nil); err != nil {
+		t.Fatalf("1-block create failed on an empty region: %v", err)
 	}
 	chunk := int(total / 4)
 	n := 0
 	for ; n < 8; n++ {
-		if fs.Create("c", make([]byte, chunk)) == 0 {
+		if _, err := fs.Create(vfs.RootFH, "c", make([]byte, chunk)); err != nil {
 			break
 		}
 	}
@@ -164,7 +176,7 @@ func TestRegionExhaustion(t *testing.T) {
 func TestCommitWholeFileIgnoresOffset(t *testing.T) {
 	fs := zonefs.New(fastCfg(zonefs.Outer))
 	const blocks = 5
-	fh := fs.Create("f", make([]byte, blocks*zonefs.BlockSize+100)) // 6 blocks of data, extent rounds up
+	fh := create(t, fs, "f", make([]byte, blocks*zonefs.BlockSize+100)) // 6 blocks of data, extent rounds up
 	if err := fs.Commit(fh, 2*zonefs.BlockSize, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -180,8 +192,8 @@ func TestCommitWholeFileIgnoresOffset(t *testing.T) {
 func TestRelocationDoesNotWarmColdBlocks(t *testing.T) {
 	fs := zonefs.New(fastCfg(zonefs.Outer))
 	const blocks = 8
-	a := fs.Create("a", make([]byte, blocks*zonefs.BlockSize))
-	fs.Create("b", []byte("pin the allocation frontier"))
+	a := create(t, fs, "a", make([]byte, blocks*zonefs.BlockSize))
+	create(t, fs, "b", []byte("pin the allocation frontier"))
 	// Warm only block 0 of a, then grow a past its extent (relocates).
 	if _, _, _, err := fs.ReadAt(a, 0, 8192, 0); err != nil {
 		t.Fatal(err)
@@ -211,7 +223,7 @@ func TestRelocationDoesNotWarmColdBlocks(t *testing.T) {
 func TestReadAheadClusters(t *testing.T) {
 	fs := zonefs.New(fastCfg(zonefs.Outer))
 	const blocks = 64
-	fh := fs.Create("f", make([]byte, blocks*zonefs.BlockSize))
+	fh := create(t, fs, "f", make([]byte, blocks*zonefs.BlockSize))
 	for off := uint64(0); off < blocks*zonefs.BlockSize; off += 8192 {
 		if _, _, _, err := fs.ReadAt(fh, off, 8192, buffercache.MaxClusterBlocks); err != nil {
 			t.Fatal(err)

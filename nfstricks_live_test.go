@@ -22,7 +22,7 @@ func startLiveServer(t *testing.T, nFiles int, fileSize int) (*LiveService, stri
 		payload[i] = byte(i * 31)
 	}
 	for i := 0; i < nFiles; i++ {
-		fs.Create(fmt.Sprintf("f%d", i), payload)
+		fs.Create(LiveRootFH, fmt.Sprintf("f%d", i), payload)
 	}
 	svc := NewLiveService(fs, nil, nil)
 	srv, err := ServeLive("127.0.0.1:0", svc)
@@ -58,7 +58,7 @@ func TestLiveManyClientsBothTransports(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			fh, size, err := c.Lookup(fmt.Sprintf("f%d", i))
+			fh, size, err := c.Lookup(LiveRootFH, fmt.Sprintf("f%d", i))
 			if err != nil {
 				errs <- err
 				return
@@ -114,7 +114,7 @@ func TestLiveSharedClientPipelines(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fh, size, err := c.Lookup("f0")
+	fh, size, err := c.Lookup(LiveRootFH, "f0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestLiveAsyncWritePipeline(t *testing.T) {
 	fs := NewLiveFS()
 	var fhs [clients]LiveFH
 	for i := 0; i < clients; i++ {
-		fhs[i] = fs.Create(fmt.Sprintf("w%d", i), make([]byte, fileSize))
+		fhs[i], _ = fs.Create(LiveRootFH, fmt.Sprintf("w%d", i), make([]byte, fileSize))
 	}
 	sink := NewMemStableSink()
 	svc := NewLiveServiceGather(fs, nil, nil, WriteGatherConfig{

@@ -66,7 +66,7 @@ func TestFacadeExperiments(t *testing.T) {
 
 func TestFacadeLiveMode(t *testing.T) {
 	fs := NewLiveFS()
-	fs.Create("f", []byte("hello live mode"))
+	fs.Create(LiveRootFH, "f", []byte("hello live mode"))
 	svc := NewLiveService(fs, SlowDown{}, nil)
 	srv, err := ServeLive("127.0.0.1:0", svc)
 	if err != nil {
@@ -78,7 +78,7 @@ func TestFacadeLiveMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	fh, size, err := c.Lookup("f")
+	fh, size, err := c.Lookup(LiveRootFH, "f")
 	if err != nil || size != 15 {
 		t.Fatalf("lookup: size=%d err=%v", size, err)
 	}
