@@ -22,6 +22,13 @@
 // -sink-latency and -sink-mbps); with -backend zone, commits
 // additionally pay the simulated disk.
 //
+// The fault-tolerant RPC path is configured with -drc (the duplicate
+// request cache: retransmitted non-idempotent calls get the original's
+// reply replayed instead of re-executing, budgeted by -drc-bytes) and
+// -fault, which injects seeded wire faults on the server's sockets,
+// e.g. -fault drop=0.05,stall=0.02:20ms -fault-seed 7. Both print
+// their counters in the final stats.
+//
 // With -trace out.nft every served RPC is recorded to a .nft trace file
 // (arrival time, stream, procedure, handle, offset, count, stability,
 // status, latency) that `nfstrace analyze` and `nfstrace replay`
@@ -41,6 +48,7 @@ import (
 
 	"nfstricks/cmd/internal/filespec"
 	"nfstricks/internal/disk"
+	"nfstricks/internal/drc"
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsproto"
@@ -69,6 +77,10 @@ func main() {
 		sinkKind     = flag.String("sink", "mem", "stable-storage sink: mem (immediate) or throttled")
 		sinkLatency  = flag.Duration("sink-latency", 300*time.Microsecond, "throttled sink: fixed cost per flush")
 		sinkMBps     = flag.Float64("sink-mbps", 0, "throttled sink: bandwidth in MB/s (0 = infinite)")
+		drcOn        = flag.Bool("drc", false, "enable the duplicate request cache (replay cached replies to retransmitted non-idempotent calls)")
+		drcBytes     = flag.Int("drc-bytes", 0, "duplicate request cache reply byte budget (0 = 1 MB default)")
+		faultSpec    = flag.String("fault", "", "inject wire faults, e.g. drop=0.05,dup=0.01,delay=0.02:1ms-5ms,trunc=0.01,stall=0.05:20ms,reset=0.001")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's decision stream")
 	)
 	flag.Var(&files, "file", "file to serve, as name=sizeMB (repeatable; default demo=4)")
 	flag.Parse()
@@ -147,7 +159,21 @@ func main() {
 			MaxFileBytes: *gatherBytes,
 			Sink:         sink,
 		},
+		DRC: nfsd.DRCConfig{Enabled: *drcOn, MaxBytes: *drcBytes},
 	})
+
+	// Optional fault injection: a seeded injector on the server's wire
+	// path, so a lossy network is reproducible from the command line.
+	var faults *rpcnet.FaultInjector
+	if *faultSpec != "" {
+		cfg, err := rpcnet.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfsserve:", err)
+			os.Exit(2)
+		}
+		cfg.Seed = *faultSeed
+		faults = rpcnet.NewFaultInjector(cfg)
+	}
 
 	// Optional trace capture: every served RPC is appended to the .nft
 	// file and flushed on shutdown.
@@ -163,7 +189,7 @@ func main() {
 		tap = capt.Tap
 	}
 
-	srv, err := nfsd.NewServerTap(*addr, svc, tap)
+	srv, err := nfsd.NewServerOpts(*addr, svc, rpcnet.ServerOptions{Tap: tap, Faults: faults})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
 		os.Exit(1)
@@ -178,6 +204,12 @@ func main() {
 		*gatherWindow, *sinkKind, svc.WriteVerifier())
 	if *trace != "" {
 		fmt.Printf("tracing to %s\n", *trace)
+	}
+	if svc.DRCEnabled() {
+		fmt.Printf("duplicate request cache: on (%d byte budget)\n", drcBudget(*drcBytes))
+	}
+	if faults != nil {
+		fmt.Printf("fault injection: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 
 	printStats := func(prefix string) {
@@ -224,6 +256,13 @@ loop:
 		ws.Commits)
 	fmt.Printf("final: gather: flushes=%d gathered=%dB coalesced=%dB flushed=%dB maxDirty=%dB\n",
 		ws.Flushes, ws.GatheredBytes, ws.CoalescedBytes, ws.FlushedBytes, ws.MaxDirtyBytes)
+	if svc.DRCEnabled() {
+		fmt.Printf("final: drc: %s\n", svc.DRCStats())
+	}
+	if faults != nil {
+		fmt.Printf("final: faults in:  %s\n", faults.Stats(rpcnet.DirIn))
+		fmt.Printf("final: faults out: %s\n", faults.Stats(rpcnet.DirOut))
+	}
 	if zfs != nil {
 		zs, cs, ds := zfs.Stats(), zfs.CacheStats(), zfs.DiskStats()
 		fmt.Printf("final: zone: demandHits=%d demandMisses=%d diskTime=%v clusters=%d readAheads=%d evictions=%d\n",
@@ -243,6 +282,14 @@ loop:
 		}
 		fmt.Printf("trace: %d records written to %s\n", capt.Total(), *trace)
 	}
+}
+
+// drcBudget echoes the effective cache budget for the startup banner.
+func drcBudget(maxBytes int) int {
+	if maxBytes <= 0 {
+		return drc.DefaultMaxBytes
+	}
+	return maxBytes
 }
 
 // formatProcCounts renders nonzero per-procedure counters.

@@ -267,7 +267,7 @@ func cmdInfo(args []string) error {
 	}
 	streams := make(map[uint32]int64)
 	minWhen, maxWhen := recs[0].When, recs[0].When
-	var rpcErrs, nfsErrs int64
+	var rpcErrs, nfsErrs, retrans int64
 	for _, r := range recs {
 		streams[r.Stream]++
 		if r.When < minWhen {
@@ -276,16 +276,22 @@ func cmdInfo(args []string) error {
 		if r.When > maxWhen {
 			maxWhen = r.When
 		}
-		switch {
+		if r.Status&tracefile.StatusRetransmit != 0 {
+			retrans++
+		}
+		// Flag bits masked off: a retransmitted call's error still counts
+		// by its underlying status.
+		switch status := r.Status &^ uint32(tracefile.StatusFlags); {
 		case r.Status&tracefile.StatusRPCError != 0:
 			rpcErrs++
-		case r.Status != nfsproto.OK && r.Proc != nfsproto.ProcNull:
+		case status != nfsproto.OK && r.Proc != nfsproto.ProcNull:
 			nfsErrs++
 		}
 	}
 	fmt.Printf("streams:  %d\n", len(streams))
 	fmt.Printf("span:     %v\n", (maxWhen - minWhen).Round(time.Millisecond))
 	fmt.Printf("errors:   %d rpc, %d nfs\n", rpcErrs, nfsErrs)
+	fmt.Printf("retrans:  %d\n", retrans)
 	mix := nfstrace.OpMix(nfstrace.FromTracefile(recs))
 	fmt.Printf("op mix:   %s\n", nfstrace.FormatOpMix(mix, nfsproto.ProcName))
 	return nil

@@ -152,6 +152,7 @@ func Experiments() []Experiment {
 		{"write-path", "Asynchronous write pipeline: gather window vs synchronous writes", WritePath},
 		{"zcav-live", "Live ZCAV trap: zone placement x cache size over real RPC", ZCAVLive},
 		{"metadata-path", "Metadata path: create/stat/rename/readdir over live TCP", MetadataPath},
+		{"fault-path", "Fault-tolerant RPC path: loss x transport x DRC over live sockets", FaultPath},
 	}
 }
 

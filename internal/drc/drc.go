@@ -1,0 +1,196 @@
+// Package drc is the NFS duplicate request cache (Juszczak's classic
+// BSD design): a bounded cache of recent replies to non-idempotent
+// calls, keyed by the retransmission identity ONC RPC provides —
+// (client address, XID, procedure, argument checksum). A retransmitted
+// REMOVE whose original already executed gets the original's reply
+// replayed instead of a wrong NOENT; a retransmission that races the
+// original (still executing) is dropped — neither re-executed nor
+// blocked on — and the client's next retransmission finds the
+// completed reply. The cache is byte-budgeted with LRU eviction of
+// completed entries, so a burst of large replies degrades it gracefully
+// toward a smaller effective window, never unbounded growth.
+package drc
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Key is one call's retransmission identity. The argument checksum
+// guards against XID reuse: a rebooted client that recycles an old XID
+// for a different call must not receive the old call's reply.
+type Key struct {
+	Client    netip.AddrPort
+	XID, Proc uint32
+	Sum       uint64
+}
+
+// Outcome is Begin's verdict on a call.
+type Outcome int
+
+const (
+	// Miss: never seen — execute it. The cache now holds an
+	// in-progress reservation; the caller must Complete it.
+	Miss Outcome = iota
+	// Hit: already executed — replay the cached reply, do not execute.
+	Hit
+	// Busy: the original is still executing — drop the call without
+	// replying (the classic DRC answer: the original's reply is coming,
+	// and a dropped retransmission just retries).
+	Busy
+)
+
+// Config bounds the cache.
+type Config struct {
+	// MaxBytes budgets the completed replies retained (default 1 MB).
+	// In-progress reservations are pinned and don't count against it.
+	MaxBytes int
+}
+
+// DefaultMaxBytes is the reply byte budget when Config leaves it zero.
+const DefaultMaxBytes = 1 << 20
+
+// Stats is a cache activity snapshot.
+type Stats struct {
+	Hits      int64 // retransmissions answered from the cache
+	Misses    int64 // fresh calls admitted
+	Busy      int64 // retransmissions dropped against an in-progress original
+	Evictions int64 // completed entries evicted under the byte budget
+	Bypasses  int64 // replies too large to retain at all
+	Entries   int   // current completed + in-progress entries
+	Bytes     int   // current retained reply bytes
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d busy=%d evict=%d bypass=%d entries=%d bytes=%d",
+		s.Hits, s.Misses, s.Busy, s.Evictions, s.Bypasses, s.Entries, s.Bytes)
+}
+
+// entry is one cached call. Completed entries sit on the LRU list;
+// in-progress ones exist only in the map (pinned: evicting one would
+// turn the racing retransmission it exists to catch into a re-execute).
+type entry struct {
+	key        Key
+	done       bool
+	reply      []byte // cache-owned copy
+	stat       uint32
+	prev, next *entry // LRU neighbors, valid when done
+}
+
+// entryOverhead approximates the per-entry bookkeeping charged to the
+// byte budget on top of the reply bytes.
+const entryOverhead = 96
+
+func (e *entry) size() int { return len(e.reply) + entryOverhead }
+
+// Cache is the duplicate request cache. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int
+	bytes    int
+	entries  map[Key]*entry
+	lru      entry // sentinel: lru.next = most recent, lru.prev = oldest
+
+	hits, misses, busy, evictions, bypasses int64
+}
+
+// New builds a cache under cfg's budget.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	c := &Cache{maxBytes: cfg.MaxBytes, entries: make(map[Key]*entry)}
+	c.lru.next, c.lru.prev = &c.lru, &c.lru
+	return c
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev, e.next = &c.lru, c.lru.next
+	e.prev.next, e.next.prev = e, e
+}
+
+func (c *Cache) unlink(e *entry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+	e.prev, e.next = nil, nil
+}
+
+// Begin classifies one incoming call. On Miss the caller MUST execute
+// the call and Complete the key with the reply it sends. On Hit the
+// returned reply and accept status are the original's; the returned
+// slice is cache-owned and must only be copied from, never retained or
+// written. On Busy the caller must drop the call without replying.
+func (c *Cache) Begin(k Key) (Outcome, []byte, uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		if !e.done {
+			c.busy++
+			return Busy, nil, 0
+		}
+		c.hits++
+		c.unlink(e)
+		c.pushFront(e)
+		return Hit, e.reply, e.stat
+	}
+	c.misses++
+	c.entries[k] = &entry{key: k}
+	return Miss, nil, 0
+}
+
+// Complete records the reply sent for a key Begin admitted as a Miss.
+// reply may alias a transient buffer; the cache keeps its own copy. A
+// reply too large for the whole budget is not retained (counted as a
+// bypass): a later retransmission of that call will re-execute, the
+// cache's documented degradation mode.
+func (c *Cache) Complete(k Key, reply []byte, stat uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok || e.done {
+		return
+	}
+	if len(reply)+entryOverhead > c.maxBytes {
+		delete(c.entries, k)
+		c.bypasses++
+		return
+	}
+	e.done = true
+	e.reply = append([]byte(nil), reply...)
+	e.stat = stat
+	c.pushFront(e)
+	c.bytes += e.size()
+	for c.bytes > c.maxBytes {
+		old := c.lru.prev
+		if old == &c.lru {
+			break
+		}
+		c.unlink(old)
+		delete(c.entries, old.key)
+		c.bytes -= old.size()
+		c.evictions++
+	}
+}
+
+// Abort releases an in-progress reservation without caching anything
+// (the call failed before a reply was sent). A no-op for completed or
+// unknown keys.
+func (c *Cache) Abort(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok && !e.done {
+		delete(c.entries, k)
+	}
+}
+
+// Stats returns a snapshot of the cache's counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Busy: c.busy,
+		Evictions: c.evictions, Bypasses: c.bypasses,
+		Entries: len(c.entries), Bytes: c.bytes,
+	}
+}

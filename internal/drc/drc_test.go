@@ -1,0 +1,212 @@
+package drc
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+func key(xid uint32) Key {
+	return Key{
+		Client: netip.MustParseAddrPort("10.0.0.1:1023"),
+		XID:    xid, Proc: 12, Sum: uint64(xid) * 7,
+	}
+}
+
+// TestLifecycle: miss → busy while in progress → hit after completion,
+// with the original's exact reply and status replayed.
+func TestLifecycle(t *testing.T) {
+	c := New(Config{})
+	k := key(1)
+	if out, _, _ := c.Begin(k); out != Miss {
+		t.Fatalf("first Begin = %v, want Miss", out)
+	}
+	if out, _, _ := c.Begin(k); out != Busy {
+		t.Fatalf("Begin while in progress = %v, want Busy", out)
+	}
+	c.Complete(k, []byte("the reply"), 0)
+	out, reply, stat := c.Begin(k)
+	if out != Hit || string(reply) != "the reply" || stat != 0 {
+		t.Fatalf("Begin after Complete = %v %q %d, want Hit", out, reply, stat)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Busy != 1 || s.Hits != 1 || s.Entries != 1 {
+		t.Fatalf("stats %v", s)
+	}
+}
+
+// TestKeyDiscriminates: any field differing — client, XID, proc, or the
+// argument checksum (XID reuse by a rebooted client) — is a different
+// call, never a hit.
+func TestKeyDiscriminates(t *testing.T) {
+	c := New(Config{})
+	base := key(1)
+	c.Begin(base)
+	c.Complete(base, []byte("r"), 0)
+	for name, k := range map[string]Key{
+		"client": {Client: netip.MustParseAddrPort("10.0.0.2:1023"), XID: base.XID, Proc: base.Proc, Sum: base.Sum},
+		"port":   {Client: netip.MustParseAddrPort("10.0.0.1:2000"), XID: base.XID, Proc: base.Proc, Sum: base.Sum},
+		"xid":    {Client: base.Client, XID: 2, Proc: base.Proc, Sum: base.Sum},
+		"proc":   {Client: base.Client, XID: base.XID, Proc: 14, Sum: base.Sum},
+		"sum":    {Client: base.Client, XID: base.XID, Proc: base.Proc, Sum: 999},
+	} {
+		if out, _, _ := c.Begin(k); out != Miss {
+			t.Errorf("%s variant: Begin = %v, want Miss", name, out)
+		}
+	}
+}
+
+// TestCompleteCopiesReply: the cache must own its reply bytes; mutating
+// the caller's buffer after Complete must not corrupt a later replay.
+func TestCompleteCopiesReply(t *testing.T) {
+	c := New(Config{})
+	k := key(1)
+	c.Begin(k)
+	buf := []byte("pristine")
+	c.Complete(k, buf, 0)
+	copy(buf, "clobberd")
+	if _, reply, _ := c.Begin(k); string(reply) != "pristine" {
+		t.Fatalf("replayed reply %q aliases the caller's buffer", reply)
+	}
+}
+
+// TestAbort releases the reservation: the next Begin is a fresh Miss,
+// not Busy-forever.
+func TestAbort(t *testing.T) {
+	c := New(Config{})
+	k := key(1)
+	c.Begin(k)
+	c.Abort(k)
+	if out, _, _ := c.Begin(k); out != Miss {
+		t.Fatalf("Begin after Abort = %v, want Miss", out)
+	}
+	// Abort of a completed key is a no-op; the entry stays replayable.
+	c.Complete(k, []byte("r"), 0)
+	c.Abort(k)
+	if out, _, _ := c.Begin(k); out != Hit {
+		t.Fatalf("Begin after no-op Abort = %v, want Hit", out)
+	}
+}
+
+// TestByteBudgetEviction: completed entries evict oldest-first once the
+// budget is exceeded; evicted calls become misses again.
+func TestByteBudgetEviction(t *testing.T) {
+	reply := make([]byte, 200)
+	perEntry := len(reply) + entryOverhead
+	c := New(Config{MaxBytes: 4 * perEntry})
+	for xid := uint32(1); xid <= 6; xid++ {
+		k := key(xid)
+		c.Begin(k)
+		c.Complete(k, reply, 0)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.Entries != 4 || s.Bytes != 4*perEntry {
+		t.Fatalf("stats %v, want 2 evictions, 4 entries", s)
+	}
+	// The two oldest are gone, the four newest replay.
+	for xid := uint32(1); xid <= 6; xid++ {
+		out, _, _ := c.Begin(key(xid))
+		want := Hit
+		if xid <= 2 {
+			want = Miss
+		}
+		if out != want {
+			t.Errorf("xid %d: Begin = %v, want %v", xid, out, want)
+		}
+		if want == Miss {
+			c.Abort(key(xid))
+		}
+	}
+}
+
+// TestHitRefreshesLRU: replaying an entry moves it to the front, so a
+// hot retransmitted call outlives colder neighbors under pressure.
+func TestHitRefreshesLRU(t *testing.T) {
+	reply := make([]byte, 100)
+	perEntry := len(reply) + entryOverhead
+	c := New(Config{MaxBytes: 3 * perEntry})
+	for xid := uint32(1); xid <= 3; xid++ {
+		c.Begin(key(xid))
+		c.Complete(key(xid), reply, 0)
+	}
+	c.Begin(key(1)) // refresh the oldest
+	// Two more completions must evict 2 and 3, not 1.
+	for xid := uint32(4); xid <= 5; xid++ {
+		c.Begin(key(xid))
+		c.Complete(key(xid), reply, 0)
+	}
+	if out, _, _ := c.Begin(key(1)); out != Hit {
+		t.Fatalf("refreshed entry evicted: Begin = %v", out)
+	}
+	if out, _, _ := c.Begin(key(2)); out != Miss {
+		t.Fatalf("cold entry survived: Begin = %v", out)
+	}
+}
+
+// TestOversizedReplyBypasses: a reply larger than the whole budget is
+// not retained and does not wedge the cache.
+func TestOversizedReplyBypasses(t *testing.T) {
+	c := New(Config{MaxBytes: 256})
+	k := key(1)
+	c.Begin(k)
+	c.Complete(k, make([]byte, 1024), 0)
+	s := c.Stats()
+	if s.Bypasses != 1 || s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("stats %v, want 1 bypass, empty cache", s)
+	}
+	if out, _, _ := c.Begin(k); out != Miss {
+		t.Fatalf("Begin after bypass = %v, want Miss (re-execute is the documented degradation)", out)
+	}
+}
+
+// TestInProgressPinnedAgainstEviction: reservations don't count against
+// the budget and are never evicted — evicting one would turn the racing
+// retransmission it guards against into a re-execution.
+func TestInProgressPinnedAgainstEviction(t *testing.T) {
+	reply := make([]byte, 100)
+	perEntry := len(reply) + entryOverhead
+	c := New(Config{MaxBytes: 2 * perEntry})
+	pinned := key(100)
+	c.Begin(pinned)
+	for xid := uint32(1); xid <= 10; xid++ {
+		c.Begin(key(xid))
+		c.Complete(key(xid), reply, 0)
+	}
+	if out, _, _ := c.Begin(pinned); out != Busy {
+		t.Fatalf("in-progress entry evicted under pressure: Begin = %v", out)
+	}
+	c.Complete(pinned, reply, 0)
+	if out, _, _ := c.Begin(pinned); out != Hit {
+		t.Fatalf("pinned entry lost its completion: Begin = %v", out)
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines with
+// overlapping keys. Run under -race; the property checked is that every
+// key settles to exactly one cached reply.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 16})
+	const workers, keys = 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := key(uint32(i))
+				switch out, reply, _ := c.Begin(k); out {
+				case Miss:
+					c.Complete(k, []byte(fmt.Sprintf("reply-%d", i)), 0)
+				case Hit:
+					if string(reply) != fmt.Sprintf("reply-%d", i) {
+						t.Errorf("key %d: wrong cached reply %q", i, reply)
+					}
+				case Busy:
+					// The original is mid-flight in another goroutine.
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

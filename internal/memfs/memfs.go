@@ -8,7 +8,6 @@
 package memfs
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -535,16 +534,48 @@ func NewServerTap(addr string, svc *Service, tap rpcnet.Tap) (*rpcnet.Server, er
 // demultiplexes replies by XID).
 type Client struct {
 	rpc *rpcnet.Client
+	// retry, when non-nil, carries every call through the unified
+	// retransmission layer (same-XID retransmits, Jacobson RTO,
+	// exponential backoff) instead of single-shot Call.
+	retry *rpcnet.Retrier
 }
 
 // DialClient connects to a live service at addr over network
-// ("udp"/"tcp").
+// ("udp"/"tcp"). Calls are single-shot: a lost datagram surfaces as
+// rpcnet.ErrReplyTimeout after the client timeout. Use DialClientRetry
+// for a fault-tolerant path.
 func DialClient(network, addr string) (*Client, error) {
 	rc, err := rpcnet.Dial(network, addr, nfsproto.Program, nfsproto.Version3)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{rpc: rc}, nil
+}
+
+// DialClientRetry is DialClient with the unified retry layer on every
+// call: retransmission under the same XID (so a server-side duplicate
+// request cache recognizes retries), RTT-estimated timeouts,
+// exponential backoff and a major timeout after policy.MaxTransmits
+// rounds. faults, when non-nil, injects wire faults on this client's
+// directions (rpcnet.DialFault).
+func DialClientRetry(network, addr string, policy rpcnet.RetryPolicy, faults *rpcnet.FaultInjector) (*Client, error) {
+	rc, err := rpcnet.DialFault(network, addr, nfsproto.Program, nfsproto.Version3, faults)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rc, retry: rc.NewRetrier(policy)}, nil
+}
+
+// Retrier exposes the client's retry layer (nil for a plain
+// DialClient) — its Stats carry retransmit/major-timeout counts.
+func (c *Client) Retrier() *rpcnet.Retrier { return c.retry }
+
+// call routes one RPC through the retry layer when configured.
+func (c *Client) call(proc uint32, args []byte) ([]byte, error) {
+	if c.retry != nil {
+		return c.retry.Call(proc, args)
+	}
+	return c.rpc.Call(proc, args)
 }
 
 // Close releases the transport.
@@ -587,7 +618,7 @@ func statusError(op string, status uint32) error {
 
 // Lookup resolves a name under dir and returns the handle and size.
 func (c *Client) Lookup(dir nfsproto.FH, name string) (nfsproto.FH, int64, error) {
-	body, err := c.rpc.Call(nfsproto.ProcLookup,
+	body, err := c.call(nfsproto.ProcLookup,
 		(&nfsproto.LookupArgs{Dir: dir, Name: name}).Marshal())
 	if err != nil {
 		return 0, 0, err
@@ -624,7 +655,7 @@ func (c *Client) LookupPath(path string) (nfsproto.FH, int64, error) {
 
 // Read fetches count bytes at off.
 func (c *Client) Read(fh nfsproto.FH, off uint64, count uint32) ([]byte, bool, error) {
-	body, err := c.rpc.Call(nfsproto.ProcRead,
+	body, err := c.call(nfsproto.ProcRead,
 		(&nfsproto.ReadArgs{FH: fh, Offset: off, Count: count}).Marshal())
 	if err != nil {
 		return nil, false, err
@@ -649,7 +680,7 @@ func (c *Client) Write(fh nfsproto.FH, off uint64, data []byte) error {
 // WriteStable stores data at off with the given stability level and
 // returns the full reply (achieved stability, write verifier).
 func (c *Client) WriteStable(fh nfsproto.FH, off uint64, data []byte, stable uint32) (*nfsproto.WriteRes, error) {
-	body, err := c.rpc.Call(nfsproto.ProcWrite,
+	body, err := c.call(nfsproto.ProcWrite,
 		(&nfsproto.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)),
 			Stable: stable, Data: data}).Marshal())
 	if err != nil {
@@ -680,7 +711,7 @@ func (c *Client) WriteUnstable(fh nfsproto.FH, off uint64, data []byte) (verf ui
 // Commit flushes [off, off+count) — or the whole file when count is
 // 0 — to stable storage and returns the server's write verifier.
 func (c *Client) Commit(fh nfsproto.FH, off uint64, count uint32) (verf uint64, err error) {
-	body, err := c.rpc.Call(nfsproto.ProcCommit,
+	body, err := c.call(nfsproto.ProcCommit,
 		(&nfsproto.CommitArgs{FH: fh, Offset: off, Count: count}).Marshal())
 	if err != nil {
 		return 0, err
@@ -698,7 +729,7 @@ func (c *Client) Commit(fh nfsproto.FH, off uint64, count uint32) (verf uint64, 
 // Access asks the server which of the mask's ACCESS3 bits it grants
 // on fh.
 func (c *Client) Access(fh nfsproto.FH, mask uint32) (granted uint32, err error) {
-	body, err := c.rpc.Call(nfsproto.ProcAccess,
+	body, err := c.call(nfsproto.ProcAccess,
 		(&nfsproto.AccessArgs{FH: fh, Access: mask}).Marshal())
 	if err != nil {
 		return 0, err
@@ -715,7 +746,7 @@ func (c *Client) Access(fh nfsproto.FH, mask uint32) (granted uint32, err error)
 
 // Fsstat fetches the server's total and free capacity in bytes.
 func (c *Client) Fsstat(fh nfsproto.FH) (total, free uint64, err error) {
-	body, err := c.rpc.Call(nfsproto.ProcFsstat,
+	body, err := c.call(nfsproto.ProcFsstat,
 		(&nfsproto.FsstatArgs{FH: fh}).Marshal())
 	if err != nil {
 		return 0, 0, err
@@ -733,7 +764,7 @@ func (c *Client) Fsstat(fh nfsproto.FH) (total, free uint64, err error) {
 // Create makes a zero-filled file of the given size under dir and
 // returns its handle.
 func (c *Client) Create(dir nfsproto.FH, name string, size uint64) (nfsproto.FH, error) {
-	body, err := c.rpc.Call(nfsproto.ProcCreate,
+	body, err := c.call(nfsproto.ProcCreate,
 		(&nfsproto.CreateArgs{Dir: dir, Name: name, Size: size}).Marshal())
 	if err != nil {
 		return 0, err
@@ -750,7 +781,7 @@ func (c *Client) Create(dir nfsproto.FH, name string, size uint64) (nfsproto.FH,
 
 // Mkdir creates a directory under dir and returns its handle.
 func (c *Client) Mkdir(dir nfsproto.FH, name string) (nfsproto.FH, error) {
-	body, err := c.rpc.Call(nfsproto.ProcMkdir,
+	body, err := c.call(nfsproto.ProcMkdir,
 		(&nfsproto.MkdirArgs{Dir: dir, Name: name}).Marshal())
 	if err != nil {
 		return 0, err
@@ -767,7 +798,7 @@ func (c *Client) Mkdir(dir nfsproto.FH, name string) (nfsproto.FH, error) {
 
 // Remove unlinks name under dir (a directory must be empty).
 func (c *Client) Remove(dir nfsproto.FH, name string) error {
-	body, err := c.rpc.Call(nfsproto.ProcRemove,
+	body, err := c.call(nfsproto.ProcRemove,
 		(&nfsproto.RemoveArgs{Dir: dir, Name: name}).Marshal())
 	if err != nil {
 		return err
@@ -784,7 +815,7 @@ func (c *Client) Remove(dir nfsproto.FH, name string) error {
 
 // Rename moves fromDir/fromName to toDir/toName.
 func (c *Client) Rename(fromDir nfsproto.FH, fromName string, toDir nfsproto.FH, toName string) error {
-	body, err := c.rpc.Call(nfsproto.ProcRename,
+	body, err := c.call(nfsproto.ProcRename,
 		(&nfsproto.RenameArgs{FromDir: fromDir, FromName: fromName,
 			ToDir: toDir, ToName: toName}).Marshal())
 	if err != nil {
@@ -802,7 +833,7 @@ func (c *Client) Rename(fromDir nfsproto.FH, fromName string, toDir nfsproto.FH,
 
 // Setattr sets a file's size (truncate or zero-extend).
 func (c *Client) Setattr(fh nfsproto.FH, size uint64) error {
-	body, err := c.rpc.Call(nfsproto.ProcSetattr,
+	body, err := c.call(nfsproto.ProcSetattr,
 		(&nfsproto.SetattrArgs{FH: fh, Size: size}).Marshal())
 	if err != nil {
 		return err
@@ -819,7 +850,7 @@ func (c *Client) Setattr(fh nfsproto.FH, size uint64) error {
 
 // Getattr fetches an object's attributes.
 func (c *Client) Getattr(fh nfsproto.FH) (nfsproto.Fattr, error) {
-	body, err := c.rpc.Call(nfsproto.ProcGetattr,
+	body, err := c.call(nfsproto.ProcGetattr,
 		(&nfsproto.GetattrArgs{FH: fh}).Marshal())
 	if err != nil {
 		return nfsproto.Fattr{}, err
@@ -839,7 +870,7 @@ func (c *Client) Getattr(fh nfsproto.FH) (nfsproto.Fattr, error) {
 // the reply-size budget in bytes. A stale verifier surfaces as an
 // error matching vfs.ErrBadCookie — restart from 0/0.
 func (c *Client) Readdir(dir nfsproto.FH, cookie, cookieverf uint64, count uint32) (*nfsproto.ReaddirRes, error) {
-	body, err := c.rpc.Call(nfsproto.ProcReaddir,
+	body, err := c.call(nfsproto.ProcReaddir,
 		(&nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Cookieverf: cookieverf,
 			Count: count}).Marshal())
 	if err != nil {
@@ -857,7 +888,7 @@ func (c *Client) Readdir(dir nfsproto.FH, cookie, cookieverf uint64, count uint3
 
 // Readdirplus is Readdir with per-entry attributes and handles.
 func (c *Client) Readdirplus(dir nfsproto.FH, cookie, cookieverf uint64, dirCount, maxCount uint32) (*nfsproto.ReaddirplusRes, error) {
-	body, err := c.rpc.Call(nfsproto.ProcReaddirplus,
+	body, err := c.call(nfsproto.ProcReaddirplus,
 		(&nfsproto.ReaddirplusArgs{Dir: dir, Cookie: cookie, Cookieverf: cookieverf,
 			DirCount: dirCount, MaxCount: maxCount}).Marshal())
 	if err != nil {
@@ -877,6 +908,12 @@ func (c *Client) Readdirplus(dir nfsproto.FH, cookie, cookieverf uint64, dirCoun
 // ReaddirAll; under sustained concurrent removal a scan could
 // otherwise livelock.
 const readdirAllRestarts = 8
+
+// ErrReaddirRestarts is returned (wrapped) when ReaddirAll exhausts its
+// restart budget: the directory mutated under every attempted scan.
+// Callers distinguish this livelock from a transport or protocol
+// failure with errors.Is.
+var ErrReaddirRestarts = errors.New("memfs: readdir scan restart limit exceeded")
 
 // ReaddirAll pages through dir with the given per-page reply budget
 // and returns every entry. If a page resume hits a stale cookie
@@ -911,17 +948,23 @@ func (c *Client) ReaddirAll(dir nfsproto.FH, count uint32) ([]nfsproto.DirEntry,
 			}
 		}
 	}
-	return nil, fmt.Errorf("memfs: readdir: scan restarted %d times: %w",
-		readdirAllRestarts, lastErr)
+	return nil, fmt.Errorf("%w: %d restarts: %w",
+		ErrReaddirRestarts, readdirAllRestarts, lastErr)
 }
 
 // writeBehindTimeout bounds each reply wait inside WriteBehind; an
-// expired wait triggers a retransmission (see settleOldest), so it is
-// deliberately short — a retransmit interval, not a failure deadline.
+// expired wait hands the write to the retry layer (see settleOldest),
+// so it is a retransmit interval, not a failure deadline.
 const writeBehindTimeout = time.Second
 
-// writeBehindRetries bounds retransmissions of one write.
-const writeBehindRetries = 3
+// writeBehindPolicy is the retry policy a WriteBehind builds when its
+// client has none: the bounds the old private retransmit loop used
+// (three retries after the first transmission), expressed through the
+// unified layer.
+var writeBehindPolicy = rpcnet.RetryPolicy{
+	MaxTransmits: 4,
+	InitialRTO:   writeBehindTimeout,
+}
 
 // WriteBehind is a biod-style write-behind pipeline over one file: it
 // issues UNSTABLE writes asynchronously (via the client's Go API, so a
@@ -939,6 +982,10 @@ type WriteBehind struct {
 	c      *Client
 	fh     nfsproto.FH
 	window int
+	// retry settles timed-out writes: the client's own retry layer when
+	// it has one, else a pipeline-private retrier with the write-behind
+	// defaults. WRITE is idempotent, so retransmission is always safe.
+	retry *rpcnet.Retrier
 
 	inflight []pendingWrite // issued, reply not yet consumed
 	retained []retainedWrite
@@ -968,7 +1015,11 @@ func (c *Client) NewWriteBehind(fh nfsproto.FH, window int) *WriteBehind {
 	if window <= 0 {
 		window = 8
 	}
-	return &WriteBehind{c: c, fh: fh, window: window}
+	retry := c.retry
+	if retry == nil {
+		retry = c.rpc.NewRetrier(writeBehindPolicy)
+	}
+	return &WriteBehind{c: c, fh: fh, window: window, retry: retry}
 }
 
 // Write issues one UNSTABLE write of data at off, blocking only when
@@ -996,20 +1047,18 @@ func (w *WriteBehind) Write(off uint64, data []byte) error {
 // settleOldest consumes the oldest in-flight reply, recording the
 // verifier it carried. A reply wait that times out triggers the
 // classic NFS-over-UDP recovery: WRITEs are idempotent, so the write
-// is simply retransmitted (synchronously) a bounded number of times —
-// a dropped request or reply datagram costs a retransmit interval, not
-// the pipeline.
+// is handed to the unified retry layer — same-XID retransmissions with
+// backoff until a reply or a major timeout. A dropped request or reply
+// datagram costs a retransmit interval, not the pipeline.
 func (w *WriteBehind) settleOldest() {
 	pw := w.inflight[0]
 	w.inflight = w.inflight[1:]
 	body, err := pw.p.Wait(writeBehindTimeout)
-	for try := 0; err != nil && errors.Is(err, context.DeadlineExceeded) && try < writeBehindRetries; try++ {
-		var res *nfsproto.WriteRes
-		res, err = w.c.WriteStable(w.fh, pw.off, pw.data, nfsproto.WriteUnstable)
-		if err == nil {
-			w.observeVerf(res.Verf)
-			return
-		}
+	if err != nil && errors.Is(err, rpcnet.ErrReplyTimeout) {
+		args := &nfsproto.WriteArgs{FH: w.fh, Offset: pw.off,
+			Count: uint32(len(pw.data)), Stable: nfsproto.WriteUnstable,
+			Data: pw.data}
+		body, err = w.retry.Call(nfsproto.ProcWrite, args.Marshal())
 	}
 	if err != nil {
 		w.err = err

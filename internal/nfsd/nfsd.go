@@ -18,6 +18,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"nfstricks/internal/drc"
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/readahead"
@@ -50,6 +51,19 @@ type Config struct {
 	// MaxReadAhead caps the heuristic's read-ahead window in blocks
 	// (0 = DefaultMaxReadAhead).
 	MaxReadAhead int
+	// DRC configures the duplicate request cache shielding
+	// non-idempotent procedures (CREATE/MKDIR/REMOVE/RENAME) from
+	// retransmissions. Off by default: a loopback bench with no fault
+	// injection should not pay for a cache it cannot hit.
+	DRC DRCConfig
+}
+
+// DRCConfig enables and bounds the duplicate request cache.
+type DRCConfig struct {
+	// Enabled turns the cache on.
+	Enabled bool
+	// MaxBytes budgets retained replies (0 = drc.DefaultMaxBytes).
+	MaxBytes int
 }
 
 // Stats counts live-service activity.
@@ -84,6 +98,10 @@ type Service struct {
 	// service had before the engine existed.
 	engine   *wgather.Engine
 	maxAhead int
+	// dupcache, when non-nil, shields non-idempotent procedures from
+	// retransmissions (see InfoHandler; the identity-blind Handler path
+	// cannot consult it).
+	dupcache *drc.Cache
 
 	reads        atomic.Int64
 	bytesRead    atomic.Int64
@@ -146,13 +164,17 @@ func New(b vfs.Backend, cfg Config) *Service {
 	}
 	// ForkN gives every shard its own heuristic instance (or a safely
 	// shared one), so the service never races on the caller's value.
-	return &Service{
+	svc := &Service{
 		b:        b,
 		table:    cfg.Table,
 		heur:     readahead.ForkN(cfg.Heuristic, cfg.Table.ShardCount()),
 		engine:   engine,
 		maxAhead: cfg.MaxReadAhead,
 	}
+	if cfg.DRC.Enabled {
+		svc.dupcache = drc.New(drc.Config{MaxBytes: cfg.DRC.MaxBytes})
+	}
+	return svc
 }
 
 // Backend exposes the mounted storage backend.
@@ -229,6 +251,58 @@ func (s *Service) Handler() rpcnet.Handler {
 		}
 		return out, stat
 	}
+}
+
+// InfoHandler is Handler plus the duplicate request cache: with the
+// call's wire identity in hand, a retransmitted non-idempotent call is
+// answered from the cache (Hit), dropped while its original executes
+// (Busy — the retransmission's next round finds the reply), or executed
+// and its reply retained (Miss). Cache hits do NOT count in ProcCounts,
+// so ProcCounts stays "procedures actually executed" — the number an
+// experiment checks to assert zero duplicated side effects.
+func (s *Service) InfoHandler() rpcnet.InfoHandler {
+	return func(info rpcnet.CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
+		if s.dupcache == nil || !nfsproto.NonIdempotent(proc) {
+			out, stat := s.dispatch(proc, body, reply)
+			if stat == sunrpc.AcceptSuccess {
+				s.countProc(proc)
+			}
+			return out, stat
+		}
+		key := drc.Key{Client: info.Client, XID: info.XID, Proc: proc,
+			Sum: nfsproto.ArgsChecksum(body)}
+		outcome, cached, stat := s.dupcache.Begin(key)
+		switch outcome {
+		case drc.Hit:
+			return append(reply, cached...), stat
+		case drc.Busy:
+			return reply, rpcnet.StatDrop
+		}
+		start := len(reply)
+		out, stat := s.dispatch(proc, body, reply)
+		if stat == sunrpc.AcceptSuccess {
+			s.countProc(proc)
+			s.dupcache.Complete(key, out[start:], stat)
+		} else {
+			// Rejected above the NFS layer (garbage args): nothing worth
+			// replaying — release the reservation so a clean retry
+			// re-executes.
+			s.dupcache.Abort(key)
+		}
+		return out, stat
+	}
+}
+
+// DRCEnabled reports whether the duplicate request cache is on.
+func (s *Service) DRCEnabled() bool { return s.dupcache != nil }
+
+// DRCStats returns the duplicate request cache's counters (zero when
+// the cache is disabled).
+func (s *Service) DRCStats() drc.Stats {
+	if s.dupcache == nil {
+		return drc.Stats{}
+	}
+	return s.dupcache.Stats()
 }
 
 func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
@@ -681,7 +755,7 @@ func (s *Service) fsstat(body, reply []byte) ([]byte, uint32) {
 
 // NewServer binds addr and serves svc over real UDP and TCP sockets.
 func NewServer(addr string, svc *Service) (*rpcnet.Server, error) {
-	return NewServerTap(addr, svc, nil)
+	return NewServerOpts(addr, svc, rpcnet.ServerOptions{})
 }
 
 // NewServerTap is NewServer with a capture tap observing every served
@@ -695,5 +769,12 @@ func NewServer(addr string, svc *Service) (*rpcnet.Server, error) {
 // The tap adds one pointer check per request when nil and one record
 // append (no payload copy) when capturing.
 func NewServerTap(addr string, svc *Service, tap rpcnet.Tap) (*rpcnet.Server, error) {
-	return rpcnet.NewServerTap(addr, nfsproto.Program, nfsproto.Version3, svc.Handler(), tap)
+	return NewServerOpts(addr, svc, rpcnet.ServerOptions{Tap: tap})
+}
+
+// NewServerOpts is the full-width constructor: capture tap and fault
+// injection. The service always mounts through its InfoHandler, so a
+// DRC-enabled Config works behind every constructor.
+func NewServerOpts(addr string, svc *Service, opts rpcnet.ServerOptions) (*rpcnet.Server, error) {
+	return rpcnet.NewServerInfo(addr, nfsproto.Program, nfsproto.Version3, svc.InfoHandler(), opts)
 }

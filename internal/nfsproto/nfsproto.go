@@ -842,6 +842,34 @@ func UnmarshalFsstatRes(b []byte) (*FsstatRes, error) {
 	return f, d.Err()
 }
 
+// NonIdempotent reports whether a procedure must not be executed twice:
+// replaying CREATE/MKDIR/REMOVE/RENAME gives a different (wrong) answer
+// the second time — EXIST where the first created, NOENT where the
+// first removed. These are the procedures a duplicate request cache
+// must shield from retransmissions; everything else (reads, WRITE with
+// an explicit offset, COMMIT) replays to the same result.
+func NonIdempotent(proc uint32) bool {
+	switch proc {
+	case ProcCreate, ProcMkdir, ProcRemove, ProcRename:
+		return true
+	}
+	return false
+}
+
+// ArgsChecksum hashes a call's XDR argument body (FNV-1a 64). A
+// duplicate request cache keys on it alongside (client, XID, proc): XID
+// reuse by a rebooted client then mismatches on the arguments instead
+// of replaying an old reply to a different call.
+func ArgsChecksum(body []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range body {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // ProcName returns a human-readable procedure name.
 func ProcName(proc uint32) string {
 	switch proc {

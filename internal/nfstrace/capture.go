@@ -34,6 +34,45 @@ type Capture struct {
 	start time.Time
 	err   error
 	total int64
+	// streams tracks each stream's recently seen XIDs so a
+	// retransmission (same stream, same XID again) is recorded
+	// distinctly (tracefile.StatusRetransmit) instead of posing as
+	// fresh offered load.
+	streams map[uint32]*xidWindow
+	retrans int64
+}
+
+// captureXIDWindow is how many recent XIDs per stream a capture
+// remembers for retransmission detection. A retransmit interval spans
+// at most a few hundred in-flight calls; an XID falling out of the
+// window just means a (very) late retransmission records as fresh.
+const captureXIDWindow = 256
+
+// captureMaxStreams bounds the stream map on a long-running capture
+// facing UDP peer churn (same policy as rpcnet's stream-id map: reset,
+// never grow forever).
+const captureMaxStreams = 4096
+
+// xidWindow is one stream's recent-XID set with FIFO eviction.
+type xidWindow struct {
+	seen map[uint32]struct{}
+	fifo [captureXIDWindow]uint32
+	n    int // total inserted; fifo slot = n % captureXIDWindow
+}
+
+// observe reports whether xid was recently seen on the stream,
+// inserting it if not.
+func (w *xidWindow) observe(xid uint32) bool {
+	if _, ok := w.seen[xid]; ok {
+		return true
+	}
+	if w.n >= captureXIDWindow {
+		delete(w.seen, w.fifo[w.n%captureXIDWindow])
+	}
+	w.fifo[w.n%captureXIDWindow] = xid
+	w.seen[xid] = struct{}{}
+	w.n++
+	return false
 }
 
 // NewCapture wraps w, timestamping records relative to the writer's
@@ -47,7 +86,7 @@ func NewCapture(w *tracefile.Writer) *Capture {
 // NewCaptureAt is NewCapture with an explicit time origin (records
 // store arrival time minus start).
 func NewCaptureAt(w *tracefile.Writer, start time.Time) *Capture {
-	return &Capture{w: w, start: start}
+	return &Capture{w: w, start: start, streams: make(map[uint32]*xidWindow)}
 }
 
 // Tap is the rpcnet.Tap. It parses the event and appends a record; the
@@ -70,6 +109,18 @@ func (c *Capture) Tap(ev rpcnet.TapEvent) {
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return
+	}
+	win := c.streams[ev.Stream]
+	if win == nil {
+		if len(c.streams) >= captureMaxStreams {
+			c.streams = make(map[uint32]*xidWindow)
+		}
+		win = &xidWindow{seen: make(map[uint32]struct{})}
+		c.streams[ev.Stream] = win
+	}
+	if win.observe(ev.XID) {
+		rec.Status |= tracefile.StatusRetransmit
+		c.retrans++
 	}
 	c.err = c.w.Append(rec)
 	if c.err == nil {
@@ -123,8 +174,8 @@ func parseArgs(proc uint32, body []byte) (fh uint64, offset uint64, count uint32
 	case nfsproto.ProcReaddirplus:
 		fh = readFH()
 		offset = d.Uint64()
-		d.Uint64() // cookieverf
-		d.Uint32() // dircount
+		d.Uint64()         // cookieverf
+		d.Uint32()         // dircount
 		count = d.Uint32() // maxcount
 	}
 	if d.Err() != nil {
@@ -138,6 +189,14 @@ func (c *Capture) Total() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.total
+}
+
+// Retransmits reports how many captured records were recognized as
+// retransmissions (tagged tracefile.StatusRetransmit).
+func (c *Capture) Retransmits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retrans
 }
 
 // Err reports the first writer error, if any; records after it were

@@ -1,0 +1,91 @@
+package nfstrace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/tracefile"
+)
+
+// tapEvent builds a minimal successful GETATTR-ish event.
+func tapEvent(stream, xid uint32, at time.Duration, start time.Time) rpcnet.TapEvent {
+	return rpcnet.TapEvent{
+		When:   start.Add(at),
+		Stream: stream,
+		XID:    xid,
+		Proc:   1,
+		Stat:   sunrpc.AcceptSuccess,
+		Result: []byte{0, 0, 0, 0}, // nfsstat3 OK
+	}
+}
+
+// TestCaptureTagsRetransmissions: a repeated (stream, XID) records with
+// StatusRetransmit set; fresh XIDs and the same XID on a different
+// stream do not. The flag composes with the NFS status so replay/info
+// can mask it back off.
+func TestCaptureTagsRetransmissions(t *testing.T) {
+	var buf bytes.Buffer
+	start := time.Now()
+	w, err := tracefile.NewWriter(&buf, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCaptureAt(w, start)
+
+	c.Tap(tapEvent(1, 100, 1*time.Millisecond, start)) // fresh
+	c.Tap(tapEvent(1, 101, 2*time.Millisecond, start)) // fresh
+	c.Tap(tapEvent(1, 100, 3*time.Millisecond, start)) // retransmission
+	c.Tap(tapEvent(2, 100, 4*time.Millisecond, start)) // same XID, other stream: fresh
+	c.Tap(tapEvent(1, 100, 5*time.Millisecond, start)) // retransmission again
+
+	if got := c.Retransmits(); got != 2 {
+		t.Fatalf("Retransmits() = %d, want 2", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := tracefile.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("%d records, want 5", len(recs))
+	}
+	wantFlag := []bool{false, false, true, false, true}
+	for i, rec := range recs {
+		if got := rec.Status&tracefile.StatusRetransmit != 0; got != wantFlag[i] {
+			t.Errorf("record %d: retransmit flag %v, want %v", i, got, wantFlag[i])
+		}
+		if rec.Status&^uint32(tracefile.StatusFlags) != 0 {
+			t.Errorf("record %d: NFS status %#x corrupted by flag", i, rec.Status&^uint32(tracefile.StatusFlags))
+		}
+	}
+}
+
+// TestCaptureXIDWindowEvicts: an XID older than the window records as
+// fresh when it finally retransmits — the documented trade of the
+// bounded window.
+func TestCaptureXIDWindowEvicts(t *testing.T) {
+	var buf bytes.Buffer
+	start := time.Now()
+	w, err := tracefile.NewWriter(&buf, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCaptureAt(w, start)
+	c.Tap(tapEvent(1, 7, 0, start))
+	// Flood the window until XID 7 is evicted.
+	for i := 0; i < captureXIDWindow; i++ {
+		c.Tap(tapEvent(1, 1000+uint32(i), time.Duration(i)*time.Microsecond, start))
+	}
+	c.Tap(tapEvent(1, 7, time.Millisecond, start))
+	if got := c.Retransmits(); got != 0 {
+		t.Fatalf("Retransmits() = %d, want 0 (the duplicate fell out of the window)", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,30 @@ const maxUDPMessage = 64 * 1024
 // be safe for concurrent use.
 type Handler func(proc uint32, body []byte, reply []byte) ([]byte, uint32)
 
+// CallInfo identifies one call on the wire: which client sent it and
+// under which XID. A duplicate request cache needs exactly this —
+// (client, XID) is the retransmission identity ONC RPC gives us.
+type CallInfo struct {
+	// XID is the call's transaction id from the RPC header.
+	XID uint32
+	// Client is the peer address: the datagram source on UDP, the
+	// connection's remote address on TCP.
+	Client netip.AddrPort
+	// TCP reports the transport (false = UDP).
+	TCP bool
+}
+
+// InfoHandler is Handler plus the call's wire identity. Returning
+// StatDrop as the accept status suppresses the reply entirely — the
+// server behaves as if the request were lost, which is how a duplicate
+// request cache answers a retransmission whose original is still
+// executing.
+type InfoHandler func(info CallInfo, proc uint32, body []byte, reply []byte) ([]byte, uint32)
+
+// StatDrop is the sentinel accept status an InfoHandler returns to
+// drop a call without replying. It never appears on the wire.
+const StatDrop = ^uint32(0)
+
 // wireBufs is the message arena: recycled buffers for everything that
 // crosses a socket — datagrams read, TCP records read, calls and
 // replies marshalled. Entries start at the maximum wire size
@@ -70,6 +94,9 @@ type TapEvent struct {
 	// id each for their lifetime, UDP peers one id per distinct source
 	// address. Ids are unique within a Server, never reused.
 	Stream uint32
+	// XID is the call's transaction id — the key a capture needs to
+	// recognize a retransmission (same stream, same XID, again).
+	XID uint32
 	// When is the request's arrival time (read off the socket).
 	When time.Time
 	// Latency is the service time: handler plus decode, excluding the
@@ -97,8 +124,9 @@ type Tap func(ev TapEvent)
 // bound to the same address.
 type Server struct {
 	prog, vers uint32
-	handler    Handler
+	handler    InfoHandler
 	tap        Tap
+	faults     *FaultInjector // nil = perfect network
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -124,6 +152,27 @@ func NewServer(addr string, prog, vers uint32, handler Handler) (*Server, error)
 // NewServerTap is NewServer with a capture tap observing every served
 // RPC (see Tap). A nil tap is exactly NewServer.
 func NewServerTap(addr string, prog, vers uint32, handler Handler, tap Tap) (*Server, error) {
+	return NewServerInfo(addr, prog, vers,
+		func(_ CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
+			return handler(proc, body, reply)
+		},
+		ServerOptions{Tap: tap})
+}
+
+// ServerOptions carries the optional knobs of NewServerInfo. The zero
+// value is a plain server: no capture, perfect network.
+type ServerOptions struct {
+	// Tap observes every served RPC (see Tap).
+	Tap Tap
+	// Faults, when non-nil, injects faults on both wire directions of
+	// this server: inbound requests and outbound replies.
+	Faults *FaultInjector
+}
+
+// NewServerInfo is the full-width constructor: an InfoHandler that sees
+// each call's wire identity (and may drop calls via StatDrop), plus
+// options for capture and fault injection.
+func NewServerInfo(addr string, prog, vers uint32, handler InfoHandler, opts ServerOptions) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: %w", err)
@@ -133,11 +182,12 @@ func NewServerTap(addr string, prog, vers uint32, handler Handler, tap Tap) (*Se
 		return nil, err
 	}
 	s := &Server{
-		prog: prog, vers: vers, handler: handler, tap: tap,
-		udp: udp, tcp: tcp,
+		prog: prog, vers: vers, handler: handler, tap: opts.Tap,
+		faults: opts.Faults,
+		udp:    udp, tcp: tcp,
 		conns: make(map[net.Conn]struct{}),
 	}
-	if tap != nil {
+	if s.tap != nil {
 		s.udpStreams = make(map[netip.AddrPort]uint32)
 	}
 	s.wg.Add(2)
@@ -245,30 +295,77 @@ func (s *Server) serveUDP() {
 			}
 			continue
 		}
-		// Arrival time and stream id are resolved on the read loop (the
-		// peer address is at hand here) but only when capture is on.
-		var ev *TapEvent
-		if s.tap != nil {
-			ev = &TapEvent{Stream: s.udpStream(from), When: time.Now()}
+		// Inbound fault decision, drawn on the read loop so the decision
+		// order matches datagram arrival order.
+		act := s.faults.datagram(DirIn, n)
+		if act.drop {
+			putBuf(bp)
+			continue
 		}
-		// The handler goroutine joins the server's WaitGroup (the read
-		// loop still holds its own count, so this Add cannot race a
-		// Close that already reached zero): Close drains in-flight
-		// requests, which is what lets a shutdown trust that the final
-		// stats and the capture tap saw every served RPC.
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer putBuf(bp)
-			rp := getBuf()
-			defer putBuf(rp)
-			if reply, ok := s.process(buf[:n], *rp, ev); ok {
-				*rp = reply
-				s.emit(ev)
-				s.udp.WriteToUDP(reply, from)
-			}
-		}()
+		if act.truncate >= 0 {
+			n = act.truncate
+		}
+		if act.dup {
+			// The network delivered the datagram twice: serve a private
+			// copy as a second, independent request. This is the
+			// retransmission the duplicate request cache exists for,
+			// injected without needing the client to time out.
+			dp := getBuf()
+			*dp = append(*dp, buf[:n]...)
+			s.serveDatagram(dp, (*dp)[:n], from, 0)
+		}
+		s.serveDatagram(bp, buf[:n], from, act.delay)
 	}
+}
+
+// serveDatagram dispatches one UDP request on its own goroutine and
+// recycles bp when the reply (if any) has hit the socket. delay, when
+// nonzero, is an injected inbound hold applied before decoding.
+func (s *Server) serveDatagram(bp *[]byte, msg []byte, from *net.UDPAddr, delay time.Duration) {
+	// Arrival time and stream id are resolved on the read loop (the
+	// peer address is at hand here) but only when capture is on.
+	var ev *TapEvent
+	if s.tap != nil {
+		ev = &TapEvent{Stream: s.udpStream(from), When: time.Now()}
+	}
+	info := CallInfo{Client: from.AddrPort()}
+	// The handler goroutine joins the server's WaitGroup (the read
+	// loop still holds its own count, so this Add cannot race a
+	// Close that already reached zero): Close drains in-flight
+	// requests, which is what lets a shutdown trust that the final
+	// stats and the capture tap saw every served RPC.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer putBuf(bp)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		rp := getBuf()
+		defer putBuf(rp)
+		reply, ok := s.process(msg, *rp, ev, info)
+		if !ok {
+			return
+		}
+		*rp = reply
+		s.emit(ev)
+		// Outbound fault decision: the reply datagram crosses the wire
+		// too.
+		act := s.faults.datagram(DirOut, len(reply))
+		if act.drop {
+			return
+		}
+		if act.delay > 0 {
+			time.Sleep(act.delay)
+		}
+		if act.truncate >= 0 {
+			reply = reply[:act.truncate]
+		}
+		s.udp.WriteToUDP(reply, from)
+		if act.dup {
+			s.udp.WriteToUDP(reply, from)
+		}
+	}()
 }
 
 // emit delivers a populated tap event; ev is nil when capture is off or
@@ -316,6 +413,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	if s.tap != nil {
 		stream = s.nextStream.Add(1)
 	}
+	// The connection's remote address is resolved once; every call on it
+	// shares the identity.
+	var peer netip.AddrPort
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		peer = ta.AddrPort()
+	}
 	var writeMu sync.Mutex
 	for {
 		bp := getBuf()
@@ -325,23 +428,36 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		*bp = msg
+		// Inbound record fault: a reset tears the connection down (the
+		// client sees ECONNRESET/EOF mid-stream), a stall holds the
+		// record before dispatch — the sender's half-written record
+		// arriving late.
+		act := s.faults.record(DirIn)
+		if act.reset {
+			putBuf(bp)
+			return
+		}
 		var ev *TapEvent
 		if s.tap != nil {
 			ev = &TapEvent{Stream: stream, When: time.Now()}
 		}
+		info := CallInfo{Client: peer, TCP: true}
 		// As in serveUDP: in-flight requests are part of the WaitGroup
 		// so Close drains them (this goroutine's Add is covered by the
 		// connection's own count).
 		s.wg.Add(1)
-		go func(bp *[]byte, msg []byte) {
+		go func(bp *[]byte, msg []byte, stall time.Duration) {
 			defer s.wg.Done()
 			defer putBuf(bp)
+			if stall > 0 {
+				time.Sleep(stall)
+			}
 			rp := getBuf()
 			defer putBuf(rp)
 			// Record mark, RPC header and result are appended into one
 			// pooled buffer and written in a single call — no re-framing
 			// copy, no per-reply allocation.
-			reply, ok := s.process(msg, sunrpc.BeginRecord(*rp), ev)
+			reply, ok := s.process(msg, sunrpc.BeginRecord(*rp), ev, info)
 			if !ok {
 				return
 			}
@@ -350,20 +466,45 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.emit(ev)
 			writeMu.Lock()
 			defer writeMu.Unlock()
+			// Outbound record fault. A stall writes half the record,
+			// holds the write lock through the pause, then completes it:
+			// genuine head-of-line blocking — every reply behind this one
+			// on the connection waits too, which is exactly the TCP
+			// failure mode the paper's transport comparison is about. A
+			// reset abandons the record mid-write and kills the
+			// connection.
+			wact := s.faults.record(DirOut)
+			if wact.stall > 0 {
+				half := len(reply) / 2
+				if _, err := conn.Write(reply[:half]); err != nil {
+					return
+				}
+				time.Sleep(wact.stall)
+				reply = reply[half:]
+			}
+			if wact.reset {
+				if len(reply) > 1 {
+					conn.Write(reply[:len(reply)/2])
+				}
+				conn.Close()
+				return
+			}
 			conn.Write(reply)
-		}(bp, msg)
+		}(bp, msg, act.stall)
 	}
 }
 
 // process decodes a call, dispatches it and appends the encoded reply
-// to out. ok == false means "drop" (undecodable garbage), like a real
-// server. When ev is non-nil (capture on) the call's procedure, accept
-// status, argument body and result region are recorded into it.
-func (s *Server) process(msg []byte, out []byte, ev *TapEvent) (reply []byte, ok bool) {
+// to out. ok == false means "drop" (undecodable garbage, or the handler
+// returned StatDrop), like a real server. When ev is non-nil (capture
+// on) the call's procedure, accept status, argument body and result
+// region are recorded into it.
+func (s *Server) process(msg []byte, out []byte, ev *TapEvent, info CallInfo) (reply []byte, ok bool) {
 	call, err := sunrpc.UnmarshalCall(msg)
 	if err != nil {
 		return out, false
 	}
+	info.XID = call.XID
 	hdr := &sunrpc.Reply{XID: call.XID, Verf: sunrpc.AuthNoneCred()}
 	switch {
 	case call.Prog != s.prog:
@@ -377,16 +518,19 @@ func (s *Server) process(msg []byte, out []byte, ev *TapEvent) (reply []byte, ok
 		out = hdr.AppendTo(out)
 		statOff := len(out) - 4
 		resultStart := len(out)
-		out, hdr.Stat = s.handler(call.Proc, call.Body, out)
+		out, hdr.Stat = s.handler(info, call.Proc, call.Body, out)
+		if hdr.Stat == StatDrop {
+			return out, false
+		}
 		binary.BigEndian.PutUint32(out[statOff:], hdr.Stat)
 		if ev != nil {
-			ev.Proc, ev.Stat, ev.Body = call.Proc, hdr.Stat, call.Body
+			ev.XID, ev.Proc, ev.Stat, ev.Body = call.XID, call.Proc, hdr.Stat, call.Body
 			ev.Result = out[resultStart:]
 		}
 		return out, true
 	}
 	if ev != nil {
-		ev.Proc, ev.Stat, ev.Body = call.Proc, hdr.Stat, call.Body
+		ev.XID, ev.Proc, ev.Stat, ev.Body = call.XID, call.Proc, hdr.Stat, call.Body
 	}
 	return hdr.AppendTo(out), true
 }
@@ -403,7 +547,8 @@ type Client struct {
 	prog    uint32
 	vers    uint32
 	xid     atomic.Uint32
-	timeout atomic.Int64 // per-call deadline for Call, in nanoseconds
+	timeout atomic.Int64   // per-call deadline for Call, in nanoseconds
+	faults  *FaultInjector // nil = perfect network
 
 	sendCh  chan wireMsg
 	closeCh chan struct{} // closed once, by Close or transport failure
@@ -430,6 +575,14 @@ type callReply struct {
 
 // Dial connects to an RPC server. network is "udp" or "tcp".
 func Dial(network, addr string, prog, vers uint32) (*Client, error) {
+	return DialFault(network, addr, prog, vers, nil)
+}
+
+// DialFault is Dial with a fault injector applied to this client's wire
+// directions: outbound calls and inbound replies. A nil injector is
+// exactly Dial. Client and server may share one injector (one decision
+// stream) or carry their own.
+func DialFault(network, addr string, prog, vers uint32, faults *FaultInjector) (*Client, error) {
 	if network != "udp" && network != "tcp" {
 		return nil, fmt.Errorf("rpcnet: unsupported network %q", network)
 	}
@@ -444,6 +597,7 @@ func Dial(network, addr string, prog, vers uint32) (*Client, error) {
 	}
 	c := &Client{
 		network: network, conn: conn, prog: prog, vers: vers,
+		faults:  faults,
 		sendCh:  make(chan wireMsg, 64),
 		closeCh: make(chan struct{}),
 		pending: make(map[uint32]chan callReply),
@@ -461,6 +615,18 @@ func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 // ErrClientClosed is returned for calls on a closed client.
 var ErrClientClosed = errors.New("rpcnet: client closed")
+
+// ErrSendFailed marks a call that failed before reaching the wire: the
+// socket write errored (e.g. ECONNREFUSED surfacing on a connected UDP
+// socket — a dead server, not a lossy path). Errors wrap it together
+// with the underlying socket error.
+var ErrSendFailed = errors.New("rpcnet: send failed")
+
+// ErrReplyTimeout marks a call whose request was sent but whose reply
+// never arrived within the deadline — a lossy or slow path, or a
+// silently dead server. Timeout errors wrap both ErrReplyTimeout and
+// context.DeadlineExceeded.
+var ErrReplyTimeout = errors.New("rpcnet: reply timeout")
 
 // Close releases the connection and fails any in-flight calls with
 // ErrClientClosed. It returns the socket close error, if this call is
@@ -547,6 +713,20 @@ func (c *Client) register(xid uint32) (chan callReply, error) {
 	return ch, nil
 }
 
+// reregister re-installs a reply channel whose one send was already
+// consumed (a send-failure notification from failOne): the retry layer
+// keeps the same XID and channel across retransmissions. The caller
+// must own ch and have drained it.
+func (c *Client) reregister(xid uint32, ch chan callReply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.pending[xid] = ch
+	return nil
+}
+
 // unregister removes xid's reply channel (call abandoned: context done).
 // A reply arriving later is dropped by the demultiplexer. It reports
 // whether the channel was still registered — if so, no sender can ever
@@ -603,18 +783,65 @@ func (c *Client) writer() {
 			if err == nil {
 				// The record mark (TCP) is already embedded in the
 				// buffer, so both transports send with one write.
-				_, err = c.conn.Write(*m.buf)
+				err = c.send(*m.buf)
 			}
 			putBuf(m.buf)
 			if err != nil {
 				if c.network == "tcp" {
-					c.fail(fmt.Errorf("rpcnet: send: %w", err))
+					c.fail(fmt.Errorf("%w: %w", ErrSendFailed, err))
 					return
 				}
-				c.failOne(m.xid, fmt.Errorf("rpcnet: send: %w", err))
+				c.failOne(m.xid, fmt.Errorf("%w: %w", ErrSendFailed, err))
 			}
 		}
 	}
+}
+
+// send puts one marshalled call on the wire, applying this client's
+// outbound fault policy. Injected pauses run on the writer goroutine —
+// every queued send behind a stalled one waits too, which on the client
+// side is the head-of-line cost a faulty uplink really has.
+func (c *Client) send(buf []byte) error {
+	if c.faults == nil {
+		_, err := c.conn.Write(buf)
+		return err
+	}
+	if c.network == "udp" {
+		act := c.faults.datagram(DirOut, len(buf))
+		if act.drop {
+			return nil // lost on the wire: the send itself "succeeded"
+		}
+		if act.delay > 0 {
+			time.Sleep(act.delay)
+		}
+		if act.truncate >= 0 {
+			buf = buf[:act.truncate]
+		}
+		if _, err := c.conn.Write(buf); err != nil {
+			return err
+		}
+		if act.dup {
+			c.conn.Write(buf)
+		}
+		return nil
+	}
+	act := c.faults.record(DirOut)
+	if act.stall > 0 {
+		half := len(buf) / 2
+		if _, err := c.conn.Write(buf[:half]); err != nil {
+			return err
+		}
+		time.Sleep(act.stall)
+		buf = buf[half:]
+	}
+	if act.reset {
+		if len(buf) > 1 {
+			c.conn.Write(buf[:len(buf)/2])
+		}
+		return fmt.Errorf("injected connection reset: %w", net.ErrClosed)
+	}
+	_, err := c.conn.Write(buf)
+	return err
 }
 
 // reader demultiplexes replies to pending calls by XID. Garbage and
@@ -657,25 +884,62 @@ func (c *Client) reader() {
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		reply, err := sunrpc.UnmarshalReply(raw)
-		if err != nil {
-			continue
+		// Inbound fault decision (UDP replies only: a faulty TCP return
+		// path is injected at the server's outbound hook, where record
+		// framing is still intact).
+		if c.faults != nil && c.network == "udp" {
+			act := c.faults.datagram(DirIn, len(raw))
+			if act.drop {
+				continue
+			}
+			if act.truncate >= 0 {
+				raw = raw[:act.truncate]
+			}
+			if act.delay > 0 {
+				// The reader's buffer is overwritten by the next read, so
+				// a held datagram needs its own copy; delivery happens off
+				// the read loop — which also reorders it past anything
+				// that arrives during the hold, the fault reordering
+				// actually is.
+				held := append([]byte(nil), raw...)
+				dup := act.dup
+				time.AfterFunc(act.delay, func() {
+					c.deliver(held)
+					if dup {
+						c.deliver(held)
+					}
+				})
+				continue
+			}
+			if act.dup {
+				c.deliver(raw)
+			}
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[reply.XID]
-		if ok {
-			delete(c.pending, reply.XID)
-		}
-		c.mu.Unlock()
-		if !ok {
-			continue
-		}
-		if reply.Stat != sunrpc.AcceptSuccess {
-			ch <- callReply{err: fmt.Errorf("%w: accept status %d", ErrRPC, reply.Stat)}
-			continue
-		}
-		ch <- callReply{body: reply.Body}
+		c.deliver(raw)
 	}
+}
+
+// deliver decodes one reply message and hands it to the pending call it
+// answers. Garbage and replies to abandoned calls are dropped.
+func (c *Client) deliver(raw []byte) {
+	reply, err := sunrpc.UnmarshalReply(raw)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	ch, ok := c.pending[reply.XID]
+	if ok {
+		delete(c.pending, reply.XID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	if reply.Stat != sunrpc.AcceptSuccess {
+		ch <- callReply{err: fmt.Errorf("%w: accept status %d", ErrRPC, reply.Stat)}
+		return
+	}
+	ch <- callReply{body: reply.Body}
 }
 
 // ErrRPC is returned for non-success accept statuses.
@@ -738,6 +1002,15 @@ func (c *Client) CallContext(ctx context.Context, proc uint32, args []byte) ([]b
 // the writer after the send.
 func (c *Client) marshalCall(proc uint32, args []byte) (uint32, *[]byte) {
 	xid := c.xid.Add(1)
+	return xid, c.marshalCallXID(xid, proc, args)
+}
+
+// marshalCallXID marshals a call under a caller-chosen XID. The retry
+// layer re-marshals each retransmission under the original XID (the
+// writer recycles send buffers, so the bytes must be rebuilt) — same
+// XID on the wire is what lets the server's duplicate request cache
+// recognize the retry.
+func (c *Client) marshalCallXID(xid uint32, proc uint32, args []byte) *[]byte {
 	call := sunrpc.Call{
 		XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc,
 		Cred: authUnixCred,
@@ -754,7 +1027,7 @@ func (c *Client) marshalCall(proc uint32, args []byte) (uint32, *[]byte) {
 		sunrpc.FinishRecord(buf, 0)
 	}
 	*bp = buf
-	return xid, bp
+	return bp
 }
 
 // call is the shared body of Call and CallContext. The call is
@@ -765,7 +1038,7 @@ func (c *Client) call(proc uint32, args []byte, done <-chan struct{}, expired <-
 		if cause != nil {
 			return fmt.Errorf("rpcnet: %w", cause())
 		}
-		return fmt.Errorf("rpcnet: %w", context.DeadlineExceeded)
+		return fmt.Errorf("%w: %w", ErrReplyTimeout, context.DeadlineExceeded)
 	}
 	xid, bp := c.marshalCall(proc, args)
 	ch, err := c.register(xid)
@@ -882,6 +1155,6 @@ func (p *Pending) Wait(d time.Duration) ([]byte, error) {
 			replyChans.Put(p.ch)
 		}
 		p.ch, p.err = nil, errWaited
-		return nil, fmt.Errorf("rpcnet: %w", context.DeadlineExceeded)
+		return nil, fmt.Errorf("%w: %w", ErrReplyTimeout, context.DeadlineExceeded)
 	}
 }

@@ -79,6 +79,20 @@ const headerSize = 16
 // (prog unavailable, garbage args, ...) instead of an NFS status.
 const StatusRPCError = 1 << 31
 
+// StatusRetransmit is OR-ed into a record's Status when the capture
+// recognized the call as a retransmission: the same stream recently
+// carried the same XID. Distinguishing retransmissions from fresh
+// requests is what lets a trace of a lossy run be analyzed for offered
+// load versus goodput instead of conflating the two. (Status is an
+// uvarint on the wire, so a new flag bit needs no format bump; readers
+// of older tools see a large status value only on traces that actually
+// captured retransmissions.)
+const StatusRetransmit = 1 << 30
+
+// StatusFlags masks the flag bits off a Status, leaving the NFS status
+// or accept_stat value.
+const StatusFlags = StatusRPCError | StatusRetransmit
+
 // ErrBadMagic is returned by NewReader for streams that are not
 // trace files of a known version.
 var ErrBadMagic = errors.New("tracefile: bad magic (not a .nft version 1 or 2 trace)")

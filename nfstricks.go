@@ -26,6 +26,10 @@
 //     server's request stream to a .nft trace file;
 //     [AnalyzeTraceFile] runs the paper's §6 analysis on it and
 //     [ReplayTraceFile] plays it back as a benchmark workload.
+//   - Fault path: [ServeLiveFaulty] injects seeded wire faults on the
+//     live transports, [DialLiveRetry] adds the client retransmission
+//     layer, and [DRCConfig] switches on the server's duplicate
+//     request cache ("nfsbench -exp fault-path").
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //
@@ -41,6 +45,7 @@ import (
 
 	"nfstricks/internal/bench"
 	"nfstricks/internal/disk"
+	"nfstricks/internal/drc"
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsheur"
@@ -370,4 +375,78 @@ func ReplayTrace(records []TraceFileRecord, opts ReplayOptions) (*ReplayStats, e
 // ReplayTraceFile replays a trace file against a live server.
 func ReplayTraceFile(path string, opts ReplayOptions) (*ReplayStats, error) {
 	return replay.File(path, opts)
+}
+
+// The fault-tolerant RPC path: seeded wire-fault injection on the live
+// transports, a server-side duplicate request cache (replay the
+// original reply to a retransmitted non-idempotent call instead of
+// re-executing it), and the client's unified retransmission layer
+// (same-XID resend, Jacobson-estimated RTO, exponential backoff,
+// major timeout). "nfsbench -exp fault-path" sweeps loss x transport x
+// DRC over this stack and asserts zero duplicated side effects with
+// the cache on.
+type (
+	// FaultConfig parameterizes the injector: per-message probabilities
+	// for drop/dup/delay/truncate (UDP) and stall/reset (TCP), plus a
+	// seed making the decision stream reproducible.
+	FaultConfig = rpcnet.FaultConfig
+	// FaultInjector draws seeded per-message fault decisions; plug one
+	// into ServeLiveFaulty (server side) or DialLiveRetry (client side).
+	FaultInjector = rpcnet.FaultInjector
+	// FaultStats counts messages examined and faults injected in one
+	// direction (FaultDirIn/FaultDirOut).
+	FaultStats = rpcnet.FaultStats
+	// RetryPolicy bounds the client retransmission loop: transmissions
+	// per call, initial RTO before an RTT sample, RTO clamp, jitter.
+	RetryPolicy = rpcnet.RetryPolicy
+	// RetryStats counts calls, retransmissions, send failures and major
+	// timeouts.
+	RetryStats = rpcnet.RetryStats
+	// RPCRetrier is the retransmission layer over one RPC client.
+	RPCRetrier = rpcnet.Retrier
+	// DRCConfig switches the live service's duplicate request cache on
+	// and budgets it.
+	DRCConfig = nfsd.DRCConfig
+	// DRCStats counts cache hits (replays), misses, busy-drops,
+	// evictions and occupancy.
+	DRCStats = drc.Stats
+)
+
+// Fault injector stat directions.
+const (
+	FaultDirIn  = rpcnet.DirIn
+	FaultDirOut = rpcnet.DirOut
+)
+
+// Typed wire errors for errors.Is: a transmission that died at the
+// socket, a reply that never came, and a call abandoned after its
+// transmit budget.
+var (
+	ErrRPCSendFailed   = rpcnet.ErrSendFailed
+	ErrRPCReplyTimeout = rpcnet.ErrReplyTimeout
+	ErrRPCMajorTimeout = rpcnet.ErrMajorTimeout
+)
+
+// NewFaultInjector builds a seeded injector for cfg.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return rpcnet.NewFaultInjector(cfg)
+}
+
+// ParseFaultSpec parses the CLI fault syntax, e.g.
+// "drop=0.05,dup=0.01,delay=0.02:1ms-5ms,stall=0.05:20ms".
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	return rpcnet.ParseFaultSpec(spec)
+}
+
+// ServeLiveFaulty is ServeLive with wire faults injected on the
+// server's sockets (nil = perfect network).
+func ServeLiveFaulty(addr string, svc *LiveService, faults *FaultInjector) (*RPCServer, error) {
+	return nfsd.NewServerOpts(addr, svc, rpcnet.ServerOptions{Faults: faults})
+}
+
+// DialLiveRetry is DialLive with the unified retransmission layer on
+// every call (and, optionally, client-side wire faults). The zero
+// RetryPolicy gets kernel-ish defaults.
+func DialLiveRetry(network, addr string, policy RetryPolicy, faults *FaultInjector) (*LiveClient, error) {
+	return memfs.DialClientRetry(network, addr, policy, faults)
 }
