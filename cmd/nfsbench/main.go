@@ -23,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,6 +51,7 @@ func main() {
 		csv     = flag.String("csv", "", "also write results as CSV to this file")
 		jsonOut = flag.String("json", "", "also write results as JSON to this file")
 		verify  = flag.Bool("verify", false, "check the paper's shape claims against the results")
+		profile = flag.String("profile", "", "write pprof profiles into this directory: one CPU profile per live experiment cell, one heap profile per experiment")
 	)
 	flag.Parse()
 
@@ -61,6 +65,13 @@ func main() {
 	}
 
 	params := bench.Params{Runs: *runs, Scale: *scale, Seed: *seed}
+	if *profile != "" {
+		if err := os.MkdirAll(*profile, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		params.ProfileDir = *profile
+	}
 	var todo []bench.Experiment
 	if *exp == "all" {
 		todo = bench.Experiments()
@@ -102,6 +113,9 @@ func main() {
 			csvOut.WriteString("# " + r.ID + "\n")
 			csvOut.WriteString(r.CSV())
 		}
+		if *profile != "" {
+			writeHeapProfile(*profile, e.ID)
+		}
 		results = append(results, r)
 	}
 	if *csv != "" {
@@ -111,7 +125,12 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		blob, err := json.MarshalIndent(results, "", "  ")
+		ids := make([]string, len(todo))
+		for i, e := range todo {
+			ids[i] = e.ID
+		}
+		artifact := bench.Artifact{Meta: bench.CollectMeta(params, ids), Results: results}
+		blob, err := json.MarshalIndent(artifact, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonOut, blob, 0o644)
 		}
@@ -120,4 +139,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeHeapProfile snapshots the heap after one experiment finishes;
+// profiling is best-effort and never fails the run.
+func writeHeapProfile(dir, expID string) {
+	f, err := os.Create(filepath.Join(dir, expID+".heap.pprof"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	runtime.GC() // get up-to-date allocation statistics
+	pprof.WriteHeapProfile(f)
 }

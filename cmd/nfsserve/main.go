@@ -29,6 +29,13 @@
 // e.g. -fault drop=0.05,stall=0.02:20ms -fault-seed 7. Both print
 // their counters in the final stats.
 //
+// Observability: -admin :7070 serves /metrics (Prometheus text),
+// /statsz (JSON) and /debug/pprof/* from the process's single metrics
+// registry, the same source the final stats lines print from, so no
+// two views can disagree. -slow-ms N logs a structured JSON line to
+// stderr (with the per-stage breakdown) for any request slower than N
+// milliseconds.
+//
 // With -trace out.nft every served RPC is recorded to a .nft trace file
 // (arrival time, stream, procedure, handle, offset, count, stability,
 // status, latency) that `nfstrace analyze` and `nfstrace replay`
@@ -43,7 +50,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
+	"runtime"
 	"time"
 
 	"nfstricks/cmd/internal/filespec"
@@ -53,6 +60,7 @@ import (
 	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/nfstrace"
+	"nfstricks/internal/obs"
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/tracefile"
@@ -81,6 +89,8 @@ func main() {
 		drcBytes     = flag.Int("drc-bytes", 0, "duplicate request cache reply byte budget (0 = 1 MB default)")
 		faultSpec    = flag.String("fault", "", "inject wire faults, e.g. drop=0.05,dup=0.01,delay=0.02:1ms-5ms,trunc=0.01,stall=0.05:20ms,reset=0.001")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's decision stream")
+		admin        = flag.String("admin", "", "serve /metrics, /statsz and /debug/pprof on this address (empty = off)")
+		slowMS       = flag.Int("slow-ms", 0, "log a structured line for any request slower than this many ms (0 = off)")
 	)
 	flag.Var(&files, "file", "file to serve, as name=sizeMB (repeatable; default demo=4)")
 	flag.Parse()
@@ -152,6 +162,14 @@ func main() {
 		fmt.Printf("serving %s (%d MB)\n", f.Path, f.Size>>20)
 	}
 
+	// Every stat the process reports flows through this one registry:
+	// the periodic ticker line, the final text lines, /statsz JSON and
+	// /metrics Prometheus text are all views of the same Dump, so they
+	// cannot disagree.
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("nfsserve_up", func() float64 { return 1 })
+	reg.GaugeFunc("nfsserve_gomaxprocs", func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+
 	svc := nfsd.New(backend, nfsd.Config{
 		Heuristic: h,
 		Gather: wgather.Config{
@@ -160,7 +178,14 @@ func main() {
 			Sink:         sink,
 		},
 		DRC: nfsd.DRCConfig{Enabled: *drcOn, MaxBytes: *drcBytes},
+		Obs: reg,
 	})
+	if *slowMS > 0 {
+		svc.SpanTable().EnableSlowLog(os.Stderr, time.Duration(*slowMS)*time.Millisecond)
+	}
+	if zfs != nil {
+		registerZoneStats(reg, zfs)
+	}
 
 	// Optional fault injection: a seeded injector on the server's wire
 	// path, so a lossy network is reproducible from the command line.
@@ -173,6 +198,7 @@ func main() {
 		}
 		cfg.Seed = *faultSeed
 		faults = rpcnet.NewFaultInjector(cfg)
+		registerFaultStats(reg, faults)
 	}
 
 	// Optional trace capture: every served RPC is appended to the .nft
@@ -187,12 +213,27 @@ func main() {
 		}
 		capt = nfstrace.NewCapture(w)
 		tap = capt.Tap
+		reg.CounterFunc("nfstrace_records_total", capt.Total)
 	}
 
-	srv, err := nfsd.NewServerOpts(*addr, svc, rpcnet.ServerOptions{Tap: tap, Faults: faults})
+	srv, err := nfsd.NewServerOpts(*addr, svc, rpcnet.ServerOptions{
+		Tap:    tap,
+		Faults: faults,
+		Spans:  svc.SpanTable(),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve:", err)
 		os.Exit(1)
+	}
+
+	var adm *obs.AdminServer
+	if *admin != "" {
+		adm, err = obs.ServeAdmin(*admin, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfsserve: admin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("admin on http://%s (/metrics /statsz /debug/pprof/)\n", adm.Addr())
 	}
 	fmt.Printf("listening on %s (udp+tcp), program %d version %d, heuristic %s, backend %s\n",
 		srv.Addr(), nfsproto.Program, nfsproto.Version3, *heuristic, *backendKind)
@@ -210,6 +251,9 @@ func main() {
 	}
 	if faults != nil {
 		fmt.Printf("fault injection: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+	if *slowMS > 0 {
+		fmt.Printf("slow-op log: requests over %dms to stderr\n", *slowMS)
 	}
 
 	printStats := func(prefix string) {
@@ -246,29 +290,14 @@ loop:
 	if err := svc.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "nfsserve: flush:", err)
 	}
+	if adm != nil {
+		adm.Close()
+	}
 	printStats("final: ")
-	fmt.Printf("final: procs: %s\n", formatProcCounts(svc.ProcCounts()))
-	ws := svc.WriteStats()
-	fmt.Printf("final: writes: %s:%d %s:%d %s:%d commits=%d\n",
-		nfsproto.StableName(nfsproto.WriteUnstable), ws.WritesUnstable,
-		nfsproto.StableName(nfsproto.WriteDataSync), ws.WritesDataSync,
-		nfsproto.StableName(nfsproto.WriteFileSync), ws.WritesFileSync,
-		ws.Commits)
-	fmt.Printf("final: gather: flushes=%d gathered=%dB coalesced=%dB flushed=%dB maxDirty=%dB\n",
-		ws.Flushes, ws.GatheredBytes, ws.CoalescedBytes, ws.FlushedBytes, ws.MaxDirtyBytes)
-	if svc.DRCEnabled() {
-		fmt.Printf("final: drc: %s\n", svc.DRCStats())
-	}
-	if faults != nil {
-		fmt.Printf("final: faults in:  %s\n", faults.Stats(rpcnet.DirIn))
-		fmt.Printf("final: faults out: %s\n", faults.Stats(rpcnet.DirOut))
-	}
-	if zfs != nil {
-		zs, cs, ds := zfs.Stats(), zfs.CacheStats(), zfs.DiskStats()
-		fmt.Printf("final: zone: demandHits=%d demandMisses=%d diskTime=%v clusters=%d readAheads=%d evictions=%d\n",
-			zs.DemandHits, zs.DemandMisses, zs.DiskTime, cs.Clusters, cs.ReadAheads, cs.Evictions)
-		fmt.Printf("final: disk: commands=%d streamed=%d cacheHits=%d repositions=%d busy=%v\n",
-			ds.Commands, ds.Streamed, ds.CacheHits, ds.Repositions, ds.BusyTime)
+	// Everything else comes from the registry — the same Dump that
+	// backed /statsz and /metrics while the server was up.
+	for _, line := range reg.Lines() {
+		fmt.Printf("final: %s\n", line)
 	}
 	if capt != nil {
 		if err := capt.Err(); err != nil {
@@ -292,20 +321,49 @@ func drcBudget(maxBytes int) int {
 	return maxBytes
 }
 
-// formatProcCounts renders nonzero per-procedure counters.
-func formatProcCounts(counts []int64) string {
-	var b strings.Builder
-	for proc, n := range counts {
-		if n == 0 {
-			continue
-		}
-		if b.Len() > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%s:%d", nfsproto.ProcName(uint32(proc)), n)
+// registerFaultStats publishes the injector's per-direction counters,
+// one labeled series per fault kind, so a lossy run's accounting shows
+// up in /metrics and the final lines without a second code path.
+func registerFaultStats(reg *obs.Registry, faults *rpcnet.FaultInjector) {
+	kinds := []struct {
+		name string
+		get  func(rpcnet.FaultStats) int64
+	}{
+		{"messages", func(s rpcnet.FaultStats) int64 { return s.Messages }},
+		{"drops", func(s rpcnet.FaultStats) int64 { return s.Drops }},
+		{"dups", func(s rpcnet.FaultStats) int64 { return s.Dups }},
+		{"delays", func(s rpcnet.FaultStats) int64 { return s.Delays }},
+		{"truncates", func(s rpcnet.FaultStats) int64 { return s.Truncates }},
+		{"stalls", func(s rpcnet.FaultStats) int64 { return s.Stalls }},
+		{"resets", func(s rpcnet.FaultStats) int64 { return s.Resets }},
 	}
-	if b.Len() == 0 {
-		return "(none)"
+	for _, d := range []struct {
+		dir   int
+		label string
+	}{{rpcnet.DirIn, "in"}, {rpcnet.DirOut, "out"}} {
+		dir := d.dir
+		for _, k := range kinds {
+			get := k.get
+			reg.CounterFunc(
+				fmt.Sprintf(`rpcnet_fault_%s_total{dir=%q}`, k.name, d.label),
+				func() int64 { return get(faults.Stats(dir)) })
+		}
 	}
-	return b.String()
+}
+
+// registerZoneStats publishes the ZCAV stack's counters: filesystem
+// demand hits/misses and simulated disk time, buffer cache activity,
+// and the drive model's command accounting.
+func registerZoneStats(reg *obs.Registry, zfs *zonefs.FS) {
+	reg.CounterFunc("zonefs_demand_hits_total", func() int64 { return zfs.Stats().DemandHits })
+	reg.CounterFunc("zonefs_demand_misses_total", func() int64 { return zfs.Stats().DemandMisses })
+	reg.GaugeFunc("zonefs_disk_time_seconds", func() float64 { return zfs.Stats().DiskTime.Seconds() })
+	reg.CounterFunc("buffercache_clusters_total", func() int64 { return zfs.CacheStats().Clusters })
+	reg.CounterFunc("buffercache_readaheads_total", func() int64 { return zfs.CacheStats().ReadAheads })
+	reg.CounterFunc("buffercache_evictions_total", func() int64 { return zfs.CacheStats().Evictions })
+	reg.CounterFunc("disk_commands_total", func() int64 { return zfs.DiskStats().Commands })
+	reg.CounterFunc("disk_streamed_total", func() int64 { return zfs.DiskStats().Streamed })
+	reg.CounterFunc("disk_cache_hits_total", func() int64 { return zfs.DiskStats().CacheHits })
+	reg.CounterFunc("disk_repositions_total", func() int64 { return zfs.DiskStats().Repositions })
+	reg.GaugeFunc("disk_busy_seconds", func() float64 { return zfs.DiskStats().BusyTime.Seconds() })
 }

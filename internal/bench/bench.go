@@ -27,6 +27,10 @@ type Params struct {
 	Scale int
 	// Seed is the base random seed; run i of a cell uses Seed+i.
 	Seed int64
+	// ProfileDir, when set, makes the live experiments capture a CPU
+	// profile of one representative run per cell, written as
+	// <ProfileDir>/<experiment>_<cell>.cpu.pprof.
+	ProfileDir string
 }
 
 func (p *Params) fill() {

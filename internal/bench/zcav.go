@@ -2,11 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"nfstricks/internal/disk"
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsd"
+	"nfstricks/internal/obs"
+	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/stats"
 	"nfstricks/internal/zonefs"
 )
@@ -33,8 +36,11 @@ const zcavWarmMeasureBytes = 64 << 20
 // zcavCell runs one live READ throughput measurement: a zonefs store
 // with the given placement and cache size, served over real TCP
 // loopback through the nfsd dispatch layer, primed with one full
-// sequential pass, then timed over at least one further pass.
-func zcavCell(placement zonefs.Placement, cacheMB, xferKB int, run int, p Params) (float64, error) {
+// sequential pass, then timed over at least one further pass. With reg
+// non-nil the server records per-request stage spans — in particular
+// the simulated disk service time zonefs sleeps out, which the cold
+// cells' attribution note reports.
+func zcavCell(placement zonefs.Placement, cacheMB, xferKB int, run int, p Params, reg *obs.Registry) (float64, error) {
 	fileBytes := int64(zcavFileMB<<20) / int64(p.Scale)
 	if fileBytes < 2<<20 {
 		fileBytes = 2 << 20
@@ -51,9 +57,10 @@ func zcavCell(placement zonefs.Placement, cacheMB, xferKB int, run int, p Params
 	if _, err := backend.Create(memfs.RootFH, "data", payload); err != nil {
 		return 0, fmt.Errorf("zcav-live: create failed (region full?)")
 	}
-	svc := nfsd.New(backend, nfsd.Config{})
+	svc := nfsd.New(backend, nfsd.Config{Obs: reg})
 	defer svc.Close()
-	srv, err := nfsd.NewServer("127.0.0.1:0", svc)
+	srv, err := nfsd.NewServerOpts("127.0.0.1:0", svc,
+		rpcnet.ServerOptions{Spans: svc.SpanTable()})
 	if err != nil {
 		return 0, err
 	}
@@ -122,7 +129,7 @@ func ZCAVLive(p Params) (*Result, error) {
 	// a process is depressed by cold TCP buffers, page faults and
 	// allocator growth, and would bias whichever series ran first — a
 	// benchmarking trap of our own the paper would appreciate.
-	if _, err := zcavCell(zonefs.Outer, zcavWarmCacheMB, zcavXferKB[0], 0, p); err != nil {
+	if _, err := zcavCell(zonefs.Outer, zcavWarmCacheMB, zcavXferKB[0], 0, p, nil); err != nil {
 		return nil, fmt.Errorf("zcav-live warmup: %w", err)
 	}
 	cells := []struct {
@@ -143,14 +150,33 @@ func ZCAVLive(p Params) (*Result, error) {
 	for i := range samples {
 		samples[i] = make([][]float64, len(zcavXferKB))
 	}
+	// Per-cell stage spans: the cold cells' breakdown is the experiment's
+	// attribution claim made quantitative — the throughput gap is
+	// simulated disk time, and the disk stage's share of the request
+	// total says exactly how much.
+	breakdown := make(map[string]obs.ProcStats)
 	for xi, xferKB := range zcavXferKB {
 		for run := 0; run < p.Runs; run++ {
 			for ci, cell := range cells {
-				mbps, err := zcavCell(cell.place, cell.cacheMB, xferKB, run, p)
+				var stop func()
+				if run == 0 {
+					stop = p.startCellProfile(fmt.Sprintf("zcav-live_%s_x%dK",
+						strings.ReplaceAll(cell.label, "/", "-"), xferKB))
+				}
+				reg := obs.NewRegistry()
+				mbps, err := zcavCell(cell.place, cell.cacheMB, xferKB, run, p, reg)
+				if stop != nil {
+					stop()
+				}
 				if err != nil {
 					return nil, fmt.Errorf("zcav-live %s xfer=%dK: %w", cell.label, xferKB, err)
 				}
 				samples[ci][xi] = append(samples[ci][xi], mbps)
+				if run == 0 && xi == 0 {
+					if ps, ok := reg.Spans("nfsd_op", nil).ProcSummary("READ"); ok {
+						breakdown[cell.label] = ps
+					}
+				}
 			}
 		}
 	}
@@ -160,6 +186,18 @@ func ZCAVLive(p Params) (*Result, error) {
 			s.Samples = append(s.Samples, stats.Summarize(samples[ci][xi]))
 		}
 		r.Series = append(r.Series, s)
+	}
+	// Only the cold cells get the note: their spans are pure
+	// cache-missing traffic, and the dominant-stage share Note reports
+	// is the attribution claim ("the gap IS simulated seek time"). Warm
+	// cells' spans would be polluted by their priming pass.
+	for _, cell := range cells {
+		ps, ok := breakdown[cell.label]
+		if !ok || ps.Count == 0 || cell.cacheMB != zcavColdCacheMB {
+			continue
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf("stage breakdown %s (x=%dK, run 0) READ: %s",
+			cell.label, zcavXferKB[0], ps.Note()))
 	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("zonefs on %s, file %d MB/scale; cold = %d MB cache (thrashes), warm = %d MB (fits)",

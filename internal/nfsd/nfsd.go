@@ -16,11 +16,14 @@ package nfsd
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"nfstricks/internal/drc"
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/obs"
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/sunrpc"
@@ -56,6 +59,13 @@ type Config struct {
 	// retransmissions. Off by default: a loopback bench with no fault
 	// injection should not pay for a cache it cannot hit.
 	DRC DRCConfig
+	// Obs, when non-nil, is the observability registry this service
+	// publishes into: per-proc executed counters, byte counters, write
+	// gathering and DRC stats (all as snapshot-time funcs over the
+	// existing atomics — the hot path is unchanged), a gather-flush
+	// latency histogram, and the per-proc stage span table (see
+	// Service.SpanTable). Nil = no metrics, no cost.
+	Obs *obs.Registry
 }
 
 // DRCConfig enables and bounds the duplicate request cache.
@@ -102,6 +112,14 @@ type Service struct {
 	// retransmissions (see InfoHandler; the identity-blind Handler path
 	// cannot consult it).
 	dupcache *drc.Cache
+	// spans is the per-proc stage span table (nil without Config.Obs);
+	// the transport drives span lifecycle (rpcnet.ServerOptions.Spans),
+	// the dispatch path marks the stages it owns.
+	spans *obs.SpanTable
+	// spanReader caches the backend's optional stage-attribution
+	// capability, asserted once at mount so the READ path pays a nil
+	// check instead of a per-request type assertion.
+	spanReader vfs.SpanReader
 
 	reads        atomic.Int64
 	bytesRead    atomic.Int64
@@ -121,9 +139,22 @@ type Service struct {
 type backendSink struct {
 	b     vfs.Backend
 	inner wgather.Sink
+	// hist, when non-nil, records each flush's wall time (observer sink
+	// plus backend Commit) — the durability cost a deferred write pays.
+	hist *obs.Histogram
 }
 
 func (s backendSink) Flush(fh uint64, off uint64, data []byte) error {
+	if s.hist == nil {
+		return s.flush(fh, off, data)
+	}
+	start := time.Now()
+	err := s.flush(fh, off, data)
+	s.hist.Observe(time.Since(start))
+	return err
+}
+
+func (s backendSink) flush(fh uint64, off uint64, data []byte) error {
 	if s.inner != nil {
 		if err := s.inner.Flush(fh, off, data); err != nil {
 			return err
@@ -155,7 +186,10 @@ func New(b vfs.Backend, cfg Config) *Service {
 		}
 		return data, err
 	}
-	gcfg.Sink = backendSink{b: b, inner: cfg.Gather.Sink}
+	// A nil registry hands out a nil histogram, which the sink treats as
+	// "don't time flushes".
+	gcfg.Sink = backendSink{b: b, inner: cfg.Gather.Sink,
+		hist: cfg.Obs.Histogram("wgather_flush_latency")}
 	engine, err := wgather.New(gcfg)
 	if err != nil {
 		// Source and Sink are set above; Config has no other invalid
@@ -174,8 +208,66 @@ func New(b vfs.Backend, cfg Config) *Service {
 	if cfg.DRC.Enabled {
 		svc.dupcache = drc.New(drc.Config{MaxBytes: cfg.DRC.MaxBytes})
 	}
+	svc.spanReader, _ = b.(vfs.SpanReader)
+	if cfg.Obs != nil {
+		procs := make([]string, len(svc.procs))
+		for i := range procs {
+			procs[i] = nfsproto.ProcName(uint32(i))
+		}
+		svc.spans = cfg.Obs.Spans("nfsd_op", procs)
+		svc.register(cfg.Obs)
+	}
 	return svc
 }
+
+// register publishes the service's counters into the registry as
+// snapshot-time funcs over the existing atomics.
+func (s *Service) register(reg *obs.Registry) {
+	for i := range s.procs {
+		proc := uint32(i)
+		reg.CounterFunc(
+			fmt.Sprintf("nfsd_executed_total{proc=%q}", nfsproto.ProcName(proc)),
+			func() int64 { return s.procs[proc].Load() })
+	}
+	reg.CounterFunc("nfsd_read_bytes_total", s.bytesRead.Load)
+	reg.CounterFunc("nfsd_written_bytes_total", s.bytesWritten.Load)
+	reg.GaugeFunc("nfsd_max_seqcount", func() float64 { return float64(s.maxSeq.Load()) })
+
+	reg.CounterFunc(`wgather_writes_total{stability="unstable"}`,
+		func() int64 { return s.engine.Stats().WritesUnstable })
+	reg.CounterFunc(`wgather_writes_total{stability="datasync"}`,
+		func() int64 { return s.engine.Stats().WritesDataSync })
+	reg.CounterFunc(`wgather_writes_total{stability="filesync"}`,
+		func() int64 { return s.engine.Stats().WritesFileSync })
+	reg.CounterFunc("wgather_flushes_total",
+		func() int64 { return s.engine.Stats().Flushes })
+	reg.CounterFunc("wgather_flushed_bytes_total",
+		func() int64 { return s.engine.Stats().FlushedBytes })
+	reg.CounterFunc("wgather_gathered_bytes_total",
+		func() int64 { return s.engine.Stats().GatheredBytes })
+	reg.CounterFunc("wgather_coalesced_bytes_total",
+		func() int64 { return s.engine.Stats().CoalescedBytes })
+	reg.CounterFunc("wgather_reboots_total",
+		func() int64 { return s.engine.Stats().Reboots })
+	reg.GaugeFunc("wgather_dirty_bytes",
+		func() float64 { return float64(s.engine.Stats().DirtyBytes) })
+
+	if s.dupcache != nil {
+		reg.CounterFunc("drc_hits_total", func() int64 { return s.dupcache.Stats().Hits })
+		reg.CounterFunc("drc_misses_total", func() int64 { return s.dupcache.Stats().Misses })
+		reg.CounterFunc("drc_busy_total", func() int64 { return s.dupcache.Stats().Busy })
+		reg.CounterFunc("drc_evictions_total", func() int64 { return s.dupcache.Stats().Evictions })
+		reg.CounterFunc("drc_bypasses_total", func() int64 { return s.dupcache.Stats().Bypasses })
+		reg.GaugeFunc("drc_entries", func() float64 { return float64(s.dupcache.Stats().Entries) })
+		reg.GaugeFunc("drc_bytes", func() float64 { return float64(s.dupcache.Stats().Bytes) })
+	}
+}
+
+// SpanTable exposes the service's per-proc stage span table (nil
+// without Config.Obs). Hand it to rpcnet.ServerOptions.Spans so the
+// transport acquires and finishes a span around every call; the
+// dispatch path marks its stages through rpcnet.CallInfo.Span.
+func (s *Service) SpanTable() *obs.SpanTable { return s.spans }
 
 // Backend exposes the mounted storage backend.
 func (s *Service) Backend() vfs.Backend { return s.b }
@@ -243,7 +335,7 @@ func (s *Service) countProc(proc uint32) {
 // append is the single payload copy between storage and the socket.
 func (s *Service) Handler() rpcnet.Handler {
 	return func(proc uint32, body []byte, reply []byte) ([]byte, uint32) {
-		out, stat := s.dispatch(proc, body, reply)
+		out, stat := s.dispatch(nil, proc, body, reply)
 		if stat == sunrpc.AcceptSuccess {
 			// Served RPCs only: garbage args and unknown procedures are
 			// rejected above the NFS layer and stay out of ProcCounts.
@@ -262,24 +354,36 @@ func (s *Service) Handler() rpcnet.Handler {
 // experiment checks to assert zero duplicated side effects.
 func (s *Service) InfoHandler() rpcnet.InfoHandler {
 	return func(info rpcnet.CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
+		sp := info.Span
 		if s.dupcache == nil || !nfsproto.NonIdempotent(proc) {
-			out, stat := s.dispatch(proc, body, reply)
+			out, stat := s.dispatch(sp, proc, body, reply)
 			if stat == sunrpc.AcceptSuccess {
 				s.countProc(proc)
+			}
+			// Residual handler time (reply marshalling, counting) joins
+			// the execute stage. The span-routed procedures already
+			// marked their stages inside dispatch — their residual is
+			// caught by the reply mark, and the hottest path saves a
+			// clock read.
+			if !spanRouted(proc) {
+				sp.Mark(obs.StageExec)
 			}
 			return out, stat
 		}
 		key := drc.Key{Client: info.Client, XID: info.XID, Proc: proc,
 			Sum: nfsproto.ArgsChecksum(body)}
 		outcome, cached, stat := s.dupcache.Begin(key)
+		sp.Mark(obs.StageDRC)
 		switch outcome {
 		case drc.Hit:
-			return append(reply, cached...), stat
+			out := append(reply, cached...)
+			sp.Mark(obs.StageExec)
+			return out, stat
 		case drc.Busy:
 			return reply, rpcnet.StatDrop
 		}
 		start := len(reply)
-		out, stat := s.dispatch(proc, body, reply)
+		out, stat := s.dispatch(sp, proc, body, reply)
 		if stat == sunrpc.AcceptSuccess {
 			s.countProc(proc)
 			s.dupcache.Complete(key, out[start:], stat)
@@ -289,6 +393,9 @@ func (s *Service) InfoHandler() rpcnet.InfoHandler {
 			// re-executes.
 			s.dupcache.Abort(key)
 		}
+		// DRC completion and reply bookkeeping join the execute stage
+		// (the cache's own lookup cost is already under StageDRC).
+		sp.Mark(obs.StageExec)
 		return out, stat
 	}
 }
@@ -305,7 +412,21 @@ func (s *Service) DRCStats() drc.Stats {
 	return s.dupcache.Stats()
 }
 
-func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
+// spanRouted reports whether dispatch threads the span into the
+// procedure's handler (which then owns its stage marks).
+func spanRouted(proc uint32) bool {
+	switch proc {
+	case nfsproto.ProcRead, nfsproto.ProcWrite, nfsproto.ProcCommit:
+		return true
+	}
+	return false
+}
+
+// dispatch routes one call. sp (nil when spans are off) reaches the
+// procedures that cross stage boundaries — READ/WRITE/COMMIT mark
+// backend, disk and gather time; everything else runs entirely inside
+// the execute stage the caller marks.
+func (s *Service) dispatch(sp *obs.Span, proc uint32, body, reply []byte) ([]byte, uint32) {
 	switch proc {
 	case nfsproto.ProcNull:
 		return reply, sunrpc.AcceptSuccess
@@ -314,13 +435,13 @@ func (s *Service) dispatch(proc uint32, body, reply []byte) ([]byte, uint32) {
 	case nfsproto.ProcAccess:
 		return s.access(body, reply)
 	case nfsproto.ProcRead:
-		return s.read(body, reply)
+		return s.read(sp, body, reply)
 	case nfsproto.ProcWrite:
-		return s.write(body, reply)
+		return s.write(sp, body, reply)
 	case nfsproto.ProcCreate:
 		return s.create(body, reply)
 	case nfsproto.ProcCommit:
-		return s.commit(body, reply)
+		return s.commit(sp, body, reply)
 	case nfsproto.ProcGetattr:
 		return s.getattr(body, reply)
 	case nfsproto.ProcSetattr:
@@ -421,7 +542,7 @@ func (s *Service) access(body, reply []byte) ([]byte, uint32) {
 	return res.AppendTo(reply), sunrpc.AcceptSuccess
 }
 
-func (s *Service) read(body, reply []byte) ([]byte, uint32) {
+func (s *Service) read(sp *obs.Span, body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalReadArgs(body)
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
@@ -454,8 +575,21 @@ func (s *Service) read(body, reply []byte) ([]byte, uint32) {
 	s.reads.Add(1)
 
 	ahead := readahead.Window(seq, s.maxAhead)
-	data, size, eof, err := s.b.ReadAt(args.FH, args.Offset, args.Count, ahead)
-	if err != nil {
+	// Argument decode and heuristic work so far is execute time; the
+	// backend call is its own stage (with disk time carved out by a
+	// SpanReader backend).
+	sp.Mark(obs.StageExec)
+	var data []byte
+	var size uint64
+	var eof bool
+	var rerr error
+	if sp != nil && s.spanReader != nil {
+		data, size, eof, rerr = s.spanReader.ReadAtSpan(args.FH, args.Offset, args.Count, ahead, sp)
+	} else {
+		data, size, eof, rerr = s.b.ReadAt(args.FH, args.Offset, args.Count, ahead)
+	}
+	sp.Mark(obs.StageBackend)
+	if rerr != nil {
 		res := nfsproto.ReadRes{Status: nfsproto.ErrStale}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
@@ -472,12 +606,14 @@ func (s *Service) read(body, reply []byte) ([]byte, uint32) {
 // every write when the window is 0) are made durable before the
 // reply. The reply's Committed reports what the server achieved and
 // Verf carries the write verifier clients compare across a COMMIT.
-func (s *Service) write(body, reply []byte) ([]byte, uint32) {
+func (s *Service) write(sp *obs.Span, body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalWriteArgs(body)
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
 	}
+	sp.Mark(obs.StageExec)
 	if err := s.b.WriteAt(args.FH, args.Offset, args.Data); err != nil {
+		sp.Mark(obs.StageBackend)
 		status := uint32(nfsproto.ErrStale)
 		switch {
 		case errors.Is(err, vfs.ErrTooBig):
@@ -488,7 +624,11 @@ func (s *Service) write(body, reply []byte) ([]byte, uint32) {
 		res := nfsproto.WriteRes{Status: status}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
+	// Page-cache apply is backend time; the gathering engine's decision
+	// (and any synchronous flush it forces) is the gather stage.
+	sp.Mark(obs.StageBackend)
 	committed, werr := s.engine.Write(uint64(args.FH), args.Offset, uint32(len(args.Data)), args.Stable)
+	sp.Mark(obs.StageGather)
 	if werr != nil {
 		res := nfsproto.WriteRes{Status: nfsproto.ErrIO}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
@@ -700,7 +840,7 @@ func (s *Service) readdirplus(body, reply []byte) ([]byte, uint32) {
 // the requested range, never less), and the reply carries the write
 // verifier. Asynchronous flush errors surface here as ErrIO, per RFC
 // 1813.
-func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
+func (s *Service) commit(sp *obs.Span, body, reply []byte) ([]byte, uint32) {
 	args, err := nfsproto.UnmarshalCommitArgs(body)
 	if err != nil {
 		return reply, sunrpc.AcceptGarbageArgs
@@ -710,7 +850,9 @@ func (s *Service) commit(body, reply []byte) ([]byte, uint32) {
 		res := nfsproto.CommitRes{Status: nfsproto.ErrStale}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess
 	}
+	sp.Mark(obs.StageExec)
 	verf, cerr := s.engine.Commit(uint64(args.FH))
+	sp.Mark(obs.StageGather)
 	if cerr != nil {
 		res := nfsproto.CommitRes{Status: nfsproto.ErrIO}
 		return res.AppendTo(reply), sunrpc.AcceptSuccess

@@ -1,0 +1,8 @@
+//go:build race
+
+package nfsd_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; quantitative allocation bounds are unreliable under its
+// shadow-memory overhead.
+const raceEnabled = true

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminServer is the optional observability HTTP listener: /metrics
+// (Prometheus text), /statsz (JSON snapshot), and /debug/pprof/*. It
+// runs on its own mux so enabling it never exposes handlers the caller
+// didn't ask for, and on its own listener so it shares nothing with the
+// RPC data path.
+type AdminServer struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin listener on addr and serves in a
+// background goroutine until Close.
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/statsz", a.handleStatsz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (a *AdminServer) Close() error { return a.srv.Close() }
+
+func (a *AdminServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.reg.WritePrometheus(w)
+}
+
+func (a *AdminServer) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(a.reg.Dump())
+}

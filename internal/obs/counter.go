@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the per-counter stripe count: the next power of two
+// covering GOMAXPROCS at init, capped so an over-provisioned host does
+// not bloat every counter. Reads sum the stripes, so the count is exact
+// regardless of how adds spread.
+var counterShards = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}()
+
+// pad keeps each stripe on its own cache line so concurrent adders on
+// different cores do not false-share.
+type counterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a lock-free sharded counter: Add picks a stripe from the
+// caller's stack address (distinct goroutines run on distinct stacks,
+// so concurrent adders spread across stripes instead of contending on
+// one cache line) and Load sums the stripes. The total is exact — adds
+// are atomic, and sharding only changes where they land. A nil Counter
+// is a no-op/zero, so disabled-metrics paths need no branches.
+type Counter struct {
+	cells []counterCell
+}
+
+// NewCounter returns a counter with the process-wide stripe count.
+func NewCounter() *Counter {
+	return &Counter{cells: make([]counterCell, counterShards)}
+}
+
+// stripe derives a stripe index from the address of a stack local: a
+// cheap, allocation-free proxy for "which goroutine is calling".
+// Goroutine stacks are spread across the address space, so the folded
+// page bits spread adders; a collision only costs a shared cache line,
+// never a wrong count.
+func stripe() int {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return int((p >> 10) ^ (p >> 17))
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.cells[stripe()&(len(c.cells)-1)].v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the exact sum across stripes. Under concurrent adders
+// the value is a linearization-point snapshot like any atomic read.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrentExact hammers one counter from 16 goroutines and
+// asserts the striped total is exact. Run under -race in CI.
+func TestCounterConcurrentExact(t *testing.T) {
+	const goroutines = 16
+	const perG = 100000
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("Load = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterAddAndNil(t *testing.T) {
+	c := NewCounter()
+	c.Add(5)
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("Load = %d, want 3", got)
+	}
+	var nilC *Counter
+	nilC.Add(7) // must not panic
+	nilC.Inc()
+	if nilC.Load() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+}
+
+func TestCounterShardsPowerOfTwo(t *testing.T) {
+	if counterShards < 1 || counterShards&(counterShards-1) != 0 {
+		t.Fatalf("counterShards = %d, want a power of two", counterShards)
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram's bucket layout is fixed and shared by every Histogram
+// in the process, which is what makes histograms mergeable by plain
+// bucket-wise addition: log-linear buckets — four linear sub-buckets
+// per power-of-two octave — covering 2^histMinExp ns (256 ns) through
+// 2^(histMaxExp+1) ns (~9 minutes), with an underflow bucket below and
+// an overflow bucket above. The relative width of a bucket is 1/4 of
+// an octave, so a value reported from its bucket midpoint is within
+// ~12% of the true value at any magnitude — quantile extraction is
+// bucket-accurate while a histogram stays ~1 KB of atomics.
+const (
+	histMinExp = 8  // 2^8 ns = 256 ns: first bucketed octave
+	histMaxExp = 38 // 2^38 ns ≈ 275 s: last bucketed octave
+	histSubs   = 4  // linear sub-buckets per octave
+
+	// HistBuckets is the fixed bucket count: underflow + the bucketed
+	// octaves + overflow.
+	HistBuckets = 2 + (histMaxExp-histMinExp+1)*histSubs
+)
+
+// bucketFor maps a duration in nanoseconds to its bucket index.
+func bucketFor(ns int64) int {
+	if ns < 1<<histMinExp {
+		return 0
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // floor(log2 ns)
+	if exp > histMaxExp {
+		return HistBuckets - 1
+	}
+	sub := int(ns>>(exp-2)) & (histSubs - 1)
+	return 1 + (exp-histMinExp)*histSubs + sub
+}
+
+// bucketBounds returns a bucket's [lower, upper) duration bounds in
+// nanoseconds. The overflow bucket's upper bound is MaxInt64.
+func bucketBounds(idx int) (lower, upper int64) {
+	if idx <= 0 {
+		return 0, 1 << histMinExp
+	}
+	if idx >= HistBuckets-1 {
+		return 1 << (histMaxExp + 1), math.MaxInt64
+	}
+	k := idx - 1
+	exp := histMinExp + k/histSubs
+	sub := int64(k % histSubs)
+	lower = (int64(histSubs) + sub) << (exp - 2)
+	upper = (int64(histSubs) + sub + 1) << (exp - 2)
+	return lower, upper
+}
+
+// bucketMid returns the representative value reported for a bucket
+// (its midpoint; the overflow bucket reports its lower bound).
+func bucketMid(idx int) int64 {
+	lower, upper := bucketBounds(idx)
+	if idx >= HistBuckets-1 {
+		return lower
+	}
+	return lower + (upper-lower)/2
+}
+
+// Histogram is a fixed-layout log-bucketed latency histogram. Recording
+// is one atomic add to a bucket plus count/sum updates — lock-free, no
+// allocation, safe for any number of concurrent writers. The zero value
+// is ready to use, so histograms embed by value in larger tables.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // exact total in nanoseconds (means are not bucketized)
+}
+
+// Observe records one duration. Negative durations record as zero. A
+// nil receiver is a no-op, so disabled-metrics paths need no branches.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact total of recorded durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the exact mean of recorded durations (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Merge adds other's buckets into h. Both histograms may be written
+// concurrently; the merge is per-bucket atomic (a torn cross-bucket
+// view is at most one in-flight observation per bucket).
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as the midpoint of
+// the bucket holding that rank, or 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return time.Duration(bucketMid(i))
+		}
+	}
+	return time.Duration(bucketMid(HistBuckets - 1))
+}
+
+// HistStats is a point-in-time summary of a histogram, the shape the
+// /statsz JSON and the final-stats text render. Durations are
+// milliseconds (floats) for readability.
+type HistStats struct {
+	Count  uint64  `json:"count"`
+	SumMS  float64 `json:"sum_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Stats summarizes the histogram. The summary is taken from live
+// atomics; under concurrent writers it may be torn by in-flight
+// observations, like every snapshot in this repository.
+func (h *Histogram) Stats() HistStats {
+	if h == nil {
+		return HistStats{}
+	}
+	return HistStats{
+		Count:  h.Count(),
+		SumMS:  ms(h.Sum()),
+		MeanMS: ms(h.Mean()),
+		P50MS:  ms(h.Quantile(0.50)),
+		P90MS:  ms(h.Quantile(0.90)),
+		P99MS:  ms(h.Quantile(0.99)),
+		P999MS: ms(h.Quantile(0.999)),
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundsRoundTrip property-tests the bucket layout: every
+// bucket's bounds must map back to that bucket (lower in, upper out),
+// buckets must tile the axis with no gaps or overlap, and random values
+// must always land in a bucket whose bounds contain them.
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	prevUpper := int64(0)
+	for idx := 0; idx < HistBuckets; idx++ {
+		lower, upper := bucketBounds(idx)
+		if lower >= upper {
+			t.Fatalf("bucket %d: empty range [%d,%d)", idx, lower, upper)
+		}
+		if lower != prevUpper {
+			t.Fatalf("bucket %d: lower %d != previous upper %d (gap/overlap)",
+				idx, lower, prevUpper)
+		}
+		prevUpper = upper
+		if got := bucketFor(lower); got != idx {
+			t.Fatalf("bucketFor(lower=%d) = %d, want %d", lower, got, idx)
+		}
+		if upper < math.MaxInt64 {
+			if got := bucketFor(upper - 1); got != idx {
+				t.Fatalf("bucketFor(upper-1=%d) = %d, want %d", upper-1, got, idx)
+			}
+			if got := bucketFor(upper); got == idx && idx < HistBuckets-1 {
+				t.Fatalf("bucketFor(upper=%d) still bucket %d", upper, idx)
+			}
+		}
+		mid := bucketMid(idx)
+		if mid < lower || (idx < HistBuckets-1 && mid >= upper) {
+			t.Fatalf("bucket %d: mid %d outside [%d,%d)", idx, mid, lower, upper)
+		}
+	}
+	if prevUpper != math.MaxInt64 {
+		t.Fatalf("buckets do not cover the axis: last upper = %d", prevUpper)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100000; i++ {
+		// Exercise every magnitude, not just the uniform-int64 high end.
+		ns := rng.Int63() >> uint(rng.Intn(63))
+		idx := bucketFor(ns)
+		lower, upper := bucketBounds(idx)
+		if ns < lower || ns >= upper {
+			t.Fatalf("ns=%d in bucket %d [%d,%d)", ns, idx, lower, upper)
+		}
+	}
+}
+
+// TestHistogramQuantileBucketAccuracy checks quantiles land in the
+// bucket actually holding that rank.
+func TestHistogramQuantileBucketAccuracy(t *testing.T) {
+	var h Histogram
+	// 90 fast ops at 10µs, 10 slow ops at 5ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	inBucket := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		lo, up := bucketBounds(bucketFor(int64(want)))
+		if int64(got) < lo || int64(got) >= up {
+			t.Fatalf("Quantile(%g) = %v, want inside bucket of %v [%d,%d)",
+				q, got, want, lo, up)
+		}
+	}
+	inBucket(0.50, 10*time.Microsecond)
+	inBucket(0.90, 10*time.Microsecond)
+	inBucket(0.99, 5*time.Millisecond)
+	inBucket(0.999, 5*time.Millisecond)
+
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	wantSum := 90*10*time.Microsecond + 10*5*time.Millisecond
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %v, want %v (sum must be exact, not bucketized)", got, wantSum)
+	}
+	if got := h.Mean(); got != wantSum/100 {
+		t.Fatalf("Mean = %v, want %v", got, wantSum/100)
+	}
+}
+
+// TestHistogramConcurrentExact hammers one histogram from 16 goroutines
+// and asserts the merged totals are exact: sharding and atomics must
+// never lose an observation. Run under -race in CI.
+func TestHistogramConcurrentExact(t *testing.T) {
+	const goroutines = 16
+	const perG = 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+	var bucketSum uint64
+	for i := 0; i < HistBuckets; i++ {
+		bucketSum += h.buckets[i].Load()
+	}
+	if bucketSum != goroutines*perG {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, goroutines*perG)
+	}
+}
+
+// TestHistogramMerge checks merged histograms carry exact counts and
+// sums and identical bucket contents.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, merged Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged.Count() != a.Count()+b.Count() {
+		t.Fatalf("merged count %d != %d + %d", merged.Count(), a.Count(), b.Count())
+	}
+	if merged.Sum() != a.Sum()+b.Sum() {
+		t.Fatalf("merged sum %v != %v + %v", merged.Sum(), a.Sum(), b.Sum())
+	}
+	for i := 0; i < HistBuckets; i++ {
+		if got, want := merged.buckets[i].Load(), a.buckets[i].Load()+b.buckets[i].Load(); got != want {
+			t.Fatalf("bucket %d: merged %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestHistogramNilAndEmpty pins nil-receiver and empty behavior.
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Mean() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as zero")
+	}
+	nilH.Merge(&Histogram{})
+	if st := nilH.Stats(); st.Count != 0 {
+		t.Fatal("nil histogram Stats must be zero")
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	empty.Observe(-time.Second) // clamps to zero, lands in underflow
+	if empty.Count() != 1 || empty.Sum() != 0 {
+		t.Fatalf("negative observe: count=%d sum=%v", empty.Count(), empty.Sum())
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryDumpViewsAgree records through every instrument kind and
+// checks the three views (Dump snapshot, Prometheus text, text lines)
+// report the same values — the satellite contract that text, /statsz,
+// and /metrics can never disagree.
+func TestRegistryDumpViewsAgree(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`ops_total{proc="READ"}`).Add(7)
+	reg.Counter(`ops_total{proc="WRITE"}`).Add(3)
+	reg.Counter("unused_total") // zero: in machine views, not text
+	reg.CounterFunc("drc_hits_total", func() int64 { return 42 })
+	reg.GaugeFunc("up", func() float64 { return 1 })
+	reg.Histogram("flush_latency").Observe(2 * time.Millisecond)
+	table := reg.Spans("op", []string{"NULL", "READ"})
+	sp := table.Acquire()
+	sp.SetProc(1)
+	sp.Mark(StageExec)
+	table.Finish(sp)
+
+	snap := reg.Dump()
+	if snap.Counters[`ops_total{proc="READ"}`] != 7 ||
+		snap.Counters[`ops_total{proc="WRITE"}`] != 3 ||
+		snap.Counters["drc_hits_total"] != 42 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if _, ok := snap.Counters["unused_total"]; !ok {
+		t.Fatal("zero counters must still be present in the snapshot")
+	}
+	if snap.Gauges["up"] != 1 {
+		t.Fatalf("gauges: %+v", snap.Gauges)
+	}
+	if snap.Histograms["flush_latency"].Count != 1 {
+		t.Fatalf("histograms: %+v", snap.Histograms)
+	}
+	if snap.Spans["op"].Procs["READ"].Count != 1 {
+		t.Fatalf("spans: %+v", snap.Spans)
+	}
+
+	var prom strings.Builder
+	reg.WritePrometheus(&prom)
+	promText := prom.String()
+	for _, want := range []string{
+		`ops_total{proc="READ"} 7`,
+		`ops_total{proc="WRITE"} 3`,
+		"drc_hits_total 42",
+		"unused_total 0",
+		"up 1",
+		"# TYPE ops_total counter",
+		"# TYPE up gauge",
+		"# TYPE flush_latency_seconds summary",
+		`op_seconds_count{proc="READ"} 1`,
+		`op_stage_seconds_count{proc="READ",stage="exec"} 1`,
+	} {
+		if !strings.Contains(promText, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, promText)
+		}
+	}
+
+	lines := strings.Join(reg.Lines(), "\n")
+	for _, want := range []string{
+		"ops_total: READ=7 WRITE=3",
+		"drc_hits_total: 42",
+		"up: 1",
+		"flush_latency: n=1",
+		"op[READ]: n=1",
+	} {
+		if !strings.Contains(lines, want) {
+			t.Fatalf("text lines missing %q:\n%s", want, lines)
+		}
+	}
+	if strings.Contains(lines, "unused_total") {
+		t.Fatalf("zero counter must be skipped in text lines:\n%s", lines)
+	}
+
+	// Snapshot must round-trip as JSON (the /statsz body).
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Counters["drc_hits_total"] != 42 {
+		t.Fatalf("round-trip lost counters: %+v", back.Counters)
+	}
+}
+
+// TestRegistryIdempotentRegistration: same name returns same instrument.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("Counter must be idempotent by name")
+	}
+	if reg.Histogram("h") != reg.Histogram("h") {
+		t.Fatal("Histogram must be idempotent by name")
+	}
+	if reg.Spans("s", []string{"X"}) != reg.Spans("s", nil) {
+		t.Fatal("Spans must be idempotent by name")
+	}
+}
+
+// TestRegistryNil: a nil registry hands out nil no-op instruments.
+func TestRegistryNil(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	reg.Histogram("h").Observe(time.Second)
+	sp := reg.Spans("s", nil).Acquire()
+	sp.Mark(StageExec)
+	reg.Spans("s", nil).Finish(sp)
+	reg.CounterFunc("f", func() int64 { return 1 })
+	reg.GaugeFunc("g", func() float64 { return 1 })
+	snap := reg.Dump()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Fatalf("nil registry snapshot must be empty: %+v", snap)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil registry prometheus output must be empty: %q", b.String())
+	}
+}
+
+// TestRegistryConcurrent hammers registration and recording from 16
+// goroutines under -race; dump runs concurrently with writers.
+func TestRegistryConcurrent(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter("shared_total")
+			h := reg.Histogram("shared_latency")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Nanosecond)
+				if i%500 == 0 {
+					reg.Dump()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := reg.Dump()
+	if snap.Counters["shared_total"] != goroutines*perG {
+		t.Fatalf("shared_total = %d, want %d", snap.Counters["shared_total"], goroutines*perG)
+	}
+	if snap.Histograms["shared_latency"].Count != goroutines*perG {
+		t.Fatalf("shared_latency count = %d, want %d",
+			snap.Histograms["shared_latency"].Count, goroutines*perG)
+	}
+}
+
+// TestAdminServer boots the admin listener and checks /metrics,
+// /statsz, and /debug/pprof/ all serve.
+func TestAdminServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("test_up", func() float64 { return 1 })
+	reg.Counter("test_ops_total").Add(5)
+
+	adm, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer adm.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", adm.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "test_up 1") ||
+		!strings.Contains(body, "test_ops_total 5") {
+		t.Fatalf("/metrics missing expected series:\n%s", body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/statsz")), &snap); err != nil {
+		t.Fatalf("/statsz not JSON: %v", err)
+	}
+	if snap.Gauges["test_up"] != 1 || snap.Counters["test_ops_total"] != 5 {
+		t.Fatalf("/statsz wrong values: %+v", snap)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

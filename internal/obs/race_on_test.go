@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; quantitative allocation bounds are unreliable under its
+// shadow-memory overhead.
+const raceEnabled = true

@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one segment of a request's path through the server. The
+// set is fixed so spans can carry per-stage accumulators in a flat
+// array with no allocation; layers record only the stages they own.
+type Stage uint8
+
+const (
+	// StageRecv is socket read to dispatch-goroutine pickup: scheduling
+	// delay plus any injected inbound network fault hold.
+	StageRecv Stage = iota
+	// StageDecode is the RPC call header decode.
+	StageDecode
+	// StageDRC is the duplicate request cache lookup/complete.
+	StageDRC
+	// StageExec is the dispatch layer's own work: argument decode,
+	// heuristic updates, reply marshalling.
+	StageExec
+	// StageBackend is storage backend access (page cache reads/writes
+	// and placement bookkeeping), excluding simulated disk time.
+	StageBackend
+	// StageDisk is simulated disk service time actually slept out.
+	StageDisk
+	// StageGather is the write-gathering engine: insert/flush on WRITE,
+	// full-file flush on COMMIT (backend durability cost included).
+	StageGather
+	// StageReply is the reply's socket write.
+	StageReply
+
+	// NumStages is the stage count (array sizing).
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"recv", "decode", "drc", "exec", "backend", "disk", "gather", "reply",
+}
+
+// String names the stage as it appears in metrics and logs.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames returns the fixed stage name list in stage order.
+func StageNames() []string {
+	return append([]string(nil), stageNames[:]...)
+}
+
+// Span carries one request's per-stage latency decomposition through
+// the dispatch path. Usage is strictly sequential within the serving
+// goroutine: Mark(stage) charges the time since the previous mark to
+// that stage, and Observe(stage, d) attributes d to a stage while
+// carving it out of the enclosing Mark delta — so a backend that sleeps
+// out simulated disk time can report it as StageDisk without it double
+// counting inside StageBackend. Stage durations therefore sum exactly
+// to last-mark minus start, the span's end-to-end total.
+//
+// All methods are nil-receiver safe no-ops, so code threads spans
+// unconditionally and pays one predictable branch when metrics are off.
+// Spans are pooled by their SpanTable; the hot path allocates nothing.
+//
+// Timestamps are nanoseconds since a package epoch, read off the
+// monotonic clock alone (time.Since of a monotonic base) — roughly half
+// the cost of time.Now, which also reads the wall clock, and the mark
+// rate is the dominant cost of instrumenting a microsecond-scale
+// request path.
+type Span struct {
+	start  int64 // ns since epoch
+	last   int64 // ns since epoch
+	carved time.Duration // Observe()d time to exclude from the next Mark
+	proc   uint32
+	stages [NumStages]time.Duration
+}
+
+// epoch anchors span timestamps; only differences are ever used.
+var epoch = time.Now()
+
+// nowNS reads the monotonic clock as nanoseconds since the epoch.
+func nowNS() int64 { return int64(time.Since(epoch)) }
+
+// begin resets the span to a fresh request arriving at t (ns since
+// epoch).
+func (sp *Span) begin(t int64) {
+	sp.start = t
+	sp.last = t
+	sp.carved = 0
+	sp.proc = 0
+	for i := range sp.stages {
+		sp.stages[i] = 0
+	}
+}
+
+// SetProc records the request's procedure number (the span table row
+// it will be recorded under).
+func (sp *Span) SetProc(proc uint32) {
+	if sp == nil {
+		return
+	}
+	sp.proc = proc
+}
+
+// Mark charges the time since the previous mark — minus any Observe()d
+// carve-outs in between — to stage s, and advances the mark.
+func (sp *Span) Mark(s Stage) {
+	if sp == nil {
+		return
+	}
+	now := nowNS()
+	delta := time.Duration(now-sp.last) - sp.carved
+	if delta < 0 {
+		delta = 0
+	}
+	sp.stages[s] += delta
+	sp.last = now
+	sp.carved = 0
+}
+
+// Observe attributes d to stage s directly, carving it out of the
+// enclosing Mark delta (see Span).
+func (sp *Span) Observe(s Stage, d time.Duration) {
+	if sp == nil || d <= 0 {
+		return
+	}
+	sp.stages[s] += d
+	sp.carved += d
+}
+
+// StageDur returns the duration accumulated for stage s so far.
+func (sp *Span) StageDur(s Stage) time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return sp.stages[s]
+}
+
+// Total returns start-to-last-mark: the end-to-end latency the stage
+// durations sum to.
+func (sp *Span) Total() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return time.Duration(sp.last - sp.start)
+}
+
+// spanRow is one procedure's histograms: end-to-end plus per-stage.
+type spanRow struct {
+	total  Histogram
+	stages [NumStages]Histogram
+}
+
+// SpanTable records finished spans into per-procedure, per-stage
+// histograms. Rows are indexed by procedure number; procedures at or
+// beyond the name list land in a shared overflow row ("other"). The
+// table owns a span pool (Acquire/Finish/Discard) and the slow-op log.
+type SpanTable struct {
+	name  string
+	procs []string // row names; rows[len(procs)] is the overflow row
+	rows  []spanRow
+
+	pool sync.Pool
+
+	slowOver  atomic.Int64 // threshold in ns; 0 = slow-op log off
+	slowMu    sync.Mutex
+	slowOut   io.Writer
+	slowCount atomic.Int64
+}
+
+// NewSpanTable builds a table with one row per procedure name plus an
+// overflow row. Most callers use Registry.Spans, which also exports the
+// table on /metrics and in Dump.
+func NewSpanTable(name string, procs []string) *SpanTable {
+	t := &SpanTable{
+		name:  name,
+		procs: append([]string(nil), procs...),
+		rows:  make([]spanRow, len(procs)+1),
+	}
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+// Name returns the table's metric name.
+func (t *SpanTable) Name() string { return t.name }
+
+// Acquire returns a pooled span begun at now. Nil-safe: a nil table
+// returns a nil span, and every span method no-ops on nil.
+func (t *SpanTable) Acquire() *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.pool.Get().(*Span)
+	sp.begin(nowNS())
+	return sp
+}
+
+// AcquireAt is Acquire with an explicit arrival time (a server that
+// already stamped the request's arrival passes it through). The time
+// must carry a monotonic reading (i.e. come from time.Now, not from
+// parsing) for the span's arithmetic to hold.
+func (t *SpanTable) AcquireAt(at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.pool.Get().(*Span)
+	sp.begin(int64(at.Sub(epoch)))
+	return sp
+}
+
+// row resolves the histogram row for a procedure number.
+func (t *SpanTable) row(proc uint32) *spanRow {
+	if int(proc) < len(t.procs) {
+		return &t.rows[proc]
+	}
+	return &t.rows[len(t.procs)]
+}
+
+// Finish records the span's total and stage durations under its
+// procedure, emits a slow-op log line if the total clears the
+// threshold, and recycles the span. The span must not be used after.
+func (t *SpanTable) Finish(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	row := t.row(sp.proc)
+	total := sp.Total()
+	row.total.Observe(total)
+	for s := Stage(0); s < NumStages; s++ {
+		if d := sp.stages[s]; d > 0 {
+			row.stages[s].Observe(d)
+		}
+	}
+	if over := t.slowOver.Load(); over > 0 && int64(total) >= over {
+		t.logSlow(sp, total)
+	}
+	t.pool.Put(sp)
+}
+
+// Discard recycles a span without recording it (request dropped before
+// service: garbage call, StatDrop).
+func (t *SpanTable) Discard(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.pool.Put(sp)
+}
+
+// EnableSlowLog turns on the slow-op log: any finished span whose total
+// meets or exceeds `over` is written to w as one structured line with
+// its full stage breakdown. over <= 0 disables.
+func (t *SpanTable) EnableSlowLog(w io.Writer, over time.Duration) {
+	t.slowMu.Lock()
+	t.slowOut = w
+	t.slowMu.Unlock()
+	if over <= 0 {
+		t.slowOver.Store(0)
+		return
+	}
+	t.slowOver.Store(int64(over))
+}
+
+// SlowOps counts slow-op log lines emitted.
+func (t *SpanTable) SlowOps() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.slowCount.Load()
+}
+
+// procName names a row for logs and exports.
+func (t *SpanTable) procName(proc uint32) string {
+	if int(proc) < len(t.procs) {
+		return t.procs[proc]
+	}
+	return "other"
+}
+
+// logSlow emits one structured slow-op line. This is the exceptional
+// path; it may allocate.
+func (t *SpanTable) logSlow(sp *Span, total time.Duration) {
+	t.slowCount.Add(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"slow_op":%q,"proc":%q,"total_ms":%.3f,"stages_ms":{`,
+		t.name, t.procName(sp.proc), ms(total))
+	first := true
+	for s := Stage(0); s < NumStages; s++ {
+		if sp.stages[s] <= 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%.3f", s.String(), ms(sp.stages[s]))
+	}
+	fmt.Fprintf(&b, "}}\n")
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	if t.slowOut != nil {
+		io.WriteString(t.slowOut, b.String())
+	}
+}
+
+// ProcStats is one procedure's recorded span summary.
+type ProcStats struct {
+	Count  uint64               `json:"count"`
+	Total  HistStats            `json:"total"`
+	Stages map[string]HistStats `json:"stages,omitempty"`
+}
+
+// SpanStats is a point-in-time summary of a span table: procedures with
+// at least one recorded span, each with its end-to-end and per-stage
+// histogram summaries.
+type SpanStats struct {
+	Procs map[string]ProcStats `json:"procs"`
+}
+
+// Stats summarizes the table.
+func (t *SpanTable) Stats() SpanStats {
+	out := SpanStats{Procs: make(map[string]ProcStats)}
+	if t == nil {
+		return out
+	}
+	for i := range t.rows {
+		row := &t.rows[i]
+		if row.total.Count() == 0 {
+			continue
+		}
+		ps := ProcStats{
+			Count:  row.total.Count(),
+			Total:  row.total.Stats(),
+			Stages: make(map[string]HistStats),
+		}
+		for s := Stage(0); s < NumStages; s++ {
+			if row.stages[s].Count() > 0 {
+				ps.Stages[s.String()] = row.stages[s].Stats()
+			}
+		}
+		out.Procs[t.procName(uint32(i))] = ps
+	}
+	return out
+}
+
+// ProcSummary returns one procedure's summary by row name.
+func (t *SpanTable) ProcSummary(proc string) (ProcStats, bool) {
+	if t == nil {
+		return ProcStats{}, false
+	}
+	for i := range t.rows {
+		if t.procName(uint32(i)) == proc && t.rows[i].total.Count() > 0 {
+			st := t.Stats()
+			ps, ok := st.Procs[proc]
+			return ps, ok
+		}
+	}
+	return ProcStats{}, false
+}
+
+// Note renders the summary as one compact human-readable line: mean
+// stage breakdown (exact attribution — stage means sum to the total
+// mean up to the finish residual), the dominant stage's share, and
+// end-to-end p50/p99.
+func (p ProcStats) Note() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d total mean=%.3fms p50=%.3fms p99=%.3fms; stages(mean ms):",
+		p.Count, p.Total.MeanMS, p.Total.P50MS, p.Total.P99MS)
+	domName, domMS := "", 0.0
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		hs, ok := p.Stages[name]
+		if !ok {
+			continue
+		}
+		// A stage histogram only counts requests that hit the stage, so
+		// its contribution to the per-request mean is its sum over the
+		// row count, not its own mean.
+		contrib := hs.SumMS / float64(p.Count)
+		fmt.Fprintf(&b, " %s=%.3f", name, contrib)
+		if contrib > domMS {
+			domName, domMS = name, contrib
+		}
+	}
+	if domName != "" && p.Total.MeanMS > 0 {
+		fmt.Fprintf(&b, "; %s=%.0f%% of total", domName, 100*domMS/p.Total.MeanMS)
+	}
+	return b.String()
+}

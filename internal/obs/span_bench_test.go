@@ -1,0 +1,24 @@
+package obs
+
+import "testing"
+
+// BenchmarkSpanLifecycleRead is the per-request cost of full span
+// instrumentation on a READ-shaped path: acquire, the marks the RPC and
+// dispatch layers make, finish (histogram recording + pool return).
+// This number, times the request rate, is the observability tax — the
+// mark count and the clock-read cost dominate it, which is why spans
+// read the monotonic clock alone.
+func BenchmarkSpanLifecycleRead(b *testing.B) {
+	t := NewSpanTable("b", []string{"NULL", "GETATTR", "READ"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := t.Acquire()
+		sp.Mark(StageRecv)
+		sp.SetProc(2)
+		sp.Mark(StageDecode)
+		sp.Mark(StageExec)
+		sp.Mark(StageBackend)
+		sp.Mark(StageReply)
+		t.Finish(sp)
+	}
+}

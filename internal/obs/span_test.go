@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanCarveArithmetic pins the additive-attribution contract: stage
+// durations (Marks plus carved Observes) sum exactly to Total().
+func TestSpanCarveArithmetic(t *testing.T) {
+	table := NewSpanTable("test_span", []string{"NULL", "READ"})
+	t0 := time.Now()
+	sp := table.AcquireAt(t0)
+	sp.SetProc(1)
+
+	// A recv mark, then a backend mark whose interval includes really
+	// elapsed (slept) disk time that must be carved out of the backend
+	// stage — the zonefs usage pattern.
+	sp.Mark(StageRecv)
+	sleepStart := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	slept := time.Since(sleepStart)
+	sp.Observe(StageDisk, slept)
+	sp.Mark(StageBackend)
+	sp.Mark(StageReply)
+
+	var stageSum time.Duration
+	for s := Stage(0); s < NumStages; s++ {
+		stageSum += sp.StageDur(s)
+	}
+	if got := sp.Total(); stageSum != got {
+		t.Fatalf("stage sum %v != total %v (carve must keep stages additive)", stageSum, got)
+	}
+	if sp.StageDur(StageDisk) != slept {
+		t.Fatalf("disk stage = %v, want %v", sp.StageDur(StageDisk), slept)
+	}
+	if sp.StageDur(StageBackend) >= slept {
+		t.Fatalf("backend stage %v should exclude the %v carved disk time",
+			sp.StageDur(StageBackend), slept)
+	}
+	table.Finish(sp)
+
+	st := table.Stats()
+	ps, ok := st.Procs["READ"]
+	if !ok {
+		t.Fatalf("no READ row in stats: %+v", st)
+	}
+	if ps.Count != 1 {
+		t.Fatalf("READ count = %d, want 1", ps.Count)
+	}
+	if _, ok := ps.Stages["disk"]; !ok {
+		t.Fatalf("disk stage missing from stats: %+v", ps.Stages)
+	}
+}
+
+// TestSpanCarveClampsNegative: if Observe attributes more time than the
+// wall interval (coarse clocks), the next Mark clamps at zero rather
+// than recording negative time.
+func TestSpanCarveClampsNegative(t *testing.T) {
+	table := NewSpanTable("test_span", []string{"NULL"})
+	sp := table.Acquire()
+	sp.Observe(StageDisk, time.Hour) // far exceeds real elapsed time
+	sp.Mark(StageBackend)
+	if d := sp.StageDur(StageBackend); d != 0 {
+		t.Fatalf("backend stage = %v, want 0 (clamped)", d)
+	}
+	table.Discard(sp)
+}
+
+// TestSpanNilSafety: every method must no-op on nil spans and tables so
+// disabled metrics need no call-site branches.
+func TestSpanNilSafety(t *testing.T) {
+	var table *SpanTable
+	sp := table.Acquire()
+	if sp != nil {
+		t.Fatal("nil table must hand out nil spans")
+	}
+	sp.SetProc(3)
+	sp.Mark(StageExec)
+	sp.Observe(StageDisk, time.Second)
+	if sp.Total() != 0 || sp.StageDur(StageDisk) != 0 {
+		t.Fatal("nil span must read as zero")
+	}
+	table.Finish(sp)
+	table.Discard(sp)
+	if table.SlowOps() != 0 {
+		t.Fatal("nil table SlowOps must be 0")
+	}
+	if st := table.Stats(); len(st.Procs) != 0 {
+		t.Fatal("nil table Stats must be empty")
+	}
+}
+
+// TestSpanSlowLog: spans over threshold emit one structured line with
+// the stage breakdown; spans under it don't.
+func TestSpanSlowLog(t *testing.T) {
+	table := NewSpanTable("nfsd_op", []string{"NULL", "READ"})
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.WriteString(string(p))
+	})
+	table.EnableSlowLog(w, 10*time.Millisecond)
+
+	fast := table.Acquire()
+	fast.SetProc(0)
+	fast.Mark(StageExec)
+	table.Finish(fast)
+
+	slow := table.AcquireAt(time.Now().Add(-50 * time.Millisecond))
+	slow.SetProc(1)
+	slow.Observe(StageDisk, 45*time.Millisecond)
+	slow.Mark(StageBackend)
+	slow.Mark(StageReply)
+	table.Finish(slow)
+
+	if table.SlowOps() != 1 {
+		t.Fatalf("SlowOps = %d, want 1", table.SlowOps())
+	}
+	mu.Lock()
+	line := buf.String()
+	mu.Unlock()
+	for _, want := range []string{`"slow_op":"nfsd_op"`, `"proc":"READ"`, `"disk":`, `"total_ms":`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow log %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, `"proc":"NULL"`) {
+		t.Fatalf("fast op leaked into slow log: %q", line)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestSpanOverflowRow: procs beyond the name list land in "other".
+func TestSpanOverflowRow(t *testing.T) {
+	table := NewSpanTable("t", []string{"NULL"})
+	sp := table.Acquire()
+	sp.SetProc(99)
+	sp.Mark(StageExec)
+	table.Finish(sp)
+	if _, ok := table.Stats().Procs["other"]; !ok {
+		t.Fatal("overflow proc must land in the \"other\" row")
+	}
+}
+
+// TestSpanConcurrentFinish hammers one table from 16 goroutines and
+// asserts the recorded count is exact. Run under -race in CI.
+func TestSpanConcurrentFinish(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	table := NewSpanTable("t", []string{"NULL", "READ", "WRITE"})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := table.Acquire()
+				sp.SetProc(uint32(i % 3))
+				sp.Observe(StageDisk, time.Duration(i)*time.Microsecond)
+				sp.Mark(StageBackend)
+				sp.Mark(StageReply)
+				table.Finish(sp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, ps := range table.Stats().Procs {
+		total += ps.Count
+	}
+	if total != goroutines*perG {
+		t.Fatalf("recorded %d spans, want %d", total, goroutines*perG)
+	}
+}
+
+// TestSpanZeroAlloc pins the hot path: a full acquire → mark → observe
+// → finish cycle must not allocate in steady state (the pool reuses
+// spans; histograms are fixed arrays of atomics).
+func TestSpanZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	table := NewSpanTable("t", []string{"NULL", "READ"})
+	// Warm the pool so steady state is measured, not first-use growth.
+	for i := 0; i < 100; i++ {
+		sp := table.Acquire()
+		sp.SetProc(1)
+		sp.Mark(StageRecv)
+		sp.Observe(StageDisk, time.Microsecond)
+		sp.Mark(StageBackend)
+		sp.Mark(StageReply)
+		table.Finish(sp)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := table.Acquire()
+		sp.SetProc(1)
+		sp.Mark(StageRecv)
+		sp.Observe(StageDisk, time.Microsecond)
+		sp.Mark(StageBackend)
+		sp.Mark(StageReply)
+		table.Finish(sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("span cycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestProcStatsNote smoke-tests the bench per-cell summary line.
+func TestProcStatsNote(t *testing.T) {
+	table := NewSpanTable("t", []string{"READ"})
+	for i := 0; i < 10; i++ {
+		sp := table.Acquire()
+		sp.SetProc(0)
+		sp.Observe(StageDisk, 9*time.Millisecond)
+		sp.Mark(StageBackend)
+		sp.Mark(StageReply)
+		table.Finish(sp)
+	}
+	ps, ok := table.ProcSummary("READ")
+	if !ok {
+		t.Fatal("no READ summary")
+	}
+	note := ps.Note()
+	for _, want := range []string{"n=10", "disk=", "% of total"} {
+		if !strings.Contains(note, want) {
+			t.Fatalf("note %q missing %q", note, want)
+		}
+	}
+	// Disk dominates: its share of the mean should be the reported
+	// dominant stage.
+	if !strings.Contains(note, "disk=") || !strings.Contains(note, "; disk=") {
+		t.Fatalf("note %q should report disk as dominant", note)
+	}
+}

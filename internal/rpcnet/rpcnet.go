@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nfstricks/internal/obs"
 	"nfstricks/internal/sunrpc"
 )
 
@@ -47,6 +48,11 @@ type CallInfo struct {
 	Client netip.AddrPort
 	// TCP reports the transport (false = UDP).
 	TCP bool
+	// Span is the request's latency span, nil unless the server was
+	// built with ServerOptions.Spans. Handlers mark the stages they own
+	// (obs.Span methods are nil-safe, so no guard is needed); the server
+	// finishes the span after the reply's socket write.
+	Span *obs.Span
 }
 
 // InfoHandler is Handler plus the call's wire identity. Returning
@@ -127,6 +133,7 @@ type Server struct {
 	handler    InfoHandler
 	tap        Tap
 	faults     *FaultInjector // nil = perfect network
+	spans      *obs.SpanTable // nil = no span recording
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -167,6 +174,12 @@ type ServerOptions struct {
 	// Faults, when non-nil, injects faults on both wire directions of
 	// this server: inbound requests and outbound replies.
 	Faults *FaultInjector
+	// Spans, when non-nil, records a per-request stage span for every
+	// call: recv (socket read to decode, queueing and injected holds
+	// included), decode, the handler's own stages (via CallInfo.Span),
+	// and the reply's socket write. Dropped calls (garbage, StatDrop)
+	// are discarded unrecorded.
+	Spans *obs.SpanTable
 }
 
 // NewServerInfo is the full-width constructor: an InfoHandler that sees
@@ -183,8 +196,8 @@ func NewServerInfo(addr string, prog, vers uint32, handler InfoHandler, opts Ser
 	}
 	s := &Server{
 		prog: prog, vers: vers, handler: handler, tap: opts.Tap,
-		faults: opts.Faults,
-		udp:    udp, tcp: tcp,
+		faults: opts.Faults, spans: opts.Spans,
+		udp: udp, tcp: tcp,
 		conns: make(map[net.Conn]struct{}),
 	}
 	if s.tap != nil {
@@ -328,7 +341,10 @@ func (s *Server) serveDatagram(bp *[]byte, msg []byte, from *net.UDPAddr, delay 
 	if s.tap != nil {
 		ev = &TapEvent{Stream: s.udpStream(from), When: time.Now()}
 	}
-	info := CallInfo{Client: from.AddrPort()}
+	// The span is stamped with the arrival time here on the read loop, so
+	// StageRecv covers scheduling delay and injected holds; Acquire on a
+	// nil table hands out a nil span, which every mark downstream accepts.
+	info := CallInfo{Client: from.AddrPort(), Span: s.spans.Acquire()}
 	// The handler goroutine joins the server's WaitGroup (the read
 	// loop still holds its own count, so this Add cannot race a
 	// Close that already reached zero): Close drains in-flight
@@ -345,10 +361,18 @@ func (s *Server) serveDatagram(bp *[]byte, msg []byte, from *net.UDPAddr, delay 
 		defer putBuf(rp)
 		reply, ok := s.process(msg, *rp, ev, info)
 		if !ok {
+			s.spans.Discard(info.Span)
 			return
 		}
 		*rp = reply
 		s.emit(ev)
+		// The reply stage covers the outbound fault decision and the
+		// socket write — everything between the handler's last mark and
+		// the datagram leaving (or being dropped by) the server.
+		defer func() {
+			info.Span.Mark(obs.StageReply)
+			s.spans.Finish(info.Span)
+		}()
 		// Outbound fault decision: the reply datagram crosses the wire
 		// too.
 		act := s.faults.datagram(DirOut, len(reply))
@@ -441,7 +465,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.tap != nil {
 			ev = &TapEvent{Stream: stream, When: time.Now()}
 		}
-		info := CallInfo{Client: peer, TCP: true}
+		// Arrival-stamped here (post record read), as in serveDatagram.
+		info := CallInfo{Client: peer, TCP: true, Span: s.spans.Acquire()}
 		// As in serveUDP: in-flight requests are part of the WaitGroup
 		// so Close drains them (this goroutine's Add is covered by the
 		// connection's own count).
@@ -459,11 +484,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			// copy, no per-reply allocation.
 			reply, ok := s.process(msg, sunrpc.BeginRecord(*rp), ev, info)
 			if !ok {
+				s.spans.Discard(info.Span)
 				return
 			}
 			*rp = reply
 			sunrpc.FinishRecord(reply, 0)
 			s.emit(ev)
+			// The reply stage covers write-lock wait (head-of-line
+			// blocking behind a stalled reply shows up here), injected
+			// faults and the record's socket write.
+			defer func() {
+				info.Span.Mark(obs.StageReply)
+				s.spans.Finish(info.Span)
+			}()
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			// Outbound record fault. A stall writes half the record,
@@ -500,10 +533,15 @@ func (s *Server) serveConn(conn net.Conn) {
 // on) the call's procedure, accept status, argument body and result
 // region are recorded into it.
 func (s *Server) process(msg []byte, out []byte, ev *TapEvent, info CallInfo) (reply []byte, ok bool) {
+	// Everything from arrival to here — goroutine handoff, injected
+	// inbound holds — is the receive stage.
+	info.Span.Mark(obs.StageRecv)
 	call, err := sunrpc.UnmarshalCall(msg)
 	if err != nil {
 		return out, false
 	}
+	info.Span.SetProc(call.Proc)
+	info.Span.Mark(obs.StageDecode)
 	info.XID = call.XID
 	hdr := &sunrpc.Reply{XID: call.XID, Verf: sunrpc.AuthNoneCred()}
 	switch {

@@ -44,6 +44,7 @@ import (
 	"errors"
 
 	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/obs"
 )
 
 // RootFH is the file handle of the root directory every backend
@@ -207,6 +208,18 @@ type Backend interface {
 type SizedCreator interface {
 	// CreateSized is Create for a zero-filled file of size bytes.
 	CreateSized(dir nfsproto.FH, name string, size uint64) (nfsproto.FH, error)
+}
+
+// SpanReader is an optional Backend capability: ReadAt with a latency
+// span the backend attributes its internal stage costs to — a
+// disk-backed backend reports time actually slept for simulated disk
+// service as obs.StageDisk, carving it out of the caller's backend
+// stage. The dispatch layer detects the capability once at mount and
+// uses it whenever a request carries a span; ReadAtSpan with a nil span
+// must behave exactly like ReadAt.
+type SpanReader interface {
+	// ReadAtSpan is Backend.ReadAt with stage attribution onto sp.
+	ReadAtSpan(fh nfsproto.FH, off uint64, count uint32, ahead int, sp *obs.Span) (data []byte, size uint64, eof bool, err error)
 }
 
 // FileAccess is the ACCESS3 grant every current backend gives on a

@@ -1,0 +1,53 @@
+package zonefs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nfstricks/internal/obs"
+	"nfstricks/internal/zonefs"
+)
+
+// TestReadAtSpanDiskAttribution pins the vfs.SpanReader contract: a
+// cold read (demand misses, simulated disk service slept out) reports
+// nonzero obs.StageDisk time on the span, a warm re-read of the same
+// range reports none, and the returned data is identical either way.
+func TestReadAtSpanDiskAttribution(t *testing.T) {
+	fs := zonefs.New(zonefs.Config{Placement: zonefs.Outer, CacheMB: 64, Seed: 1})
+	payload := bytes.Repeat([]byte{0xd1}, 1<<20)
+	fh := create(t, fs, "f", payload)
+	fs.DropCaches()
+
+	table := obs.NewSpanTable("t", []string{"READ"})
+
+	cold := table.Acquire()
+	data, _, _, err := fs.ReadAtSpan(fh, 0, 256<<10, 0, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload[:256<<10]) {
+		t.Fatal("cold ReadAtSpan returned wrong data")
+	}
+	if cold.StageDur(obs.StageDisk) <= 0 {
+		t.Fatal("cold read slept out simulated disk time but reported no StageDisk")
+	}
+	table.Finish(cold)
+
+	warm := table.Acquire()
+	data, _, _, err = fs.ReadAtSpan(fh, 0, 256<<10, 0, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload[:256<<10]) {
+		t.Fatal("warm ReadAtSpan returned wrong data")
+	}
+	if d := warm.StageDur(obs.StageDisk); d != 0 {
+		t.Fatalf("warm read reported %v StageDisk, want 0 (fully resident)", d)
+	}
+	table.Finish(warm)
+
+	// A nil span must behave exactly like ReadAt.
+	if _, _, _, err := fs.ReadAtSpan(fh, 0, 64<<10, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

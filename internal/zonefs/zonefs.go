@@ -33,6 +33,7 @@ import (
 	"nfstricks/internal/iosched"
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/obs"
 	"nfstricks/internal/sim"
 	"nfstricks/internal/vfs"
 )
@@ -555,6 +556,15 @@ func sleepUntil(deadline time.Time) {
 // real before the data is returned. Resident blocks cost nothing:
 // cache warmth decides whether zone placement is visible at all.
 func (fs *FS) ReadAt(fh nfsproto.FH, off uint64, count uint32, ahead int) (data []byte, size uint64, eof bool, err error) {
+	return fs.ReadAtSpan(fh, off, count, ahead, nil)
+}
+
+// ReadAtSpan is ReadAt with stage attribution (vfs.SpanReader): the
+// wall time actually slept for simulated disk service is reported as
+// obs.StageDisk, carved out of the caller's backend stage — so a
+// span's backend time is cache/bookkeeping cost and its disk time is
+// the disk, separately visible. A nil span is exactly ReadAt.
+func (fs *FS) ReadAtSpan(fh nfsproto.FH, off uint64, count uint32, ahead int, sp *obs.Span) (data []byte, size uint64, eof bool, err error) {
 	data, size, eof, err = fs.store.ReadAt(fh, off, count, 0)
 	if err != nil || len(data) == 0 {
 		return data, size, eof, err
@@ -599,6 +609,12 @@ func (fs *FS) ReadAt(fh nfsproto.FH, off uint64, count uint32, ahead int) (data 
 		deadline = fs.chargeLocked(before)
 	}
 	fs.mu.Unlock()
+	if sp != nil && !deadline.IsZero() {
+		start := time.Now()
+		sleepUntil(deadline)
+		sp.Observe(obs.StageDisk, time.Since(start))
+		return data, size, eof, err
+	}
 	sleepUntil(deadline)
 	return data, size, eof, err
 }

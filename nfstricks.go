@@ -30,6 +30,10 @@
 //     live transports, [DialLiveRetry] adds the client retransmission
 //     layer, and [DRCConfig] switches on the server's duplicate
 //     request cache ("nfsbench -exp fault-path").
+//   - Observability: [NewObsRegistry] plus [ServeLiveObserved] time
+//     every request through per-stage spans, and [ServeObsAdmin]
+//     exposes the registry live on /metrics, /statsz and
+//     /debug/pprof ("nfsserve -admin :7070").
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //
@@ -51,6 +55,7 @@ import (
 	"nfstricks/internal/nfsheur"
 	"nfstricks/internal/nfsproto"
 	"nfstricks/internal/nfstrace"
+	"nfstricks/internal/obs"
 	"nfstricks/internal/readahead"
 	"nfstricks/internal/replay"
 	"nfstricks/internal/rpcnet"
@@ -317,6 +322,51 @@ func NewLiveServiceGather(fs *LiveFS, h Heuristic, t *NfsheurTable, cfg WriteGat
 
 // NewMemStableSink returns an empty retaining sink.
 func NewMemStableSink() *MemStableSink { return wgather.NewMemSink() }
+
+// Unified observability: every layer publishes into one ObsRegistry —
+// lock-free sharded counters, log-bucketed latency histograms, and
+// per-request stage spans (receive → decode → drc → execute → backend →
+// disk → gather → reply) whose stage durations sum exactly to the
+// end-to-end latency. The registry's Dump is the single source for the
+// Prometheus /metrics text, the /statsz JSON and the human-readable
+// final-stats lines, so no two views can disagree. Instrumentation adds
+// zero allocations to the live READ path (pinned by test).
+type (
+	// ObsRegistry is the process-wide metrics registry. Pass it as
+	// LiveConfig.Obs to instrument a live service.
+	ObsRegistry = obs.Registry
+	// ObsHistogram is a mergeable log-bucketed latency histogram with
+	// lock-free recording and p50/p90/p99/p999 summaries.
+	ObsHistogram = obs.Histogram
+	// ObsCounter is a cache-line-sharded counter for hot-path counting.
+	ObsCounter = obs.Counter
+	// ObsSpan carries one request's per-stage latency decomposition.
+	ObsSpan = obs.Span
+	// ObsSpanTable records finished spans into per-procedure, per-stage
+	// histograms and owns the slow-op log.
+	ObsSpanTable = obs.SpanTable
+	// ObsStage names one segment of the request path.
+	ObsStage = obs.Stage
+	// ObsAdminServer serves /metrics, /statsz and /debug/pprof.
+	ObsAdminServer = obs.AdminServer
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ServeObsAdmin serves reg on addr: /metrics (Prometheus text
+// exposition), /statsz (JSON snapshot) and /debug/pprof/* (live CPU,
+// heap and trace profiles). Safe to query concurrently with traffic.
+func ServeObsAdmin(addr string, reg *ObsRegistry) (*ObsAdminServer, error) {
+	return obs.ServeAdmin(addr, reg)
+}
+
+// ServeLiveObserved is ServeLive with per-request stage spans: each
+// served call is timed through the span table the service registered
+// in its LiveConfig.Obs registry (no-op when Obs was nil).
+func ServeLiveObserved(addr string, svc *LiveService) (*RPCServer, error) {
+	return nfsd.NewServerOpts(addr, svc, rpcnet.ServerOptions{Spans: svc.SpanTable()})
+}
 
 // Trace capture & replay: record the live server's real request stream
 // to a compact on-disk trace (.nft) and replay it as a first-class
