@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nfstricks/internal/bench"
+)
+
+const compareUsage = `usage:
+  nfsbench compare [flags] OLD.json NEW.json
+      Compare two saved artifacts cell by cell.
+
+  nfsbench compare [flags] -exp <ids> -bin-a <nfsbench-A> -bin-b <nfsbench-B>
+      Run the experiments live across two prebuilt binaries (one per git
+      ref), interleaving single-run rounds so machine drift lands on
+      both sides.
+
+  nfsbench compare [flags] -exp <ids>
+      A/A mode: run the experiments twice in this process with different
+      seeds — a noise-floor check that should always PASS.
+
+Cells are paired by (experiment, series, x). Each pair gets a
+Mann-Whitney U test plus bootstrap confidence intervals on the medians
+and their shift; only differences that clear run-to-run noise are
+flagged. Exit status with -gate: 0 pass, 1 regression (or error).
+Pair -gate with -min-effect (or a tighter -alpha and more runs):
+per-cell alpha over a wide sweep flags ~alpha/2 of cells spuriously.
+
+flags:
+`
+
+// runCompare implements the compare verb; it returns the process exit
+// code.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		gate      = fs.Bool("gate", false, "exit non-zero if any cell regresses beyond noise")
+		alpha     = fs.Float64("alpha", 0.05, "Mann-Whitney significance level")
+		conf      = fs.Float64("confidence", 0.95, "bootstrap confidence level")
+		minEffect = fs.Float64("min-effect", 0, "ignore median shifts smaller than this percentage (effect floor for cross-machine runs)")
+		resamples = fs.Int("resamples", 1000, "bootstrap resample count")
+		report    = fs.String("report", "", "also write the report to this file")
+		exp       = fs.String("exp", "", "experiment ids (comma-separated) for live mode")
+		binA      = fs.String("bin-a", "", "old-side nfsbench binary for live two-ref mode")
+		binB      = fs.String("bin-b", "", "new-side nfsbench binary for live two-ref mode")
+		rounds    = fs.Int("rounds", 5, "interleaved rounds per side in live mode")
+		scale     = fs.Int("scale", 1, "live mode: divide the paper's file sizes by this factor")
+		seed      = fs.Int64("seed", 1, "live mode: base seed for the old side")
+		seedB     = fs.Int64("seed-b", 1001, "live mode: base seed for the new side")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, compareUsage)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	opt := bench.CompareOptions{
+		Alpha:        *alpha,
+		Confidence:   *conf,
+		MinEffectPct: *minEffect,
+		Resamples:    *resamples,
+		Seed:         1,
+	}
+
+	var old, new *bench.Artifact
+	var err error
+	switch {
+	case *exp == "" && fs.NArg() == 2:
+		old, err = bench.LoadArtifact(fs.Arg(0))
+		if err == nil {
+			new, err = bench.LoadArtifact(fs.Arg(1))
+		}
+	case *exp != "" && fs.NArg() == 0:
+		if (*binA == "") != (*binB == "") {
+			fmt.Fprintln(os.Stderr, "nfsbench compare: -bin-a and -bin-b must be given together")
+			return 2
+		}
+		old, new, err = runCompareLive(*exp, *binA, *binB, *rounds, *scale, *seed, *seedB)
+	default:
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench compare: %v\n", err)
+		return 1
+	}
+
+	c := bench.CompareArtifacts(old, new, opt)
+	out := c.Format()
+	fmt.Print(out)
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(out), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench compare: writing %s: %v\n", *report, err)
+			return 1
+		}
+	}
+	if *gate && len(c.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runCompareLive executes the named experiments for both sides with
+// interleaved rounds and packages each side as an artifact. With
+// binaries given, each side execs its prebuilt nfsbench (two-ref
+// mode); without, both sides run in-process with different seeds (A/A).
+func runCompareLive(expList, binA, binB string, rounds, scale int, seedA, seedB int64) (*bench.Artifact, *bench.Artifact, error) {
+	p := bench.Params{Runs: 1, Scale: scale, Seed: seedA}
+	ids := strings.Split(expList, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	old := &bench.Artifact{Meta: bench.CollectMeta(p, ids)}
+	new := &bench.Artifact{Meta: bench.CollectMeta(bench.Params{Runs: 1, Scale: scale, Seed: seedB}, ids)}
+	for _, id := range ids {
+		var a, b bench.RoundRunner
+		if binA != "" {
+			a = bench.BinaryRunner(binA, id, p, seedA)
+			b = bench.BinaryRunner(binB, id, p, seedB)
+		} else {
+			e, ok := bench.Lookup(id)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown experiment %q", id)
+			}
+			a = bench.InProcessRunner(e, p, seedA)
+			b = bench.InProcessRunner(e, p, seedB)
+		}
+		fmt.Fprintf(os.Stderr, "compare: running %s, %d interleaved rounds per side\n", id, rounds)
+		ra, rb, err := bench.RunInterleaved(a, b, rounds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", id, err)
+		}
+		old.Results = append(old.Results, ra)
+		new.Results = append(new.Results, rb)
+	}
+	return old, new, nil
+}

@@ -12,6 +12,8 @@
 //	nfsbench -exp alloc-profile   # allocator cost per live RPC (B/op, allocs/op)
 //	nfsbench -exp trace-replay    # capture a live run, replay it at several schedules
 //	nfsbench -exp trace-replay -json BENCH.json
+//	nfsbench compare -gate OLD.json NEW.json   # flag regressions beyond run-to-run noise
+//	nfsbench compare -exp fig1 -bin-a ./old-nfsbench -bin-b ./new-nfsbench
 //
 // Scale divides the paper's file sizes (scale 1 = the full 256 MB per
 // reader-count iteration); runs is the repetition count per cell.
@@ -42,6 +44,9 @@ func printExperiments(w io.Writer) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	var (
 		exp     = flag.String("exp", "", "experiment id (or 'all')")
 		list    = flag.Bool("list", false, "list experiments and exit")

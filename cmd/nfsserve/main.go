@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"nfstricks/cmd/internal/filespec"
+	"nfstricks/internal/bench"
 	"nfstricks/internal/disk"
 	"nfstricks/internal/drc"
 	"nfstricks/internal/memfs"
@@ -228,7 +229,9 @@ func main() {
 
 	var adm *obs.AdminServer
 	if *admin != "" {
-		adm, err = obs.ServeAdmin(*admin, reg)
+		// /statsz carries the environment block so a scraped snapshot is
+		// self-identifying the way a saved benchmark artifact is.
+		adm, err = obs.ServeAdminMeta(*admin, reg, bench.CollectEnvMeta())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nfsserve: admin:", err)
 			os.Exit(1)

@@ -124,8 +124,8 @@ func AllocProfile(p Params) (*Result, error) {
 		})
 	}
 	for _, m := range []metric{{"READ", read}, {"WRITE", write}} {
-		allocsSeries := Series{Label: m.label + " allocs/op"}
-		bytesSeries := Series{Label: m.label + " KB/op"}
+		allocsSeries := Series{Label: m.label + " allocs/op", Better: BetterLower}
+		bytesSeries := Series{Label: m.label + " KB/op", Better: BetterLower}
 		for _, size := range allocSizes {
 			var allocsRuns, bytesRuns []float64
 			for run := 0; run < p.Runs; run++ {

@@ -46,9 +46,42 @@ func (p *Params) fill() {
 }
 
 // Series is one line on a figure: a label and a sample per X value.
+// Samples retain their raw per-run values (stats.Sample.Values), so a
+// saved artifact can be re-tested against another run with rank
+// statistics — the compare verb needs the runs, not just their summary.
 type Series struct {
 	Label   string
 	Samples []stats.Sample
+	// Better declares which direction is an improvement for this
+	// series: "higher" (throughput-like, the default) or "lower"
+	// (latency-like). compare falls back to a label heuristic when the
+	// field is absent (artifacts written before it existed).
+	Better string `json:",omitempty"`
+}
+
+// BetterLower and BetterHigher are the Series.Better values.
+const (
+	BetterLower  = "lower"
+	BetterHigher = "higher"
+)
+
+// LowerIsBetter reports whether a decrease in this series is an
+// improvement, trusting the explicit Better field and falling back to
+// recognizing latency-flavored labels for artifacts that predate it.
+func (s *Series) LowerIsBetter() bool {
+	switch s.Better {
+	case BetterLower:
+		return true
+	case BetterHigher:
+		return false
+	}
+	label := strings.ToLower(s.Label)
+	for _, tok := range []string{"latency", "p50", "p99", "time", "allocs", "kb/op", "b/op", "error", "flushes"} {
+		if strings.Contains(label, tok) {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is a reproduced table or figure.
@@ -64,13 +97,15 @@ type Result struct {
 
 // Format renders the result as an aligned text table, one row per X
 // value and one column per series — the same rows/lines the paper
-// plots.
+// plots. Each cell prints the median first (the statistic compare
+// actually tests) and then mean (stddev), so the table and the gate
+// read the same number.
 func (r *Result) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", r.ID, r.Title)
-	fmt.Fprintf(&b, "%s (y = %s, mean over runs with stddev in parens)\n", r.XLabel, r.YLabel)
+	fmt.Fprintf(&b, "%s (y = %s, median then mean (stddev) over runs)\n", r.XLabel, r.YLabel)
 
-	w := 24
+	w := 28
 	fmt.Fprintf(&b, "%-8s", r.XLabel)
 	for _, s := range r.Series {
 		fmt.Fprintf(&b, "%*s", w, s.Label)
@@ -80,7 +115,9 @@ func (r *Result) Format() string {
 		fmt.Fprintf(&b, "%-8d", x)
 		for _, s := range r.Series {
 			if i < len(s.Samples) {
-				fmt.Fprintf(&b, "%*s", w, s.Samples[i].String())
+				sm := s.Samples[i]
+				fmt.Fprintf(&b, "%*s", w,
+					fmt.Sprintf("%.2f  %s", sm.Median, sm.String()))
 			} else {
 				fmt.Fprintf(&b, "%*s", w, "-")
 			}
@@ -99,16 +136,17 @@ func (r *Result) CSV() string {
 	fmt.Fprintf(&b, "%s", r.XLabel)
 	for _, s := range r.Series {
 		label := strings.ReplaceAll(s.Label, ",", ";")
-		fmt.Fprintf(&b, ",%s mean,%s stddev", label, label)
+		fmt.Fprintf(&b, ",%s mean,%s stddev,%s median", label, label, label)
 	}
 	b.WriteByte('\n')
 	for i, x := range r.X {
 		fmt.Fprintf(&b, "%d", x)
 		for _, s := range r.Series {
 			if i < len(s.Samples) {
-				fmt.Fprintf(&b, ",%.4f,%.4f", s.Samples[i].Mean, s.Samples[i].StdDev)
+				sm := s.Samples[i]
+				fmt.Fprintf(&b, ",%.4f,%.4f,%.4f", sm.Mean, sm.StdDev, sm.Median)
 			} else {
-				fmt.Fprintf(&b, ",,")
+				fmt.Fprintf(&b, ",,,")
 			}
 		}
 		b.WriteByte('\n')

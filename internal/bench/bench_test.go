@@ -41,17 +41,21 @@ func TestResultFormatAndCSV(t *testing.T) {
 		ID: "x", Title: "T", XLabel: "readers", YLabel: "MB/s",
 		X: []int{1, 2},
 		Series: []Series{{
-			Label:   "a,b", // comma must be escaped in CSV
-			Samples: []stats.Sample{{N: 3, Mean: 1.5, StdDev: 0.1}, {N: 3, Mean: 2.5}},
+			Label: "a,b", // comma must be escaped in CSV
+			Samples: []stats.Sample{
+				{N: 3, Mean: 1.5, StdDev: 0.1, Median: 1.4},
+				{N: 3, Mean: 2.5}},
 		}},
 		Notes: []string{"hello"},
 	}
 	text := r.Format()
-	if !strings.Contains(text, "1.50 (0.10)") || !strings.Contains(text, "note: hello") {
+	// Table rows lead with the median, then mean (stddev).
+	if !strings.Contains(text, "1.40  1.50 (0.10)") || !strings.Contains(text, "note: hello") {
 		t.Fatalf("Format output:\n%s", text)
 	}
 	csv := r.CSV()
-	if !strings.Contains(csv, "a;b mean") || !strings.Contains(csv, "1,1.5000,0.1000") {
+	if !strings.Contains(csv, "a;b mean") || !strings.Contains(csv, "a;b median") ||
+		!strings.Contains(csv, "1,1.5000,0.1000,1.4000") {
 		t.Fatalf("CSV output:\n%s", csv)
 	}
 }

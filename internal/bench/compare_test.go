@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nfstricks/internal/stats"
+)
+
+// synthArtifact builds a one-experiment artifact whose cells hold runs
+// drawn from normal distributions: gen(series, x) returns (mean,
+// stddev). Deterministic for a given seed.
+func synthArtifact(seed int64, runs int, series []string, better string, xs []int,
+	gen func(series string, x int) (mu, sigma float64)) *Artifact {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Result{ID: "synth", Title: "synthetic", XLabel: "x", YLabel: "MB/s", X: xs}
+	for _, label := range series {
+		s := Series{Label: label, Better: better}
+		for _, x := range xs {
+			mu, sigma := gen(label, x)
+			vals := make([]float64, runs)
+			for i := range vals {
+				vals[i] = mu + sigma*rng.NormFloat64()
+			}
+			s.Samples = append(s.Samples, stats.Summarize(vals))
+		}
+		r.Series = append(r.Series, s)
+	}
+	return &Artifact{
+		Meta:    RunMeta{EnvMeta: EnvMeta{Hostname: "synth-host"}, Runs: runs, Seed: seed},
+		Results: []*Result{r},
+	}
+}
+
+// The acceptance-criteria pair. A ~20% regression injected into one
+// cell must fail the gate naming exactly that cell; an A/A comparison
+// (same distributions, different seeds) must pass it.
+func TestCompareGateFlagsInjectedRegression(t *testing.T) {
+	baseline := func(series string, x int) (float64, float64) { return 100 + float64(x), 1.5 }
+	old := synthArtifact(1, 8, []string{"shards=1", "shards=8"}, BetterHigher, []int{1, 8}, baseline)
+	// Same code, different seed — except one cell loses 20%.
+	regressed := func(series string, x int) (float64, float64) {
+		mu, sigma := baseline(series, x)
+		if series == "shards=8" && x == 8 {
+			mu *= 0.80
+		}
+		return mu, sigma
+	}
+	new := synthArtifact(2, 8, []string{"shards=1", "shards=8"}, BetterHigher, []int{1, 8}, regressed)
+
+	c := CompareArtifacts(old, new, CompareOptions{})
+	regs := c.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("want exactly 1 regression, got %d:\n%s", len(regs), c.Format())
+	}
+	d := regs[0]
+	if d.Key.Exp != "synth" || d.Key.Series != "shards=8" || d.Key.X != 8 {
+		t.Fatalf("wrong cell flagged: %s", d.Key)
+	}
+	if d.DeltaPct > -15 || d.DeltaPct < -25 {
+		t.Fatalf("delta %.1f%%, want ~-20%%", d.DeltaPct)
+	}
+	if d.ShiftCI[1] >= 0 {
+		t.Fatalf("shift CI %v should be entirely negative", d.ShiftCI)
+	}
+	summary := c.GateSummary()
+	if !strings.Contains(summary, "FAIL") || !strings.Contains(summary, "synth/shards=8 x=8") {
+		t.Fatalf("gate summary must name the regressing cell:\n%s", summary)
+	}
+	// The full report flags it too.
+	if !strings.Contains(c.Format(), "REGRESSION") {
+		t.Fatalf("report lacks REGRESSION marker:\n%s", c.Format())
+	}
+}
+
+func TestCompareAAPasses(t *testing.T) {
+	gen := func(series string, x int) (float64, float64) { return 100 + float64(x), 2 }
+	series := []string{"shards=1", "shards=4", "shards=8"}
+	xs := []int{1, 4, 8, 16}
+	old := synthArtifact(10, 10, series, BetterHigher, xs, gen)
+	new := synthArtifact(20, 10, series, BetterHigher, xs, gen) // different seed, same code
+	c := CompareArtifacts(old, new, CompareOptions{})
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("A/A comparison flagged %d regressions:\n%s", len(regs), c.Format())
+	}
+	if !strings.Contains(c.GateSummary(), "PASS") {
+		t.Fatalf("gate summary:\n%s", c.GateSummary())
+	}
+}
+
+// Direction: for a latency-flavored series an increase is the
+// regression, and the explicit Better field must override any label
+// reading.
+func TestCompareDirection(t *testing.T) {
+	old := synthArtifact(1, 8, []string{"p99"}, BetterLower, []int{1},
+		func(string, int) (float64, float64) { return 10, 0.2 })
+	new := synthArtifact(2, 8, []string{"p99"}, BetterLower, []int{1},
+		func(string, int) (float64, float64) { return 13, 0.2 })
+	c := CompareArtifacts(old, new, CompareOptions{})
+	if len(c.Regressions()) != 1 {
+		t.Fatalf("latency increase not flagged as regression:\n%s", c.Format())
+	}
+	// Same numbers on a throughput series: an increase is an improvement.
+	old.Results[0].Series[0].Better = BetterHigher
+	new.Results[0].Series[0].Better = BetterHigher
+	c = CompareArtifacts(old, new, CompareOptions{})
+	if len(c.Regressions()) != 0 || len(c.Improvements()) != 1 {
+		t.Fatalf("throughput increase misclassified:\n%s", c.Format())
+	}
+}
+
+// A significant but tiny change must not trip a gate run with an
+// effect floor (the cross-machine CI configuration).
+func TestCompareMinEffectFloor(t *testing.T) {
+	old := synthArtifact(1, 12, []string{"s"}, BetterHigher, []int{1},
+		func(string, int) (float64, float64) { return 100, 0.05 })
+	new := synthArtifact(2, 12, []string{"s"}, BetterHigher, []int{1},
+		func(string, int) (float64, float64) { return 99, 0.05 }) // -1%, tight noise
+	if regs := CompareArtifacts(old, new, CompareOptions{}).Regressions(); len(regs) != 1 {
+		t.Fatalf("without a floor the -1%% shift should be significant, got %d", len(regs))
+	}
+	c := CompareArtifacts(old, new, CompareOptions{MinEffectPct: 5})
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("min-effect floor ignored: %d regressions", len(regs))
+	}
+}
+
+// Old artifacts (no raw Values) must still decode and compare via the
+// normal-approximation fallback, with the fallback noted.
+func TestCompareLegacyArtifactFallback(t *testing.T) {
+	legacyJSON := `{
+	  "meta": {"go_version": "go1.22", "goos": "linux", "goarch": "amd64",
+	            "gomaxprocs": 8, "num_cpu": 8, "timestamp": "2026-01-01T00:00:00Z",
+	            "seed": 1, "runs": 10, "scale": 1, "experiments": ["live-scale"]},
+	  "results": [{
+	    "ID": "live-scale", "Title": "t", "XLabel": "clients", "YLabel": "throughput (MB/s)",
+	    "X": [1],
+	    "Series": [{"Label": "shards=8",
+	      "Samples": [{"N": 10, "Mean": 100, "StdDev": 1, "Min": 98, "Max": 102}]}],
+	    "Notes": null
+	  }]
+	}`
+	var old Artifact
+	if err := json.Unmarshal([]byte(legacyJSON), &old); err != nil {
+		t.Fatalf("legacy artifact no longer decodes: %v", err)
+	}
+	if old.Meta.GoVersion != "go1.22" || old.Results[0].Series[0].Samples[0].Mean != 100 {
+		t.Fatalf("legacy artifact decoded wrong: %+v", old)
+	}
+	// New side regressed 20% with raw samples present.
+	new := synthArtifact(3, 10, []string{"shards=8"}, BetterHigher, []int{1},
+		func(string, int) (float64, float64) { return 80, 1 })
+	new.Results[0].ID = "live-scale"
+	c := CompareArtifacts(&old, new, CompareOptions{})
+	if len(c.Cells) != 1 {
+		t.Fatalf("cells: %d", len(c.Cells))
+	}
+	d := c.Cells[0]
+	if !strings.Contains(d.Note, "fallback") {
+		t.Fatalf("fallback not noted: %+v", d)
+	}
+	if !d.Regression {
+		t.Fatalf("20%% drop vs legacy baseline not flagged:\n%s", c.Format())
+	}
+}
+
+func TestCompareUnpairedCells(t *testing.T) {
+	old := synthArtifact(1, 5, []string{"a", "gone"}, BetterHigher, []int{1, 2},
+		func(string, int) (float64, float64) { return 10, 1 })
+	new := synthArtifact(2, 5, []string{"a", "added"}, BetterHigher, []int{2, 3},
+		func(string, int) (float64, float64) { return 10, 1 })
+	c := CompareArtifacts(old, new, CompareOptions{})
+	if len(c.Cells) != 1 || c.Cells[0].Key.X != 2 || c.Cells[0].Key.Series != "a" {
+		t.Fatalf("pairing wrong: %+v", c.Cells)
+	}
+	joined := strings.Join(c.Unpaired, "\n")
+	for _, want := range []string{"synth/gone (old only)", "synth/added (new only)",
+		"synth/a x=1 (old only)", "synth/a x=3 (new only)"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("unpaired missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// RunInterleaved must alternate which side goes first each round and
+// merge the per-round values in round order.
+func TestRunInterleavedAlternatesAndMerges(t *testing.T) {
+	var order []string
+	mk := func(name string, base float64) RoundRunner {
+		return func(round int) (*Result, error) {
+			order = append(order, name)
+			return &Result{
+				ID: "synth", X: []int{1},
+				Series: []Series{{Label: "s",
+					Samples: []stats.Sample{stats.Summarize([]float64{base + float64(round)})}}},
+			}, nil
+		}
+	}
+	ra, rb, err := RunInterleaved(mk("A", 100), mk("B", 200), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A", "B", "B", "A", "A", "B", "B", "A"}
+	if strings.Join(order, "") != strings.Join(want, "") {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+	sa := ra.Series[0].Samples[0]
+	sb := rb.Series[0].Samples[0]
+	if sa.N != 4 || sb.N != 4 {
+		t.Fatalf("merged N = %d/%d, want 4/4", sa.N, sb.N)
+	}
+	// Values accumulate in round order regardless of A/B position.
+	for i, v := range sa.Values {
+		if v != 100+float64(i) {
+			t.Fatalf("A values %v not in round order", sa.Values)
+		}
+	}
+	if sa.Median != 101.5 || sb.Median != 201.5 {
+		t.Fatalf("merged medians %v/%v", sa.Median, sb.Median)
+	}
+}
+
+// A single-run sample arriving without raw values (an older binary on
+// the far side of the exec boundary) contributes its mean.
+func TestMergeRoundLegacySample(t *testing.T) {
+	legacy := func(v float64) *Result {
+		return &Result{ID: "synth", X: []int{1},
+			Series: []Series{{Label: "s", Samples: []stats.Sample{{N: 1, Mean: v}}}}}
+	}
+	acc, err := mergeRound(nil, legacy(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc, err = mergeRound(acc, legacy(7)); err != nil {
+		t.Fatal(err)
+	}
+	finalizeMerged(acc)
+	s := acc.Series[0].Samples[0]
+	if s.N != 2 || s.Median != 6 {
+		t.Fatalf("legacy merge: %+v", s)
+	}
+}
+
+func TestMergeRoundShapeMismatch(t *testing.T) {
+	a := &Result{ID: "synth", X: []int{1},
+		Series: []Series{{Label: "s", Samples: []stats.Sample{{N: 1, Mean: 1}}}}}
+	b := &Result{ID: "other"}
+	if _, err := mergeRound(a, b); err == nil {
+		t.Fatal("mismatched IDs must not merge")
+	}
+	c := &Result{ID: "synth", X: []int{1},
+		Series: []Series{{Label: "t", Samples: []stats.Sample{{N: 1, Mean: 1}}}}}
+	if _, err := mergeRound(a, c); err == nil {
+		t.Fatal("mismatched series labels must not merge")
+	}
+}
+
+// The real thing, end to end: an interleaved A/A of an actual
+// experiment (same code, different seeds) must pass the gate — the
+// noise floor is respected on genuine measurements, not only on
+// synthetic ones.
+func TestInterleavedAARealExperimentPassesGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment repeatedly")
+	}
+	e, ok := Lookup("fig1")
+	if !ok {
+		t.Fatal("fig1 missing")
+	}
+	p := Params{Runs: 1, Scale: 64, Seed: 1}
+	ra, rb, err := RunInterleaved(
+		InProcessRunner(e, p, 1),
+		InProcessRunner(e, p, 1001), // different seeds, same code
+		4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := &Artifact{Meta: CollectMeta(p, []string{"fig1"}), Results: []*Result{ra}}
+	new := &Artifact{Meta: CollectMeta(p, []string{"fig1"}), Results: []*Result{rb}}
+	c := CompareArtifacts(old, new, CompareOptions{})
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("A/A run of fig1 failed the gate (%d regressions):\n%s",
+			len(regs), c.Format())
+	}
+}

@@ -200,7 +200,7 @@ func Fig3(p Params) (*Result, error) {
 				perK[k] = append(perK[k], times[k])
 			}
 		}
-		s := Series{Label: c.label}
+		s := Series{Label: c.label, Better: BetterLower} // completion time
 		for k := 0; k < readers; k++ {
 			s.Samples = append(s.Samples, stats.Summarize(perK[k]))
 		}

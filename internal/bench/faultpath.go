@@ -8,6 +8,7 @@ import (
 	"nfstricks/internal/memfs"
 	"nfstricks/internal/nfsd"
 	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/obs"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/stats"
 	"nfstricks/internal/vfs"
@@ -56,6 +57,7 @@ type faultCellResult struct {
 
 	faultsIn, faultsOut rpcnet.FaultStats
 	retry               rpcnet.RetryStats
+	rtoMS               float64 // final smoothed RTO (gauge), milliseconds
 	drcHits, drcBusy    int64
 }
 
@@ -88,6 +90,12 @@ func faultCell(network string, lossPct int, drcOn bool, triplets, run int, p Par
 		return r, err
 	}
 	defer c.Close()
+	// The retrier's counters go through the metrics registry and are read
+	// back from a snapshot at the end of the cell — the cell consumes the
+	// same rpcnet_retry_* series a production /metrics scrape would see,
+	// so the export path is exercised on every fault-path run.
+	reg := obs.NewRegistry()
+	c.Retrier().RegisterObs(reg)
 
 	dir, err := c.Mkdir(vfs.RootFH, "d")
 	if err != nil {
@@ -155,7 +163,14 @@ func faultCell(network string, lossPct int, drcOn bool, triplets, run int, p Par
 	r.p99ms = stats.Percentile(lats, 99)
 	r.faultsIn = inj.Stats(rpcnet.DirIn)
 	r.faultsOut = inj.Stats(rpcnet.DirOut)
-	r.retry = c.Retrier().Stats()
+	snap := reg.Dump()
+	r.retry = rpcnet.RetryStats{
+		Calls:         snap.Counters["rpcnet_retry_calls_total"],
+		Retransmits:   snap.Counters["rpcnet_retry_retransmits_total"],
+		MajorTimeouts: snap.Counters["rpcnet_retry_major_timeouts_total"],
+		SendFailures:  snap.Counters["rpcnet_retry_send_failures_total"],
+	}
+	r.rtoMS = snap.Gauges["rpcnet_retry_rto_seconds"] * 1000
 	drcStats := svc.DRCStats()
 	r.drcHits, r.drcBusy = drcStats.Hits, drcStats.Busy
 	return r, nil
@@ -223,6 +238,7 @@ func FaultPath(p Params) (*Result, error) {
 		drcHits, drcBusy    int64
 		retrans             int64
 		drops, stalls       int64
+		maxRTOms            float64
 	}
 	// Runs interleave the four cells so machine drift lands on every
 	// series equally.
@@ -248,18 +264,21 @@ func FaultPath(p Params) (*Result, error) {
 				totals.retrans += m.retry.Retransmits
 				totals.drops += m.faultsIn.Drops + m.faultsOut.Drops
 				totals.stalls += m.faultsIn.Stalls + m.faultsOut.Stalls
+				if m.rtoMS > totals.maxRTOms {
+					totals.maxRTOms = m.rtoMS
+				}
 			}
 		}
 	}
 	for _, c := range cells {
-		s := Series{Label: label(c) + "/goodput"}
+		s := Series{Label: label(c) + "/goodput", Better: BetterHigher}
 		for xi := range faultLossPcts {
 			s.Samples = append(s.Samples, stats.Summarize(goodput[label(c)][xi]))
 		}
 		r.Series = append(r.Series, s)
 	}
 	for _, c := range cells {
-		s := Series{Label: label(c) + "/p99ms"}
+		s := Series{Label: label(c) + "/p99ms", Better: BetterLower}
 		for xi := range faultLossPcts {
 			s.Samples = append(s.Samples, stats.Summarize(p99[label(c)][xi]))
 		}
@@ -271,6 +290,7 @@ func FaultPath(p Params) (*Result, error) {
 		fmt.Sprintf("injected faults: %d drops, %d stalls; client retransmissions: %d", totals.drops, totals.stalls, totals.retrans),
 		fmt.Sprintf("drc: %d hits, %d busy-drops; drc=on cells asserted zero spurious errors and zero duplicated executions", totals.drcHits, totals.drcBusy),
 		fmt.Sprintf("drc=off cells observed %d spurious NOENT/EXIST and %d duplicated executions — the wrong answers the DRC exists to prevent", totals.spuriousOff, totals.dupOff),
-		fmt.Sprintf("client retry policy: %d transmits max, RTO in [20ms, 1s], Jacobson-estimated, 20%% jitter", 8))
+		fmt.Sprintf("client retry policy: %d transmits max, RTO in [20ms, 1s], Jacobson-estimated, 20%% jitter", 8),
+		fmt.Sprintf("retry counters read via obs registry (rpcnet_retry_*); max end-of-cell smoothed RTO %.1fms", totals.maxRTOms))
 	return r, nil
 }

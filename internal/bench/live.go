@@ -133,7 +133,7 @@ func LiveScale(p Params) (*Result, error) {
 	maxShards := liveShardCounts[len(liveShardCounts)-1]
 	maxClients := liveClientCounts[len(liveClientCounts)-1]
 	for _, shards := range liveShardCounts {
-		s := Series{Label: fmt.Sprintf("shards=%d", shards)}
+		s := Series{Label: fmt.Sprintf("shards=%d", shards), Better: BetterHigher}
 		for _, n := range liveClientCounts {
 			stop := p.startCellProfile(fmt.Sprintf("live-scale_shards%d_c%d", shards, n))
 			var xs []float64

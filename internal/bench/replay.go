@@ -163,10 +163,10 @@ func TraceReplay(p Params) (*Result, error) {
 		X: traceReplaySpeeds,
 	}
 
-	opsSeries := Series{Label: "achieved ops/s"}
-	p50Series := Series{Label: "p50 latency (µs)"}
-	p99Series := Series{Label: "p99 latency (µs)"}
-	spanSeries := Series{Label: "span error (%)"}
+	opsSeries := Series{Label: "achieved ops/s", Better: BetterHigher}
+	p50Series := Series{Label: "p50 latency (µs)", Better: BetterLower}
+	p99Series := Series{Label: "p99 latency (µs)", Better: BetterLower}
+	spanSeries := Series{Label: "span error (%)", Better: BetterLower}
 
 	var captureOps []float64
 	var captureReorder []float64

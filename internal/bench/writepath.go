@@ -342,21 +342,21 @@ func WritePath(p Params) (*Result, error) {
 	}
 	series := map[string]*Series{}
 	order := []string{}
-	addSeries := func(label string) *Series {
-		s := &Series{Label: label}
+	addSeries := func(label string, better string) *Series {
+		s := &Series{Label: label, Better: better}
 		series[label] = s
 		order = append(order, label)
 		return s
 	}
 	for _, sk := range writePathSinks {
-		addSeries("filesync ops/s (" + sk.label + " sink)")
-		addSeries("unstable+commit ops/s (" + sk.label + " sink)")
+		addSeries("filesync ops/s ("+sk.label+" sink)", BetterHigher)
+		addSeries("unstable+commit ops/s ("+sk.label+" sink)", BetterHigher)
 	}
-	addSeries("filesync write p99 (µs, slow sink)")
-	addSeries("unstable write p50 (µs, slow sink)")
-	addSeries("unstable write p99 (µs, slow sink)")
-	addSeries("sink flushes per 1k writes")
-	addSeries("hotspot flushed/gathered (%)")
+	addSeries("filesync write p99 (µs, slow sink)", BetterLower)
+	addSeries("unstable write p50 (µs, slow sink)", BetterLower)
+	addSeries("unstable write p99 (µs, slow sink)", BetterLower)
+	addSeries("sink flushes per 1k writes", BetterLower)
+	addSeries("hotspot flushed/gathered (%)", BetterLower)
 
 	for _, winMS := range writePathWindows {
 		window := time.Duration(winMS) * time.Millisecond

@@ -14,19 +14,31 @@ import (
 // didn't ask for, and on its own listener so it shares nothing with the
 // RPC data path.
 type AdminServer struct {
-	reg *Registry
-	ln  net.Listener
-	srv *http.Server
+	reg   *Registry
+	meta  any // caller-supplied identity block for /statsz (nil = none)
+	start time.Time
+	ln    net.Listener
+	srv   *http.Server
 }
 
 // ServeAdmin starts the admin listener on addr and serves in a
 // background goroutine until Close.
 func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	return ServeAdminMeta(addr, reg, nil)
+}
+
+// ServeAdminMeta is ServeAdmin with an identity block: meta is any
+// JSON-marshalable value (the server passes its environment metadata —
+// git revision, Go version, GOMAXPROCS) rendered under "meta" in every
+// /statsz response, alongside the process uptime. obs stays ignorant
+// of where the block comes from, so no import points back at the
+// packages that collect it.
+func ServeAdminMeta(addr string, reg *Registry, meta any) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	a := &AdminServer{reg: reg, ln: ln}
+	a := &AdminServer{reg: reg, meta: meta, start: time.Now(), ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/statsz", a.handleStatsz)
@@ -51,9 +63,22 @@ func (a *AdminServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	a.reg.WritePrometheus(w)
 }
 
+// statszDoc is the /statsz response: the snapshot plus the identity
+// block a scraped number is meaningless without — which build, which
+// machine, up for how long.
+type statszDoc struct {
+	Meta          any     `json:"meta,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Snapshot
+}
+
 func (a *AdminServer) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(a.reg.Dump())
+	enc.Encode(statszDoc{
+		Meta:          a.meta,
+		UptimeSeconds: time.Since(a.start).Seconds(),
+		Snapshot:      a.reg.Dump(),
+	})
 }

@@ -211,3 +211,61 @@ func TestAdminServer(t *testing.T) {
 		t.Fatal("/debug/pprof/cmdline empty")
 	}
 }
+
+// TestAdminServerStatszMeta: the identity block passed to
+// ServeAdminMeta must come back verbatim under "meta", next to a
+// sane uptime, without disturbing the snapshot fields.
+func TestAdminServerStatszMeta(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_ops_total").Add(3)
+	meta := map[string]any{
+		"git_rev":    "abc123",
+		"go_version": "go1.x",
+		"gomaxprocs": 8,
+	}
+	adm, err := ServeAdminMeta("127.0.0.1:0", reg, meta)
+	if err != nil {
+		t.Fatalf("ServeAdminMeta: %v", err)
+	}
+	defer adm.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/statsz", adm.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Meta          map[string]any `json:"meta"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Counters      map[string]int64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/statsz not JSON: %v", err)
+	}
+	if doc.Meta["git_rev"] != "abc123" || doc.Meta["go_version"] != "go1.x" ||
+		doc.Meta["gomaxprocs"] != float64(8) {
+		t.Fatalf("meta block wrong: %+v", doc.Meta)
+	}
+	if doc.UptimeSeconds < 0 || doc.UptimeSeconds > 60 {
+		t.Fatalf("uptime %v implausible", doc.UptimeSeconds)
+	}
+	if doc.Counters["test_ops_total"] != 3 {
+		t.Fatalf("snapshot fields disturbed: %+v", doc.Counters)
+	}
+
+	// Without meta the block is omitted entirely.
+	adm2, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm2.Close()
+	resp2, err := http.Get(fmt.Sprintf("http://%s/statsz", adm2.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, _ := io.ReadAll(resp2.Body)
+	if strings.Contains(string(raw), `"meta"`) {
+		t.Fatalf("meta block present without ServeAdminMeta:\n%s", raw)
+	}
+}

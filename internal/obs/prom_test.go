@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenRegistry builds a registry whose WritePrometheus output is
+// fully deterministic: plain and labeled counters, counter/gauge
+// funcs, and a histogram with fixed observations. Span tables are
+// populated in the validator test instead — their values come from
+// wall-clock marks, so they can't be pinned byte for byte.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("rpc_calls_total").Add(100)
+	reg.Counter(`rpc_errors_total{proc="READ"}`).Add(2)
+	reg.Counter(`rpc_errors_total{proc="WRITE"}`).Add(3)
+	reg.CounterFunc("drc_hits_total", func() int64 { return 42 })
+	reg.GaugeFunc("cache_bytes", func() float64 { return 4096 })
+	reg.GaugeFunc(`shard_depth{shard="0"}`, func() float64 { return 1.5 })
+	h := reg.Histogram("flush_latency")
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	return reg
+}
+
+const promGolden = `# TYPE cache_bytes gauge
+cache_bytes 4096
+# TYPE drc_hits_total counter
+drc_hits_total 42
+# TYPE flush_latency_seconds summary
+flush_latency_seconds{quantile="0.5"} 0.004718592
+flush_latency_seconds{quantile="0.9"} 0.009437184
+flush_latency_seconds{quantile="0.99"} 0.009437184
+flush_latency_seconds{quantile="0.999"} 0.009437184
+flush_latency_seconds_sum 0.055
+flush_latency_seconds_count 10
+# TYPE rpc_calls_total counter
+rpc_calls_total 100
+# TYPE rpc_errors_total counter
+rpc_errors_total{proc="READ"} 2
+rpc_errors_total{proc="WRITE"} 3
+# TYPE shard_depth gauge
+shard_depth{shard="0"} 1.5
+`
+
+// TestWritePrometheusGolden pins the exposition output byte for byte:
+// sorted families, one TYPE header per family even with labeled
+// variants, summary rendering in seconds.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	goldenRegistry().WritePrometheus(&b)
+	if b.String() != promGolden {
+		t.Fatalf("golden mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), promGolden)
+	}
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// validatePromText enforces the text-exposition rules a scraper relies
+// on: every line is a well-formed TYPE comment or sample; each
+// family's TYPE appears exactly once and before any of its samples;
+// samples only belong to declared families (summary samples may use
+// the family's _sum/_count suffixes); label pairs are well-formed with
+// quoted, escape-clean values; no sample (name + label set) repeats.
+func validatePromText(text string) error {
+	typed := map[string]string{} // family -> declared type
+	seen := map[string]bool{}    // full sample identity -> emitted
+	family := func(name string) string {
+		for _, suffix := range []string{"_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "summary" {
+				return base
+			}
+		}
+		return name
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return fmt.Errorf("empty exposition output")
+	}
+	for i, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed comment %q", i+1, line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for family %s", i+1, m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", i+1, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: unparsable value %q in %q", i+1, value, line)
+		}
+		if _, ok := typed[family(name)]; !ok {
+			return fmt.Errorf("line %d: sample %q before/without its TYPE header", i+1, line)
+		}
+		if labels != "" {
+			for _, pair := range splitLabelPairs(labels[1 : len(labels)-1]) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: malformed label pair %q in %q", i+1, pair, line)
+				}
+			}
+		}
+		id := name + labels
+		if seen[id] {
+			return fmt.Errorf("line %d: duplicate sample %q", i+1, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes,
+// honoring backslash escapes.
+func splitLabelPairs(s string) []string {
+	var pairs []string
+	inQuotes, start := false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			inQuotes = !inQuotes
+		case ',':
+			if !inQuotes {
+				pairs = append(pairs, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(pairs, s[start:])
+}
+
+// TestWritePrometheusFormat runs the strict validator over a fully
+// populated registry — including span tables, whose per-proc,
+// per-stage summaries exercise the multi-label merge path — plus a
+// label value that needs escaping.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := goldenRegistry()
+	reg.Counter(`odd_total{path="a\"b\\c"}`).Add(1)
+	st := reg.Spans("rpc_server", []string{"NULL", "READ"})
+	for proc := uint32(0); proc < 3; proc++ { // includes the overflow row
+		sp := st.Acquire()
+		sp.SetProc(proc)
+		sp.Observe(StageRecv, time.Millisecond)
+		sp.Observe(StageDecode, 2*time.Millisecond)
+		sp.Mark(StageReply)
+		st.Finish(sp)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if err := validatePromText(out); err != nil {
+		t.Fatalf("%v\n--- output ---\n%s", err, out)
+	}
+	for _, want := range []string{
+		`rpc_server_seconds{proc="READ",quantile="0.5"}`,
+		`rpc_server_stage_seconds{proc="READ",stage="recv",quantile="0.5"}`,
+		`rpc_server_seconds_count{proc="READ"}`,
+		`odd_total{path="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromValidatorCatchesViolations keeps the validator honest: each
+// hand-built violation must be rejected.
+func TestPromValidatorCatchesViolations(t *testing.T) {
+	bad := map[string]string{
+		"sample before TYPE": "a_total 1\n# TYPE a_total counter\n",
+		"duplicate TYPE":     "# TYPE a_total counter\na_total 1\n# TYPE a_total counter\n",
+		"duplicate sample":   "# TYPE a_total counter\na_total 1\na_total 1\n",
+		"bad value":          "# TYPE a_total counter\na_total one\n",
+		"unquoted label":     "# TYPE a_total counter\na_total{x=y} 1\n",
+		"empty output":       "",
+	}
+	for name, text := range bad {
+		if err := validatePromText(text); err == nil {
+			t.Errorf("validator accepted %s:\n%s", name, text)
+		}
+	}
+	if err := validatePromText(promGolden); err != nil {
+		t.Errorf("validator rejected the golden output: %v", err)
+	}
+}

@@ -76,8 +76,8 @@ func StageNames() []string {
 // rate is the dominant cost of instrumenting a microsecond-scale
 // request path.
 type Span struct {
-	start  int64 // ns since epoch
-	last   int64 // ns since epoch
+	start  int64         // ns since epoch
+	last   int64         // ns since epoch
 	carved time.Duration // Observe()d time to exclude from the next Mark
 	proc   uint32
 	stages [NumStages]time.Duration

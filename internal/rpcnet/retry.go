@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nfstricks/internal/obs"
 )
 
 // ErrMajorTimeout marks a call abandoned after RetryPolicy.MaxTransmits
@@ -117,6 +119,24 @@ func (r *Retrier) Stats() RetryStats {
 		MajorTimeouts: r.majors.Load(),
 		SendFailures:  r.sendFails.Load(),
 	}
+}
+
+// RegisterObs exposes the retrier's counters and its current
+// (clamped) retransmission timeout in a metrics registry. The
+// counters are CounterFuncs over the same atomics Stats() reads, so a
+// scrape mid-experiment is exact; the RTO gauge is what the next
+// fresh call would wait — srtt + 4·rttvar clamped to the policy
+// window, or InitialRTO before the first sample. Fault-path cells
+// register their retrier here so a run's retransmit story lands in
+// /metrics next to the throughput it explains.
+func (r *Retrier) RegisterObs(reg *obs.Registry) {
+	reg.CounterFunc("rpcnet_retry_calls_total", r.calls.Load)
+	reg.CounterFunc("rpcnet_retry_retransmits_total", r.retransmits.Load)
+	reg.CounterFunc("rpcnet_retry_major_timeouts_total", r.majors.Load)
+	reg.CounterFunc("rpcnet_retry_send_failures_total", r.sendFails.Load)
+	reg.GaugeFunc("rpcnet_retry_rto_seconds", func() float64 {
+		return r.initialRTO().Seconds()
+	})
 }
 
 // RTT returns the estimator state: smoothed RTT and variance (both zero

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"nfstricks/internal/obs"
 	"nfstricks/internal/sunrpc"
 )
 
@@ -242,5 +243,72 @@ func TestRetrierJitterBounds(t *testing.T) {
 		if j < d || j > d+d/2 {
 			t.Fatalf("jittered(%v) = %v, want [%v, %v]", d, j, d, d+d/2)
 		}
+	}
+}
+
+// TestRetrierRegisterObs: the registry-exported counters must match
+// Stats() exactly, and the RTO gauge must track the estimator (clamped
+// srtt + 4·rttvar once samples exist).
+func TestRetrierRegisterObs(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{Seed: 7, DropProb: 0.25})
+	s, err := NewServerInfo("127.0.0.1:0", 100003, 3,
+		func(_ CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
+			return append(reply, body...), sunrpc.AcceptSuccess
+		}, ServerOptions{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial("udp", s.Addr(), 100003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := c.NewRetrier(lossyPolicy(8))
+	reg := obs.NewRegistry()
+	r.RegisterObs(reg)
+
+	// Before any call: all counters present and zero, gauge at the
+	// clamped InitialRTO.
+	snap := reg.Dump()
+	for _, name := range []string{
+		"rpcnet_retry_calls_total", "rpcnet_retry_retransmits_total",
+		"rpcnet_retry_major_timeouts_total", "rpcnet_retry_send_failures_total",
+	} {
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("counter %s not registered", name)
+		}
+		if v != 0 {
+			t.Fatalf("%s = %d before any call", name, v)
+		}
+	}
+	if got, want := snap.Gauges["rpcnet_retry_rto_seconds"], lossyPolicy(8).InitialRTO.Seconds(); got != want {
+		t.Fatalf("initial rto gauge %v, want %v", got, want)
+	}
+
+	for i := 0; i < 40; i++ {
+		if _, err := r.Call(3, []byte{byte(i)}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	snap = reg.Dump()
+	st := r.Stats()
+	if snap.Counters["rpcnet_retry_calls_total"] != st.Calls ||
+		snap.Counters["rpcnet_retry_retransmits_total"] != st.Retransmits ||
+		snap.Counters["rpcnet_retry_major_timeouts_total"] != st.MajorTimeouts ||
+		snap.Counters["rpcnet_retry_send_failures_total"] != st.SendFailures {
+		t.Fatalf("registry %v vs Stats %+v", snap.Counters, st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmissions at 25% loss")
+	}
+	srtt, rttvar := r.RTT()
+	if srtt == 0 {
+		t.Fatal("no RTT sample after 40 calls")
+	}
+	want := r.clamp(srtt + 4*rttvar).Seconds()
+	if got := snap.Gauges["rpcnet_retry_rto_seconds"]; got != want {
+		t.Fatalf("rto gauge %v, want clamp(srtt+4·rttvar) = %v", got, want)
 	}
 }

@@ -1,0 +1,242 @@
+// Rank and resampling statistics for comparing two sets of benchmark
+// runs. The harness's compare mode flags a difference only when it
+// clears run-to-run noise, which needs two instruments the summary
+// stats can't provide: a distribution-free two-sample test (benchstat's
+// choice, the Mann-Whitney U test — medians and ranks, so one outlier
+// run can't manufacture a significant result) and bootstrap confidence
+// intervals for medians and median shifts. Everything here is
+// deterministic for a given seed and uses no external dependencies.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// mwExactLimit bounds the sample sizes for which MannWhitney uses the
+// exact null distribution; beyond it (or with ties) the tie-corrected
+// normal approximation takes over. 40 total observations keeps the DP
+// table small while covering every realistic benchmark rep count.
+const mwExactLimit = 40
+
+// MannWhitney performs a two-sided Mann-Whitney U test on two
+// independent samples and returns the U statistic for a along with the
+// p-value for the null hypothesis that a and b are drawn from the same
+// distribution. Tie-free samples with at most mwExactLimit total
+// observations use the exact null distribution; larger or tied inputs
+// use the normal approximation with tie correction and continuity
+// correction. Degenerate inputs (either sample empty, or zero variance
+// from every value equal) return p = 1: no evidence of a difference.
+func MannWhitney(a, b []float64) (u, p float64) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, 1
+	}
+
+	// Rank the pooled sample, assigning tied values their average rank.
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	pool := make([]obs, 0, n+m)
+	for _, x := range a {
+		pool = append(pool, obs{x, 0})
+	}
+	for _, x := range b {
+		pool = append(pool, obs{x, 1})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	var ra float64     // rank sum of sample a
+	var tieSum float64 // Σ (t³ - t) over tie groups
+	ties := false
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		t := float64(j - i)
+		if j-i > 1 {
+			ties = true
+			tieSum += t*t*t - t
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if pool[k].from == 0 {
+				ra += avgRank
+			}
+		}
+		i = j
+	}
+	u = ra - float64(n)*float64(n+1)/2
+
+	if !ties && n+m <= mwExactLimit {
+		return u, mwExactP(u, n, m)
+	}
+	return u, mwApproxP(u, n, m, tieSum)
+}
+
+// mwExactP computes the two-sided p-value from the exact null
+// distribution of U: the number of rank arrangements with statistic
+// ≤ u, counted by the standard recurrence
+//
+//	f(u; n, m) = f(u-m; n-1, m) + f(u; n, m-1)
+//
+// (the largest of sample a's observations either is the overall maximum
+// — contributing m to U and leaving f(u-m; n-1, m) — or the maximum
+// lies in b and contributes nothing). Valid only for tie-free samples.
+func mwExactP(u float64, n, m int) float64 {
+	// By symmetry the null distribution of U is symmetric around nm/2;
+	// fold onto the lower tail.
+	nm := float64(n * m)
+	uSmall := math.Min(u, nm-u)
+	k := int(math.Floor(uSmall))
+
+	// mwCount returns the number of tie-free rank arrangements of n
+	// a-observations and m b-observations whose U statistic equals u.
+	// The memo is per-call, so concurrent tests never share state.
+	memo := map[[3]int]float64{}
+	var mwCount func(u, n, m int) float64
+	mwCount = func(u, n, m int) float64 {
+		if u < 0 || n < 0 || m < 0 {
+			return 0
+		}
+		if n == 0 || m == 0 {
+			if u == 0 {
+				return 1
+			}
+			return 0
+		}
+		key := [3]int{u, n, m}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		v := mwCount(u-m, n-1, m) + mwCount(u, n, m-1)
+		memo[key] = v
+		return v
+	}
+
+	cdf := 0.0
+	total := binomial(n+m, n)
+	for t := 0; t <= k; t++ {
+		cdf += mwCount(t, n, m)
+	}
+	p := 2 * cdf / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// binomial returns C(n, k) as a float64 (exact for the sizes the exact
+// test handles).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// mwApproxP computes the two-sided p-value from the normal
+// approximation with tie correction (tieSum = Σ (t³-t) over tie
+// groups) and a 0.5 continuity correction toward the mean.
+func mwApproxP(u float64, n, m int, tieSum float64) float64 {
+	nf, mf, nt := float64(n), float64(m), float64(n+m)
+	mu := nf * mf / 2
+	variance := nf * mf / 12 * ((nt + 1) - tieSum/(nt*(nt-1)))
+	if variance <= 0 {
+		return 1 // every pooled value identical: no evidence either way
+	}
+	d := u - mu
+	switch {
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	z := d / math.Sqrt(variance)
+	// Two-sided: p = 2·(1 − Φ(|z|)) = erfc(|z|/√2).
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}
+
+// BootstrapMedianCI returns a percentile-bootstrap confidence interval
+// for the median of xs at the given confidence level (e.g. 0.95), using
+// the given number of resamples. Deterministic for a given seed. For
+// n < 2 the interval collapses to the single value (or 0,0 when empty).
+func BootstrapMedianCI(xs []float64, resamples int, conf float64, seed int64) (lo, hi float64) {
+	switch len(xs) {
+	case 0:
+		return 0, 0
+	case 1:
+		return xs[0], xs[0]
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	meds := make([]float64, resamples)
+	tmp := make([]float64, len(xs))
+	for i := range meds {
+		meds[i] = resampleMedian(rng, xs, tmp)
+	}
+	return percentileInterval(meds, conf)
+}
+
+// BootstrapShiftCI returns a percentile-bootstrap confidence interval
+// for median(b) − median(a), resampling both sides independently.
+// Deterministic for a given seed; degenerate inputs collapse to the
+// point estimate.
+func BootstrapShiftCI(a, b []float64, resamples int, conf float64, seed int64) (lo, hi float64) {
+	if len(a) == 0 || len(b) == 0 {
+		d := Median(b) - Median(a)
+		return d, d
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	diffs := make([]float64, resamples)
+	ta := make([]float64, len(a))
+	tb := make([]float64, len(b))
+	for i := range diffs {
+		diffs[i] = resampleMedian(rng, b, tb) - resampleMedian(rng, a, ta)
+	}
+	return percentileInterval(diffs, conf)
+}
+
+// resampleMedian draws one bootstrap resample of xs into tmp and
+// returns its median.
+func resampleMedian(rng *rand.Rand, xs, tmp []float64) float64 {
+	for j := range tmp {
+		tmp[j] = xs[rng.Intn(len(xs))]
+	}
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// percentileInterval returns the central conf-level interval of xs
+// (sorts in place).
+func percentileInterval(xs []float64, conf float64) (lo, hi float64) {
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	sort.Float64s(xs)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(len(xs)))
+	hiIdx := int((1 - alpha) * float64(len(xs)))
+	if hiIdx >= len(xs) {
+		hiIdx = len(xs) - 1
+	}
+	return xs[loIdx], xs[hiIdx]
+}

@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestSummarizeRetainsValuesAndMedian(t *testing.T) {
+	in := []float64{4, 1, 3}
+	s := Summarize(in)
+	if s.Median != 3 {
+		t.Fatalf("Median = %v, want 3", s.Median)
+	}
+	if len(s.Values) != 3 || s.Values[0] != 4 || s.Values[2] != 3 {
+		t.Fatalf("Values = %v, want input order preserved", s.Values)
+	}
+	in[0] = 99
+	if s.Values[0] != 4 {
+		t.Fatal("Values aliases the caller's slice")
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if _, p := MannWhitney(nil, []float64{1, 2}); p != 1 {
+		t.Fatalf("empty a: p = %v, want 1", p)
+	}
+	if _, p := MannWhitney([]float64{1, 2}, nil); p != 1 {
+		t.Fatalf("empty b: p = %v, want 1", p)
+	}
+	// All-identical values: zero variance, no evidence.
+	if _, p := MannWhitney([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("identical constants: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyKnownValues(t *testing.T) {
+	// Complete separation, n = m = 10, tie-free: U = 0, and the exact
+	// two-sided p is 2/C(20,10) = 2/184756.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	u, p := MannWhitney(a, b)
+	if u != 0 {
+		t.Fatalf("U = %v, want 0", u)
+	}
+	want := 2.0 / 184756.0
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("p = %v, want %v", p, want)
+	}
+	// Swapping the samples mirrors U and preserves p.
+	u2, p2 := MannWhitney(b, a)
+	if u2 != 100 {
+		t.Fatalf("mirrored U = %v, want 100", u2)
+	}
+	if math.Abs(p-p2) > 1e-12 {
+		t.Fatalf("p not symmetric: %v vs %v", p, p2)
+	}
+}
+
+// Property: U_a + U_b = n·m for tie-free samples, and p is symmetric.
+func TestMannWhitneySymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n, m := 2+rng.Intn(10), 2+rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ua, pa := MannWhitney(a, b)
+		ub, pb := MannWhitney(b, a)
+		if math.Abs(ua+ub-float64(n*m)) > 1e-9 {
+			t.Fatalf("U_a + U_b = %v, want %d", ua+ub, n*m)
+		}
+		if math.Abs(pa-pb) > 1e-12 {
+			t.Fatalf("p asymmetric: %v vs %v", pa, pb)
+		}
+		if pa < 0 || pa > 1 {
+			t.Fatalf("p out of range: %v", pa)
+		}
+	}
+}
+
+// Property: exact and normal-approximation p-values agree closely for
+// mid-size tie-free samples.
+func TestMannWhitneyExactVsApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		a := make([]float64, 10)
+		b := make([]float64, 10)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64() + rng.Float64()
+		}
+		u, pExact := MannWhitney(a, b)
+		pApprox := mwApproxP(u, len(a), len(b), 0)
+		if math.Abs(pExact-pApprox) > 0.03 {
+			t.Fatalf("trial %d: exact %v vs approx %v (u=%v)", trial, pExact, pApprox, u)
+		}
+	}
+}
+
+// Property: under the null (same distribution, different seeds) the
+// test rejects at ~alpha. 400 A/A trials at alpha=0.05 give a rejection
+// count that is binomial(400, ~0.05); 40 (10%) is a ~5-sigma bound.
+func TestMannWhitneyFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rejects := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for i := range a {
+			a[i] = 10 + rng.NormFloat64()
+			b[i] = 10 + rng.NormFloat64()
+		}
+		if _, p := MannWhitney(a, b); p < 0.05 {
+			rejects++
+		}
+	}
+	if rejects > trials/10 {
+		t.Fatalf("false-positive rate %d/%d exceeds 10%%", rejects, trials)
+	}
+}
+
+// Property: a 3-sigma shift with n=8 per side is detected nearly always.
+func TestMannWhitneyPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	detected := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for i := range a {
+			a[i] = 10 + rng.NormFloat64()
+			b[i] = 13 + rng.NormFloat64()
+		}
+		if _, p := MannWhitney(a, b); p < 0.05 {
+			detected++
+		}
+	}
+	if detected < trials*85/100 {
+		t.Fatalf("3-sigma shift detected only %d/%d times", detected, trials)
+	}
+}
+
+// Ties force the approximation path; the result must stay a valid
+// p-value and identical heavy-tie samples must not look significant.
+func TestMannWhitneyTies(t *testing.T) {
+	a := []float64{1, 1, 2, 2, 3, 3}
+	b := []float64{1, 2, 2, 3, 3, 3}
+	_, p := MannWhitney(a, b)
+	if p < 0.3 || p > 1 {
+		t.Fatalf("tied near-identical samples: p = %v", p)
+	}
+	// Ties plus a real shift must still be detected.
+	c := []float64{10, 10, 10, 11, 11, 11, 10, 11}
+	d := []float64{20, 20, 20, 21, 21, 21, 20, 21}
+	if _, p := MannWhitney(c, d); p > 0.01 {
+		t.Fatalf("tied separated samples: p = %v", p)
+	}
+}
+
+func TestBootstrapMedianCIBasics(t *testing.T) {
+	if lo, hi := BootstrapMedianCI(nil, 100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Fatalf("empty: [%v, %v]", lo, hi)
+	}
+	if lo, hi := BootstrapMedianCI([]float64{7}, 100, 0.95, 1); lo != 7 || hi != 7 {
+		t.Fatalf("single: [%v, %v]", lo, hi)
+	}
+	xs := []float64{9.8, 10.1, 10.0, 10.2, 9.9, 10.0, 10.1, 9.9}
+	lo, hi := BootstrapMedianCI(xs, 1000, 0.95, 1)
+	med := Median(xs)
+	if lo > med || hi < med {
+		t.Fatalf("CI [%v, %v] excludes the sample median %v", lo, hi, med)
+	}
+	if lo < 9.8 || hi > 10.2 {
+		t.Fatalf("CI [%v, %v] outside the data range", lo, hi)
+	}
+	// Determinism: same seed, same interval.
+	lo2, hi2 := BootstrapMedianCI(xs, 1000, 0.95, 1)
+	if lo != lo2 || hi != hi2 {
+		t.Fatal("bootstrap not deterministic for a fixed seed")
+	}
+}
+
+// Property: the 95% bootstrap CI covers the true median of a known
+// distribution in the large majority of seeded trials (percentile
+// bootstrap under-covers slightly at small n, so the bound is 80%).
+func TestBootstrapMedianCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const trials = 200
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 15)
+		for i := range xs {
+			xs[i] = 50 + 2*rng.NormFloat64() // true median 50
+		}
+		lo, hi := BootstrapMedianCI(xs, 500, 0.95, int64(trial+1))
+		if lo <= 50 && 50 <= hi {
+			covered++
+		}
+	}
+	if covered < trials*80/100 {
+		t.Fatalf("coverage %d/%d below 80%%", covered, trials)
+	}
+}
+
+func TestBootstrapShiftCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := make([]float64, 12)
+	b := make([]float64, 12)
+	for i := range a {
+		a[i] = 100 + rng.NormFloat64()
+		b[i] = 120 + rng.NormFloat64() // true shift +20
+	}
+	lo, hi := BootstrapShiftCI(a, b, 1000, 0.95, 1)
+	if lo > 20 || hi < 20 {
+		t.Fatalf("shift CI [%v, %v] excludes the true shift 20", lo, hi)
+	}
+	if lo < 15 || hi > 25 {
+		t.Fatalf("shift CI [%v, %v] implausibly wide", lo, hi)
+	}
+	// A/A: the CI must straddle zero.
+	for i := range b {
+		b[i] = 100 + rng.NormFloat64()
+	}
+	lo, hi = BootstrapShiftCI(a, b, 1000, 0.95, 1)
+	if lo > 0 || hi < 0 {
+		t.Fatalf("A/A shift CI [%v, %v] excludes zero", lo, hi)
+	}
+}

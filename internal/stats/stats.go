@@ -10,22 +10,33 @@ import (
 	"sort"
 )
 
-// Sample summarizes a set of measurements.
+// Sample summarizes a set of measurements. It also retains the raw
+// per-run values (in run order), so a saved artifact carries enough to
+// re-test two runs against each other with rank statistics later —
+// summary numbers alone can't answer "does this clear the noise?".
+// Median and Values are omitted from JSON when absent, so artifacts
+// written before they existed still decode (compare falls back to the
+// mean/stddev normal approximation for those).
 type Sample struct {
 	N      int
 	Mean   float64
 	StdDev float64 // sample (n-1) standard deviation
 	Min    float64
 	Max    float64
+	Median float64   `json:",omitempty"`
+	Values []float64 `json:",omitempty"` // raw measurements, run order
 }
 
 // Summarize computes summary statistics over xs. An empty input yields a
-// zero Sample.
+// zero Sample. The input is copied into Values, so later mutation of xs
+// does not alias the sample.
 func Summarize(xs []float64) Sample {
 	s := Sample{N: len(xs)}
 	if s.N == 0 {
 		return s
 	}
+	s.Values = append([]float64(nil), xs...)
+	s.Median = Median(xs)
 	s.Min, s.Max = xs[0], xs[0]
 	sum := 0.0
 	for _, x := range xs {
@@ -62,6 +73,21 @@ func (s Sample) RelDev() float64 {
 // format.
 func (s Sample) String() string {
 	return fmt.Sprintf("%.2f (%.2f)", s.Mean, s.StdDev)
+}
+
+// Median returns the middle value of xs (the mean of the central pair
+// for even n), 0 for empty input. xs is not mutated.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using

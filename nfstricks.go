@@ -179,6 +179,33 @@ func Experiments() []Experiment { return bench.Experiments() }
 // "ablate-*").
 func LookupExperiment(id string) (Experiment, bool) { return bench.Lookup(id) }
 
+// Run comparison with variance discipline (`nfsbench compare`).
+type (
+	// BenchArtifact is the JSON document nfsbench -json writes.
+	BenchArtifact = bench.Artifact
+	// CompareOptions parameterizes a comparison (alpha, confidence,
+	// effect floor, bootstrap resamples).
+	CompareOptions = bench.CompareOptions
+	// Comparison is a cell-by-cell comparison of two runs, with a gate
+	// verdict that only flags differences beyond run-to-run noise.
+	Comparison = bench.Comparison
+	// CellDelta is one compared cell: medians, bootstrap intervals,
+	// Mann-Whitney p, verdict.
+	CellDelta = bench.CellDelta
+)
+
+// LoadBenchArtifact reads an nfsbench -json artifact from disk.
+func LoadBenchArtifact(path string) (*BenchArtifact, error) { return bench.LoadArtifact(path) }
+
+// CompareBenchArtifacts pairs every cell of two runs by (experiment,
+// series, x) and tests each pair: Mann-Whitney U on the raw runs plus
+// bootstrap confidence intervals on the median shift. Only differences
+// that clear noise are flagged; Regressions() is what a CI gate fails
+// on.
+func CompareBenchArtifacts(old, new *BenchArtifact, opt CompareOptions) *Comparison {
+	return bench.CompareArtifacts(old, new, opt)
+}
+
 // Tracing (the measurement methodology behind the paper's §6).
 type (
 	// Tracer records NFS requests at the simulated server
@@ -359,6 +386,13 @@ func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 // heap and trace profiles). Safe to query concurrently with traffic.
 func ServeObsAdmin(addr string, reg *ObsRegistry) (*ObsAdminServer, error) {
 	return obs.ServeAdmin(addr, reg)
+}
+
+// ServeObsAdminMeta is ServeObsAdmin with an identity block: meta (any
+// JSON-marshalable value, typically environment metadata) is rendered
+// under "meta" in every /statsz response alongside the process uptime.
+func ServeObsAdminMeta(addr string, reg *ObsRegistry, meta any) (*ObsAdminServer, error) {
+	return obs.ServeAdminMeta(addr, reg, meta)
 }
 
 // ServeLiveObserved is ServeLive with per-request stage spans: each
