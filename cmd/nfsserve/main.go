@@ -92,9 +92,16 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's decision stream")
 		admin        = flag.String("admin", "", "serve /metrics, /statsz and /debug/pprof on this address (empty = off)")
 		slowMS       = flag.Int("slow-ms", 0, "log a structured line for any request slower than this many ms (0 = off)")
+		clusterN     = flag.Int("cluster", 0, "run an in-process sharded cluster with this many nfsd shards (0 = single server)")
+		ctrlAddr     = flag.String("ctrl-addr", "127.0.0.1:0", "cluster mode: control plane bind address")
 	)
 	flag.Var(&files, "file", "file to serve, as name=sizeMB (repeatable; default demo=4)")
 	flag.Parse()
+
+	if *clusterN > 0 {
+		runCluster(*clusterN, *ctrlAddr, *admin, files, *stats)
+		return
+	}
 
 	var h readahead.Heuristic
 	switch *heuristic {

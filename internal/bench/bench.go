@@ -195,6 +195,7 @@ func Experiments() []Experiment {
 		{"zcav-live", "Live ZCAV trap: zone placement x cache size over real RPC", ZCAVLive},
 		{"metadata-path", "Metadata path: create/stat/rename/readdir over live TCP", MetadataPath},
 		{"fault-path", "Fault-tolerant RPC path: loss x transport x DRC over live sockets", FaultPath},
+		{"cluster-scale", "Scale-out: sharded nfsd cluster vs amplified open-loop replay", ClusterScale},
 	}
 }
 

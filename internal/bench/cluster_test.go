@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterScaleEndToEnd runs the scale-out experiment small and
+// checks its acceptance shape: every cell produced load with zero
+// failed ops (the cells self-assert that), the drain note reports the
+// churn numbers, and the merged per-shard balance made it into the
+// report.
+func TestClusterScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster experiment")
+	}
+	r, err := ClusterScale(Params{Runs: 1, Scale: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.X) != len(clusterShardCounts) {
+		t.Fatalf("X = %v", r.X)
+	}
+	for _, s := range r.Series {
+		if len(s.Samples) != len(r.X) {
+			t.Fatalf("series %q has %d samples for %d cells", s.Label, len(s.Samples), len(r.X))
+		}
+		for i, sm := range s.Samples {
+			if sm.Mean <= 0 {
+				t.Fatalf("series %q cell %d: mean %.2f", s.Label, r.X[i], sm.Mean)
+			}
+		}
+	}
+	var drainNote, balanceNote bool
+	for _, n := range r.Notes {
+		if strings.Contains(n, "drain mid-replay") && strings.Contains(n, "0 failed ops") {
+			drainNote = true
+		}
+		if strings.Contains(n, "per-shard executed") && strings.Contains(n, "=") {
+			balanceNote = true
+		}
+	}
+	if !drainNote {
+		t.Fatalf("drain note missing: %q", r.Notes)
+	}
+	if !balanceNote {
+		t.Fatalf("balance note missing: %q", r.Notes)
+	}
+}

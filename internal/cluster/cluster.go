@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsd"
+	"nfstricks/internal/nfsheur"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/obs"
+	"nfstricks/internal/readahead"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/vfs"
+)
+
+// Config sizes an in-process cluster.
+type Config struct {
+	// Shards is the initial shard count (default 1).
+	Shards int
+	// Addr is the bind address for each shard's NFS server (default
+	// "127.0.0.1:0" — a fresh port per shard).
+	Addr string
+	// CtrlAddr is the control plane's bind address (default
+	// "127.0.0.1:0").
+	CtrlAddr string
+	// TableShards is the nfsheur stripe count inside each shard
+	// process. The default 1 is deliberate: one lock per process is
+	// the serialization the cluster exists to stripe — each added
+	// shard adds a whole process worth of lock, heap, and socket
+	// capacity, which is the nfsheur striping pattern lifted one
+	// level up.
+	TableShards int
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.CtrlAddr == "" {
+		c.CtrlAddr = "127.0.0.1:0"
+	}
+	if c.TableShards <= 0 {
+		c.TableShards = 1
+	}
+}
+
+// shard is one nfsd instance plus its cluster guard.
+type shard struct {
+	info    ShardInfo
+	fs      *memfs.FS
+	svc     *nfsd.Service
+	guard   *guard
+	srv     *rpcnet.Server
+	reg     *obs.Registry
+	drained bool
+
+	migratedIn  *obs.Counter
+	migratedOut *obs.Counter
+}
+
+// Cluster is an in-process shard group: N guarded nfsd instances, each
+// with its own store, heuristics table, registry and listening
+// sockets, plus the control plane. Membership changes (AddShard,
+// Drain) rebalance with minimal key movement: only handles whose ring
+// owner changes are copied, then the new map is published atomically
+// and a quiesce + delta pass catches writes that raced the flip.
+type Cluster struct {
+	cfg   Config
+	cp    *ControlPlane
+	cpReg *obs.Registry
+
+	mu     sync.Mutex // serializes membership changes
+	shards map[uint32]*shard
+	nextID uint32
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{cfg: cfg, shards: make(map[uint32]*shard)}
+	empty := NewMap(0, nil)
+	var members []ShardInfo
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := c.newShard(empty)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		members = append(members, s.info)
+	}
+	initial := NewMap(1, members)
+	for _, s := range c.shards {
+		s.guard.setMap(initial)
+	}
+	c.cpReg = obs.NewRegistry()
+	cp, err := newControlPlane(cfg.CtrlAddr, initial, c.cpReg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.cp = cp
+	cp.onDrain = c.Drain
+	cp.onAdd = c.AddShard
+	return c, nil
+}
+
+// newShard starts one guarded nfsd instance (caller holds c.mu or is
+// still single-threaded in New).
+func (c *Cluster) newShard(view *Map) (*shard, error) {
+	id := c.nextID
+	c.nextID++
+	reg := obs.NewRegistry()
+	fs := memfs.NewFS()
+	tp := nfsheur.ScaledParams()
+	tp.Shards = c.cfg.TableShards
+	svc := nfsd.New(fs, nfsd.Config{
+		Heuristic: readahead.SlowDown{},
+		Table:     nfsheur.New(tp),
+		Obs:       reg,
+	})
+	g := newGuard(id, view, svc.InfoHandler(), fs, reg)
+	srv, err := rpcnet.NewServerInfo(c.cfg.Addr, nfsproto.Program, nfsproto.Version3,
+		g.handler, rpcnet.ServerOptions{Spans: svc.SpanTable()})
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	s := &shard{
+		info:        ShardInfo{ID: id, Addr: srv.Addr()},
+		fs:          fs,
+		svc:         svc,
+		guard:       g,
+		srv:         srv,
+		reg:         reg,
+		migratedIn:  reg.Counter("cluster_migrated_in_total"),
+		migratedOut: reg.Counter("cluster_migrated_out_total"),
+	}
+	c.shards[id] = s
+	return s, nil
+}
+
+// CtrlAddr is the control plane's address — what clients dial.
+func (c *Cluster) CtrlAddr() string { return c.cp.Addr() }
+
+// Map returns the current shard map.
+func (c *Cluster) Map() *Map { return c.cp.Current() }
+
+// AddShard brings up a fresh shard, rebalances ~1/(N+1) of the key
+// space onto it, and returns its entry and the new map version.
+func (c *Cluster) AddShard() (ShardInfo, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cp.Current()
+	s, err := c.newShard(cur)
+	if err != nil {
+		return ShardInfo{}, 0, err
+	}
+	next := NewMap(cur.Version+1, append(append([]ShardInfo(nil), cur.Shards...), s.info))
+	if err := c.rebalance(next); err != nil {
+		return ShardInfo{}, 0, err
+	}
+	return s.info, next.Version, nil
+}
+
+// Drain moves shard id's keys to the remaining members and removes it
+// from the map. The drained instance keeps serving — every request it
+// sees from then on is answered with a redirect to the new map, which
+// is what lets clients holding the old map catch up without a single
+// failed operation.
+func (c *Cluster) Drain(id uint32) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.shards[id]
+	if !ok || s.drained {
+		return 0, fmt.Errorf("cluster: no active shard %d", id)
+	}
+	cur := c.cp.Current()
+	var rest []ShardInfo
+	for _, m := range cur.Shards {
+		if m.ID != id {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == 0 {
+		return 0, fmt.Errorf("cluster: cannot drain the last shard")
+	}
+	next := NewMap(cur.Version+1, rest)
+	if err := c.rebalance(next); err != nil {
+		return 0, err
+	}
+	s.drained = true
+	return next.Version, nil
+}
+
+// active returns the non-drained shards (caller holds c.mu).
+func (c *Cluster) active() []*shard {
+	var out []*shard
+	for _, s := range c.shards {
+		if !s.drained {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].info.ID < out[j].info.ID })
+	return out
+}
+
+// rebalance migrates to the next map (caller holds c.mu):
+//
+//  1. dirty tracking on, then copy every file whose owner changes —
+//     the long pass, running while the old map still serves;
+//  2. publish next atomically (control plane + every guard);
+//  3. quiesce each source so no pre-flip write is still mid-dispatch;
+//  4. delta-copy the handles written during the copy pass;
+//  5. prune files from shards that no longer own them.
+//
+// Steps 3–4 close the copy/write race for writes that complete before
+// the flip; a write that lands on the new owner after the flip and is
+// then overwritten by the delta copy cannot happen (the delta ships
+// only pre-flip state to files whose post-flip writes go to the same
+// new owner — the copy itself is ordered before the prune, and the new
+// owner's guard serializes per-object through the store's lock). The
+// remaining documented anomaly: a client still holding the old map can
+// read stale bytes from the source between copy and its first
+// redirect; it can never write them (writes dirty-track and re-ship).
+func (c *Cluster) rebalance(next *Map) error {
+	members := c.active()
+	for _, s := range members {
+		s.guard.trackDirty(true)
+	}
+	if err := c.copyPass(members, next, nil); err != nil {
+		return err
+	}
+
+	// Flip: control plane first (new fetches see it), then the guards.
+	c.cp.cur.Store(next)
+	for _, s := range c.shards {
+		s.guard.setMap(next)
+	}
+	for _, s := range members {
+		s.guard.quiesce()
+	}
+
+	// Delta: re-ship what was written while the copy pass ran.
+	for _, s := range members {
+		dirty := s.guard.takeDirty()
+		s.guard.trackDirty(false)
+		if len(dirty) == 0 {
+			continue
+		}
+		set := make(map[nfsproto.FH]struct{}, len(dirty))
+		for _, fh := range dirty {
+			set[fh] = struct{}{}
+		}
+		if err := c.copyPass([]*shard{s}, next, set); err != nil {
+			return err
+		}
+	}
+
+	// Prune: drop every file from shards that no longer own it.
+	for _, s := range members {
+		page, err := s.fs.Readdir(vfs.RootFH, 0, 0, 0)
+		if err != nil {
+			return err
+		}
+		for _, e := range page.Entries {
+			if e.Attr.Dir {
+				continue
+			}
+			if owner, ok := next.OwnerID(uint64(e.FH)); ok && owner != s.info.ID {
+				if _, err := s.fs.Remove(vfs.RootFH, e.Name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// copyPass ships every file on the given shards whose next-map owner
+// differs, optionally restricted to a handle set (the delta pass).
+func (c *Cluster) copyPass(from []*shard, next *Map, only map[nfsproto.FH]struct{}) error {
+	for _, s := range from {
+		page, err := s.fs.Readdir(vfs.RootFH, 0, 0, 0)
+		if err != nil {
+			return err
+		}
+		for _, e := range page.Entries {
+			if e.Attr.Dir {
+				continue
+			}
+			if only != nil {
+				if _, ok := only[e.FH]; !ok {
+					continue
+				}
+			}
+			owner, ok := next.OwnerID(uint64(e.FH))
+			if !ok || owner == s.info.ID {
+				continue
+			}
+			dst, ok := c.shards[owner]
+			if !ok {
+				return fmt.Errorf("cluster: map names unknown shard %d", owner)
+			}
+			if err := migrate(s, dst, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// migrate copies one file between stores at the same handle. The bytes
+// are cloned rather than shared: the source object is about to be
+// pruned and the two stores must not alias COW segments.
+func migrate(src, dst *shard, e vfs.DirEntry) error {
+	data, _, err := src.fs.Read(e.FH, 0, uint32(e.Attr.Size))
+	if err != nil {
+		return err
+	}
+	if err := dst.fs.CreateAt(vfs.RootFH, e.Name, e.FH, append([]byte(nil), data...)); err != nil {
+		return err
+	}
+	src.migratedOut.Add(1)
+	dst.migratedIn.Add(1)
+	return nil
+}
+
+// MergedSnapshot merges every shard's registry (and the control
+// plane's, labeled "cp") into one snapshot with a `shard` label — the
+// single view the bench report and an admin endpoint export.
+func (c *Cluster) MergedSnapshot() obs.Snapshot {
+	c.mu.Lock()
+	ids := make([]uint32, 0, len(c.shards))
+	for id := range c.shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]obs.LabeledSnapshot, 0, len(ids)+1)
+	for _, id := range ids {
+		parts = append(parts, obs.LabeledSnapshot{
+			Value: strconv.FormatUint(uint64(id), 10),
+			Snap:  c.shards[id].reg.Dump(),
+		})
+	}
+	c.mu.Unlock()
+	parts = append(parts, obs.LabeledSnapshot{Value: "cp", Snap: c.cpReg.Dump()})
+	return obs.MergeLabeled("shard", parts)
+}
+
+// ShardStat is one shard's contribution to a merged report.
+type ShardStat struct {
+	ID        uint32
+	Drained   bool
+	Executed  int64
+	Redirects int64
+}
+
+// Stats summarizes per-shard load — how evenly the ring spread the
+// work, and how much of it was redirect coordination.
+func (c *Cluster) Stats() []ShardStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ShardStat
+	for _, s := range c.active() {
+		out = append(out, c.statLocked(s))
+	}
+	for _, s := range c.shards {
+		if s.drained {
+			out = append(out, c.statLocked(s))
+		}
+	}
+	return out
+}
+
+func (c *Cluster) statLocked(s *shard) ShardStat {
+	snap := s.reg.Dump()
+	st := ShardStat{ID: s.info.ID, Drained: s.drained}
+	for name, v := range snap.Counters {
+		base, _ := splitName(name)
+		switch base {
+		case "nfsd_executed_total":
+			st.Executed += v
+		case "cluster_redirects_total":
+			st.Redirects += v
+		}
+	}
+	return st
+}
+
+// splitName strips a label block off a metric name.
+func splitName(name string) (base, labels string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i], name[i:]
+		}
+	}
+	return name, ""
+}
+
+// Close shuts down every shard (including drained ones) and the
+// control plane.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	if c.cp != nil {
+		if err := c.cp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range c.shards {
+		if err := s.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.svc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

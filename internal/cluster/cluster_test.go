@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/rpcnet"
+)
+
+func newTestCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func readOK(t *testing.T, cl *Client, fh nfsproto.FH, size uint64) {
+	t.Helper()
+	body, err := cl.Call(nfsproto.ProcRead,
+		fh, (&nfsproto.ReadArgs{FH: fh, Offset: 0, Count: uint32(size)}).Marshal())
+	if err != nil {
+		t.Fatalf("read fh %d: %v", fh, err)
+	}
+	if st := binary.BigEndian.Uint32(body); st != nfsproto.OK {
+		t.Fatalf("read fh %d: nfs status %d", fh, st)
+	}
+}
+
+// TestClusterCreateAndRead places files across shards and reads them
+// back through the routed client.
+func TestClusterCreateAndRead(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cl, err := DialClient("tcp", c.CtrlAddr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 60
+	fhs := make([]nfsproto.FH, n)
+	for i := range fhs {
+		fh, err := cl.Create(fmt.Sprintf("f%d", i), 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fhs[i] = fh
+	}
+	for _, fh := range fhs {
+		readOK(t, cl, fh, 4096)
+	}
+	// The ring must have spread both placement and reads: more than one
+	// shard executed work.
+	busy := 0
+	for _, st := range c.Stats() {
+		if st.Executed > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("expected ≥2 busy shards, stats %+v", c.Stats())
+	}
+}
+
+// TestDrainUnderLoad drains a shard while readers hammer the cluster;
+// the bar is zero failed operations — every request either lands on
+// the owner or is redirected and retried, never errored.
+func TestDrainUnderLoad(t *testing.T) {
+	c := newTestCluster(t, 4)
+	cl, err := DialClient("tcp", c.CtrlAddr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 80
+	fhs := make([]nfsproto.FH, n)
+	for i := range fhs {
+		fh, err := cl.Create(fmt.Sprintf("g%d", i), 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fhs[i] = fh
+	}
+	v1 := cl.MapVersion()
+
+	var stop atomic.Bool
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				fh := fhs[(i*7+w)%n]
+				body, err := cl.Call(nfsproto.ProcRead,
+					fh, (&nfsproto.ReadArgs{FH: fh, Count: 1024}).Marshal())
+				if err != nil || binary.BigEndian.Uint32(body) != nfsproto.OK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	target := c.Map().Shards[0].ID
+	v2, err := cl.Drain(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d failed ops during drain", got)
+	}
+	if v2 <= v1 {
+		t.Fatalf("drain version %d not above %d", v2, v1)
+	}
+	if cl.Stats().Redirects == 0 {
+		t.Fatal("expected redirects while the client's map was stale")
+	}
+	if cl.MapVersion() != v2 {
+		t.Fatalf("client converged to v%d, want v%d", cl.MapVersion(), v2)
+	}
+	// The drained shard must have shipped its files; all reads still OK.
+	for _, fh := range fhs {
+		readOK(t, cl, fh, 1024)
+	}
+}
+
+// TestStaleRedirectCarriesNewVersion talks to a shard directly (as a
+// client with a frozen map would) and checks the redirect names the
+// version to refresh to.
+func TestStaleRedirectCarriesNewVersion(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cl, err := DialClient("tcp", c.CtrlAddr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Find a file owned by shard 0, then drain shard 0 so it moves.
+	m1 := c.Map()
+	var fh nfsproto.FH
+	for i := 0; ; i++ {
+		f, err := cl.Create(fmt.Sprintf("h%d", i), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, _ := m1.OwnerID(uint64(f)); owner == m1.Shards[0].ID {
+			fh = f
+			break
+		}
+	}
+	v2, err := cl.Drain(m1.Shards[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := rpcnet.Dial("tcp", m1.Shards[0].Addr, nfsproto.Program, nfsproto.Version3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	body, err := direct.Call(nfsproto.ProcGetattr, (&nfsproto.GetattrArgs{FH: fh}).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, redirected := parseRedirect(body)
+	if !redirected {
+		t.Fatalf("drained shard served fh %d instead of redirecting", fh)
+	}
+	if ver != v2 {
+		t.Fatalf("redirect carries v%d, want v%d", ver, v2)
+	}
+	if ver <= m1.Version {
+		t.Fatalf("redirect version %d not above stale %d", ver, m1.Version)
+	}
+}
+
+// TestVersionsMonotonic: every membership change must bump the version
+// by exactly observing strictly increasing values at the control
+// plane.
+func TestVersionsMonotonic(t *testing.T) {
+	c := newTestCluster(t, 2)
+	last := c.Map().Version
+	for i := 0; i < 3; i++ {
+		info, v, err := c.AddShard()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= last {
+			t.Fatalf("add: version %d after %d", v, last)
+		}
+		last = v
+		v, err = c.Drain(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= last {
+			t.Fatalf("drain: version %d after %d", v, last)
+		}
+		last = v
+	}
+}
+
+// TestMergedSnapshotLabels: per-shard registries merge under a shard
+// label, and the same counter from different shards stays distinct.
+func TestMergedSnapshotLabels(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cl, err := DialClient("tcp", c.CtrlAddr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		fh, err := cl.Create(fmt.Sprintf("m%d", i), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readOK(t, cl, fh, 128)
+	}
+	snap := c.MergedSnapshot()
+	perShard := 0
+	for name := range snap.Counters {
+		base, labels := splitName(name)
+		if base == "nfsd_executed_total" && labels != "" {
+			perShard++
+		}
+	}
+	if perShard < 2 {
+		t.Fatalf("merged snapshot has %d labeled executed counters; want ≥2", perShard)
+	}
+	if _, ok := snap.Gauges[`cluster_map_version{shard="cp"}`]; !ok {
+		t.Fatalf("control-plane gauge missing from merge: %v", keys(snap.Gauges))
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nfstricks/internal/obs"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/xdr"
+)
+
+// fhAllocBase is where cluster-wide handle allocation starts. Far above
+// anything a shard's local counter reaches, so placed handles and
+// shard-local handles (the root, pre-cluster files) can never collide.
+const fhAllocBase = 1 << 32
+
+// ControlPlane is the cluster's registry: it owns the current shard
+// map, the cluster-wide file-handle allocator, and the membership
+// procedures (add/drain), which it delegates to the owning Cluster via
+// callbacks. It serves all of this over a four-procedure RPC program
+// on the same transport stack as NFS itself.
+type ControlPlane struct {
+	cur     atomic.Pointer[Map]
+	nextFH  atomic.Uint64
+	srv     *rpcnet.Server
+	reg     *obs.Registry
+	fetches *obs.Counter
+	allocs  *obs.Counter
+	changes *obs.Counter
+
+	// Membership callbacks, set by the owning Cluster (nil = reject).
+	onDrain func(id uint32) (uint64, error)
+	onAdd   func() (ShardInfo, uint64, error)
+}
+
+// newControlPlane starts the control-plane server on addr.
+func newControlPlane(addr string, initial *Map, reg *obs.Registry) (*ControlPlane, error) {
+	cp := &ControlPlane{reg: reg}
+	cp.cur.Store(initial)
+	cp.nextFH.Store(fhAllocBase)
+	cp.fetches = reg.Counter("cluster_map_fetches_total")
+	cp.allocs = reg.Counter("cluster_fh_allocated_total")
+	cp.changes = reg.Counter("cluster_membership_changes_total")
+	reg.GaugeFunc("cluster_map_version", func() float64 {
+		return float64(cp.cur.Load().Version)
+	})
+	reg.GaugeFunc("cluster_shards", func() float64 {
+		return float64(len(cp.cur.Load().Shards))
+	})
+	srv, err := rpcnet.NewServerInfo(addr, CtrlProgram, CtrlVersion, cp.handle, rpcnet.ServerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cp.srv = srv
+	return cp, nil
+}
+
+// Current returns the live map.
+func (cp *ControlPlane) Current() *Map { return cp.cur.Load() }
+
+// Addr is the control-plane server's bound address.
+func (cp *ControlPlane) Addr() string { return cp.srv.Addr() }
+
+// Close stops the server.
+func (cp *ControlPlane) Close() error { return cp.srv.Close() }
+
+// handle dispatches one control-plane call.
+func (cp *ControlPlane) handle(info rpcnet.CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
+	switch proc {
+	case CtrlGetMap:
+		cp.fetches.Add(1)
+		reply = xdr.AppendUint32(reply, ctrlOK)
+		return cp.cur.Load().AppendTo(reply), sunrpc.AcceptSuccess
+	case CtrlAllocFH:
+		d := xdr.NewDecoder(body)
+		n := d.Uint32()
+		if d.Err() != nil || n == 0 || n > 1<<20 {
+			return xdr.AppendUint32(reply, ctrlErr), sunrpc.AcceptSuccess
+		}
+		first := cp.nextFH.Add(uint64(n)) - uint64(n)
+		cp.allocs.Add(int64(n))
+		reply = xdr.AppendUint32(reply, ctrlOK)
+		return xdr.AppendUint64(reply, first), sunrpc.AcceptSuccess
+	case CtrlDrain:
+		d := xdr.NewDecoder(body)
+		id := d.Uint32()
+		if d.Err() != nil || cp.onDrain == nil {
+			return xdr.AppendUint32(reply, ctrlErr), sunrpc.AcceptSuccess
+		}
+		version, err := cp.onDrain(id)
+		if err != nil {
+			return xdr.AppendUint32(reply, ctrlErr), sunrpc.AcceptSuccess
+		}
+		cp.changes.Add(1)
+		reply = xdr.AppendUint32(reply, ctrlOK)
+		return xdr.AppendUint64(reply, version), sunrpc.AcceptSuccess
+	case CtrlAddShard:
+		if cp.onAdd == nil {
+			return xdr.AppendUint32(reply, ctrlErr), sunrpc.AcceptSuccess
+		}
+		info, version, err := cp.onAdd()
+		if err != nil {
+			return xdr.AppendUint32(reply, ctrlErr), sunrpc.AcceptSuccess
+		}
+		cp.changes.Add(1)
+		reply = xdr.AppendUint32(reply, ctrlOK)
+		reply = xdr.AppendUint32(reply, info.ID)
+		reply = xdr.AppendString(reply, info.Addr)
+		return xdr.AppendUint64(reply, version), sunrpc.AcceptSuccess
+	default:
+		return reply, sunrpc.AcceptProcUnavail
+	}
+}
+
+// fetchMap pulls the current map over an open control-plane client.
+func fetchMap(c *rpcnet.Client, haveVersion uint64) (*Map, error) {
+	args := xdr.AppendUint64(nil, haveVersion)
+	body, err := c.Call(CtrlGetMap, args)
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(body)
+	if st := d.Uint32(); d.Err() != nil || st != ctrlOK {
+		return nil, fmt.Errorf("cluster: getmap status %d (%v)", st, d.Err())
+	}
+	return DecodeMap(d)
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nfstricks/internal/memfs"
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/obs"
+	"nfstricks/internal/rpcnet"
+	"nfstricks/internal/sunrpc"
+	"nfstricks/internal/vfs"
+	"nfstricks/internal/xdr"
+)
+
+// guard fronts one shard's nfsd dispatch with the cluster's ownership
+// check: requests whose leading handle hashes to another shard under
+// the guard's current map view are answered with a wrong-shard
+// redirect carrying that view's version — the client refreshes and
+// re-routes; the server never proxies. The guard also serves
+// ProcClusterCreate (placement at a cluster-allocated handle) and
+// keeps the two pieces of state rebalancing needs: an in-flight
+// request count (for quiescing a source shard after a map flip) and a
+// dirty-handle set (for the delta copy pass).
+type guard struct {
+	id    uint32
+	view  atomic.Pointer[Map]
+	inner rpcnet.InfoHandler
+	fs    *memfs.FS
+
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	tracking bool
+	dirty    map[nfsproto.FH]struct{}
+
+	redirects *obs.Counter
+	creates   *obs.Counter
+}
+
+func newGuard(id uint32, initial *Map, inner rpcnet.InfoHandler, fs *memfs.FS, reg *obs.Registry) *guard {
+	g := &guard{
+		id:        id,
+		inner:     inner,
+		fs:        fs,
+		redirects: reg.Counter("cluster_redirects_total"),
+		creates:   reg.Counter("cluster_creates_total"),
+	}
+	g.view.Store(initial)
+	return g
+}
+
+// setMap publishes a new map view to this guard.
+func (g *guard) setMap(m *Map) { g.view.Store(m) }
+
+// trackDirty toggles dirty-handle recording; turning it off clears the
+// set.
+func (g *guard) trackDirty(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tracking = on
+	if !on {
+		g.dirty = nil
+	}
+}
+
+// takeDirty returns and clears the recorded dirty handles.
+func (g *guard) takeDirty() []nfsproto.FH {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]nfsproto.FH, 0, len(g.dirty))
+	for fh := range g.dirty {
+		out = append(out, fh)
+	}
+	g.dirty = nil
+	return out
+}
+
+func (g *guard) markDirty(fh nfsproto.FH) {
+	g.mu.Lock()
+	if g.tracking {
+		if g.dirty == nil {
+			g.dirty = make(map[nfsproto.FH]struct{})
+		}
+		g.dirty[fh] = struct{}{}
+	}
+	g.mu.Unlock()
+}
+
+// handler is the rpcnet.InfoHandler served by the shard.
+func (g *guard) handler(info rpcnet.CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
+	g.inflight.Add(1)
+	defer g.inflight.Add(-1)
+
+	if proc == nfsproto.ProcNull {
+		return g.inner(info, proc, body, reply)
+	}
+	fh, ok := peekFH(body)
+	if !ok {
+		// Unroutable garbage; let the NFS layer reject it.
+		return g.inner(info, proc, body, reply)
+	}
+	m := g.view.Load()
+	if owner, ok := m.OwnerID(uint64(fh)); ok && owner != g.id {
+		g.redirects.Add(1)
+		info.Span.Mark(obs.StageExec)
+		return appendRedirect(reply, m.Version), sunrpc.AcceptSuccess
+	}
+	if proc == ProcClusterCreate {
+		return g.clusterCreate(info, body, reply)
+	}
+	if mutates(proc) {
+		g.markDirty(fh)
+	}
+	return g.inner(info, proc, body, reply)
+}
+
+// mutates reports whether proc can change the bytes or size of the
+// file its leading handle names — the set the delta copy pass must
+// re-ship after a map flip.
+func mutates(proc uint32) bool {
+	switch proc {
+	case nfsproto.ProcWrite, nfsproto.ProcSetattr, ProcClusterCreate:
+		return true
+	}
+	return false
+}
+
+// clusterCreate places a zero-filled file at a cluster-allocated
+// handle, flat under the shard's root.
+func (g *guard) clusterCreate(info rpcnet.CallInfo, body, reply []byte) ([]byte, uint32) {
+	var args clusterCreateArgs
+	if err := args.Unmarshal(body); err != nil {
+		info.Span.Mark(obs.StageExec)
+		return reply, sunrpc.AcceptGarbageArgs
+	}
+	g.markDirty(args.FH)
+	err := g.fs.CreateAt(vfs.RootFH, args.Name, args.FH, make([]byte, args.Size))
+	info.Span.Mark(obs.StageExec)
+	if err != nil {
+		st := uint32(nfsproto.ErrIO)
+		if errors.Is(err, vfs.ErrExist) {
+			st = nfsproto.ErrExist
+		}
+		return xdr.AppendUint32(reply, st), sunrpc.AcceptSuccess
+	}
+	g.creates.Add(1)
+	return xdr.AppendUint32(reply, nfsproto.OK), sunrpc.AcceptSuccess
+}
+
+// quiesce spins until no request is mid-dispatch in this guard — the
+// post-flip barrier that guarantees the delta pass sees every write
+// that raced the flip.
+func (g *guard) quiesce() {
+	for g.inflight.Load() > 0 {
+		// In-flight requests are sub-millisecond memory operations; a
+		// busy-yield is cheaper than parking machinery for a path that
+		// runs once per membership change.
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/xdr"
+)
+
+// Control-plane RPC program. It rides the same sunrpc/rpcnet transport
+// as NFS itself — a private program number, four procedures, all tiny.
+const (
+	CtrlProgram = 390903
+	CtrlVersion = 1
+
+	// CtrlGetMap: args = client's current version (uint64, 0 = none);
+	// reply = status, marshalled Map. Clients poll this only when a
+	// redirect tells them their map is stale.
+	CtrlGetMap = 1
+	// CtrlAllocFH: args = count (uint32); reply = status, first handle
+	// (uint64). Handles are allocated cluster-wide so the ring can
+	// route a file before any shard has seen it.
+	CtrlAllocFH = 2
+	// CtrlDrain: args = shard id; reply = status, new map version.
+	CtrlDrain = 3
+	// CtrlAddShard: args = none; reply = status, new shard id, addr,
+	// new map version.
+	CtrlAddShard = 4
+)
+
+// Control-plane reply statuses.
+const (
+	ctrlOK  = 0
+	ctrlErr = 1
+)
+
+// ProcClusterCreate extends the NFS program on cluster shards: create a
+// file at a cluster-allocated handle (flat, under the root directory).
+// args = fh (opaque<8>), name (string), size (uint64, zero-filled);
+// reply = status. The guard serves it directly — ownership routing
+// applies exactly as for any other handle-bearing procedure.
+const ProcClusterCreate = 22
+
+// StatusWrongShard is the nfsstat3-position status a guard returns for
+// a handle it does not own under its current map: status (4 bytes)
+// followed by the guard's map version (8 bytes). The value lives in
+// the private gap above the standard codes so it can never collide
+// with a real NFS status.
+const StatusWrongShard = 10071
+
+// appendRedirect builds the wrong-shard reply body.
+func appendRedirect(reply []byte, version uint64) []byte {
+	reply = xdr.AppendUint32(reply, StatusWrongShard)
+	return xdr.AppendUint64(reply, version)
+}
+
+// parseRedirect reports whether body is a wrong-shard redirect and, if
+// so, the version the responding guard held.
+func parseRedirect(body []byte) (version uint64, ok bool) {
+	if len(body) < 12 || binary.BigEndian.Uint32(body) != StatusWrongShard {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(body[4:]), true
+}
+
+// peekFH extracts the leading file handle from an NFS request body.
+// Every NFSv3 procedure this system serves, NULL aside, opens with a
+// handle — the object handle for data procs, the directory handle for
+// namespace procs — encoded as opaque<64> of exactly 8 bytes. That
+// uniform prefix is what makes process-level striping cheap: routing
+// never decodes past byte 12.
+func peekFH(body []byte) (nfsproto.FH, bool) {
+	if len(body) < 12 || binary.BigEndian.Uint32(body) != 8 {
+		return 0, false
+	}
+	return nfsproto.FH(binary.BigEndian.Uint64(body[4:])), true
+}
+
+// clusterCreateArgs is the ProcClusterCreate argument body.
+type clusterCreateArgs struct {
+	FH   nfsproto.FH
+	Name string
+	Size uint64
+}
+
+func (c *clusterCreateArgs) Marshal() []byte {
+	buf := make([]byte, 0, 12+4+len(c.Name)+3+8)
+	buf = xdr.AppendUint32(buf, 8)
+	buf = xdr.AppendUint64(buf, uint64(c.FH))
+	buf = xdr.AppendString(buf, c.Name)
+	return xdr.AppendUint64(buf, c.Size)
+}
+
+func (c *clusterCreateArgs) Unmarshal(body []byte) error {
+	d := xdr.NewDecoder(body)
+	if n := d.Uint32(); n != 8 {
+		return fmt.Errorf("cluster: create fh length %d", n)
+	}
+	c.FH = nfsproto.FH(d.Uint64())
+	c.Name = d.String(4096)
+	c.Size = d.Uint64()
+	return d.Err()
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfstricks/internal/xdr"
+)
+
+func members(n int) []ShardInfo {
+	out := make([]ShardInfo, n)
+	for i := range out {
+		out[i] = ShardInfo{ID: uint32(i), Addr: "127.0.0.1:0"}
+	}
+	return out
+}
+
+func sampleFHs(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		// Mix small sequential handles (what allocators hand out) with
+		// random ones; the ring must balance both.
+		if i%2 == 0 {
+			out[i] = uint64(i)
+		} else {
+			out[i] = rng.Uint64()
+		}
+	}
+	return out
+}
+
+// TestRingDeterministic: two processes building the same map must
+// route every handle identically — the protocol has no other way to
+// agree.
+func TestRingDeterministic(t *testing.T) {
+	a := NewMap(1, members(5))
+	b := NewMap(1, members(5))
+	for _, fh := range sampleFHs(10000, 1) {
+		oa, _ := a.OwnerID(fh)
+		ob, _ := b.OwnerID(fh)
+		if oa != ob {
+			t.Fatalf("fh %d: owner %d vs %d", fh, oa, ob)
+		}
+	}
+}
+
+// TestRingBalance: no shard should own more than ~2x its fair share.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		m := NewMap(1, members(n))
+		fhs := sampleFHs(100000, 2)
+		counts := make(map[uint32]int)
+		for _, fh := range fhs {
+			id, ok := m.OwnerID(fh)
+			if !ok {
+				t.Fatal("no owner")
+			}
+			counts[id]++
+		}
+		fair := len(fhs) / n
+		for id, c := range counts {
+			if c > 2*fair || c < fair/2 {
+				t.Errorf("n=%d shard %d owns %d of %d (fair %d)", n, id, c, len(fhs), fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementAdd: adding one shard moves keys only onto
+// the new shard, and only ~1/(N+1) of them.
+func TestRingMinimalMovementAdd(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		before := NewMap(1, members(n))
+		after := NewMap(2, members(n+1))
+		newID := uint32(n)
+		fhs := sampleFHs(100000, 3)
+		moved := 0
+		for _, fh := range fhs {
+			ob, _ := before.OwnerID(fh)
+			oa, _ := after.OwnerID(fh)
+			if ob != oa {
+				moved++
+				if oa != newID {
+					t.Fatalf("n=%d fh %d moved %d→%d, not to the new shard %d",
+						n, fh, ob, oa, newID)
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(fhs))
+		fair := 1 / float64(n+1)
+		if frac > 2*fair {
+			t.Errorf("n=%d→%d moved %.1f%% (fair %.1f%%)", n, n+1, 100*frac, 100*fair)
+		}
+		if frac < fair/2 {
+			t.Errorf("n=%d→%d moved only %.1f%% — new shard underloaded", n, n+1, 100*frac)
+		}
+	}
+}
+
+// TestRingMinimalMovementDrain: draining one shard moves exactly that
+// shard's keys — every other assignment is untouched.
+func TestRingMinimalMovementDrain(t *testing.T) {
+	for _, n := range []int{3, 4, 8} {
+		before := NewMap(1, members(n))
+		drained := uint32(n - 1)
+		var rest []ShardInfo
+		for _, s := range members(n) {
+			if s.ID != drained {
+				rest = append(rest, s)
+			}
+		}
+		after := NewMap(2, rest)
+		fhs := sampleFHs(100000, 4)
+		moved := 0
+		for _, fh := range fhs {
+			ob, _ := before.OwnerID(fh)
+			oa, _ := after.OwnerID(fh)
+			if ob == drained {
+				moved++
+				if oa == drained {
+					t.Fatalf("fh %d still owned by drained shard", fh)
+				}
+				continue
+			}
+			if ob != oa {
+				t.Fatalf("n=%d fh %d moved %d→%d though %d was not drained",
+					n, fh, ob, oa, drained)
+			}
+		}
+		frac := float64(moved) / float64(len(fhs))
+		fair := 1 / float64(n)
+		if frac > 2*fair || frac < fair/2 {
+			t.Errorf("n=%d drain moved %.1f%% (fair %.1f%%)", n, 100*frac, 100*fair)
+		}
+	}
+}
+
+func TestMapWireRoundTrip(t *testing.T) {
+	m := NewMap(42, []ShardInfo{{ID: 3, Addr: "127.0.0.1:1053"}, {ID: 9, Addr: "[::1]:99"}})
+	buf := m.AppendTo(nil)
+	got, err := DecodeMap(xdr.NewDecoder(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 42 || len(got.Shards) != 2 || got.Shards[1].Addr != "[::1]:99" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for _, fh := range sampleFHs(1000, 5) {
+		a, _ := m.OwnerID(fh)
+		b, _ := got.OwnerID(fh)
+		if a != b {
+			t.Fatalf("decoded map routes fh %d to %d, original to %d", fh, b, a)
+		}
+	}
+}
+
+func TestRedirectWire(t *testing.T) {
+	body := appendRedirect(nil, 17)
+	v, ok := parseRedirect(body)
+	if !ok || v != 17 {
+		t.Fatalf("parseRedirect = %d, %v", v, ok)
+	}
+	if _, ok := parseRedirect([]byte{0, 0, 0, 0}); ok {
+		t.Fatal("OK status misparsed as redirect")
+	}
+}

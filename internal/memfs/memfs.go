@@ -124,6 +124,38 @@ func (fs *FS) CreateSized(dir nfsproto.FH, name string, size uint64) (nfsproto.F
 	return fs.install(dir, name, make([]byte, size))
 }
 
+// CreateAt installs a file at a caller-chosen handle, replacing any
+// previous file of that name. This is the placement primitive a
+// sharded cluster needs: handles come from a cluster-wide allocator
+// (so consistent hashing can route them) and must survive migration to
+// another store byte-for-byte. The local counter is bumped past fh so
+// ordinary Creates never collide with placed handles. An existing
+// object at fh under a different name is ErrExist.
+func (fs *FS) CreateAt(dir nfsproto.FH, name string, fh nfsproto.FH, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dirAt(dir)
+	if err != nil {
+		return err
+	}
+	if old, ok := d.dir.entries[name]; ok {
+		if fs.objs[old.fh].dir != nil {
+			return fmt.Errorf("%w: %s", vfs.ErrIsDir, name)
+		}
+		delete(fs.objs, old.fh)
+		d.dir.unlink(name)
+	}
+	if _, taken := fs.objs[fh]; taken {
+		return fmt.Errorf("%w: fh %d", vfs.ErrExist, fh)
+	}
+	if fh >= fs.nextFH {
+		fs.nextFH = fh + 1
+	}
+	fs.objs[fh] = &object{data: data}
+	fs.link(d.dir, name, fh)
+	return nil
+}
+
 // install registers a file segment fs now owns as dir/name.
 func (fs *FS) install(dir nfsproto.FH, name string, data []byte) (nfsproto.FH, error) {
 	fs.mu.Lock()

@@ -14,7 +14,7 @@ import (
 // didn't ask for, and on its own listener so it shares nothing with the
 // RPC data path.
 type AdminServer struct {
-	reg   *Registry
+	dump  func() Snapshot
 	meta  any // caller-supplied identity block for /statsz (nil = none)
 	start time.Time
 	ln    net.Listener
@@ -34,11 +34,19 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 // of where the block comes from, so no import points back at the
 // packages that collect it.
 func ServeAdminMeta(addr string, reg *Registry, meta any) (*AdminServer, error) {
+	return ServeAdminSnap(addr, reg.Dump, meta)
+}
+
+// ServeAdminSnap serves an arbitrary snapshot source instead of a
+// single registry — a sharded server passes its merged multi-registry
+// view here, and /metrics and /statsz render it exactly as they would
+// one registry's.
+func ServeAdminSnap(addr string, dump func() Snapshot, meta any) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	a := &AdminServer{reg: reg, meta: meta, start: time.Now(), ln: ln}
+	a := &AdminServer{dump: dump, meta: meta, start: time.Now(), ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/statsz", a.handleStatsz)
@@ -60,7 +68,7 @@ func (a *AdminServer) Close() error { return a.srv.Close() }
 
 func (a *AdminServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	a.reg.WritePrometheus(w)
+	WriteSnapshot(w, a.dump())
 }
 
 // statszDoc is the /statsz response: the snapshot plus the identity
@@ -79,6 +87,6 @@ func (a *AdminServer) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(statszDoc{
 		Meta:          a.meta,
 		UptimeSeconds: time.Since(a.start).Seconds(),
-		Snapshot:      a.reg.Dump(),
+		Snapshot:      a.dump(),
 	})
 }

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardRegistry builds a registry shaped like one cluster shard's:
+// plain and labeled counters, a gauge, a histogram, and a span table —
+// every instrument kind the merge must relabel.
+func shardRegistry(calls int64) *Registry {
+	reg := NewRegistry()
+	reg.Counter("nfsd_executed_total").Add(calls)
+	reg.Counter(`nfsd_executed_total{proc="READ"}`).Add(calls)
+	reg.Counter("cluster_redirects_total").Add(1)
+	reg.GaugeFunc("store_bytes", func() float64 { return float64(calls) * 10 })
+	h := reg.Histogram("flush_latency")
+	h.Observe(2 * time.Millisecond)
+	sp := reg.Spans("nfsd_op", []string{"NULL", "READ"})
+	s := sp.Acquire()
+	s.SetProc(1)
+	s.Mark(StageExec)
+	sp.Finish(s)
+	return reg
+}
+
+// TestMergeLabeledPrometheus: a multi-registry merge with a shard
+// label must render as legal exposition text (the strict validator),
+// keep same-named metrics from different shards distinct, and emit
+// each family's TYPE header exactly once.
+func TestMergeLabeledPrometheus(t *testing.T) {
+	parts := []LabeledSnapshot{
+		{Value: "0", Snap: shardRegistry(5).Dump()},
+		{Value: "1", Snap: shardRegistry(7).Dump()},
+		{Value: "cp", Snap: func() Snapshot {
+			reg := NewRegistry()
+			reg.Counter("cluster_map_fetches_total").Add(3)
+			reg.GaugeFunc("cluster_map_version", func() float64 { return 4 })
+			return reg.Dump()
+		}()},
+	}
+	merged := MergeLabeled("shard", parts)
+
+	var b strings.Builder
+	WriteSnapshot(&b, merged)
+	out := b.String()
+	if err := validatePromText(out); err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		`nfsd_executed_total{shard="0"} 5`,
+		`nfsd_executed_total{shard="1"} 7`,
+		`nfsd_executed_total{proc="READ",shard="0"} 5`,
+		`nfsd_executed_total{proc="READ",shard="1"} 7`,
+		`cluster_map_fetches_total{shard="cp"} 3`,
+		`store_bytes{shard="0"} 50`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("merged output missing %q", want)
+		}
+	}
+	// Histogram and span summaries must carry the shard label inside
+	// the braces with the _seconds suffix on the base name.
+	for _, want := range []string{
+		`flush_latency_seconds{shard="0",quantile="0.5"}`,
+		`flush_latency_seconds_count{shard="1"}`,
+		`nfsd_op_seconds_count{shard="0",proc="READ"}`,
+		`nfsd_op_stage_seconds_count{shard="1",proc="READ",stage="exec"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE nfsd_executed_total counter"); got != 1 {
+		t.Errorf("TYPE header for nfsd_executed_total appears %d times, want 1", got)
+	}
+	if got := strings.Count(out, "# TYPE flush_latency_seconds summary"); got != 1 {
+		t.Errorf("TYPE header for flush_latency_seconds appears %d times, want 1", got)
+	}
+}

@@ -216,6 +216,48 @@ func mergeLabels(labels string, extra string) string {
 	return labels[:len(labels)-1] + "," + extra + "}"
 }
 
+// LabeledSnapshot pairs one registry's snapshot with the label value
+// identifying its origin in a merge (e.g. a shard id).
+type LabeledSnapshot struct {
+	Value string
+	Snap  Snapshot
+}
+
+// MergeLabeled combines per-origin snapshots into one, splicing
+// `label="value"` into every metric name so same-named instruments from
+// different origins stay distinct (`nfsd_executed_total{proc="READ"}` →
+// `nfsd_executed_total{proc="READ",shard="2"}`). The result renders
+// through WriteSnapshot with one TYPE header per family, exactly as a
+// single registry would.
+func MergeLabeled(label string, parts []LabeledSnapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistStats{},
+		Spans:      map[string]SpanStats{},
+	}
+	for _, p := range parts {
+		pair := fmt.Sprintf("%s=%q", label, p.Value)
+		tag := func(name string) string {
+			base, labels := baseName(name)
+			return base + mergeLabels(labels, pair)
+		}
+		for name, v := range p.Snap.Counters {
+			out.Counters[tag(name)] += v
+		}
+		for name, v := range p.Snap.Gauges {
+			out.Gauges[tag(name)] = v
+		}
+		for name, hs := range p.Snap.Histograms {
+			out.Histograms[tag(name)] = hs
+		}
+		for name, st := range p.Snap.Spans {
+			out.Spans[tag(name)] = st
+		}
+	}
+	return out
+}
+
 var promQuantiles = []struct {
 	label string
 	q     float64
@@ -229,7 +271,13 @@ var promQuantiles = []struct {
 // tables additionally per proc and per stage. Output is sorted by
 // metric name so scrapes diff cleanly.
 func (r *Registry) WritePrometheus(w io.Writer) {
-	snap := r.Dump()
+	WriteSnapshot(w, r.Dump())
+}
+
+// WriteSnapshot is WritePrometheus for an already-taken snapshot —
+// the path a merged multi-registry view (MergeLabeled) exports through,
+// since a merge has no registry to dump.
+func WriteSnapshot(w io.Writer, snap Snapshot) {
 	var lines []string
 	for name, v := range snap.Counters {
 		base, _ := baseName(name)
@@ -245,12 +293,16 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		lines = append(lines, promSummary(name, "", hs))
 	}
 	for name, st := range snap.Spans {
+		// A span name may already carry a label block (merged
+		// snapshots); the summary suffix must land on the base, not
+		// after the braces.
+		base, labels := baseName(name)
 		for proc, ps := range st.Procs {
 			procLbl := fmt.Sprintf("proc=%q", proc)
 			lines = append(lines,
-				promSummary(name+"_seconds", procLbl, ps.Total))
+				promSummary(base+"_seconds"+labels, procLbl, ps.Total))
 			for stage, hs := range ps.Stages {
-				lines = append(lines, promSummary(name+"_stage_seconds",
+				lines = append(lines, promSummary(base+"_stage_seconds"+labels,
 					procLbl+fmt.Sprintf(",stage=%q", stage), hs))
 			}
 		}

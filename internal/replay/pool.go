@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"sync"
+	"time"
+
+	"nfstricks/internal/nfsproto"
+	"nfstricks/internal/rpcnet"
+)
+
+// Pool shares a bounded set of connections to one target across replay
+// streams. Amplified replay multiplies stream count by the tenant
+// factor; dialing per stream at M×K scale burns through ephemeral
+// ports and file descriptors (rpcnet.ErrConnExhausted is the typed
+// symptom), so the pool hands the same connections out round-robin —
+// rpcnet clients pipeline safely across goroutines, each stream's send
+// order is preserved because Go issues before returning, and the total
+// socket count stays at Size regardless of amplification.
+type Pool struct {
+	network, addr string
+	size          int
+	timeout       time.Duration
+
+	// dialFn is swappable for tests (fault-injected dial outcomes).
+	dialFn func(network, addr string) (*rpcnet.Client, error)
+
+	mu    sync.Mutex
+	conns []*rpcnet.Client
+	next  int
+}
+
+// NewPool builds a pool of at most size connections to addr.
+func NewPool(network, addr string, size int, timeout time.Duration) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	return &Pool{
+		network: network, addr: addr, size: size, timeout: timeout,
+		dialFn: func(network, addr string) (*rpcnet.Client, error) {
+			return rpcnet.Dial(network, addr, nfsproto.Program, nfsproto.Version3)
+		},
+	}
+}
+
+// Dial is a replay Options.Dial: it returns a shared-connection
+// transport, dialing lazily until the pool is full, then reusing
+// round-robin. A dial failure — including the typed
+// rpcnet.ErrConnExhausted — surfaces to the stream immediately instead
+// of hanging the run.
+func (p *Pool) Dial(stream uint32) (Transport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.conns) < p.size {
+		c, err := p.dialFn(p.network, p.addr)
+		if err != nil {
+			return nil, err
+		}
+		if p.timeout > 0 {
+			c.SetTimeout(p.timeout)
+		}
+		p.conns = append(p.conns, c)
+		return shared{c}, nil
+	}
+	c := p.conns[p.next%len(p.conns)]
+	p.next++
+	return shared{c}, nil
+}
+
+// Conns reports how many connections the pool opened.
+func (p *Pool) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.conns = nil
+	return first
+}
+
+// shared is a pooled connection handed to one stream; Close is a no-op
+// because the pool owns the connection's lifetime.
+type shared struct{ c *rpcnet.Client }
+
+func (s shared) Go(proc uint32, fh nfsproto.FH, args []byte) Pending {
+	return s.c.Go(proc, args)
+}
+
+func (s shared) Close() error { return nil }

@@ -73,6 +73,66 @@ type Options struct {
 	MapFH func(uint64) nfsproto.FH
 	// Timeout bounds each reply wait (default 10s).
 	Timeout time.Duration
+	// Amplify replays the trace as this many independent tenants
+	// (default 1): every captured stream runs once per tenant,
+	// concurrently, on the shared schedule — one laptop capture
+	// becomes an M× cluster-scale load. Combined with Scaled timing
+	// (K× speed) this is the paper-honest way to scale load: the op
+	// mix, per-stream ordering and burstiness stay those of the
+	// capture, only the tenant count and clock change.
+	Amplify int
+	// TenantFH remaps a captured handle for one tenant, giving each
+	// tenant its own file set (nil = MapFH for every tenant, so
+	// tenants share files).
+	TenantFH func(tenant int, fh uint64) nfsproto.FH
+	// Dial supplies the transport for a replay stream (nil = dedicated
+	// rpcnet connection per stream to Network/Addr — except under
+	// amplification, where streams share a Pool of PoolSize
+	// connections; dialing per tenant×stream exhausts ephemeral
+	// ports). Transports returned by a custom Dial are not closed by
+	// Run; their owner closes them.
+	Dial func(stream uint32) (Transport, error)
+	// PoolSize bounds the automatic pool used when Amplify > 1 and
+	// Dial is nil (default: one connection per captured stream, capped
+	// at 16).
+	PoolSize int
+}
+
+// Pending is one in-flight replayed call. *rpcnet.Pending satisfies
+// it; so does a shard-aware client's redirect-chasing pending.
+type Pending interface {
+	Wait(d time.Duration) ([]byte, error)
+}
+
+// Transport issues a replay stream's calls. fh is the handle the call
+// is routed by — a cluster transport hashes it to pick the shard; the
+// plain transport ignores it.
+type Transport interface {
+	Go(proc uint32, fh nfsproto.FH, args []byte) Pending
+	Close() error
+}
+
+// conn is the plain transport: one dedicated rpcnet connection.
+type conn struct{ c *rpcnet.Client }
+
+func (t conn) Go(proc uint32, fh nfsproto.FH, args []byte) Pending {
+	return t.c.Go(proc, args)
+}
+
+func (t conn) Close() error { return t.c.Close() }
+
+// dialConn opens a dedicated connection transport. The client-side
+// timeout stays armed: it puts a write deadline on each send, so a
+// stalled TCP target (accepting but never reading) fails the transport
+// and the run finishes with errors counted instead of wedging forever
+// in the writer.
+func dialConn(opts *Options) (Transport, error) {
+	c, err := rpcnet.Dial(opts.Network, opts.Addr, nfsproto.Program, nfsproto.Version3)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(opts.Timeout)
+	return conn{c}, nil
 }
 
 func (o *Options) fill() error {
@@ -100,6 +160,9 @@ func (o *Options) fill() error {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
 	}
+	if o.Amplify <= 0 {
+		o.Amplify = 1
+	}
 	return nil
 }
 
@@ -109,7 +172,8 @@ type Stats struct {
 	Errors     int64 // transport or RPC-layer failures
 	NFSErrors  int64 // replies carrying a non-OK NFS status
 	Surrogates int64 // ops without replayable args, sent as GETATTR
-	Streams    int   // concurrent client streams
+	Streams    int   // concurrent client streams (captured × tenants)
+	Tenants    int   // amplification factor applied
 	// Duration spans first issue to last completion; IssueSpan spans
 	// first to last issue — under Faithful timing it should match the
 	// captured trace's arrival span within scheduling noise.
@@ -185,20 +249,54 @@ func Run(records []tracefile.Record, opts Options) (*Stats, error) {
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].When < recs[j].When })
 	}
 
+	// Transport plumbing: a custom Dial wins; otherwise amplified runs
+	// share a bounded pool (tenants must not multiply the dial count)
+	// and plain runs keep a dedicated connection per stream.
+	dial := opts.Dial
+	ownTransports := dial == nil
+	if dial == nil {
+		if opts.Amplify > 1 {
+			size := opts.PoolSize
+			if size <= 0 {
+				size = len(order)
+				if size > 16 {
+					size = 16
+				}
+			}
+			pool := NewPool(opts.Network, opts.Addr, size, opts.Timeout)
+			defer pool.Close()
+			dial = pool.Dial
+			ownTransports = false // pool.Close owns the connections
+		} else {
+			dial = func(uint32) (Transport, error) { return dialConn(&opts) }
+		}
+	}
+
 	start := time.Now()
-	results := make(chan streamResult, len(order))
+	results := make(chan streamResult, len(order)*opts.Amplify)
 	var wg sync.WaitGroup
-	for _, id := range order {
-		wg.Add(1)
-		go func(recs []tracefile.Record) {
-			defer wg.Done()
-			results <- replayStream(recs, origin, start, &opts)
-		}(streams[id])
+	for tenant := 0; tenant < opts.Amplify; tenant++ {
+		mapFH := opts.MapFH
+		if opts.TenantFH != nil {
+			t := tenant
+			mapFH = func(fh uint64) nfsproto.FH { return opts.TenantFH(t, fh) }
+		}
+		for i, id := range order {
+			wg.Add(1)
+			// Distinct transport identity per (tenant, stream) so a
+			// pool can spread them; record order within the stream is
+			// preserved per goroutine exactly as before.
+			streamID := uint32(tenant*len(order) + i)
+			go func(recs []tracefile.Record, streamID uint32, mapFH func(uint64) nfsproto.FH) {
+				defer wg.Done()
+				results <- replayStream(recs, origin, start, &opts, dial, streamID, ownTransports, mapFH)
+			}(streams[id], streamID, mapFH)
+		}
 	}
 	wg.Wait()
 	close(results)
 
-	st := &Stats{Streams: len(order)}
+	st := &Stats{Streams: len(order) * opts.Amplify, Tenants: opts.Amplify}
 	var all []time.Duration
 	var firstIssue, lastIssue, lastDone time.Time
 	for r := range results {
@@ -241,26 +339,24 @@ func Run(records []tracefile.Record, opts Options) (*Stats, error) {
 
 // inflight is one open-loop request awaiting its reply.
 type inflight struct {
-	p         *rpcnet.Pending
+	p         Pending
 	issued    time.Time
 	surrogate bool
 }
 
-// replayStream drives one captured stream over its own connection.
-func replayStream(recs []tracefile.Record, origin time.Duration, start time.Time, opts *Options) streamResult {
+// replayStream drives one captured stream over its transport.
+func replayStream(recs []tracefile.Record, origin time.Duration, start time.Time,
+	opts *Options, dial func(uint32) (Transport, error), streamID uint32,
+	ownTransport bool, mapFH func(uint64) nfsproto.FH) streamResult {
 	var res streamResult
-	c, err := rpcnet.Dial(opts.Network, opts.Addr, nfsproto.Program, nfsproto.Version3)
+	t, err := dial(streamID)
 	if err != nil {
 		res.err = err
 		return res
 	}
-	defer c.Close()
-	// Reply waits run through Pending below, but the client-side
-	// timeout must stay armed: it is what puts a write deadline on each
-	// send, so a stalled TCP target (accepting but never reading) fails
-	// the transport and the run finishes with errors counted instead of
-	// wedging forever in the writer.
-	c.SetTimeout(opts.Timeout)
+	if ownTransport {
+		defer t.Close()
+	}
 
 	res.latencies = make([]time.Duration, 0, len(recs))
 	settle := func(fl inflight) {
@@ -305,7 +401,7 @@ func replayStream(recs []tracefile.Record, origin time.Duration, start time.Time
 		case Scaled:
 			time.Sleep(time.Until(start.Add(time.Duration(float64(rec.When-origin) / opts.Speed))))
 		}
-		proc, args, surrogate := buildCall(rec, opts.MapFH)
+		proc, fh, args, surrogate := buildCall(rec, mapFH)
 		if surrogate {
 			res.surrogates++
 		}
@@ -315,7 +411,7 @@ func replayStream(recs []tracefile.Record, origin time.Duration, start time.Time
 		}
 		res.lastIssue = issued
 		res.ops++
-		fl := inflight{p: c.Go(proc, args), issued: issued, surrogate: surrogate}
+		fl := inflight{p: t.Go(proc, fh, args), issued: issued, surrogate: surrogate}
 		if opts.OpenLoop {
 			pending <- fl
 		} else {
@@ -329,21 +425,21 @@ func replayStream(recs []tracefile.Record, origin time.Duration, start time.Time
 	return res
 }
 
-// buildCall reconstructs a request's procedure and arguments from its
-// trace record. NULL proc replays with no arguments even when recorded
-// with stray fields.
-func buildCall(rec tracefile.Record, mapFH func(uint64) nfsproto.FH) (proc uint32, args []byte, surrogate bool) {
-	fh := nfsproto.FH(rec.FH)
+// buildCall reconstructs a request's procedure, routing handle and
+// arguments from its trace record. NULL proc replays with no arguments
+// even when recorded with stray fields.
+func buildCall(rec tracefile.Record, mapFH func(uint64) nfsproto.FH) (proc uint32, fh nfsproto.FH, args []byte, surrogate bool) {
+	fh = nfsproto.FH(rec.FH)
 	if mapFH != nil {
 		fh = mapFH(rec.FH)
 	}
 	switch rec.Proc {
 	case nfsproto.ProcNull:
-		return nfsproto.ProcNull, nil, false
+		return nfsproto.ProcNull, fh, nil, false
 	case nfsproto.ProcGetattr:
-		return rec.Proc, (&nfsproto.GetattrArgs{FH: fh}).Marshal(), false
+		return rec.Proc, fh, (&nfsproto.GetattrArgs{FH: fh}).Marshal(), false
 	case nfsproto.ProcRead:
-		return rec.Proc, (&nfsproto.ReadArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
+		return rec.Proc, fh, (&nfsproto.ReadArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
 	case nfsproto.ProcWrite:
 		// The captured payload is not stored; a zero-fill of the same
 		// length exercises the same wire and storage path. The recorded
@@ -353,25 +449,25 @@ func buildCall(rec tracefile.Record, mapFH func(uint64) nfsproto.FH) (proc uint3
 		// the original did.
 		w := &nfsproto.WriteArgs{FH: fh, Offset: rec.Offset, Count: rec.Count,
 			Stable: rec.Stable, DataLen: rec.Count}
-		return rec.Proc, w.Marshal(), false
+		return rec.Proc, fh, w.Marshal(), false
 	case nfsproto.ProcCommit:
-		return rec.Proc, (&nfsproto.CommitArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
+		return rec.Proc, fh, (&nfsproto.CommitArgs{FH: fh, Offset: rec.Offset, Count: rec.Count}).Marshal(), false
 	case nfsproto.ProcSetattr:
 		// Capture stores the requested size in Offset.
-		return rec.Proc, (&nfsproto.SetattrArgs{FH: fh, Size: rec.Offset}).Marshal(), false
+		return rec.Proc, fh, (&nfsproto.SetattrArgs{FH: fh, Size: rec.Offset}).Marshal(), false
 	case nfsproto.ProcReaddir:
 		// Captured cookies belong to the original server's scan state;
 		// replaying them verbatim against a fresh store would draw
 		// BAD_COOKIE. A fresh scan (cookie 0) at the captured count
 		// exercises the same directory and reply-size path.
-		return rec.Proc, (&nfsproto.ReaddirArgs{Dir: fh, Count: rec.Count}).Marshal(), false
+		return rec.Proc, fh, (&nfsproto.ReaddirArgs{Dir: fh, Count: rec.Count}).Marshal(), false
 	case nfsproto.ProcReaddirplus:
-		return rec.Proc, (&nfsproto.ReaddirplusArgs{Dir: fh, DirCount: rec.Count, MaxCount: rec.Count}).Marshal(), false
+		return rec.Proc, fh, (&nfsproto.ReaddirplusArgs{Dir: fh, DirCount: rec.Count, MaxCount: rec.Count}).Marshal(), false
 	default:
 		// LOOKUP names, ACCESS bits and CREATE/MKDIR/REMOVE/RENAME name
 		// arguments are not in the trace; a GETATTR on the captured
 		// (directory) handle keeps the request's slot (and its handle
 		// locality) in the replayed schedule.
-		return nfsproto.ProcGetattr, (&nfsproto.GetattrArgs{FH: fh}).Marshal(), true
+		return nfsproto.ProcGetattr, fh, (&nfsproto.GetattrArgs{FH: fh}).Marshal(), true
 	}
 }

@@ -1,0 +1,36 @@
+package rpcnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+)
+
+// TestDialErrorClassification: ephemeral-port and fd exhaustion dial
+// failures are tagged ErrConnExhausted; everything else is not. The
+// inputs mirror what net.Dial actually returns (*net.OpError wrapping
+// *os.SyscallError).
+func TestDialErrorClassification(t *testing.T) {
+	wrap := func(errno syscall.Errno) error {
+		return &net.OpError{Op: "dial", Net: "tcp",
+			Err: os.NewSyscallError("connect", errno)}
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EADDRNOTAVAIL, syscall.EADDRINUSE, syscall.EMFILE, syscall.ENFILE,
+	} {
+		if !isResourceExhausted(wrap(errno)) {
+			t.Errorf("%v not classified as exhaustion", errno)
+		}
+	}
+	for _, err := range []error{
+		wrap(syscall.ECONNREFUSED),
+		wrap(syscall.ETIMEDOUT),
+		errors.New("some other failure"),
+	} {
+		if isResourceExhausted(err) {
+			t.Errorf("%v wrongly classified as exhaustion", err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"nfstricks/internal/obs"
@@ -626,6 +627,9 @@ func DialFault(network, addr string, prog, vers uint32, faults *FaultInjector) (
 	}
 	conn, err := net.Dial(network, addr)
 	if err != nil {
+		if isResourceExhausted(err) {
+			return nil, fmt.Errorf("rpcnet: %w: %v", ErrConnExhausted, err)
+		}
 		return nil, fmt.Errorf("rpcnet: %w", err)
 	}
 	// Pipelined READ streams burst wsize replies at the client; the
@@ -653,6 +657,26 @@ func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 // ErrClientClosed is returned for calls on a closed client.
 var ErrClientClosed = errors.New("rpcnet: client closed")
+
+// ErrConnExhausted tags dial failures caused by local resource limits —
+// ephemeral ports (EADDRNOTAVAIL, EADDRINUSE) or file descriptors
+// (EMFILE, ENFILE). High-fan-out callers (amplified replay, per-shard
+// pools) hit these long before the server does; the typed error lets
+// them fail the run with a diagnosis instead of retrying into a hang.
+var ErrConnExhausted = errors.New("connection resources exhausted")
+
+// isResourceExhausted classifies a dial error as local resource
+// exhaustion.
+func isResourceExhausted(err error) bool {
+	for _, target := range []error{
+		syscall.EADDRNOTAVAIL, syscall.EADDRINUSE, syscall.EMFILE, syscall.ENFILE,
+	} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
+}
 
 // ErrSendFailed marks a call that failed before reaching the wire: the
 // socket write errored (e.g. ECONNREFUSED surfacing on a connected UDP

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"nfstricks/internal/bench"
+	"nfstricks/internal/cluster"
 	"nfstricks/internal/disk"
 	"nfstricks/internal/drc"
 	"nfstricks/internal/memfs"
@@ -533,4 +534,40 @@ func ServeLiveFaulty(addr string, svc *LiveService, faults *FaultInjector) (*RPC
 // RetryPolicy gets kernel-ish defaults.
 func DialLiveRetry(network, addr string, policy RetryPolicy, faults *FaultInjector) (*LiveClient, error) {
 	return memfs.DialClientRetry(network, addr, policy, faults)
+}
+
+// Scale-out: the namespace sharded across N in-process nfsd instances
+// by consistent hashing on file handle (the nfsheur lock-striping
+// pattern lifted to process level), coordinated by a tiny control
+// plane that hands shard-aware clients a versioned shard map. Stale
+// clients are redirected with the version to refresh to, so a shard
+// drain mid-traffic completes with zero failed operations
+// ("nfsbench -exp cluster-scale"; "nfsserve -cluster N").
+type (
+	// Cluster is the in-process shard group plus its control plane.
+	Cluster = cluster.Cluster
+	// ClusterConfig sizes a cluster (shard count, bind addresses,
+	// per-shard nfsheur stripes).
+	ClusterConfig = cluster.Config
+	// ClusterClient routes calls by handle, chases wrong-shard
+	// redirects, and refreshes its map from the control plane.
+	ClusterClient = cluster.Client
+	// ClusterClientConfig bounds the client's per-shard connection
+	// pool, call timeout, and redirect budget.
+	ClusterClientConfig = cluster.ClientConfig
+	// ClusterMap is one version of the shard layout: strictly
+	// monotonic versions over a consistent-hash ring.
+	ClusterMap = cluster.Map
+	// ClusterShardInfo is one shard's map entry (id, address).
+	ClusterShardInfo = cluster.ShardInfo
+)
+
+// NewCluster starts an in-process cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(cfg)
+}
+
+// DialCluster connects a shard-aware client via the control plane.
+func DialCluster(network, ctrlAddr string, cfg ClusterClientConfig) (*ClusterClient, error) {
+	return cluster.DialClient(network, ctrlAddr, cfg)
 }
