@@ -69,7 +69,8 @@ type shard struct {
 // sockets, plus the control plane. Membership changes (AddShard,
 // Drain) rebalance with minimal key movement: only handles whose ring
 // owner changes are copied, then the new map is published atomically
-// and a quiesce + delta pass catches writes that raced the flip.
+// and a quiesce + fenced delta pass catches writes that raced the flip
+// (see rebalance).
 type Cluster struct {
 	cfg   Config
 	cp    *ControlPlane
@@ -78,6 +79,11 @@ type Cluster struct {
 	mu     sync.Mutex // serializes membership changes
 	shards map[uint32]*shard
 	nextID uint32
+
+	// Test seams pinning the rebalance schedule at its two
+	// race-sensitive points; both nil outside tests.
+	hookAfterTracking func() // tracking+fences on, copy pass not started
+	hookAfterQuiesce  func() // map flipped and quiesced, delta not started
 }
 
 // New builds and starts a cluster.
@@ -99,14 +105,13 @@ func New(cfg Config) (*Cluster, error) {
 		s.guard.setMap(initial)
 	}
 	c.cpReg = obs.NewRegistry()
-	cp, err := newControlPlane(cfg.CtrlAddr, initial, c.cpReg)
-	if err != nil {
+	// c.cp must be set before serve: the membership callbacks reach back
+	// through it, and a client may connect the moment the listener is up.
+	c.cp = newControlPlane(initial, c.cpReg, c.Drain, c.AddShard)
+	if err := c.cp.serve(cfg.CtrlAddr); err != nil {
 		c.Close()
 		return nil, err
 	}
-	c.cp = cp
-	cp.onDrain = c.Drain
-	cp.onAdd = c.AddShard
 	return c, nil
 }
 
@@ -162,7 +167,7 @@ func (c *Cluster) AddShard() (ShardInfo, uint64, error) {
 		return ShardInfo{}, 0, err
 	}
 	next := NewMap(cur.Version+1, append(append([]ShardInfo(nil), cur.Shards...), s.info))
-	if err := c.rebalance(next); err != nil {
+	if err := c.rebalance(cur, next); err != nil {
 		return ShardInfo{}, 0, err
 	}
 	return s.info, next.Version, nil
@@ -191,7 +196,7 @@ func (c *Cluster) Drain(id uint32) (uint64, error) {
 		return 0, fmt.Errorf("cluster: cannot drain the last shard")
 	}
 	next := NewMap(cur.Version+1, rest)
-	if err := c.rebalance(next); err != nil {
+	if err := c.rebalance(cur, next); err != nil {
 		return 0, err
 	}
 	s.drained = true
@@ -210,28 +215,45 @@ func (c *Cluster) active() []*shard {
 	return out
 }
 
-// rebalance migrates to the next map (caller holds c.mu):
+// rebalance migrates from the cur map to the next (caller holds c.mu):
 //
-//  1. dirty tracking on, then copy every file whose owner changes —
-//     the long pass, running while the old map still serves;
+//  1. dirty tracking and migration fences on, then copy every file
+//     whose owner changes — the long pass, running while the old map
+//     still serves;
 //  2. publish next atomically (control plane + every guard);
-//  3. quiesce each source so no pre-flip write is still mid-dispatch;
+//  3. quiesce each member's old-epoch requests so no pre-flip write is
+//     still mid-dispatch;
 //  4. delta-copy the handles written during the copy pass;
-//  5. prune files from shards that no longer own them.
+//  5. lift the fences — post-flip mutations to migrated handles, which
+//     the gaining guard parked so the delta could not overwrite them,
+//     now apply on top of the shipped bytes (last-writer-wins holds);
+//  6. prune files from shards that no longer own them.
 //
-// Steps 3–4 close the copy/write race for writes that complete before
-// the flip; a write that lands on the new owner after the flip and is
-// then overwritten by the delta copy cannot happen (the delta ships
-// only pre-flip state to files whose post-flip writes go to the same
-// new owner — the copy itself is ordered before the prune, and the new
-// owner's guard serializes per-object through the store's lock). The
-// remaining documented anomaly: a client still holding the old map can
-// read stale bytes from the source between copy and its first
-// redirect; it can never write them (writes dirty-track and re-ship).
-func (c *Cluster) rebalance(next *Map) error {
+// Steps 3–5 close the copy/write race in both directions: a write that
+// completes on the source before the flip is quiesced, dirty-tracked
+// and re-shipped, and a write that lands on the new owner after the
+// flip waits out the delta behind the fence instead of being clobbered
+// by it. The remaining documented anomaly: a client still holding the
+// old map can read stale bytes from the source between copy and its
+// first redirect; it can never write them (writes dirty-track and
+// re-ship).
+func (c *Cluster) rebalance(cur, next *Map) error {
 	members := c.active()
 	for _, s := range members {
 		s.guard.trackDirty(true)
+		s.guard.setFence(cur)
+	}
+	// Every exit path — including a failed copy pass — must stop dirty
+	// tracking (or the sets grow without bound until the next membership
+	// change) and release any requests parked on a fence.
+	defer func() {
+		for _, s := range members {
+			s.guard.trackDirty(false)
+			s.guard.liftFence()
+		}
+	}()
+	if c.hookAfterTracking != nil {
+		c.hookAfterTracking()
 	}
 	if err := c.copyPass(members, next, nil); err != nil {
 		return err
@@ -243,13 +265,17 @@ func (c *Cluster) rebalance(next *Map) error {
 		s.guard.setMap(next)
 	}
 	for _, s := range members {
-		s.guard.quiesce()
+		s.guard.quiesce(cur.Version)
+	}
+	if c.hookAfterQuiesce != nil {
+		c.hookAfterQuiesce()
 	}
 
-	// Delta: re-ship what was written while the copy pass ran.
+	// Delta: re-ship what was written while the copy pass ran. Gaining
+	// guards hold their fences until this lands, so no post-flip write
+	// can interleave under a CreateAt that would replace it.
 	for _, s := range members {
 		dirty := s.guard.takeDirty()
-		s.guard.trackDirty(false)
 		if len(dirty) == 0 {
 			continue
 		}
@@ -260,6 +286,12 @@ func (c *Cluster) rebalance(next *Map) error {
 		if err := c.copyPass([]*shard{s}, next, set); err != nil {
 			return err
 		}
+	}
+
+	// Delta landed: release parked mutations before the prune walk so
+	// they don't wait out work that cannot affect them.
+	for _, s := range members {
+		s.guard.liftFence()
 	}
 
 	// Prune: drop every file from shards that no longer own it.

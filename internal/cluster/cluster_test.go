@@ -251,3 +251,213 @@ func keys[V any](m map[string]V) []string {
 	}
 	return out
 }
+
+// TestRebalancePreservesRacingWrites hammers a small file set with
+// writers (each owning a private 8-byte slot per file) while shards are
+// added and drained. The delta copy pass re-ships bytes written during
+// the migration window; a write that lands on the gaining shard after
+// the map flip must park on the migration fence until that delta has
+// landed, or the re-ship silently reverts it. The bar: every slot ends
+// holding the last value its writer was ACKed for, and no write errors.
+func TestRebalancePreservesRacingWrites(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cl, err := DialClient("tcp", c.CtrlAddr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Enough files of enough size that the delta copy pass has real
+	// work: the lost-update window (post-flip write vs its handle's
+	// delta re-ship) is only open while the delta pass runs.
+	const nFiles = 96
+	const fileSize = 64 << 10
+	const writers = 8
+	fhs := make([]nfsproto.FH, nFiles)
+	for i := range fhs {
+		fh, err := cl.Create(fmt.Sprintf("w%d", i), fileSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fhs[i] = fh
+	}
+
+	var stop atomic.Bool
+	var failures atomic.Int64
+	var lastAcked [writers][nFiles]uint64
+	// pause parks every writer between ops so the checker can read a
+	// quiescent store: writers hold the read side across one RPC, the
+	// checker takes the write side.
+	var pause sync.RWMutex
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := uint64(1); !stop.Load(); i++ {
+				j := int(i*2654435761+uint64(w)) % nFiles
+				binary.BigEndian.PutUint64(buf, i)
+				pause.RLock()
+				body, err := cl.Call(nfsproto.ProcWrite, fhs[j], (&nfsproto.WriteArgs{
+					FH: fhs[j], Offset: uint64(w * 8), Count: 8,
+					Stable: nfsproto.WriteFileSync, Data: buf,
+				}).Marshal())
+				if err != nil || binary.BigEndian.Uint32(body) != nfsproto.OK {
+					failures.Add(1)
+					pause.RUnlock()
+					continue
+				}
+				lastAcked[w][j] = i
+				pause.RUnlock()
+			}
+		}(w)
+	}
+
+	// verify runs with writers parked: every slot must hold the last
+	// value its writer was acked for. It must run right after each
+	// membership change — a later successful write to a slot would mask
+	// an update the rebalance lost.
+	verify := func(tag string) {
+		pause.Lock()
+		defer pause.Unlock()
+		m := c.Map()
+		for j, fh := range fhs {
+			owner, ok := m.OwnerID(uint64(fh))
+			if !ok {
+				t.Fatalf("%s: file %d has no owner", tag, j)
+			}
+			for w := 0; w < writers; w++ {
+				want := lastAcked[w][j]
+				if want == 0 {
+					continue
+				}
+				data, _, err := c.shards[owner].fs.Read(fh, uint64(w*8), 8)
+				if err != nil {
+					t.Fatalf("%s: read back file %d slot %d: %v", tag, j, w, err)
+				}
+				if got := binary.BigEndian.Uint64(data); got != want {
+					t.Fatalf("%s: lost update: file %d writer %d holds %d, last acked %d",
+						tag, j, w, got, want)
+				}
+			}
+		}
+	}
+
+	// Churn membership: each cycle adds a shard and drains the oldest
+	// active one, so ownership keeps moving among survivors.
+	for cycle := 0; cycle < 3; cycle++ {
+		time.Sleep(5 * time.Millisecond)
+		if _, _, err := c.AddShard(); err != nil {
+			t.Fatal(err)
+		}
+		verify(fmt.Sprintf("cycle %d add", cycle))
+		time.Sleep(5 * time.Millisecond)
+		if _, err := c.Drain(c.Map().Shards[0].ID); err != nil {
+			t.Fatal(err)
+		}
+		verify(fmt.Sprintf("cycle %d drain", cycle))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d failed writes during rebalance", got)
+	}
+	verify("final")
+}
+
+// TestFenceParksPostFlipWriteUntilDelta drives the exact interleaving
+// of the rebalance lost-update race deterministically, via the
+// schedule seams: a write dirties a migrating handle at its source
+// during the copy window, then — after the flip and quiesce, with the
+// delta copy still pending — a second write to the same handle reaches
+// the gaining shard. The fence must park that write until the delta
+// lands; were it admitted first, the delta's CreateAt would replace the
+// file with the pre-flip bytes and silently revert an acked write.
+func TestFenceParksPostFlipWriteUntilDelta(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cl, err := DialClient("tcp", c.CtrlAddr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A file owned by the shard we will drain, so it must migrate.
+	m1 := c.Map()
+	srcID := m1.Shards[0].ID
+	var fh nfsproto.FH
+	for i := 0; ; i++ {
+		f, err := cl.Create(fmt.Sprintf("park%d", i), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, _ := m1.OwnerID(uint64(f)); owner == srcID {
+			fh = f
+			break
+		}
+	}
+
+	write := func(val uint64) error {
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, val)
+		body, err := cl.Call(nfsproto.ProcWrite, fh, (&nfsproto.WriteArgs{
+			FH: fh, Count: 8, Stable: nfsproto.WriteFileSync, Data: buf,
+		}).Marshal())
+		if err != nil {
+			return err
+		}
+		if st := binary.BigEndian.Uint32(body); st != nfsproto.OK {
+			return fmt.Errorf("nfs status %d", st)
+		}
+		return nil
+	}
+
+	var w2done atomic.Bool
+	var w2err error
+	var wg sync.WaitGroup
+	c.hookAfterTracking = func() {
+		// Pre-flip write: lands on the source, marking fh dirty so the
+		// delta pass will re-ship it.
+		if err := write(1); err != nil {
+			t.Errorf("pre-flip write: %v", err)
+		}
+	}
+	c.hookAfterQuiesce = func() {
+		// Post-flip write: chases the redirect to the gaining shard while
+		// fh's delta copy is still pending. It must park on the fence.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w2err = write(2)
+			w2done.Store(true)
+		}()
+		deadline := time.Now().Add(100 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if w2done.Load() {
+				t.Error("post-flip write committed before the delta pass — fence did not park it")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := c.Drain(srcID); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if w2err != nil {
+		t.Fatalf("post-flip write: %v", w2err)
+	}
+
+	owner, ok := c.Map().OwnerID(uint64(fh))
+	if !ok {
+		t.Fatal("no owner after drain")
+	}
+	data, _, err := c.shards[owner].fs.Read(fh, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(data); got != 2 {
+		t.Fatalf("delta pass reverted the post-flip write: file holds %d, want 2", got)
+	}
+}

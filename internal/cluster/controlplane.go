@@ -4,16 +4,19 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"nfstricks/internal/memfs"
 	"nfstricks/internal/obs"
 	"nfstricks/internal/rpcnet"
 	"nfstricks/internal/sunrpc"
 	"nfstricks/internal/xdr"
 )
 
-// fhAllocBase is where cluster-wide handle allocation starts. Far above
-// anything a shard's local counter reaches, so placed handles and
-// shard-local handles (the root, pre-cluster files) can never collide.
-const fhAllocBase = 1 << 32
+// fhAllocBase is where cluster-wide handle allocation starts: the top
+// of the range memfs reserves for placement. A shard's local counter
+// stays strictly below it (memfs.CreateAt never bumps the counter for
+// placed handles in this range), so placed handles and shard-local
+// handles (the root, pre-cluster files) can never collide.
+const fhAllocBase = uint64(memfs.LocalFHBound)
 
 // ControlPlane is the cluster's registry: it owns the current shard
 // map, the cluster-wide file-handle allocator, and the membership
@@ -29,14 +32,19 @@ type ControlPlane struct {
 	allocs  *obs.Counter
 	changes *obs.Counter
 
-	// Membership callbacks, set by the owning Cluster (nil = reject).
+	// Membership callbacks, fixed at construction — before the server
+	// accepts its first connection — so handler reads never race an
+	// assignment (nil = reject).
 	onDrain func(id uint32) (uint64, error)
 	onAdd   func() (ShardInfo, uint64, error)
 }
 
-// newControlPlane starts the control-plane server on addr.
-func newControlPlane(addr string, initial *Map, reg *obs.Registry) (*ControlPlane, error) {
-	cp := &ControlPlane{reg: reg}
+// newControlPlane builds the control plane; serve starts it. The split
+// exists so the owner can finish wiring (its own cp pointer, which the
+// callbacks reach through) before any client can connect.
+func newControlPlane(initial *Map, reg *obs.Registry,
+	onDrain func(uint32) (uint64, error), onAdd func() (ShardInfo, uint64, error)) *ControlPlane {
+	cp := &ControlPlane{reg: reg, onDrain: onDrain, onAdd: onAdd}
 	cp.cur.Store(initial)
 	cp.nextFH.Store(fhAllocBase)
 	cp.fetches = reg.Counter("cluster_map_fetches_total")
@@ -48,12 +56,17 @@ func newControlPlane(addr string, initial *Map, reg *obs.Registry) (*ControlPlan
 	reg.GaugeFunc("cluster_shards", func() float64 {
 		return float64(len(cp.cur.Load().Shards))
 	})
+	return cp
+}
+
+// serve binds the control-plane server on addr and begins accepting.
+func (cp *ControlPlane) serve(addr string) error {
 	srv, err := rpcnet.NewServerInfo(addr, CtrlProgram, CtrlVersion, cp.handle, rpcnet.ServerOptions{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cp.srv = srv
-	return cp, nil
+	return nil
 }
 
 // Current returns the live map.
@@ -62,8 +75,13 @@ func (cp *ControlPlane) Current() *Map { return cp.cur.Load() }
 // Addr is the control-plane server's bound address.
 func (cp *ControlPlane) Addr() string { return cp.srv.Addr() }
 
-// Close stops the server.
-func (cp *ControlPlane) Close() error { return cp.srv.Close() }
+// Close stops the server (a no-op if serve never succeeded).
+func (cp *ControlPlane) Close() error {
+	if cp.srv == nil {
+		return nil
+	}
+	return cp.srv.Close()
+}
 
 // handle dispatches one control-plane call.
 func (cp *ControlPlane) handle(info rpcnet.CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {

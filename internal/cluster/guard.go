@@ -21,16 +21,28 @@ import (
 // redirect carrying that view's version — the client refreshes and
 // re-routes; the server never proxies. The guard also serves
 // ProcClusterCreate (placement at a cluster-allocated handle) and
-// keeps the two pieces of state rebalancing needs: an in-flight
-// request count (for quiescing a source shard after a map flip) and a
-// dirty-handle set (for the delta copy pass).
+// keeps the three pieces of state rebalancing needs: per-map-epoch
+// in-flight request counts (for quiescing requests admitted under the
+// old map after a flip), a dirty-handle set (for the delta copy pass),
+// and a migration fence (so a post-flip write can never be overwritten
+// by the delta copy it raced).
 type guard struct {
 	id    uint32
 	view  atomic.Pointer[Map]
 	inner rpcnet.InfoHandler
 	fs    *memfs.FS
 
-	inflight atomic.Int64
+	// inflight counts requests per map-version parity: a request is
+	// counted under the view it was admitted with, so quiesce can wait
+	// for exactly the old map's stragglers while new-map traffic —
+	// including mutations parked on the fence — keeps flowing. Two
+	// slots suffice: membership changes are serialized by Cluster.mu
+	// and each drains version v before v+2 can exist.
+	inflight [2]atomic.Int64
+
+	// fence, when non-nil, parks mutations to handles still awaiting
+	// their rebalance delta copy (see fence type).
+	fence atomic.Pointer[fence]
 
 	mu       sync.Mutex
 	tracking bool
@@ -38,6 +50,26 @@ type guard struct {
 
 	redirects *obs.Counter
 	creates   *obs.Counter
+}
+
+// fence is the rebalance write barrier. It is installed on every
+// gaining shard before the map flip and lifted after the delta copy
+// pass: in between, a mutation to a handle this shard did not own
+// under prev (i.e. one migrating in) blocks on done rather than
+// executing, because the delta pass may still re-ship that handle's
+// pre-flip bytes — letting the write through first would let the delta
+// silently overwrite it. Blocked requests are counted under the new
+// map's inflight slot, so they never deadlock the old-epoch quiesce.
+type fence struct {
+	prev *Map
+	done chan struct{}
+}
+
+// covers reports whether fh is migrating into shard self across this
+// fence's flip (self did not own it under the pre-flip map).
+func (f *fence) covers(self uint32, fh uint64) bool {
+	owner, ok := f.prev.OwnerID(fh)
+	return !ok || owner != self
 }
 
 func newGuard(id uint32, initial *Map, inner rpcnet.InfoHandler, fs *memfs.FS, reg *obs.Registry) *guard {
@@ -54,6 +86,36 @@ func newGuard(id uint32, initial *Map, inner rpcnet.InfoHandler, fs *memfs.FS, r
 
 // setMap publishes a new map view to this guard.
 func (g *guard) setMap(m *Map) { g.view.Store(m) }
+
+// setFence installs the migration write barrier for a flip away from
+// prev; liftFence removes it and releases every parked request. Lifting
+// an absent fence is a no-op, so error paths can lift unconditionally.
+func (g *guard) setFence(prev *Map) {
+	g.fence.Store(&fence{prev: prev, done: make(chan struct{})})
+}
+
+func (g *guard) liftFence() {
+	if f := g.fence.Swap(nil); f != nil {
+		close(f.done)
+	}
+}
+
+// admit counts the caller in flight under the current map view and
+// returns that view plus the release function. The re-check loop closes
+// the window between loading the view and bumping its counter: once
+// both agree, any later setMap(next) is ordered after the increment, so
+// a quiesce following that flip cannot miss this request.
+func (g *guard) admit() (*Map, func()) {
+	for {
+		m := g.view.Load()
+		slot := &g.inflight[m.Version&1]
+		slot.Add(1)
+		if g.view.Load() == m {
+			return m, func() { slot.Add(-1) }
+		}
+		slot.Add(-1)
+	}
+}
 
 // trackDirty toggles dirty-handle recording; turning it off clears the
 // set.
@@ -91,8 +153,8 @@ func (g *guard) markDirty(fh nfsproto.FH) {
 
 // handler is the rpcnet.InfoHandler served by the shard.
 func (g *guard) handler(info rpcnet.CallInfo, proc uint32, body, reply []byte) ([]byte, uint32) {
-	g.inflight.Add(1)
-	defer g.inflight.Add(-1)
+	m, release := g.admit()
+	defer release()
 
 	if proc == nfsproto.ProcNull {
 		return g.inner(info, proc, body, reply)
@@ -102,17 +164,22 @@ func (g *guard) handler(info rpcnet.CallInfo, proc uint32, body, reply []byte) (
 		// Unroutable garbage; let the NFS layer reject it.
 		return g.inner(info, proc, body, reply)
 	}
-	m := g.view.Load()
 	if owner, ok := m.OwnerID(uint64(fh)); ok && owner != g.id {
 		g.redirects.Add(1)
 		info.Span.Mark(obs.StageExec)
 		return appendRedirect(reply, m.Version), sunrpc.AcceptSuccess
 	}
+	if mutates(proc) {
+		// Only a post-flip view reaches here for a migrating handle (the
+		// pre-flip view redirects it), so a parked request is always in
+		// the new map's inflight slot — the old epoch drains regardless.
+		if f := g.fence.Load(); f != nil && f.covers(g.id, uint64(fh)) {
+			<-f.done
+		}
+		g.markDirty(fh)
+	}
 	if proc == ProcClusterCreate {
 		return g.clusterCreate(info, body, reply)
-	}
-	if mutates(proc) {
-		g.markDirty(fh)
 	}
 	return g.inner(info, proc, body, reply)
 }
@@ -136,7 +203,8 @@ func (g *guard) clusterCreate(info rpcnet.CallInfo, body, reply []byte) ([]byte,
 		info.Span.Mark(obs.StageExec)
 		return reply, sunrpc.AcceptGarbageArgs
 	}
-	g.markDirty(args.FH)
+	// handler already dirty-marked the handle (ProcClusterCreate is in
+	// mutates and args.FH is the peeked routing handle).
 	err := g.fs.CreateAt(vfs.RootFH, args.Name, args.FH, make([]byte, args.Size))
 	info.Span.Mark(obs.StageExec)
 	if err != nil {
@@ -150,12 +218,15 @@ func (g *guard) clusterCreate(info rpcnet.CallInfo, body, reply []byte) ([]byte,
 	return xdr.AppendUint32(reply, nfsproto.OK), sunrpc.AcceptSuccess
 }
 
-// quiesce spins until no request is mid-dispatch in this guard — the
-// post-flip barrier that guarantees the delta pass sees every write
-// that raced the flip.
-func (g *guard) quiesce() {
-	for g.inflight.Load() > 0 {
-		// In-flight requests are sub-millisecond memory operations; a
+// quiesce spins until no request admitted under map version oldVersion
+// is still mid-dispatch — the post-flip barrier that guarantees the
+// delta pass sees every write that raced the flip. Requests admitted
+// under the new map count in the other parity slot, so sustained
+// open-loop load (and mutations parked on the fence) cannot starve the
+// wait: the old slot drains monotonically once the flip is published.
+func (g *guard) quiesce(oldVersion uint64) {
+	for g.inflight[oldVersion&1].Load() > 0 {
+		// Old-epoch requests are sub-millisecond memory operations; a
 		// busy-yield is cheaper than parking machinery for a path that
 		// runs once per membership change.
 		runtime.Gosched()

@@ -27,6 +27,15 @@ import (
 // RootFH is the file handle of the root directory.
 const RootFH = vfs.RootFH
 
+// LocalFHBound splits the handle space: ordinary Creates mint handles
+// strictly below it, and everything at or above it belongs to external
+// placement (the cluster-wide allocator starts here — see
+// cluster.fhAllocBase). Keeping the two ranges disjoint is what lets a
+// store accept placed handles without its own allocator ever minting a
+// colliding one. 2³² local creates exhaust tens of GB of object
+// headers long before the counter can reach the bound.
+const LocalFHBound nfsproto.FH = 1 << 32
+
 // MaxFileSize bounds a file's length (4 GB); see vfs.MaxFileSize.
 const MaxFileSize = vfs.MaxFileSize
 
@@ -128,8 +137,11 @@ func (fs *FS) CreateSized(dir nfsproto.FH, name string, size uint64) (nfsproto.F
 // previous file of that name. This is the placement primitive a
 // sharded cluster needs: handles come from a cluster-wide allocator
 // (so consistent hashing can route them) and must survive migration to
-// another store byte-for-byte. The local counter is bumped past fh so
-// ordinary Creates never collide with placed handles. An existing
+// another store byte-for-byte. Placing a handle below LocalFHBound
+// (a shard-local handle arriving by migration) bumps the local counter
+// past it so ordinary Creates never collide with it; a handle at or
+// above the bound lives in the cluster allocator's reserved range and
+// must not drag the local counter up into that range. An existing
 // object at fh under a different name is ErrExist.
 func (fs *FS) CreateAt(dir nfsproto.FH, name string, fh nfsproto.FH, data []byte) error {
 	fs.mu.Lock()
@@ -148,7 +160,7 @@ func (fs *FS) CreateAt(dir nfsproto.FH, name string, fh nfsproto.FH, data []byte
 	if _, taken := fs.objs[fh]; taken {
 		return fmt.Errorf("%w: fh %d", vfs.ErrExist, fh)
 	}
-	if fh >= fs.nextFH {
+	if fh < LocalFHBound && fh >= fs.nextFH {
 		fs.nextFH = fh + 1
 	}
 	fs.objs[fh] = &object{data: data}

@@ -257,3 +257,34 @@ func TestServiceStrideDetectedByCursor(t *testing.T) {
 		t.Fatalf("cursor max seqcount = %d on stride read", svc.Stats().MaxSeqCount)
 	}
 }
+
+// TestCreateAtAllocatorRanges: placing a cluster-range handle must not
+// drag the local allocator into the reserved range (or later local
+// Creates would mint handles the cluster-wide allocator also hands
+// out), while placing a low handle must still bump the counter past it
+// so local Creates never collide with migrated-in files.
+func TestCreateAtAllocatorRanges(t *testing.T) {
+	fs := NewFS()
+	if err := fs.CreateAt(RootFH, "placed", LocalFHBound+7, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := fs.Create(RootFH, "local", []byte("l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fh >= LocalFHBound {
+		t.Fatalf("local create minted fh %d inside the placed range (>= %d)", fh, LocalFHBound)
+	}
+
+	low := fh + 10
+	if err := fs.CreateAt(RootFH, "migrated", low, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	next, err := fs.Create(RootFH, "after", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != low+1 {
+		t.Fatalf("local allocator at %d after placing low handle %d; want %d", next, low, low+1)
+	}
+}
